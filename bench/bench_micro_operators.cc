@@ -1,0 +1,159 @@
+// Google-benchmark micro-benchmarks of the individual operators the
+// cost model (Eq. 12) assumes to be constant-time: tokenization, posting
+// scans (Algorithm 1), hash-join evaluation, sub-PJ cache operations,
+// candidate enumeration and index building.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "cache/subquery_cache.h"
+#include "datagen/tpch_mini.h"
+#include "enumerate/enumerator.h"
+#include "exec/evaluator.h"
+
+namespace {
+
+using namespace s4;
+using namespace s4::bench;
+
+World& SharedWorld() {
+  static World& world = *CsuppWorld(1).release();
+  return world;
+}
+
+const datagen::GeneratedEs& SharedEs() {
+  static const datagen::GeneratedEs& es = *[] {
+    World& world = SharedWorld();
+    datagen::EsGenerator gen(*world.index, *world.graph, 4242);
+    Status st = gen.Init(6, 4);
+    if (!st.ok()) abort();
+    auto generated = gen.Generate();
+    if (!generated.ok()) abort();
+    return new datagen::GeneratedEs(std::move(generated).value());
+  }();
+  return es;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tok;
+  const std::string text =
+      "Quarterly revenue dashboard for the Pacific Northwest region 2015";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_IndexBuildTpchMini(benchmark::State& state) {
+  auto db = datagen::MakeTpchMini();
+  if (!db.ok()) state.SkipWithError("db build failed");
+  for (auto _ : state) {
+    auto index = IndexSet::Build(*db);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuildTpchMini);
+
+void BM_ScoreContextBuild(benchmark::State& state) {
+  World& world = SharedWorld();
+  const datagen::GeneratedEs& es = SharedEs();
+  for (auto _ : state) {
+    ScoreContext ctx(*world.index, es.sheet, ScoreParams{});
+    benchmark::DoNotOptimize(ctx);
+  }
+}
+BENCHMARK(BM_ScoreContextBuild);
+
+void BM_Enumerate(benchmark::State& state) {
+  World& world = SharedWorld();
+  const datagen::GeneratedEs& es = SharedEs();
+  ScoreContext ctx(*world.index, es.sheet, ScoreParams{});
+  EnumerationOptions opts;
+  opts.max_tree_size = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateCandidates(*world.graph, ctx, opts));
+  }
+}
+BENCHMARK(BM_Enumerate);
+
+void BM_EvaluateQuery(benchmark::State& state) {
+  World& world = SharedWorld();
+  const datagen::GeneratedEs& es = SharedEs();
+  ScoreContext ctx(*world.index, es.sheet, ScoreParams{});
+  EnumerationOptions opts;
+  opts.max_tree_size = 4;
+  EnumerationResult r = EnumerateCandidates(*world.graph, ctx, opts);
+  if (r.candidates.empty()) state.SkipWithError("no candidates");
+  // Use the biggest candidate (join-heavy).
+  const CandidateQuery* heaviest = &r.candidates[0];
+  for (const CandidateQuery& c : r.candidates) {
+    if (c.query.tree().size() > heaviest->query.tree().size()) {
+      heaviest = &c;
+    }
+  }
+  Evaluator ev(ctx);
+  for (auto _ : state) {
+    EvalCounters counters;
+    benchmark::DoNotOptimize(
+        ev.RowScores(heaviest->query, nullptr, &counters));
+  }
+}
+BENCHMARK(BM_EvaluateQuery);
+
+void BM_EvaluateQueryWarmCache(benchmark::State& state) {
+  World& world = SharedWorld();
+  const datagen::GeneratedEs& es = SharedEs();
+  ScoreContext ctx(*world.index, es.sheet, ScoreParams{});
+  EnumerationOptions opts;
+  opts.max_tree_size = 4;
+  EnumerationResult r = EnumerateCandidates(*world.graph, ctx, opts);
+  if (r.candidates.empty()) state.SkipWithError("no candidates");
+  const CandidateQuery* heaviest = &r.candidates[0];
+  for (const CandidateQuery& c : r.candidates) {
+    if (c.query.tree().size() > heaviest->query.tree().size()) {
+      heaviest = &c;
+    }
+  }
+  Evaluator ev(ctx);
+  SubQueryCache cache(64u << 20);
+  EvalCounters counters;
+  EvalOptions eopts;
+  eopts.offer_to_cache = true;
+  ev.RowScores(heaviest->query, &cache, &counters, eopts);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ev.RowScores(heaviest->query, &cache, &counters, eopts));
+  }
+}
+BENCHMARK(BM_EvaluateQueryWarmCache);
+
+void BM_CacheAddGet(benchmark::State& state) {
+  SubQueryCache cache(64u << 20);
+  auto table = std::make_shared<SubQueryTable>();
+  table->num_es_rows = 3;
+  for (int i = 0; i < 1000; ++i) {
+    table->scored.emplace(i, std::vector<double>{1.0, 2.0, 3.0});
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i++ % 64);
+    cache.Add(key, table);
+    benchmark::DoNotOptimize(cache.Get(key));
+  }
+}
+BENCHMARK(BM_CacheAddGet);
+
+void BM_FullSearchFastTopK(benchmark::State& state) {
+  World& world = SharedWorld();
+  const datagen::GeneratedEs& es = SharedEs();
+  SearchOptions options;
+  options.enumeration.max_tree_size = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SearchFastTopK(*world.index, *world.graph, es.sheet, options));
+  }
+}
+BENCHMARK(BM_FullSearchFastTopK);
+
+}  // namespace
+
+BENCHMARK_MAIN();

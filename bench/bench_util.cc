@@ -1,0 +1,92 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace s4::bench {
+
+std::unique_ptr<World> MakeWorld(StatusOr<Database> db) {
+  if (!db.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto w = std::make_unique<World>();
+  w->db = std::move(db).value();
+  WallTimer timer;
+  auto index = IndexSet::Build(w->db);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    std::exit(1);
+  }
+  w->index = std::move(index).value();
+  w->index_build_seconds = timer.ElapsedSeconds();
+  w->graph = std::make_unique<SchemaGraph>(w->db);
+  return w;
+}
+
+std::unique_ptr<World> CsuppWorld(int32_t scale, uint64_t seed) {
+  datagen::CsuppSimOptions opts;
+  opts.seed = seed;
+  opts.scale = scale;
+  return MakeWorld(datagen::MakeCsuppSim(opts));
+}
+
+std::unique_ptr<World> AdvwWorld(int32_t dim_scale, int32_t fact_scale) {
+  datagen::AdvwSimOptions opts;
+  opts.dim_scale = dim_scale;
+  opts.fact_scale = fact_scale;
+  return MakeWorld(datagen::MakeAdvwSim(opts));
+}
+
+std::unique_ptr<World> ImdbWorld() {
+  return MakeWorld(datagen::MakeImdbSim({}));
+}
+
+std::vector<size_t> Workload::InBucket(datagen::EsBucket bucket) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == bucket) out.push_back(i);
+  }
+  return out;
+}
+
+Workload MakeWorkload(const World& world, int32_t count,
+                      const datagen::EsGenOptions& options, uint64_t seed,
+                      int32_t min_text_columns, int32_t max_tree_size) {
+  datagen::EsGenerator gen(*world.index, *world.graph, seed);
+  Status st = gen.Init(min_text_columns, max_tree_size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ES generator init failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  auto many = gen.GenerateMany(count, options);
+  if (!many.ok()) {
+    std::fprintf(stderr, "ES generation failed: %s\n",
+                 many.status().ToString().c_str());
+    std::exit(1);
+  }
+  Workload w;
+  w.es = std::move(many).value();
+  w.buckets = datagen::EsGenerator::AssignBuckets(w.es);
+  return w;
+}
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::atoll(v);
+}
+
+void PrintHeader(const std::string& title, const std::string& what) {
+  std::printf("=== %s ===\n%s\n", title.c_str(), what.c_str());
+  std::printf(
+      "note: synthetic stand-ins for the paper's datasets (see DESIGN.md);"
+      " absolute numbers differ from the paper's testbed, trends are the"
+      " target.\n\n");
+}
+
+}  // namespace s4::bench

@@ -1,0 +1,108 @@
+#ifndef S4_BENCH_BENCH_UTIL_H_
+#define S4_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "datagen/es_gen.h"
+#include "datagen/synthetic.h"
+#include "index/index_set.h"
+#include "schema/schema_graph.h"
+#include "strategy/strategy.h"
+
+namespace s4::bench {
+
+// A database with its offline indexes and schema graph, ready to search.
+struct World {
+  Database db;
+  std::unique_ptr<IndexSet> index;
+  std::unique_ptr<SchemaGraph> graph;
+  double index_build_seconds = 0.0;
+};
+
+// Builds a World from any generated database.
+std::unique_ptr<World> MakeWorld(StatusOr<Database> db);
+
+// The standard benchmark datasets. `scale` multiplies base row counts;
+// the default sizes are tuned so every bench binary finishes in tens of
+// seconds on one core while keeping the paper's relative trends visible.
+std::unique_ptr<World> CsuppWorld(int32_t scale = 1, uint64_t seed = 42);
+std::unique_ptr<World> AdvwWorld(int32_t dim_scale = 1,
+                                 int32_t fact_scale = 1);
+std::unique_ptr<World> ImdbWorld();
+
+// A bucketed example-spreadsheet workload per Sec 6.1.
+struct Workload {
+  std::vector<datagen::GeneratedEs> es;
+  std::vector<datagen::EsBucket> buckets;
+
+  // Indexes of the ESs in `bucket`.
+  std::vector<size_t> InBucket(datagen::EsBucket bucket) const;
+};
+
+Workload MakeWorkload(const World& world, int32_t count,
+                      const datagen::EsGenOptions& options = {},
+                      uint64_t seed = 1234, int32_t min_text_columns = 6,
+                      int32_t max_tree_size = 4);
+
+// Accumulates per-run statistics for averaged reporting.
+struct Agg {
+  double enum_seconds = 0.0;
+  double eval_seconds = 0.0;
+  int64_t queries_enumerated = 0;
+  int64_t queries_evaluated = 0;
+  int64_t query_row_evals = 0;
+  int64_t cache_hits = 0;
+  int64_t critical_subs = 0;
+  int64_t skipped = 0;
+  int64_t model_cost = 0;
+  int64_t runs = 0;
+
+  void Add(const RunStats& s) {
+    enum_seconds += s.enum_seconds;
+    eval_seconds += s.eval_seconds;
+    queries_enumerated += s.queries_enumerated;
+    queries_evaluated += s.queries_evaluated;
+    query_row_evals += s.query_row_evals;
+    cache_hits += s.cache.hits;
+    critical_subs += s.critical_subs_cached;
+    skipped += s.skipped_by_condition;
+    model_cost += s.model_cost;
+    ++runs;
+  }
+  double AvgTotalMs() const {
+    return runs == 0 ? 0.0
+                     : 1e3 * (enum_seconds + eval_seconds) /
+                           static_cast<double>(runs);
+  }
+  double AvgEnumMs() const {
+    return runs == 0 ? 0.0 : 1e3 * enum_seconds / static_cast<double>(runs);
+  }
+  double AvgEvalMs() const {
+    return runs == 0 ? 0.0 : 1e3 * eval_seconds / static_cast<double>(runs);
+  }
+  double AvgEvaluated() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(queries_evaluated) /
+                           static_cast<double>(runs);
+  }
+  double AvgRowEvals() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(query_row_evals) /
+                           static_cast<double>(runs);
+  }
+};
+
+// Reads an integer knob from the environment (e.g. S4_BENCH_ES_COUNT) so
+// users can scale benchmarks up without recompiling.
+int64_t EnvInt(const char* name, int64_t def);
+
+// Prints the standard bench banner (dataset + substitution note).
+void PrintHeader(const std::string& title, const std::string& what);
+
+}  // namespace s4::bench
+
+#endif  // S4_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,231 @@
+// Interactive S4 shell: load or generate a database, type an example
+// spreadsheet cell by cell, and watch the discovered queries update —
+// the command-line equivalent of the paper's spreadsheet interface.
+//
+//   $ ./s4_shell
+//   s4> load tpch
+//   s4> set 0 0 Rick
+//   s4> set 0 1 USA
+//   s4> search
+//   s4> sql 1
+//   s4> preview 1
+//   s4> explain 1
+//
+// Reads commands from stdin (scriptable: `echo ... | s4_shell`).
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "datagen/tpch_mini.h"
+#include "exec/explain.h"
+#include "s4/s4.h"
+#include "storage/serialize.h"
+
+namespace {
+
+using namespace s4;
+
+constexpr const char* kHelp =
+    "commands:\n"
+    "  load tpch|csupp|advw|imdb   generate a sample database\n"
+    "  open <file.s4db>            load a database snapshot\n"
+    "  save <file.s4db>            save the current database\n"
+    "  set <row> <col> <text...>   fill a spreadsheet cell\n"
+    "  del <row> <col>             clear a cell\n"
+    "  show                        print the spreadsheet\n"
+    "  search [k]                  discover top-k PJ queries\n"
+    "  sql <rank>                  SQL of a result\n"
+    "  preview <rank>              output relation of a result\n"
+    "  explain <rank>              execution plan of a result\n"
+    "  stats                       database and index statistics\n"
+    "  help | quit\n";
+
+class Shell {
+ public:
+  int Run() {
+    std::printf("S4 shell — type 'help' for commands.\n");
+    std::string line;
+    while (std::printf("s4> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf("%s", kHelp);
+    } else if (cmd == "load") {
+      std::string which;
+      in >> which;
+      Load(which);
+    } else if (cmd == "open") {
+      std::string path;
+      in >> path;
+      auto db = LoadDatabase(path);
+      if (!db.ok()) {
+        std::printf("error: %s\n", db.status().ToString().c_str());
+      } else {
+        Adopt(std::move(db).value(), "snapshot " + path);
+      }
+    } else if (cmd == "save") {
+      std::string path;
+      in >> path;
+      if (!Ready()) return true;
+      Status st = SaveDatabase(system_->db(), path);
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    } else if (cmd == "set" || cmd == "del") {
+      int row = -1, col = -1;
+      in >> row >> col;
+      std::string text;
+      std::getline(in, text);
+      while (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      if (row < 0 || col < 0 || row > 15 || col > 15) {
+        std::printf("error: bad cell\n");
+        return true;
+      }
+      if (static_cast<size_t>(row) >= cells_.size()) {
+        cells_.resize(row + 1);
+      }
+      size_t width = 0;
+      for (const auto& r : cells_) width = std::max(width, r.size());
+      width = std::max(width, static_cast<size_t>(col + 1));
+      for (auto& r : cells_) r.resize(width);
+      cells_[row].resize(width);
+      cells_[row][col] = cmd == "set" ? text : std::string();
+      Show();
+    } else if (cmd == "show") {
+      Show();
+    } else if (cmd == "search") {
+      int k = 5;
+      in >> k;
+      Search(k);
+    } else if (cmd == "sql" || cmd == "preview" || cmd == "explain") {
+      size_t rank = 0;
+      in >> rank;
+      Inspect(cmd, rank);
+    } else if (cmd == "stats") {
+      Stats();
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  bool Ready() {
+    if (system_ == nullptr) {
+      std::printf("error: no database loaded ('load tpch' to start)\n");
+      return false;
+    }
+    return true;
+  }
+
+  void Adopt(Database db, const std::string& what) {
+    db_ = std::move(db);
+    auto system = S4System::Create(db_);
+    if (!system.ok()) {
+      std::printf("error: %s\n", system.status().ToString().c_str());
+      return;
+    }
+    system_ = std::move(system).value();
+    last_.reset();
+    std::printf("loaded %s: %d relations, %lld text columns\n",
+                what.c_str(), db_.NumTables(),
+                static_cast<long long>(db_.NumTextColumns()));
+  }
+
+  void Load(const std::string& which) {
+    StatusOr<Database> db = Status::InvalidArgument(
+        "unknown dataset '" + which + "' (tpch|csupp|advw|imdb)");
+    if (which == "tpch") db = datagen::MakeTpchMini();
+    if (which == "csupp") db = datagen::MakeCsuppSim({});
+    if (which == "advw") db = datagen::MakeAdvwSim({});
+    if (which == "imdb") db = datagen::MakeImdbSim({});
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return;
+    }
+    Adopt(std::move(db).value(), which);
+  }
+
+  void Show() {
+    if (cells_.empty()) {
+      std::printf("(empty spreadsheet — use 'set <row> <col> <text>')\n");
+      return;
+    }
+    for (const auto& row : cells_) {
+      std::printf("  |");
+      for (const auto& cell : row) std::printf(" %-12s |", cell.c_str());
+      std::printf("\n");
+    }
+  }
+
+  void Search(int k) {
+    if (!Ready()) return;
+    auto sheet = system_->MakeSpreadsheet(cells_);
+    if (!sheet.ok() || !sheet->Validate().ok()) {
+      std::printf("error: spreadsheet needs a term in every row/column\n");
+      return;
+    }
+    sheet_ = std::move(sheet).value();
+    SearchOptions options;
+    options.k = k;
+    last_ = system_->Search(*sheet_, options);
+    std::printf("%s", system_->FormatResults(*last_, /*max_sql=*/0).c_str());
+  }
+
+  void Inspect(const std::string& cmd, size_t rank) {
+    if (!Ready()) return;
+    if (!last_.has_value() || rank < 1 || rank > last_->topk.size()) {
+      std::printf("error: run 'search' first and pick 1..%zu\n",
+                  last_.has_value() ? last_->topk.size() : 0);
+      return;
+    }
+    const PJQuery& q = last_->topk[rank - 1].query;
+    if (cmd == "sql") {
+      std::printf("%s\n", q.ToSql(system_->db()).c_str());
+    } else if (cmd == "preview") {
+      auto out = system_->Preview(q, *sheet_);
+      if (out.ok()) std::printf("%s", out->ToString().c_str());
+    } else {
+      ScoreContext ctx(system_->index(), *sheet_, ScoreParams{});
+      std::printf("%s", ExplainPlan(q, ctx).c_str());
+    }
+  }
+
+  void Stats() {
+    if (!Ready()) return;
+    IndexStats s = system_->index_stats();
+    std::printf(
+        "relations: %d, fk edges: %zu, tokens: %lld,\n"
+        "inverted indexes: %.2f MiB, (key,fk) snapshot: %.2f MiB\n",
+        db_.NumTables(), db_.foreign_keys().size(),
+        static_cast<long long>(s.num_tokens),
+        static_cast<double>(s.inverted_index_bytes) / (1 << 20),
+        static_cast<double>(s.kfk_snapshot_bytes) / (1 << 20));
+  }
+
+  Database db_;
+  std::unique_ptr<S4System> system_;
+  std::vector<std::vector<std::string>> cells_;
+  std::optional<ExampleSpreadsheet> sheet_;
+  std::optional<SearchResult> last_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

@@ -1,0 +1,86 @@
+#include "cache/subquery_cache.h"
+
+#include <algorithm>
+
+namespace s4 {
+
+std::shared_ptr<const SubQueryTable> SubQueryCache::Get(
+    const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  Touch(it->second, key);
+  return it->second.table;
+}
+
+void SubQueryCache::Touch(Entry& e, const std::string& key) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+bool SubQueryCache::EvictUntil(size_t needed) {
+  while (bytes_used_ + needed > budget_) {
+    // Evict the least-recently-used unpinned entry.
+    auto victim = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!entries_.at(*it).pinned) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    if (victim == lru_.end()) return false;  // everything pinned
+    auto eit = entries_.find(*victim);
+    bytes_used_ -= eit->second.bytes;
+    lru_.erase(victim);
+    entries_.erase(eit);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+bool SubQueryCache::Add(const std::string& key,
+                        std::shared_ptr<const SubQueryTable> table,
+                        bool pinned) {
+  const size_t bytes = table->ByteSize();
+  Remove(key);
+  if (bytes > budget_ || !EvictUntil(bytes)) {
+    ++stats_.rejected_too_large;
+    return false;
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.table = std::move(table);
+  e.bytes = bytes;
+  e.pinned = pinned;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  bytes_used_ += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_used_);
+  ++stats_.insertions;
+  return true;
+}
+
+void SubQueryCache::Remove(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void SubQueryCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+void SubQueryCache::Unpin(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.pinned = false;
+}
+
+}  // namespace s4

@@ -1,0 +1,116 @@
+#ifndef S4_CACHE_SUBQUERY_CACHE_H_
+#define S4_CACHE_SUBQUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace s4 {
+
+// The materialized output relation of a (sub-)PJ query in the form the
+// hash-join execution plan consumes (Appendix B.1/B.2): a hash table
+// from join-key to the per-example-row best partial similarity scores of
+// the subtree, plus the set of keys that join but carry all-zero scores
+// (needed for exact inner-join semantics).
+struct SubQueryTable {
+  int32_t num_es_rows = 0;
+  std::unordered_map<int64_t, std::vector<double>> scored;
+  std::unordered_set<int64_t> zero;
+
+  // Scores for `key`: pointer into `scored`, nullptr+exists for zero
+  // keys, nullptr+!exists when the key does not join.
+  const std::vector<double>* Find(int64_t key, bool* exists) const {
+    auto it = scored.find(key);
+    if (it != scored.end()) {
+      *exists = true;
+      return &it->second;
+    }
+    *exists = zero.count(key) > 0;
+    return nullptr;
+  }
+
+  int64_t NumKeys() const {
+    return static_cast<int64_t>(scored.size() + zero.size());
+  }
+
+  // Approximate bytes (hash buckets + score vectors).
+  size_t ByteSize() const {
+    return scored.size() * (sizeof(int64_t) + 32 +
+                            sizeof(double) * static_cast<size_t>(num_es_rows)) +
+           zero.size() * (sizeof(int64_t) + 16) + sizeof(SubQueryTable);
+  }
+};
+
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  int64_t rejected_too_large = 0;
+  size_t peak_bytes = 0;
+};
+
+// Budgeted LRU cache M of sub-PJ query output relations (Sec 5.1-5.3).
+// The scheduler explicitly Adds critical sub-PJ results (optionally
+// pinned so the LRU heuristic never drops them mid-group, Sec 5.3.4),
+// and the evaluator opportunistically offers intermediate tables.
+class SubQueryCache {
+ public:
+  explicit SubQueryCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  SubQueryCache(const SubQueryCache&) = delete;
+  SubQueryCache& operator=(const SubQueryCache&) = delete;
+
+  size_t budget() const { return budget_; }
+  size_t bytes_used() const { return bytes_used_; }
+  const CacheStats& stats() const { return stats_; }
+
+  // Looks up `key`; records a hit/miss and refreshes LRU recency.
+  std::shared_ptr<const SubQueryTable> Get(const std::string& key);
+
+  // True without touching stats or recency (used by cost estimation).
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  // Inserts `table` under `key`, evicting unpinned LRU entries as needed.
+  // Returns false (and stores nothing) if the table cannot fit even
+  // after evicting everything unpinned. Re-inserting an existing key
+  // replaces the value.
+  bool Add(const std::string& key, std::shared_ptr<const SubQueryTable> table,
+           bool pinned = false);
+
+  // Removes one entry / all entries (type-c operator Delete).
+  void Remove(const std::string& key);
+  void Clear();
+
+  // Pin management; pinned entries are never evicted by Add.
+  void Unpin(const std::string& key);
+
+  int64_t NumEntries() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const SubQueryTable> table;
+    size_t bytes = 0;
+    bool pinned = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(Entry& e, const std::string& key);
+  bool EvictUntil(size_t needed);
+
+  size_t budget_;
+  size_t bytes_used_ = 0;
+  CacheStats stats_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+};
+
+}  // namespace s4
+
+#endif  // S4_CACHE_SUBQUERY_CACHE_H_

@@ -1,0 +1,35 @@
+#ifndef S4_COMMON_HASH_UTIL_H_
+#define S4_COMMON_HASH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace s4 {
+
+// Combines `v`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(uint64_t& seed, uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+template <typename T>
+inline void HashCombineValue(uint64_t& seed, const T& v) {
+  HashCombine(seed, static_cast<uint64_t>(std::hash<T>{}(v)));
+}
+
+// FNV-1a over a byte string; stable across platforms (used in canonical
+// cache keys that tests compare against golden values).
+inline uint64_t FingerprintString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace s4
+
+#endif  // S4_COMMON_HASH_UTIL_H_

@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s4 {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace s4

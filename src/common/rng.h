@@ -1,0 +1,83 @@
+#ifndef S4_COMMON_RNG_H_
+#define S4_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace s4 {
+
+// Deterministic 64-bit PRNG (splitmix64 + xorshift). All workload
+// generation and benchmarks seed explicitly so runs are reproducible
+// across platforms — std::mt19937 distributions are not portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5344534453445344ULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // splitmix64 to spread low-entropy seeds.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state_ = z ^ (z >> 31);
+    if (state_ == 0) state_ = 0x2545f4914f6cdd1dULL;
+  }
+
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Samples from a Zipf distribution over ranks [0, n) with exponent `s`
+// using a precomputed cumulative table (O(log n) per draw).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  // Returns a rank in [0, n); rank 0 is the most frequent.
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace s4
+
+#endif  // S4_COMMON_RNG_H_

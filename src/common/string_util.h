@@ -1,0 +1,33 @@
+#ifndef S4_COMMON_STRING_UTIL_H_
+#define S4_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s4 {
+
+// Returns a lowercased copy of `s` (ASCII only; the paper's tokenizer
+// discards non-alphanumeric tokens so ASCII folding suffices).
+std::string ToLowerAscii(std::string_view s);
+
+// Splits `s` on any character of `delims`, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s,
+                                      std::string_view delims);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// True iff every character of `s` is ASCII alphanumeric.
+bool IsAlphaNumeric(std::string_view s);
+
+// printf-like formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace s4
+
+#endif  // S4_COMMON_STRING_UTIL_H_

@@ -1,0 +1,35 @@
+#ifndef S4_COMMON_TABLE_PRINTER_H_
+#define S4_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace s4 {
+
+// Renders aligned ASCII tables for the benchmark harnesses so each bench
+// binary prints the rows/series of the paper table or figure it
+// reproduces.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  // Returns the rendered table.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s4
+
+#endif  // S4_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+#ifndef S4_COMMON_TIMER_H_
+#define S4_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace s4 {
+
+// Monotonic wall-clock stopwatch used by benchmark harnesses and the
+// per-phase timing breakdown (enumeration+upper-bound vs. evaluation).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates elapsed time across multiple start/stop intervals.
+class AccumTimer {
+ public:
+  void Start() { t_.Restart(); }
+  void Stop() { total_seconds_ += t_.ElapsedSeconds(); }
+  void Reset() { total_seconds_ = 0.0; }
+  double TotalSeconds() const { return total_seconds_; }
+
+ private:
+  WallTimer t_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace s4
+
+#endif  // S4_COMMON_TIMER_H_

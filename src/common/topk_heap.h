@@ -1,0 +1,88 @@
+#ifndef S4_COMMON_TOPK_HEAP_H_
+#define S4_COMMON_TOPK_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace s4 {
+
+// Keeps the k items with the highest scores seen so far. Ties are broken
+// by insertion order (earlier wins), which keeps strategy outputs
+// deterministic across NAIVE / BASELINE / FASTTOPK when scores collide.
+template <typename T>
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  // Offers (score, item); keeps it if it beats the current k-th score.
+  void Offer(double score, T item) {
+    Entry e{score, next_seq_++, std::move(item)};
+    if (heap_.size() < k_) {
+      heap_.push(std::move(e));
+      return;
+    }
+    if (k_ == 0) return;
+    const Entry& worst = heap_.top();
+    if (e.score > worst.score ||
+        (e.score == worst.score && e.seq < worst.seq)) {
+      heap_.pop();
+      heap_.push(std::move(e));
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool Full() const { return heap_.size() >= k_; }
+
+  // Score of the current k-th best item, or -inf if fewer than k items
+  // have been offered. This is the `top_k{...}` of termination
+  // condition (7) in the paper.
+  double KthScore() const {
+    if (!Full() || k_ == 0) return -std::numeric_limits<double>::infinity();
+    return heap_.top().score;
+  }
+
+  // Extracts items sorted by descending score (stable in insertion order).
+  std::vector<std::pair<double, T>> TakeSortedDescending() {
+    std::vector<Entry> entries;
+    entries.reserve(heap_.size());
+    while (!heap_.empty()) {
+      entries.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                                 const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.seq < b.seq;
+    });
+    std::vector<std::pair<double, T>> out;
+    out.reserve(entries.size());
+    for (auto& e : entries) out.emplace_back(e.score, std::move(e.item));
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double score;
+    uint64_t seq;
+    T item;
+  };
+  // Min-heap on (score, -seq): top() is the entry to evict first, i.e. the
+  // lowest score, with later insertion losing ties.
+  struct Worse {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.seq < b.seq;
+    }
+  };
+
+  size_t k_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Worse> heap_;
+};
+
+}  // namespace s4
+
+#endif  // S4_COMMON_TOPK_HEAP_H_

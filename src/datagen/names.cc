@@ -1,0 +1,228 @@
+#include "datagen/names.h"
+
+namespace s4::datagen {
+
+namespace {
+
+std::vector<std::string_view> MakeFirstNames() {
+  return {
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",   "David",   "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",   "Chris",   "Lisa",     "Daniel",  "Nancy",
+      "Matthew", "Betty",   "Anthony", "Margaret", "Mark",    "Sandra",
+      "Donald",  "Ashley",  "Steven",  "Kimberly", "Paul",    "Emily",
+      "Andrew",  "Donna",   "Joshua",  "Michelle", "Kenneth", "Carol",
+      "Kevin",   "Amanda",  "Brian",   "Dorothy",  "George",  "Melissa",
+      "Edward",  "Deborah", "Ronald",  "Stephanie", "Timothy", "Rebecca",
+      "Jason",   "Sharon",  "Jeffrey", "Laura",    "Ryan",    "Cynthia",
+      "Jacob",   "Kathleen", "Gary",   "Amy",      "Nicholas", "Angela",
+      "Eric",    "Shirley", "Jonathan", "Anna",    "Stephen", "Brenda",
+      "Larry",   "Pamela",  "Justin",  "Emma",     "Scott",   "Nicole",
+      "Brandon", "Helen",   "Benjamin", "Samantha", "Samuel",  "Katherine",
+      "Gregory", "Christine", "Frank", "Debra",    "Alexander", "Rachel",
+      "Raymond", "Carolyn", "Patrick", "Janet",    "Jack",    "Catherine",
+      "Dennis",  "Maria",   "Jerry",   "Heather",  "Tyler",   "Diane",
+      "Aaron",   "Ruth",    "Jose",    "Julie",    "Adam",    "Olivia",
+      "Nathan",  "Joyce",   "Henry",   "Virginia", "Douglas", "Victoria",
+      "Zachary", "Kelly",   "Peter",   "Lauren",   "Kyle",    "Christina",
+      "Ethan",   "Joan",    "Walter",  "Evelyn",   "Noah",    "Judith",
+      "Jeremy",  "Megan",   "Christian", "Andrea", "Keith",   "Cheryl",
+      "Roger",   "Hannah",  "Terry",   "Jacqueline", "Gerald", "Martha",
+      "Harold",  "Gloria",  "Sean",    "Teresa",   "Austin",  "Ann",
+      "Carl",    "Sara",    "Arthur",  "Madison",  "Lawrence", "Frances",
+      "Dylan",   "Kathryn", "Jesse",   "Janice",   "Jordan",  "Jean",
+      "Bryan",   "Abigail", "Billy",   "Alice",    "Joe",     "Julia",
+      "Bruce",   "Judy",    "Gabriel", "Sophia",   "Logan",   "Grace",
+      "Albert",  "Denise",  "Willie",  "Amber",    "Alan",    "Doris",
+      "Juan",    "Marilyn", "Wayne",   "Danielle", "Elijah",  "Beverly",
+      "Randy",   "Isabella", "Roy",    "Theresa",  "Vincent", "Diana",
+      "Ralph",   "Natalie", "Eugene",  "Brittany", "Russell", "Charlotte",
+      "Bobby",   "Marie",   "Mason",   "Kayla",    "Philip",  "Alexis",
+      "Louis",   "Lori",    "Rick",    "Tina",
+  };
+}
+
+std::vector<std::string_view> MakeLastNames() {
+  return {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",
+      "Garcia",   "Miller",   "Davis",    "Rodriguez", "Martinez",
+      "Hernandez", "Lopez",   "Gonzalez", "Wilson",   "Anderson",
+      "Thomas",   "Taylor",   "Moore",    "Jackson",  "Martin",
+      "Lee",      "Perez",    "Thompson", "White",    "Harris",
+      "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",
+      "Scott",    "Torres",   "Nguyen",   "Hill",     "Flores",
+      "Green",    "Adams",    "Nelson",   "Baker",    "Hall",
+      "Rivera",   "Campbell", "Mitchell", "Carter",   "Roberts",
+      "Gomez",    "Phillips", "Evans",    "Turner",   "Diaz",
+      "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",
+      "Rogers",   "Gutierrez", "Ortiz",   "Morgan",   "Cooper",
+      "Peterson", "Bailey",   "Reed",     "Kelly",    "Howard",
+      "Ramos",    "Kim",      "Cox",      "Ward",     "Richardson",
+      "Watson",   "Brooks",   "Chavez",   "Wood",     "James",
+      "Bennett",  "Gray",     "Mendoza",  "Ruiz",     "Hughes",
+      "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",
+      "Myers",    "Long",     "Ross",     "Foster",   "Jimenez",
+      "Powell",   "Jenkins",  "Perry",    "Russell",  "Sullivan",
+      "Bell",     "Coleman",  "Butler",   "Henderson", "Barnes",
+      "Gonzales", "Fisher",   "Vasquez",  "Simmons",  "Romero",
+      "Jordan",   "Patterson", "Alexander", "Hamilton", "Graham",
+      "Reynolds", "Griffin",  "Wallace",  "Moreno",   "West",
+      "Cole",     "Hayes",    "Bryant",   "Herrera",  "Gibson",
+      "Ellis",    "Tran",     "Medina",   "Aguilar",  "Stevens",
+      "Murray",   "Ford",     "Castro",   "Marshall", "Owens",
+      "Harrison", "Fernandez", "McDonald", "Woods",   "Washington",
+      "Kennedy",  "Wells",    "Vargas",   "Henry",    "Chen",
+      "Freeman",  "Webb",     "Tucker",   "Guzman",   "Burns",
+      "Crawford", "Olson",    "Simpson",  "Porter",   "Hunter",
+      "Gordon",   "Mendez",   "Silva",    "Shaw",     "Snyder",
+      "Mason",    "Dixon",    "Munoz",    "Hunt",     "Hicks",
+      "Holmes",   "Palmer",   "Wagner",   "Black",    "Robertson",
+  };
+}
+
+std::vector<std::string_view> MakeCompanyWords() {
+  return {
+      "Century",  "Global",   "Pioneer",  "Summit",    "Apex",
+      "Vertex",   "Quantum",  "Stellar",  "Horizon",   "Cascade",
+      "Fusion",   "Vanguard", "Beacon",   "Crescent",  "Nimbus",
+      "Electronics", "Trading", "Logistics", "Systems", "Dynamics",
+      "Industries", "Solutions", "Partners", "Holdings", "Networks",
+      "Pacific",  "Atlantic", "Northern", "Southern",  "Eastern",
+      "Western",  "United",   "Premier",  "Prime",     "Elite",
+      "Shenzhen", "Welton",   "Orion",    "Atlas",     "Titan",
+      "Zenith",   "Nova",     "Pulse",    "Vector",    "Matrix",
+      "Cobalt",   "Sterling", "Granite",  "Redwood",   "Ironwood",
+  };
+}
+
+std::vector<std::string_view> MakeProductWords() {
+  return {
+      "Xbox",    "One",     "iPhone",   "Galaxy",   "Samsung",
+      "Surface", "Pro",     "Air",      "Max",      "Ultra",
+      "Laptop",  "Tablet",  "Phone",    "Monitor",  "Keyboard",
+      "Mouse",   "Headset", "Camera",   "Drone",    "Speaker",
+      "Router",  "Switch",  "Server",   "Printer",  "Scanner",
+      "Charger", "Adapter", "Cable",    "Dock",     "Stand",
+      "Mini",    "Plus",    "Lite",     "Edge",     "Note",
+      "Elite",   "Flex",    "Fold",     "Slim",     "Turbo",
+      "Classic", "Sport",   "Studio",   "Vision",   "Pixel",
+      "Core",    "Neo",     "Prime",    "Wave",     "Spark",
+      "Blade",   "Storm",   "Fusion",   "Nitro",    "Omen",
+      "Aspire",  "Envy",    "Pavilion", "Inspiron", "Latitude",
+  };
+}
+
+std::vector<std::string_view> MakeSupportWords() {
+  return {
+      "login",    "crash",    "error",     "timeout",   "billing",
+      "refund",   "upgrade",  "install",   "update",    "password",
+      "reset",    "account",  "locked",    "slow",      "freeze",
+      "blue",     "screen",   "network",   "wifi",      "sync",
+      "email",    "spam",     "license",   "activation", "warranty",
+      "shipping", "delivery", "damaged",   "missing",   "return",
+      "exchange", "invoice",  "payment",   "declined",  "subscription",
+      "cancel",   "renewal",  "charge",    "duplicate", "failed",
+      "restore",  "backup",   "data",      "loss",      "corrupt",
+      "driver",   "firmware", "bluetooth", "pairing",   "battery",
+      "overheat", "noise",    "display",   "flicker",   "pixel",
+      "dead",     "broken",   "cracked",   "replace",   "repair",
+  };
+}
+
+std::vector<std::string_view> MakeMovieWords() {
+  return {
+      "Dark",    "Night",   "Return",  "Kingdom", "Lost",
+      "City",    "Shadow",  "Empire",  "Last",    "First",
+      "Blood",   "Moon",    "Star",    "War",     "Love",
+      "Story",   "Dream",   "Edge",    "Fire",    "Ice",
+      "Storm",   "Silent",  "Broken",  "Hidden",  "Golden",
+      "Iron",    "Steel",   "Glass",   "Paper",   "Stone",
+      "River",   "Mountain", "Ocean",  "Desert",  "Forest",
+      "Winter",  "Summer",  "Autumn",  "Spring",  "Midnight",
+      "Dawn",    "Dusk",    "Eternal", "Final",   "Rising",
+      "Falling", "Running", "Burning", "Frozen",  "Forgotten",
+      "Secret",  "Crown",   "Throne",  "Sword",   "Arrow",
+      "Ghost",   "Angel",   "Demon",   "Dragon",  "Phoenix",
+  };
+}
+
+std::vector<std::string_view> MakeCountries() {
+  return {
+      "USA",       "Canada",   "China",    "Japan",     "Germany",
+      "France",    "Brazil",   "India",    "Mexico",    "Italy",
+      "Spain",     "Korea",    "Australia", "Netherlands", "Sweden",
+      "Norway",    "Poland",   "Turkey",   "Argentina", "Chile",
+      "Egypt",     "Kenya",    "Nigeria",  "Vietnam",   "Thailand",
+      "Singapore", "Ireland",  "Austria",  "Belgium",   "Portugal",
+      "Greece",    "Finland",  "Denmark",  "Hungary",   "Romania",
+      "Peru",      "Colombia", "Malaysia", "Indonesia", "Philippines",
+  };
+}
+
+std::vector<std::string_view> MakeCities() {
+  return {
+      "Seattle",   "Portland", "Austin",   "Denver",    "Chicago",
+      "Boston",    "Atlanta",  "Dallas",   "Houston",   "Phoenix",
+      "Toronto",   "Vancouver", "Montreal", "Shanghai",  "Beijing",
+      "Tokyo",     "Osaka",    "Berlin",   "Munich",    "Paris",
+      "Lyon",      "Madrid",   "Barcelona", "Rome",     "Milan",
+      "London",    "Dublin",   "Amsterdam", "Stockholm", "Oslo",
+      "Warsaw",    "Istanbul", "Mumbai",   "Delhi",     "Bangalore",
+      "Sydney",    "Melbourne", "Auckland", "Santiago", "Lima",
+      "Bogota",    "Cairo",    "Nairobi",  "Lagos",     "Hanoi",
+      "Bangkok",   "Jakarta",  "Manila",   "Seoul",     "Busan",
+  };
+}
+
+std::vector<std::string_view> MakeColors() {
+  return {
+      "Red",    "Blue",   "Green",  "Black",  "White",
+      "Silver", "Gold",   "Purple", "Orange", "Yellow",
+      "Gray",   "Pink",   "Teal",   "Navy",   "Maroon",
+  };
+}
+
+}  // namespace
+
+#define S4_DEFINE_POOL(Name)                                  \
+  const std::vector<std::string_view>& Name() {               \
+    static const std::vector<std::string_view>& pool =        \
+        *new std::vector<std::string_view>(Make##Name());     \
+    return pool;                                              \
+  }
+
+S4_DEFINE_POOL(FirstNames)
+S4_DEFINE_POOL(LastNames)
+S4_DEFINE_POOL(CompanyWords)
+S4_DEFINE_POOL(ProductWords)
+S4_DEFINE_POOL(SupportWords)
+S4_DEFINE_POOL(MovieWords)
+S4_DEFINE_POOL(Countries)
+S4_DEFINE_POOL(Cities)
+S4_DEFINE_POOL(Colors)
+
+#undef S4_DEFINE_POOL
+
+std::string ZipfFullName(Rng& rng, const ZipfSampler& first,
+                         const ZipfSampler& last) {
+  std::string out(FirstNames()[first.Sample(rng) % FirstNames().size()]);
+  out += " ";
+  out += LastNames()[last.Sample(rng) % LastNames().size()];
+  return out;
+}
+
+std::string ZipfPhrase(Rng& rng, const ZipfSampler& sampler,
+                       const std::vector<std::string_view>& pool,
+                       int32_t count) {
+  std::string out;
+  for (int32_t i = 0; i < count; ++i) {
+    if (i > 0) out += " ";
+    out += pool[sampler.Sample(rng) % pool.size()];
+  }
+  return out;
+}
+
+}  // namespace s4::datagen

@@ -1,0 +1,37 @@
+#ifndef S4_DATAGEN_NAMES_H_
+#define S4_DATAGEN_NAMES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace s4::datagen {
+
+// Word pools for the synthetic datasets. Each accessor returns a stable
+// span of lowercase-free display words; generators compose names from
+// them with Zipf-distributed ranks so the corpus has realistic head/tail
+// term frequencies (needed for the paper's low/medium/high ES buckets).
+const std::vector<std::string_view>& FirstNames();
+const std::vector<std::string_view>& LastNames();
+const std::vector<std::string_view>& CompanyWords();
+const std::vector<std::string_view>& ProductWords();
+const std::vector<std::string_view>& SupportWords();   // ticket subjects
+const std::vector<std::string_view>& MovieWords();
+const std::vector<std::string_view>& Countries();
+const std::vector<std::string_view>& Cities();
+const std::vector<std::string_view>& Colors();
+
+// Draws a full name "<First> <Last>" with Zipf-ranked components.
+std::string ZipfFullName(Rng& rng, const ZipfSampler& first,
+                         const ZipfSampler& last);
+
+// Draws `count` words from `pool` using `sampler`, joined by spaces.
+std::string ZipfPhrase(Rng& rng, const ZipfSampler& sampler,
+                       const std::vector<std::string_view>& pool,
+                       int32_t count);
+
+}  // namespace s4::datagen
+
+#endif  // S4_DATAGEN_NAMES_H_

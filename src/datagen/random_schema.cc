@@ -1,0 +1,155 @@
+#include "datagen/random_schema.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace s4::datagen {
+
+StatusOr<Database> MakeRandomSchema(const RandomSchemaOptions& options) {
+  Rng rng(options.seed);
+  Database db;
+
+  struct FkSpec {
+    int32_t src_table;
+    std::string column;
+    int32_t dst_table;
+  };
+  std::vector<FkSpec> fks;
+  std::vector<std::vector<std::string>> fk_columns(options.num_tables);
+
+  // Pick the FK topology first (column layout depends on it). Table i>0
+  // references some earlier table, keeping the schema connected; extra,
+  // duplicate and self edges are sprinkled in.
+  for (int32_t i = 0; i < options.num_tables; ++i) {
+    std::vector<int32_t> targets;
+    if (i > 0) {
+      targets.push_back(
+          static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(i))));
+      if (rng.Bernoulli(options.extra_edge_prob)) {
+        if (rng.Bernoulli(options.multi_edge_prob)) {
+          targets.push_back(targets[0]);  // multi-edge to the same table
+        } else {
+          targets.push_back(
+              static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(i))));
+        }
+      }
+    }
+    if (rng.Bernoulli(options.self_edge_prob)) targets.push_back(i);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      std::string col = StrFormat("Fk%zu_T%d", k, targets[k]);
+      fks.push_back(FkSpec{i, col, targets[k]});
+      fk_columns[i].push_back(col);
+    }
+  }
+
+  // Create tables: pk, 1-2 text columns, fk columns.
+  std::vector<int32_t> num_text(options.num_tables);
+  for (int32_t i = 0; i < options.num_tables; ++i) {
+    auto t = db.AddTable(StrFormat("T%d", i));
+    if (!t.ok()) return t.status();
+    S4_RETURN_IF_ERROR((*t)->AddColumn("Id", ColumnType::kInt64).status());
+    num_text[i] = 1 + static_cast<int32_t>(rng.Uniform(2));
+    for (int32_t c = 0; c < num_text[i]; ++c) {
+      S4_RETURN_IF_ERROR(
+          (*t)->AddColumn(StrFormat("Text%d", c), ColumnType::kText)
+              .status());
+    }
+    for (const std::string& col : fk_columns[i]) {
+      S4_RETURN_IF_ERROR(
+          (*t)->AddColumn(col, ColumnType::kInt64).status());
+    }
+    S4_RETURN_IF_ERROR((*t)->SetPrimaryKey(0));
+  }
+
+  // Populate rows. Row counts vary per table (possibly zero).
+  ZipfSampler zipf(static_cast<size_t>(options.vocab_size), 0.9);
+  std::vector<int64_t> rows_per_table(options.num_tables);
+  for (int32_t i = 0; i < options.num_tables; ++i) {
+    rows_per_table[i] = options.min_rows +
+                        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+                            options.max_rows - options.min_rows + 1)));
+  }
+  for (int32_t i = 0; i < options.num_tables; ++i) {
+    Table* t = db.FindTable(StrFormat("T%d", i));
+    for (int64_t r = 0; r < rows_per_table[i]; ++r) {
+      std::vector<Value> row;
+      row.push_back(Value::Int(r + 1));
+      for (int32_t c = 0; c < num_text[i]; ++c) {
+        std::string text;
+        const int32_t terms =
+            1 + static_cast<int32_t>(
+                    rng.Uniform(static_cast<uint64_t>(
+                        options.max_terms_per_cell)));
+        for (int32_t w = 0; w < terms; ++w) {
+          if (w > 0) text += " ";
+          text += StrFormat("w%zu", zipf.Sample(rng));
+        }
+        row.push_back(Value::Text(text));
+      }
+      for (const std::string& col : fk_columns[i]) {
+        (void)col;
+        // Target table decided by the FkSpec order below; fill after.
+        row.push_back(Value::Null());
+      }
+      S4_RETURN_IF_ERROR(t->AppendRow(row));
+    }
+  }
+  // PK indexes are needed to validate FK targets exist; fill FKs with
+  // direct assignment via a second pass using AppendRow is not possible,
+  // so instead rebuild rows... simpler: FKs were appended as NULL; since
+  // Table has no update API, regenerate the tables with FKs now that row
+  // counts are fixed.
+  Database final_db;
+  for (int32_t i = 0; i < options.num_tables; ++i) {
+    auto t = final_db.AddTable(StrFormat("T%d", i));
+    if (!t.ok()) return t.status();
+    S4_RETURN_IF_ERROR((*t)->AddColumn("Id", ColumnType::kInt64).status());
+    for (int32_t c = 0; c < num_text[i]; ++c) {
+      S4_RETURN_IF_ERROR(
+          (*t)->AddColumn(StrFormat("Text%d", c), ColumnType::kText)
+              .status());
+    }
+    for (const std::string& col : fk_columns[i]) {
+      S4_RETURN_IF_ERROR(
+          (*t)->AddColumn(col, ColumnType::kInt64).status());
+    }
+    S4_RETURN_IF_ERROR((*t)->SetPrimaryKey(0));
+
+    const Table* src = db.FindTable(StrFormat("T%d", i));
+    for (int64_t r = 0; r < src->NumRows(); ++r) {
+      std::vector<Value> row;
+      for (int32_t c = 0; c < 1 + num_text[i]; ++c) {
+        row.push_back(src->GetValue(r, c));
+      }
+      for (const std::string& col : fk_columns[i]) {
+        // Find this column's FK target.
+        int32_t dst = -1;
+        for (const FkSpec& fk : fks) {
+          if (fk.src_table == i && fk.column == col) dst = fk.dst_table;
+        }
+        const int64_t dst_rows = rows_per_table[dst];
+        if (dst_rows == 0 || rng.Bernoulli(options.null_fk_prob)) {
+          row.push_back(Value::Null());
+        } else {
+          row.push_back(Value::Int(
+              static_cast<int64_t>(rng.Uniform(
+                  static_cast<uint64_t>(dst_rows))) +
+              1));
+        }
+      }
+      S4_RETURN_IF_ERROR((*t)->AppendRow(row));
+    }
+  }
+  for (const FkSpec& fk : fks) {
+    S4_RETURN_IF_ERROR(final_db.AddForeignKey(
+        StrFormat("T%d", fk.src_table), fk.column,
+        StrFormat("T%d", fk.dst_table)));
+  }
+  S4_RETURN_IF_ERROR(final_db.Finalize(/*check_integrity=*/true));
+  return final_db;
+}
+
+}  // namespace s4::datagen

@@ -1,0 +1,33 @@
+#ifndef S4_DATAGEN_RANDOM_SCHEMA_H_
+#define S4_DATAGEN_RANDOM_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace s4::datagen {
+
+// Random connected schema generator for adversarial property testing:
+// arbitrary FK topologies (chains, stars, diamonds), multi-edges between
+// the same relation pair, nullable FKs, self-referencing FKs, shared
+// term vocabulary across all text columns (maximal column-mapping
+// ambiguity), and tables of wildly different sizes including empty ones.
+struct RandomSchemaOptions {
+  uint64_t seed = 1;
+  int32_t num_tables = 6;
+  int32_t min_rows = 0;            // empty tables allowed by default
+  int32_t max_rows = 15;           // kept small: tests brute-force joins
+  int32_t vocab_size = 25;         // shared term universe "w0".."wN"
+  int32_t max_terms_per_cell = 3;
+  double extra_edge_prob = 0.4;    // chance of a second outgoing FK
+  double multi_edge_prob = 0.2;    // chance the extra FK repeats a target
+  double self_edge_prob = 0.25;    // chance of a self-referencing FK
+  double null_fk_prob = 0.15;
+};
+
+StatusOr<Database> MakeRandomSchema(const RandomSchemaOptions& options = {});
+
+}  // namespace s4::datagen
+
+#endif  // S4_DATAGEN_RANDOM_SCHEMA_H_

@@ -1,0 +1,490 @@
+#include "datagen/synthetic.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/names.h"
+
+namespace s4::datagen {
+
+namespace {
+
+// Generators are internal and schemas are static, so schema-building
+// failures are programming errors: crash loudly instead of plumbing
+// Status through every call.
+Table* MustTable(Database* db, const std::string& name,
+                 const std::vector<std::pair<std::string, ColumnType>>& cols) {
+  auto t = db->AddTable(name);
+  assert(t.ok());
+  for (const auto& [col_name, type] : cols) {
+    auto c = (*t)->AddColumn(col_name, type);
+    assert(c.ok());
+    (void)c;
+  }
+  Status s = (*t)->SetPrimaryKey(0);
+  assert(s.ok());
+  (void)s;
+  return *t;
+}
+
+void MustRow(Table* t, const std::vector<Value>& values) {
+  Status s = t->AppendRow(values);
+  assert(s.ok());
+  (void)s;
+}
+
+void MustFk(Database* db, const std::string& src, const std::string& col,
+            const std::string& dst) {
+  Status s = db->AddForeignKey(src, col, dst);
+  assert(s.ok());
+  (void)s;
+}
+
+}  // namespace
+
+StatusOr<Database> MakeCsuppSim(const CsuppSimOptions& options) {
+  Database db;
+  Rng rng(options.seed);
+  const int32_t s = std::max(1, options.scale);
+
+  Table* region = MustTable(&db, "Region",
+                            {{"RegionId", ColumnType::kInt64},
+                             {"RegionName", ColumnType::kText}});
+  Table* country = MustTable(&db, "Country",
+                             {{"CountryId", ColumnType::kInt64},
+                              {"CountryName", ColumnType::kText},
+                              {"RegionId", ColumnType::kInt64}});
+  Table* city = MustTable(&db, "City",
+                          {{"CityId", ColumnType::kInt64},
+                           {"CityName", ColumnType::kText},
+                           {"CountryId", ColumnType::kInt64}});
+  Table* customer = MustTable(&db, "Customer",
+                              {{"CustId", ColumnType::kInt64},
+                               {"CustName", ColumnType::kText},
+                               {"Contact", ColumnType::kText},
+                               {"Segment", ColumnType::kText},
+                               {"CityId", ColumnType::kInt64}});
+  Table* category = MustTable(&db, "Category",
+                              {{"CatId", ColumnType::kInt64},
+                               {"CatName", ColumnType::kText}});
+  Table* product = MustTable(&db, "Product",
+                             {{"ProdId", ColumnType::kInt64},
+                              {"ProdName", ColumnType::kText},
+                              {"ProdDesc", ColumnType::kText},
+                              {"CatId", ColumnType::kInt64}});
+  Table* team = MustTable(&db, "Team",
+                          {{"TeamId", ColumnType::kInt64},
+                           {"TeamName", ColumnType::kText},
+                           {"LeadName", ColumnType::kText}});
+  Table* agent = MustTable(&db, "Agent",
+                           {{"AgentId", ColumnType::kInt64},
+                            {"AgentName", ColumnType::kText},
+                            {"Title", ColumnType::kText},
+                            {"TeamId", ColumnType::kInt64}});
+  Table* severity = MustTable(&db, "Severity",
+                              {{"SevId", ColumnType::kInt64},
+                               {"SevName", ColumnType::kText}});
+  Table* ticket = MustTable(&db, "Ticket",
+                            {{"TicketId", ColumnType::kInt64},
+                             {"Subject", ColumnType::kText},
+                             {"Resolution", ColumnType::kText},
+                             {"CustId", ColumnType::kInt64},
+                             {"ProdId", ColumnType::kInt64},
+                             {"AgentId", ColumnType::kInt64},
+                             {"SevId", ColumnType::kInt64}});
+  Table* note = MustTable(&db, "TicketNote",
+                          {{"NoteId", ColumnType::kInt64},
+                           {"NoteText", ColumnType::kText},
+                           {"TicketId", ColumnType::kInt64},
+                           {"AgentId", ColumnType::kInt64}});
+
+  const auto& regions = std::vector<std::string>{
+      "North America", "Europe", "Asia Pacific", "Latin America",
+      "Middle East Africa"};
+  for (size_t i = 0; i < regions.size(); ++i) {
+    MustRow(region, {Value::Int(static_cast<int64_t>(i + 1)),
+                     Value::Text(regions[i])});
+  }
+  const auto& countries = Countries();
+  for (size_t i = 0; i < countries.size(); ++i) {
+    MustRow(country, {Value::Int(static_cast<int64_t>(i + 1)),
+                      Value::Text(std::string(countries[i])),
+                      Value::Int(static_cast<int64_t>(
+                          rng.Uniform(regions.size()) + 1))});
+  }
+  ZipfSampler city_zipf(Cities().size(), 0.8);
+  const int32_t num_cities = options.num_cities * s;
+  for (int32_t i = 0; i < num_cities; ++i) {
+    std::string name(Cities()[city_zipf.Sample(rng)]);
+    if (i >= static_cast<int32_t>(Cities().size())) {
+      name += StrFormat(" %d", i);  // keep head tokens frequent, tail rare
+    }
+    MustRow(city, {Value::Int(i + 1), Value::Text(name),
+                   Value::Int(static_cast<int64_t>(
+                       rng.Uniform(countries.size()) + 1))});
+  }
+
+  ZipfSampler first_zipf(FirstNames().size(), 0.9);
+  ZipfSampler last_zipf(LastNames().size(), 0.9);
+  const std::vector<std::string> segments{"Enterprise", "Consumer",
+                                          "Education", "Government",
+                                          "Startup"};
+  const int32_t num_customers = options.num_customers * s;
+  for (int32_t i = 0; i < num_customers; ++i) {
+    MustRow(customer,
+            {Value::Int(i + 1),
+             Value::Text(ZipfFullName(rng, first_zipf, last_zipf)),
+             Value::Text(ZipfFullName(rng, first_zipf, last_zipf)),
+             Value::Text(segments[rng.Uniform(segments.size())]),
+             Value::Int(static_cast<int64_t>(rng.Uniform(num_cities) + 1))});
+  }
+
+  const std::vector<std::string> categories{
+      "Hardware", "Software", "Networking", "Storage", "Cloud",
+      "Peripherals", "Mobile", "Security", "Audio", "Displays"};
+  for (size_t i = 0; i < categories.size(); ++i) {
+    MustRow(category, {Value::Int(static_cast<int64_t>(i + 1)),
+                       Value::Text(categories[i])});
+  }
+  ZipfSampler prod_zipf(ProductWords().size(), 0.85);
+  const int32_t num_products = options.num_products * s;
+  for (int32_t i = 0; i < num_products; ++i) {
+    MustRow(product,
+            {Value::Int(i + 1),
+             Value::Text(ZipfPhrase(rng, prod_zipf, ProductWords(), 2)),
+             Value::Text(ZipfPhrase(rng, prod_zipf, ProductWords(), 4)),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(categories.size()) + 1))});
+  }
+
+  ZipfSampler company_zipf(CompanyWords().size(), 0.8);
+  const int32_t num_teams = 18;
+  for (int32_t i = 0; i < num_teams; ++i) {
+    MustRow(team, {Value::Int(i + 1),
+                   Value::Text(ZipfPhrase(rng, company_zipf, CompanyWords(),
+                                          2)),
+                   Value::Text(ZipfFullName(rng, first_zipf, last_zipf))});
+  }
+  const std::vector<std::string> titles{"Support Engineer", "Senior Engineer",
+                                        "Escalation Lead", "Field Technician",
+                                        "Account Manager"};
+  const int32_t num_agents = options.num_agents * s;
+  for (int32_t i = 0; i < num_agents; ++i) {
+    MustRow(agent, {Value::Int(i + 1),
+                    Value::Text(ZipfFullName(rng, first_zipf, last_zipf)),
+                    Value::Text(titles[rng.Uniform(titles.size())]),
+                    Value::Int(static_cast<int64_t>(
+                        rng.Uniform(num_teams) + 1))});
+  }
+
+  const std::vector<std::string> severities{"Critical", "High", "Medium",
+                                            "Low", "Informational"};
+  for (size_t i = 0; i < severities.size(); ++i) {
+    MustRow(severity, {Value::Int(static_cast<int64_t>(i + 1)),
+                       Value::Text(severities[i])});
+  }
+
+  ZipfSampler support_zipf(SupportWords().size(), 0.95);
+  const int32_t num_tickets = options.num_tickets * s;
+  for (int32_t i = 0; i < num_tickets; ++i) {
+    MustRow(ticket,
+            {Value::Int(i + 1),
+             Value::Text(ZipfPhrase(rng, support_zipf, SupportWords(),
+                                    static_cast<int32_t>(
+                                        3 + rng.Uniform(3)))),
+             Value::Text(ZipfPhrase(rng, support_zipf, SupportWords(),
+                                    static_cast<int32_t>(
+                                        2 + rng.Uniform(3)))),
+             Value::Int(static_cast<int64_t>(rng.Uniform(num_customers) + 1)),
+             Value::Int(static_cast<int64_t>(rng.Uniform(num_products) + 1)),
+             Value::Int(static_cast<int64_t>(rng.Uniform(num_agents) + 1)),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(severities.size()) + 1))});
+  }
+  const int32_t num_notes = options.num_notes * s;
+  for (int32_t i = 0; i < num_notes; ++i) {
+    MustRow(note,
+            {Value::Int(i + 1),
+             Value::Text(ZipfPhrase(rng, support_zipf, SupportWords(),
+                                    static_cast<int32_t>(
+                                        4 + rng.Uniform(4)))),
+             Value::Int(static_cast<int64_t>(rng.Uniform(num_tickets) + 1)),
+             Value::Int(static_cast<int64_t>(rng.Uniform(num_agents) + 1))});
+  }
+
+  MustFk(&db, "Country", "RegionId", "Region");
+  MustFk(&db, "City", "CountryId", "Country");
+  MustFk(&db, "Customer", "CityId", "City");
+  MustFk(&db, "Product", "CatId", "Category");
+  MustFk(&db, "Agent", "TeamId", "Team");
+  MustFk(&db, "Ticket", "CustId", "Customer");
+  MustFk(&db, "Ticket", "ProdId", "Product");
+  MustFk(&db, "Ticket", "AgentId", "Agent");
+  MustFk(&db, "Ticket", "SevId", "Severity");
+  MustFk(&db, "TicketNote", "TicketId", "Ticket");
+  MustFk(&db, "TicketNote", "AgentId", "Agent");
+
+  Status st = db.Finalize(/*check_integrity=*/false);
+  if (!st.ok()) return st;
+  return db;
+}
+
+StatusOr<Database> MakeAdvwSim(const AdvwSimOptions& options) {
+  Database db;
+  Rng rng(options.seed);
+
+  Table* cat = MustTable(&db, "DimCategory",
+                         {{"CatId", ColumnType::kInt64},
+                          {"CatName", ColumnType::kText}});
+  Table* subcat = MustTable(&db, "DimSubcategory",
+                            {{"SubcatId", ColumnType::kInt64},
+                             {"SubcatName", ColumnType::kText},
+                             {"CatId", ColumnType::kInt64}});
+  Table* prod = MustTable(&db, "DimProduct",
+                          {{"ProductId", ColumnType::kInt64},
+                           {"ProductName", ColumnType::kText},
+                           {"Color", ColumnType::kText},
+                           {"SubcatId", ColumnType::kInt64}});
+  Table* geo = MustTable(&db, "DimGeography",
+                         {{"GeoId", ColumnType::kInt64},
+                          {"CityName", ColumnType::kText},
+                          {"CountryName", ColumnType::kText}});
+  Table* cust = MustTable(&db, "DimCustomer",
+                          {{"CustId", ColumnType::kInt64},
+                           {"CustName", ColumnType::kText},
+                           {"GeoId", ColumnType::kInt64}});
+  Table* emp = MustTable(&db, "DimEmployee",
+                         {{"EmpId", ColumnType::kInt64},
+                          {"EmpName", ColumnType::kText},
+                          {"Title", ColumnType::kText}});
+  Table* promo = MustTable(&db, "DimPromotion",
+                           {{"PromoId", ColumnType::kInt64},
+                            {"PromoName", ColumnType::kText}});
+  Table* sales = MustTable(&db, "FactSales",
+                           {{"SalesId", ColumnType::kInt64},
+                            {"ProductId", ColumnType::kInt64},
+                            {"CustId", ColumnType::kInt64},
+                            {"EmpId", ColumnType::kInt64},
+                            {"PromoId", ColumnType::kInt64}});
+
+  const std::vector<std::string> cats{"Bikes", "Components", "Clothing",
+                                      "Accessories"};
+  for (size_t i = 0; i < cats.size(); ++i) {
+    MustRow(cat, {Value::Int(static_cast<int64_t>(i + 1)),
+                  Value::Text(cats[i])});
+  }
+  const int32_t num_subcats = 24;
+  ZipfSampler prod_zipf(ProductWords().size(), 0.8);
+  for (int32_t i = 0; i < num_subcats; ++i) {
+    MustRow(subcat, {Value::Int(i + 1),
+                     Value::Text(ZipfPhrase(rng, prod_zipf, ProductWords(),
+                                            1)),
+                     Value::Int(static_cast<int64_t>(
+                         rng.Uniform(cats.size()) + 1))});
+  }
+
+  struct DimSpec {
+    Table* table;
+    int32_t base_rows;
+  };
+
+  ZipfSampler first_zipf(FirstNames().size(), 0.9);
+  ZipfSampler last_zipf(LastNames().size(), 0.9);
+  ZipfSampler city_zipf(Cities().size(), 0.8);
+  ZipfSampler color_zipf(Colors().size(), 0.7);
+
+  for (int32_t i = 0; i < options.num_products; ++i) {
+    MustRow(prod, {Value::Int(i + 1),
+                   Value::Text(ZipfPhrase(rng, prod_zipf, ProductWords(), 2)),
+                   Value::Text(std::string(
+                       Colors()[color_zipf.Sample(rng)])),
+                   Value::Int(static_cast<int64_t>(
+                       rng.Uniform(num_subcats) + 1))});
+  }
+  const int32_t num_geo = 100;
+  for (int32_t i = 0; i < num_geo; ++i) {
+    MustRow(geo, {Value::Int(i + 1),
+                  Value::Text(std::string(Cities()[city_zipf.Sample(rng)])),
+                  Value::Text(std::string(
+                      Countries()[rng.Uniform(Countries().size())]))});
+  }
+  for (int32_t i = 0; i < options.num_customers; ++i) {
+    MustRow(cust, {Value::Int(i + 1),
+                   Value::Text(ZipfFullName(rng, first_zipf, last_zipf)),
+                   Value::Int(static_cast<int64_t>(rng.Uniform(num_geo) + 1))});
+  }
+  const std::vector<std::string> titles{"Sales Representative",
+                                        "Sales Manager", "Regional Director",
+                                        "Account Executive"};
+  for (int32_t i = 0; i < options.num_employees; ++i) {
+    MustRow(emp, {Value::Int(i + 1),
+                  Value::Text(ZipfFullName(rng, first_zipf, last_zipf)),
+                  Value::Text(titles[rng.Uniform(titles.size())])});
+  }
+  ZipfSampler company_zipf(CompanyWords().size(), 0.8);
+  for (int32_t i = 0; i < options.num_promotions; ++i) {
+    MustRow(promo, {Value::Int(i + 1),
+                    Value::Text(ZipfPhrase(rng, company_zipf, CompanyWords(),
+                                           2))});
+  }
+  for (int32_t i = 0; i < options.num_sales; ++i) {
+    MustRow(sales,
+            {Value::Int(i + 1),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(options.num_products) + 1)),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(options.num_customers) + 1)),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(options.num_employees) + 1)),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(options.num_promotions) + 1))});
+  }
+
+  // Dimension scale-up: copies of existing dimension rows with fresh ids
+  // that no fact row references (Fig 10a).
+  if (options.dim_scale > 1) {
+    struct CopySpec {
+      Table* table;
+      int32_t base_rows;
+    };
+    for (const CopySpec& spec :
+         {CopySpec{prod, options.num_products},
+          CopySpec{cust, options.num_customers},
+          CopySpec{emp, options.num_employees},
+          CopySpec{promo, options.num_promotions}}) {
+      int64_t next_id = spec.base_rows + 1;
+      for (int32_t copy = 1; copy < options.dim_scale; ++copy) {
+        for (int32_t r = 0; r < spec.base_rows; ++r) {
+          std::vector<Value> row;
+          row.reserve(spec.table->NumColumns());
+          row.push_back(Value::Int(next_id++));
+          for (int32_t c2 = 1; c2 < spec.table->NumColumns(); ++c2) {
+            row.push_back(spec.table->GetValue(r, c2));
+          }
+          MustRow(spec.table, row);
+        }
+      }
+    }
+  }
+
+  // Fact scale-up: copies of existing fact rows referencing the same
+  // dimension rows (Fig 10b).
+  if (options.fact_scale > 1) {
+    int64_t next_id = options.num_sales + 1;
+    for (int32_t copy = 1; copy < options.fact_scale; ++copy) {
+      for (int32_t r = 0; r < options.num_sales; ++r) {
+        std::vector<Value> row;
+        row.push_back(Value::Int(next_id++));
+        for (int32_t c2 = 1; c2 < sales->NumColumns(); ++c2) {
+          row.push_back(sales->GetValue(r, c2));
+        }
+        MustRow(sales, row);
+      }
+    }
+  }
+
+  MustFk(&db, "DimSubcategory", "CatId", "DimCategory");
+  MustFk(&db, "DimProduct", "SubcatId", "DimSubcategory");
+  MustFk(&db, "DimCustomer", "GeoId", "DimGeography");
+  MustFk(&db, "FactSales", "ProductId", "DimProduct");
+  MustFk(&db, "FactSales", "CustId", "DimCustomer");
+  MustFk(&db, "FactSales", "EmpId", "DimEmployee");
+  MustFk(&db, "FactSales", "PromoId", "DimPromotion");
+
+  Status st = db.Finalize(/*check_integrity=*/false);
+  if (!st.ok()) return st;
+  return db;
+}
+
+StatusOr<Database> MakeImdbSim(const ImdbSimOptions& options) {
+  Database db;
+  Rng rng(options.seed);
+
+  Table* studio = MustTable(&db, "Studio",
+                            {{"StudioId", ColumnType::kInt64},
+                             {"StudioName", ColumnType::kText}});
+  Table* genre = MustTable(&db, "Genre",
+                           {{"GenreId", ColumnType::kInt64},
+                            {"GenreName", ColumnType::kText}});
+  Table* movie = MustTable(&db, "Movie",
+                           {{"MovieId", ColumnType::kInt64},
+                            {"Title", ColumnType::kText},
+                            {"StudioId", ColumnType::kInt64}});
+  Table* person = MustTable(&db, "Person",
+                            {{"PersonId", ColumnType::kInt64},
+                             {"PersonName", ColumnType::kText}});
+  Table* cast = MustTable(&db, "CastRole",
+                          {{"CastId", ColumnType::kInt64},
+                           {"RoleName", ColumnType::kText},
+                           {"MovieId", ColumnType::kInt64},
+                           {"PersonId", ColumnType::kInt64}});
+  Table* movie_genre = MustTable(&db, "MovieGenre",
+                                 {{"MgId", ColumnType::kInt64},
+                                  {"MovieId", ColumnType::kInt64},
+                                  {"GenreId", ColumnType::kInt64}});
+
+  ZipfSampler company_zipf(CompanyWords().size(), 0.8);
+  for (int32_t i = 0; i < options.num_studios; ++i) {
+    MustRow(studio, {Value::Int(i + 1),
+                     Value::Text(ZipfPhrase(rng, company_zipf, CompanyWords(),
+                                            2))});
+  }
+  const std::vector<std::string> genres{
+      "Drama", "Comedy", "Action", "Thriller", "Horror", "Romance",
+      "Documentary", "Animation", "Fantasy", "Mystery", "Crime", "Western"};
+  for (size_t i = 0; i < genres.size(); ++i) {
+    MustRow(genre, {Value::Int(static_cast<int64_t>(i + 1)),
+                    Value::Text(genres[i])});
+  }
+  ZipfSampler movie_zipf(MovieWords().size(), 0.9);
+  for (int32_t i = 0; i < options.num_movies; ++i) {
+    MustRow(movie,
+            {Value::Int(i + 1),
+             Value::Text(ZipfPhrase(rng, movie_zipf, MovieWords(),
+                                    static_cast<int32_t>(2 + rng.Uniform(2)))),
+             Value::Int(static_cast<int64_t>(
+                 rng.Uniform(options.num_studios) + 1))});
+  }
+  ZipfSampler first_zipf(FirstNames().size(), 0.9);
+  ZipfSampler last_zipf(LastNames().size(), 0.9);
+  for (int32_t i = 0; i < options.num_people; ++i) {
+    MustRow(person, {Value::Int(i + 1),
+                     Value::Text(ZipfFullName(rng, first_zipf, last_zipf))});
+  }
+  const std::vector<std::string> roles{"Director", "Producer", "Writer",
+                                       "Lead Actor", "Supporting Actor",
+                                       "Composer", "Editor"};
+  for (int32_t i = 0; i < options.num_cast; ++i) {
+    MustRow(cast, {Value::Int(i + 1),
+                   Value::Text(roles[rng.Uniform(roles.size())]),
+                   Value::Int(static_cast<int64_t>(
+                       rng.Uniform(options.num_movies) + 1)),
+                   Value::Int(static_cast<int64_t>(
+                       rng.Uniform(options.num_people) + 1))});
+  }
+  int64_t mg_id = 1;
+  for (int32_t m = 1; m <= options.num_movies; ++m) {
+    const int32_t count = static_cast<int32_t>(1 + rng.Uniform(3));
+    for (int32_t g = 0; g < count; ++g) {
+      MustRow(movie_genre,
+              {Value::Int(mg_id++), Value::Int(m),
+               Value::Int(static_cast<int64_t>(
+                   rng.Uniform(genres.size()) + 1))});
+    }
+  }
+
+  MustFk(&db, "Movie", "StudioId", "Studio");
+  MustFk(&db, "CastRole", "MovieId", "Movie");
+  MustFk(&db, "CastRole", "PersonId", "Person");
+  MustFk(&db, "MovieGenre", "MovieId", "Movie");
+  MustFk(&db, "MovieGenre", "GenreId", "Genre");
+
+  Status st = db.Finalize(/*check_integrity=*/false);
+  if (!st.ok()) return st;
+  return db;
+}
+
+}  // namespace s4::datagen

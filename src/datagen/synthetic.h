@@ -1,0 +1,69 @@
+#ifndef S4_DATAGEN_SYNTHETIC_H_
+#define S4_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace s4::datagen {
+
+// ---------------------------------------------------------------------------
+// CSUPP-sim: stands in for the paper's proprietary 95 GB Fortune-500
+// customer-service/IT-support database. A snowflake schema of 11
+// relations (regions -> countries -> cities -> customers; product
+// catalog; agents/teams; ticket + ticket-note fact tables) with
+// Zipf-distributed text so term frequencies span the low/medium/high
+// buckets of Sec 6.1. `scale` multiplies the dimension and fact row
+// counts; the default fits comfortably in memory while keeping join
+// fan-outs realistic.
+// ---------------------------------------------------------------------------
+struct CsuppSimOptions {
+  uint64_t seed = 42;
+  int32_t scale = 1;
+  // Base row counts at scale 1.
+  int32_t num_cities = 120;
+  int32_t num_customers = 900;
+  int32_t num_products = 250;
+  int32_t num_agents = 120;
+  int32_t num_tickets = 4000;
+  int32_t num_notes = 6000;
+};
+StatusOr<Database> MakeCsuppSim(const CsuppSimOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// ADVW-sim: AdventureWorks-like star schema used by the scale-up
+// experiment (Fig 10). `dim_scale` appends copies of each dimension row
+// with fresh ids that no fact row references (the paper's dimension
+// scale-up); `fact_scale` appends copies of each fact row referencing
+// the same dimension rows (the fact scale-up).
+// ---------------------------------------------------------------------------
+struct AdvwSimOptions {
+  uint64_t seed = 7;
+  int32_t dim_scale = 1;
+  int32_t fact_scale = 1;
+  // Base row counts.
+  int32_t num_products = 300;
+  int32_t num_customers = 400;
+  int32_t num_employees = 80;
+  int32_t num_promotions = 40;
+  int32_t num_sales = 3000;
+};
+StatusOr<Database> MakeAdvwSim(const AdvwSimOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// IMDB-sim: movie database standing in for the IMDB snapshot of the user
+// study (Sec 6.3): movies, people, cast roles, genres, studios.
+// ---------------------------------------------------------------------------
+struct ImdbSimOptions {
+  uint64_t seed = 11;
+  int32_t num_movies = 800;
+  int32_t num_people = 1200;
+  int32_t num_studios = 60;
+  int32_t num_cast = 4000;
+};
+StatusOr<Database> MakeImdbSim(const ImdbSimOptions& options = {});
+
+}  // namespace s4::datagen
+
+#endif  // S4_DATAGEN_SYNTHETIC_H_

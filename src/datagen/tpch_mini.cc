@@ -1,0 +1,147 @@
+#include "datagen/tpch_mini.h"
+
+namespace s4::datagen {
+
+namespace {
+
+Status Build(Database* db) {
+  // Nation(NatId, NatName)
+  {
+    auto t = db->AddTable("Nation");
+    if (!t.ok()) return t.status();
+    Table* nation = *t;
+    S4_RETURN_IF_ERROR(nation->AddColumn("NatId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(
+        nation->AddColumn("NatName", ColumnType::kText).status());
+    S4_RETURN_IF_ERROR(nation->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(
+        nation->AppendRow({Value::Int(1), Value::Text("USA")}));
+    S4_RETURN_IF_ERROR(
+        nation->AppendRow({Value::Int(2), Value::Text("Canada")}));
+    S4_RETURN_IF_ERROR(
+        nation->AppendRow({Value::Int(3), Value::Text("China")}));
+  }
+  // Customer(CustId, CustName, NatId)
+  {
+    auto t = db->AddTable("Customer");
+    if (!t.ok()) return t.status();
+    Table* cust = *t;
+    S4_RETURN_IF_ERROR(cust->AddColumn("CustId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(
+        cust->AddColumn("CustName", ColumnType::kText).status());
+    S4_RETURN_IF_ERROR(cust->AddColumn("NatId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(cust->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(cust->AppendRow(
+        {Value::Int(1), Value::Text("Rick Miller"), Value::Int(1)}));
+    S4_RETURN_IF_ERROR(cust->AppendRow(
+        {Value::Int(2), Value::Text("Julie Smith"), Value::Int(1)}));
+    S4_RETURN_IF_ERROR(cust->AppendRow(
+        {Value::Int(3), Value::Text("Kevin Chen"), Value::Int(2)}));
+  }
+  // Orders(OId, CustId, Clerk)
+  {
+    auto t = db->AddTable("Orders");
+    if (!t.ok()) return t.status();
+    Table* orders = *t;
+    S4_RETURN_IF_ERROR(orders->AddColumn("OId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(
+        orders->AddColumn("CustId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(orders->AddColumn("Clerk", ColumnType::kText).status());
+    S4_RETURN_IF_ERROR(orders->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(orders->AppendRow(
+        {Value::Int(1), Value::Int(1), Value::Text("Julie")}));
+    S4_RETURN_IF_ERROR(orders->AppendRow(
+        {Value::Int(2), Value::Int(2), Value::Text("Kevin")}));
+    S4_RETURN_IF_ERROR(orders->AppendRow(
+        {Value::Int(3), Value::Int(3), Value::Text("Rick")}));
+  }
+  // Part(PartId, PartName)
+  {
+    auto t = db->AddTable("Part");
+    if (!t.ok()) return t.status();
+    Table* part = *t;
+    S4_RETURN_IF_ERROR(part->AddColumn("PartId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(
+        part->AddColumn("PartName", ColumnType::kText).status());
+    S4_RETURN_IF_ERROR(part->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(
+        part->AppendRow({Value::Int(1), Value::Text("Xbox One")}));
+    S4_RETURN_IF_ERROR(
+        part->AppendRow({Value::Int(2), Value::Text("iPhone 6")}));
+    S4_RETURN_IF_ERROR(
+        part->AppendRow({Value::Int(3), Value::Text("Samsung Galaxy")}));
+  }
+  // LineItem(LId, OId, PartId)
+  {
+    auto t = db->AddTable("LineItem");
+    if (!t.ok()) return t.status();
+    Table* li = *t;
+    S4_RETURN_IF_ERROR(li->AddColumn("LId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(li->AddColumn("OId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(li->AddColumn("PartId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(li->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(
+        li->AppendRow({Value::Int(1), Value::Int(1), Value::Int(1)}));
+    S4_RETURN_IF_ERROR(
+        li->AppendRow({Value::Int(2), Value::Int(1), Value::Int(3)}));
+    S4_RETURN_IF_ERROR(
+        li->AppendRow({Value::Int(3), Value::Int(2), Value::Int(2)}));
+    S4_RETURN_IF_ERROR(
+        li->AppendRow({Value::Int(4), Value::Int(3), Value::Int(2)}));
+  }
+  // Supplier(SuppId, SuppName, NatId)
+  {
+    auto t = db->AddTable("Supplier");
+    if (!t.ok()) return t.status();
+    Table* supp = *t;
+    S4_RETURN_IF_ERROR(supp->AddColumn("SuppId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(
+        supp->AddColumn("SuppName", ColumnType::kText).status());
+    S4_RETURN_IF_ERROR(supp->AddColumn("NatId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(supp->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(supp->AppendRow(
+        {Value::Int(1), Value::Text("Century Electronics"), Value::Int(1)}));
+    S4_RETURN_IF_ERROR(supp->AppendRow(
+        {Value::Int(2), Value::Text("Kevin Brown"), Value::Int(2)}));
+    S4_RETURN_IF_ERROR(supp->AppendRow(
+        {Value::Int(3), Value::Text("Shenzhen Trading"), Value::Int(3)}));
+  }
+  // PartSupp(PsId, PartId, SuppId)
+  {
+    auto t = db->AddTable("PartSupp");
+    if (!t.ok()) return t.status();
+    Table* ps = *t;
+    S4_RETURN_IF_ERROR(ps->AddColumn("PsId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(ps->AddColumn("PartId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(ps->AddColumn("SuppId", ColumnType::kInt64).status());
+    S4_RETURN_IF_ERROR(ps->SetPrimaryKey(0));
+    S4_RETURN_IF_ERROR(
+        ps->AppendRow({Value::Int(1), Value::Int(1), Value::Int(1)}));
+    S4_RETURN_IF_ERROR(
+        ps->AppendRow({Value::Int(2), Value::Int(1), Value::Int(2)}));
+    S4_RETURN_IF_ERROR(
+        ps->AppendRow({Value::Int(3), Value::Int(2), Value::Int(1)}));
+    S4_RETURN_IF_ERROR(
+        ps->AppendRow({Value::Int(4), Value::Int(3), Value::Int(3)}));
+  }
+
+  S4_RETURN_IF_ERROR(db->AddForeignKey("Customer", "NatId", "Nation"));
+  S4_RETURN_IF_ERROR(db->AddForeignKey("Orders", "CustId", "Customer"));
+  S4_RETURN_IF_ERROR(db->AddForeignKey("LineItem", "OId", "Orders"));
+  S4_RETURN_IF_ERROR(db->AddForeignKey("LineItem", "PartId", "Part"));
+  S4_RETURN_IF_ERROR(db->AddForeignKey("PartSupp", "PartId", "Part"));
+  S4_RETURN_IF_ERROR(db->AddForeignKey("PartSupp", "SuppId", "Supplier"));
+  S4_RETURN_IF_ERROR(db->AddForeignKey("Supplier", "NatId", "Nation"));
+  return db->Finalize();
+}
+
+}  // namespace
+
+StatusOr<Database> MakeTpchMini() {
+  Database db;
+  Status s = Build(&db);
+  if (!s.ok()) return s;
+  return db;
+}
+
+}  // namespace s4::datagen

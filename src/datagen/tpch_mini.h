@@ -1,0 +1,20 @@
+#ifndef S4_DATAGEN_TPCH_MINI_H_
+#define S4_DATAGEN_TPCH_MINI_H_
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace s4::datagen {
+
+// The exact sample database of Figure 1 of the paper: a TPC-H subschema
+// with Customer, Nation, Orders, LineItem, Part, PartSupp and Supplier,
+// including the three customers Rick Miller / Julie Smith / Kevin Chen,
+// parts Xbox One / iPhone 6 / Samsung Galaxy, and suppliers
+// Century Electronics / Kevin Brown / Shenzhen Trading. Used by the
+// quickstart example and by tests that verify the paper's worked
+// Examples 2-3 verbatim.
+StatusOr<Database> MakeTpchMini();
+
+}  // namespace s4::datagen
+
+#endif  // S4_DATAGEN_TPCH_MINI_H_

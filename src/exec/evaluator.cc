@@ -1,0 +1,313 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "index/column_ids.h"
+
+namespace s4 {
+
+std::string EsRowsCacheSuffix(const std::vector<int32_t>& es_rows) {
+  if (es_rows.empty()) return std::string();
+  std::string out = "|r";
+  for (int32_t r : es_rows) out += StrFormat(",%d", r);
+  return out;
+}
+
+// Per-call immutable state threaded through the recursion.
+struct Evaluator::Ctx {
+  const JoinTree* tree;
+  const std::vector<ProjectionBinding>* bindings;
+  SubQueryCache* cache;
+  EvalCounters* counters;
+  const EvalOptions* options;
+  std::vector<int32_t> es_rows;  // resolved: never empty
+  std::string rows_suffix;
+};
+
+void Evaluator::ComputeOwnSims(
+    const Ctx& c, TreeNodeId v,
+    std::unordered_map<int64_t, std::vector<double>>* own) {
+  const ResolvedSpreadsheet& rs = ctx_->resolved();
+  const IndexSet& index = ctx_->index();
+  const int32_t num_rows = rs.num_rows;
+  const bool bonus = ctx_->params().exact_match_bonus != 0.0;
+  std::unordered_map<int32_t, int32_t> matchcnt;
+
+  for (const ProjectionBinding& b : *c.bindings) {
+    if (b.node != v) continue;
+    const int32_t gid = index.column_ids().Gid(
+        ColumnRef{c.tree->node(v).table, b.column});
+    const std::vector<uint16_t>* lengths =
+        bonus ? index.CellLengths(gid) : nullptr;
+    for (int32_t t : c.es_rows) {
+      const auto& groups = rs.cell_term_groups[t][b.es_column];
+      if (groups.empty()) continue;
+      if (bonus) matchcnt.clear();
+      std::unordered_map<int32_t, double> group_best;
+      for (const std::vector<TermId>& group : groups) {
+        // Union semantics within a term's spelling expansions (App A.2).
+        const bool single = group.size() == 1;
+        if (!single) group_best.clear();
+        for (TermId w : group) {
+          const std::vector<Posting>* plist = index.row_index().Find(w, gid);
+          if (plist == nullptr) continue;
+          c.counters->postings_scanned +=
+              static_cast<int64_t>(plist->size());
+          const double weight = ctx_->TermWeight(w, gid);
+          if (single) {
+            for (const Posting& p : *plist) {
+              auto [it, inserted] = own->try_emplace(p.row);
+              if (inserted) it->second.assign(num_rows, 0.0);
+              it->second[t] += weight;
+              if (bonus) ++matchcnt[p.row];
+            }
+          } else {
+            for (const Posting& p : *plist) {
+              double& best = group_best[p.row];
+              best = std::max(best, weight);
+            }
+          }
+        }
+        if (!single) {
+          for (const auto& [row, weight] : group_best) {
+            auto [it, inserted] = own->try_emplace(row);
+            if (inserted) it->second.assign(num_rows, 0.0);
+            it->second[t] += weight;
+            if (bonus) ++matchcnt[row];
+          }
+        }
+      }
+      if (bonus && lengths != nullptr) {
+        const int32_t cell_terms = rs.cell_num_terms[t][b.es_column];
+        for (const auto& [row, cnt] : matchcnt) {
+          if (cnt == cell_terms &&
+              static_cast<int32_t>((*lengths)[row]) == cell_terms) {
+            (*own)[row][t] += ctx_->params().exact_match_bonus;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
+    const Ctx& c, TreeNodeId v, const LinkSpec& link) {
+  const JoinTree& tree = *c.tree;
+  const KfkSnapshot& snap = ctx_->index().snapshot();
+
+  // Reuse the full rooted subtree at v if cached (type-i hit).
+  std::string key;
+  if (c.cache != nullptr) {
+    key = SubtreeCacheKey(tree, *c.bindings, v, link) + c.rows_suffix;
+    std::shared_ptr<const SubQueryTable> hit = c.cache->Get(key);
+    if (hit != nullptr) {
+      ++c.counters->cache_hits;
+      return hit;
+    }
+    ++c.counters->cache_misses;
+  }
+
+  const std::vector<TreeNodeId> children = tree.ChildrenOf(v);
+
+  // Reuse a type-ii table (subtree of one child + this node, keyed by
+  // this node's PK). It already folds this node's own similarities, so
+  // only the remaining children need joining.
+  std::shared_ptr<const SubQueryTable> base;
+  TreeNodeId covered_child = kNoNode;
+  if (c.cache != nullptr) {
+    for (TreeNodeId child : children) {
+      std::string key2 =
+          SubtreeWithParentCacheKey(tree, *c.bindings, child) + c.rows_suffix;
+      std::shared_ptr<const SubQueryTable> hit = c.cache->Get(key2);
+      if (hit != nullptr) {
+        ++c.counters->cache_hits;
+        base = std::move(hit);
+        covered_child = child;
+        break;
+      }
+    }
+  }
+
+  // Recursively evaluate the remaining children bottom-up.
+  std::vector<std::pair<TreeNodeId, std::shared_ptr<const SubQueryTable>>>
+      child_tables;
+  for (TreeNodeId child : children) {
+    if (child == covered_child) continue;
+    child_tables.emplace_back(
+        child, EvalNode(c, child, LinkSpecFor(tree, child)));
+  }
+
+  // Stage I: this node's own cell similarities (folded into `base`
+  // already when a type-ii table is reused).
+  std::unordered_map<int64_t, std::vector<double>> own;
+  if (base == nullptr) ComputeOwnSims(c, v, &own);
+
+  const TableId table_id = tree.node(v).table;
+  const std::vector<int64_t>& pks = snap.Pk(table_id);
+  const int32_t num_es_rows = ctx_->resolved().num_rows;
+
+  auto out = std::make_shared<SubQueryTable>();
+  out->num_es_rows = num_es_rows;
+
+  std::vector<double> sims;
+  const Table& table = ctx_->index().db().table(table_id);
+
+  // Row loop (Stage II): either scan the snapshot or, when a type-ii
+  // table supplies the joining rows, iterate its keys.
+  std::vector<int64_t> base_rows;
+  if (base != nullptr) {
+    base_rows.reserve(static_cast<size_t>(base->NumKeys()));
+    for (const auto& [pk, scores] : base->scored) {
+      (void)scores;
+      base_rows.push_back(table.FindByPk(pk));
+    }
+    for (int64_t pk : base->zero) base_rows.push_back(table.FindByPk(pk));
+    c.counters->hash_lookups += static_cast<int64_t>(base_rows.size());
+  }
+  const int64_t limit = base != nullptr
+                            ? static_cast<int64_t>(base_rows.size())
+                            : snap.NumRows(table_id);
+  c.counters->rows_scanned += limit;
+
+  for (int64_t idx = 0; idx < limit; ++idx) {
+    const int64_t r = base != nullptr ? base_rows[idx] : idx;
+    if (r < 0) continue;
+
+    // Seed similarities: the node's own sims or the type-ii fold.
+    bool nonzero = false;
+    if (base != nullptr) {
+      bool exists = false;
+      const std::vector<double>* bs = base->Find(pks[r], &exists);
+      if (!exists) continue;
+      if (bs != nullptr) {
+        sims = *bs;
+        for (int32_t t : c.es_rows) nonzero = nonzero || sims[t] > 0.0;
+      } else {
+        sims.assign(num_es_rows, 0.0);
+      }
+    } else {
+      auto it = own.find(r);
+      if (it != own.end()) {
+        sims = it->second;
+        for (int32_t t : c.es_rows) nonzero = nonzero || sims[t] > 0.0;
+      } else {
+        sims.assign(num_es_rows, 0.0);
+      }
+    }
+
+    // Join with every remaining child subtree.
+    bool joined = true;
+    for (const auto& [child, ctab] : child_tables) {
+      const JoinTree::Node& cn = tree.node(child);
+      int64_t probe;
+      if (cn.parent_holds_fk) {
+        // This node's FK references the child relation.
+        if (!snap.FkValid(cn.edge_to_parent, r)) {
+          joined = false;
+          break;
+        }
+        probe = snap.Fk(cn.edge_to_parent)[r];
+      } else {
+        probe = pks[r];
+      }
+      ++c.counters->hash_lookups;
+      bool exists = false;
+      const std::vector<double>* cs = ctab->Find(probe, &exists);
+      if (!exists) {
+        joined = false;
+        break;
+      }
+      if (cs != nullptr) {
+        for (int32_t t : c.es_rows) {
+          if ((*cs)[t] > 0.0) {
+            sims[t] += (*cs)[t];
+            nonzero = true;
+          }
+        }
+      }
+    }
+    if (!joined) continue;
+
+    // Stage II-B: emit into the output hash table under the link key.
+    int64_t out_key;
+    if (link.kind == LinkSpec::Kind::kByPk) {
+      out_key = pks[r];
+    } else {
+      if (!snap.FkValid(link.edge, r)) continue;
+      out_key = snap.Fk(link.edge)[r];
+    }
+    if (nonzero) {
+      auto [it, inserted] = out->scored.try_emplace(out_key);
+      if (inserted) {
+        it->second = sims;
+        out->zero.erase(out_key);
+      } else {
+        for (int32_t t : c.es_rows) {
+          it->second[t] = std::max(it->second[t], sims[t]);
+        }
+      }
+      ++c.counters->hash_inserts;
+    } else if (!c.options->drop_zero_rows) {
+      if (out->scored.find(out_key) == out->scored.end() &&
+          out->zero.insert(out_key).second) {
+        ++c.counters->hash_inserts;
+      }
+    }
+  }
+
+  if (c.cache != nullptr && c.options->offer_to_cache) {
+    c.cache->Add(key, out);
+  }
+  return out;
+}
+
+std::shared_ptr<const SubQueryTable> Evaluator::EvalSubtree(
+    const JoinTree& tree, const std::vector<ProjectionBinding>& bindings,
+    TreeNodeId v, const LinkSpec& link, SubQueryCache* cache,
+    EvalCounters* counters, const EvalOptions& options) {
+  Ctx c;
+  c.tree = &tree;
+  c.bindings = &bindings;
+  c.cache = cache;
+  c.counters = counters;
+  c.options = &options;
+  c.es_rows = options.es_rows;
+  if (c.es_rows.empty()) {
+    for (int32_t t = 0; t < ctx_->resolved().num_rows; ++t) {
+      c.es_rows.push_back(t);
+    }
+  } else {
+    c.rows_suffix = EsRowsCacheSuffix(c.es_rows);
+  }
+  return EvalNode(c, v, link);
+}
+
+std::vector<double> Evaluator::RowScores(const PJQuery& query,
+                                         SubQueryCache* cache,
+                                         EvalCounters* counters,
+                                         const EvalOptions& options) {
+  std::shared_ptr<const SubQueryTable> root_table =
+      EvalSubtree(query.tree(), query.bindings(), query.tree().root(),
+                  LinkSpec{LinkSpec::Kind::kByPk, -1}, cache, counters,
+                  options);
+  std::vector<double> scores(ctx_->resolved().num_rows, 0.0);
+  std::vector<int32_t> rows = options.es_rows;
+  if (rows.empty()) {
+    for (int32_t t = 0; t < ctx_->resolved().num_rows; ++t) rows.push_back(t);
+  }
+  for (const auto& [key, sims] : root_table->scored) {
+    (void)key;
+    for (int32_t t : rows) scores[t] = std::max(scores[t], sims[t]);
+  }
+  return scores;
+}
+
+std::shared_ptr<const SubQueryTable> Evaluator::EvaluateSub(
+    const SubPJQuery& sub, SubQueryCache* cache, EvalCounters* counters,
+    const EvalOptions& options) {
+  return EvalSubtree(sub.tree, sub.bindings, sub.tree.root(), sub.link,
+                     cache, counters, options);
+}
+
+}  // namespace s4

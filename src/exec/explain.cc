@@ -1,0 +1,72 @@
+#include "exec/explain.h"
+
+#include <functional>
+
+#include "common/hash_util.h"
+#include "common/string_util.h"
+#include "exec/cost_model.h"
+#include "index/column_ids.h"
+
+namespace s4 {
+
+std::string ExplainPlan(const PJQuery& query, const ScoreContext& ctx) {
+  const JoinTree& tree = query.tree();
+  const Database& db = ctx.index().db();
+  const KfkSnapshot& snap = ctx.index().snapshot();
+  const ColumnIds& cols = ctx.index().column_ids();
+
+  std::string out = StrFormat(
+      "PJ query plan (|J|=%d, penalty=%.3f, model cost=%lld)\n",
+      tree.size(), SizePenalty(tree.size()),
+      static_cast<long long>(EvaluationCost(query, ctx)));
+
+  int step = 0;
+  std::function<void(TreeNodeId, int)> visit = [&](TreeNodeId v,
+                                                   int depth) {
+    // Post-order: children first, matching Stage II evaluation order.
+    for (TreeNodeId c : tree.ChildrenOf(v)) visit(c, depth + 1);
+
+    const JoinTree::Node& n = tree.node(v);
+    const Table& table = db.table(n.table);
+    const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+
+    out += StrFormat("%s(%d) %s  [%lld rows, degree %d, hash ops %lld]\n",
+                     indent.c_str(), ++step, table.name().c_str(),
+                     static_cast<long long>(snap.NumRows(n.table)),
+                     tree.Degree(v),
+                     static_cast<long long>(snap.NumRows(n.table) *
+                                            tree.Degree(v)));
+    for (const ProjectionBinding& b : query.BindingsOf(v)) {
+      const int32_t gid = cols.Gid(ColumnRef{n.table, b.column});
+      out += StrFormat(
+          "%s    stage I : scan inv(T[%c], %s.%s), %lld postings\n",
+          indent.c_str(),
+          b.es_column < 26 ? static_cast<char>('A' + b.es_column) : '?',
+          table.name().c_str(), table.column(b.column).name.c_str(),
+          static_cast<long long>(ctx.PostingCost(b.es_column, gid)));
+    }
+    std::string stage2 = "scan snapshot";
+    for (TreeNodeId c : tree.ChildrenOf(v)) {
+      const JoinTree::Node& cn = tree.node(c);
+      stage2 += StrFormat(
+          ", probe %s by %s", db.table(cn.table).name().c_str(),
+          cn.parent_holds_fk
+              ? db.foreign_keys()[cn.edge_to_parent].label.c_str()
+              : "pk");
+    }
+    const LinkSpec link = LinkSpecFor(tree, v);
+    stage2 += ", build table keyed by " +
+              (link.kind == LinkSpec::Kind::kByPk
+                   ? std::string("pk")
+                   : "fk(" + db.foreign_keys()[link.edge].label + ")");
+    out += indent + "    stage II: " + stage2 + "\n";
+    out += StrFormat(
+        "%s    sub-PJ  : cache key %016llx\n", indent.c_str(),
+        static_cast<unsigned long long>(FingerprintString(
+            SubtreeCacheKey(tree, query.bindings(), v, link))));
+  };
+  visit(tree.root(), 0);
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,25 @@
+#ifndef S4_EXEC_EXPLAIN_H_
+#define S4_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "query/pj_query.h"
+#include "score/score_context.h"
+
+namespace s4 {
+
+// Renders the hash-join execution plan of a PJ query in the spirit of
+// the paper's Figure 14: the rooted join tree in post-order (the order
+// Stage II evaluates it), and per relation instance
+//   * the Stage I posting scans (one per mapped spreadsheet column,
+//     with their scan costs from the cost model),
+//   * the Stage II operation (scan + hash lookups into children, build
+//     hash table keyed by the link attribute),
+//   * the cost-model contribution |R| * d_J(R),
+//   * the sub-PJ cache key prefix of the rooted subtree (what the
+//     caching-evaluation scheduler can reuse at this node).
+std::string ExplainPlan(const PJQuery& query, const ScoreContext& ctx);
+
+}  // namespace s4
+
+#endif  // S4_EXEC_EXPLAIN_H_

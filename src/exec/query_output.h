@@ -1,0 +1,62 @@
+#ifndef S4_EXEC_QUERY_OUTPUT_H_
+#define S4_EXEC_QUERY_OUTPUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/pj_query.h"
+#include "score/score_context.h"
+
+namespace s4 {
+
+// Options for materializing a PJ query's output relation.
+struct OutputOptions {
+  // Maximum output rows returned.
+  int64_t max_rows = 50;
+  // Cap on join assignments explored (safety valve for huge joins).
+  int64_t max_explored = 200000;
+  // Keep only rows with a positive similarity to some example tuple
+  // (paper Fig 2(b) shows the full output; previews usually want hits).
+  bool only_matching = false;
+};
+
+// One row of A(Q), projected onto the mapped spreadsheet columns.
+struct OutputRow {
+  // Cell text per binding (aligned with PJQuery::bindings()).
+  std::vector<std::string> cells;
+  // Row-row similarity to each example tuple (Eq. 2).
+  std::vector<double> similarity;
+};
+
+// A materialized (possibly truncated) output relation of a PJ query,
+// the Fig 2(b) view: rows, plus which output row best contains each
+// example tuple.
+struct QueryOutput {
+  std::vector<std::string> headers;   // "A:Customer.CustName", ...
+  std::vector<OutputRow> rows;
+  bool truncated = false;
+  int64_t total_rows_seen = 0;
+  // Per example tuple t: index into `rows` of its best-matching row, or
+  // -1 if no explored row has positive similarity. The similarity of
+  // that row equals score(t | Q) when the join was fully explored.
+  std::vector<int32_t> best_row;
+
+  // Renders an aligned table; rows that are the best match of some
+  // example tuple are marked with "<- t0", "<- t1", ...
+  std::string ToString() const;
+};
+
+// Executes Q against the database behind `ctx` and projects per Def 2.
+// The execution enumerates join assignments depth-first over the join
+// tree using the (key,fk) snapshot (with reverse-FK lookups built on
+// demand), so it is intended for result previews, examples and tests —
+// the top-k pipeline itself never materializes A(Q).
+StatusOr<QueryOutput> ExecuteQuery(const PJQuery& query,
+                                   const ScoreContext& ctx,
+                                   const OutputOptions& options = {});
+
+}  // namespace s4
+
+#endif  // S4_EXEC_QUERY_OUTPUT_H_

@@ -1,0 +1,43 @@
+#ifndef S4_INDEX_COLUMN_IDS_H_
+#define S4_INDEX_COLUMN_IDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace s4 {
+
+// Dense global column identifiers across all tables of a database
+// ("column identifier which uniquely identifies a column across all
+// columns in the database", Sec 6.1). Posting-list keys use these.
+class ColumnIds {
+ public:
+  explicit ColumnIds(const Database& db) {
+    offsets_.reserve(db.NumTables() + 1);
+    offsets_.push_back(0);
+    for (TableId t = 0; t < db.NumTables(); ++t) {
+      offsets_.push_back(offsets_.back() + db.table(t).NumColumns());
+    }
+    refs_.reserve(offsets_.back());
+    for (TableId t = 0; t < db.NumTables(); ++t) {
+      for (int32_t c = 0; c < db.table(t).NumColumns(); ++c) {
+        refs_.push_back(ColumnRef{t, c});
+      }
+    }
+  }
+
+  int32_t Gid(const ColumnRef& ref) const {
+    return offsets_[ref.table_id] + ref.column_index;
+  }
+  const ColumnRef& FromGid(int32_t gid) const { return refs_[gid]; }
+  int32_t NumColumns() const { return static_cast<int32_t>(refs_.size()); }
+
+ private:
+  std::vector<int32_t> offsets_;
+  std::vector<ColumnRef> refs_;
+};
+
+}  // namespace s4
+
+#endif  // S4_INDEX_COLUMN_IDS_H_

@@ -1,0 +1,66 @@
+#include "index/index_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace s4 {
+
+StatusOr<std::unique_ptr<IndexSet>> IndexSet::Build(
+    const Database& db, IndexBuildOptions options) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database must be finalized");
+  }
+  // Cannot use make_unique with a private constructor.
+  std::unique_ptr<IndexSet> set(new IndexSet(db, options));
+
+  auto snapshot = KfkSnapshot::Build(db);
+  if (!snapshot.ok()) return snapshot.status();
+  set->snapshot_ = std::move(snapshot).value();
+
+  // Build the inverted indexes column-by-column so column-level entries
+  // are added in non-decreasing gid order per term.
+  std::unordered_map<TermId, uint16_t> tf;
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const Table& table = db.table(t);
+    for (int32_t c : table.TextColumnIndexes()) {
+      const int32_t gid = set->column_ids_.Gid(ColumnRef{t, c});
+      std::vector<uint16_t>& lengths = set->cell_lengths_[gid];
+      lengths.assign(static_cast<size_t>(table.NumRows()), 0);
+      for (int64_t r = 0; r < table.NumRows(); ++r) {
+        if (table.IsNull(r, c)) continue;
+        std::vector<std::string> tokens =
+            set->tokenizer_.Tokenize(table.GetText(r, c));
+        if (tokens.empty()) continue;
+        tf.clear();
+        for (const std::string& tok : tokens) {
+          TermId id = set->dict_.Intern(tok);
+          uint16_t& count = tf[id];
+          if (count < UINT16_MAX) ++count;
+        }
+        lengths[r] = static_cast<uint16_t>(
+            std::min<size_t>(tf.size(), UINT16_MAX));
+        for (const auto& [term, count] : tf) {
+          set->column_index_.Add(term, gid);
+          set->row_index_.Add(term, gid, static_cast<int32_t>(r), count);
+        }
+      }
+    }
+  }
+  return set;
+}
+
+IndexStats IndexSet::stats() const {
+  IndexStats s;
+  s.inverted_index_bytes = column_index_.ByteSize() + row_index_.ByteSize() +
+                           dict_.ByteSize();
+  for (const auto& [gid, lengths] : cell_lengths_) {
+    (void)gid;
+    s.inverted_index_bytes += lengths.capacity() * sizeof(uint16_t);
+  }
+  s.kfk_snapshot_bytes = snapshot_.ByteSize();
+  s.num_tokens = dict_.size();
+  s.num_postings = row_index_.TotalPostings();
+  return s;
+}
+
+}  // namespace s4

@@ -1,0 +1,74 @@
+#ifndef S4_INDEX_INDEX_SET_H_
+#define S4_INDEX_INDEX_SET_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "index/column_ids.h"
+#include "index/inverted_index.h"
+#include "index/kfk_snapshot.h"
+#include "storage/database.h"
+#include "text/term_dict.h"
+#include "text/tokenizer.h"
+
+namespace s4 {
+
+struct IndexBuildOptions {
+  TokenizerOptions tokenizer;
+};
+
+// Size report matching Table 1 of the paper.
+struct IndexStats {
+  size_t inverted_index_bytes = 0;  // column-level + row-level
+  size_t kfk_snapshot_bytes = 0;
+  int64_t num_tokens = 0;           // distinct terms in the dictionary
+  int64_t num_postings = 0;         // total row-level postings
+};
+
+// All offline-built structures of Sec 3.1, owned together: term
+// dictionary, column-level and row-level inverted indexes, and the
+// (key, fk) snapshot. Everything the online phase touches lives here; the
+// base Database is only needed again to display result rows.
+class IndexSet {
+ public:
+  // Tokenizes every text column of `db` and builds all indexes. `db`
+  // must be finalized and outlive the IndexSet.
+  static StatusOr<std::unique_ptr<IndexSet>> Build(
+      const Database& db, IndexBuildOptions options = {});
+
+  const Database& db() const { return *db_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const TermDict& dict() const { return dict_; }
+  const ColumnIds& column_ids() const { return column_ids_; }
+  const ColumnInvertedIndex& column_index() const { return column_index_; }
+  const RowInvertedIndex& row_index() const { return row_index_; }
+  const KfkSnapshot& snapshot() const { return snapshot_; }
+
+  // Distinct-token count per cell of text column `gid` (row-aligned), or
+  // nullptr for non-text columns. Supports the exact-match bonus of the
+  // Appendix A.2 cell-similarity extension.
+  const std::vector<uint16_t>* CellLengths(int32_t gid) const {
+    auto it = cell_lengths_.find(gid);
+    return it == cell_lengths_.end() ? nullptr : &it->second;
+  }
+
+  IndexStats stats() const;
+
+ private:
+  IndexSet(const Database& db, IndexBuildOptions options)
+      : db_(&db), tokenizer_(options.tokenizer), column_ids_(db) {}
+
+  const Database* db_;
+  Tokenizer tokenizer_;
+  TermDict dict_;
+  ColumnIds column_ids_;
+  ColumnInvertedIndex column_index_;
+  RowInvertedIndex row_index_;
+  KfkSnapshot snapshot_;
+  std::unordered_map<int32_t, std::vector<uint16_t>> cell_lengths_;
+};
+
+}  // namespace s4
+
+#endif  // S4_INDEX_INDEX_SET_H_

@@ -1,0 +1,56 @@
+#include "index/inverted_index.h"
+
+namespace s4 {
+
+void ColumnInvertedIndex::Add(TermId term, int32_t gid) {
+  std::vector<int32_t>& cols = postings_[term];
+  if (cols.empty() || cols.back() != gid) cols.push_back(gid);
+}
+
+const std::vector<int32_t>* ColumnInvertedIndex::Find(TermId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+int64_t ColumnInvertedIndex::NumEntries() const {
+  int64_t n = 0;
+  for (const auto& [term, cols] : postings_) {
+    (void)term;
+    n += static_cast<int64_t>(cols.size());
+  }
+  return n;
+}
+
+size_t ColumnInvertedIndex::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [term, cols] : postings_) {
+    (void)term;
+    bytes += sizeof(TermId) + sizeof(std::vector<int32_t>) + 32 +
+             cols.capacity() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+void RowInvertedIndex::Add(TermId term, int32_t gid, int32_t row,
+                           uint16_t tf) {
+  postings_[Key(term, gid)].push_back(Posting{row, tf});
+  ++total_postings_;
+}
+
+const std::vector<Posting>* RowInvertedIndex::Find(TermId term,
+                                                   int32_t gid) const {
+  auto it = postings_.find(Key(term, gid));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+size_t RowInvertedIndex::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [key, plist] : postings_) {
+    (void)key;
+    bytes += sizeof(uint64_t) + sizeof(std::vector<Posting>) + 32 +
+             plist.capacity() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+}  // namespace s4

@@ -1,0 +1,71 @@
+#ifndef S4_INDEX_INVERTED_INDEX_H_
+#define S4_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "text/term_dict.h"
+
+namespace s4 {
+
+// Column-level inverted index (Sec 3.1): inv(w) = the database columns
+// (as global column ids) where term w appears in at least one row.
+class ColumnInvertedIndex {
+ public:
+  // Records that `term` occurs in column `gid` (idempotent if called in
+  // non-decreasing gid order per term, which the builder guarantees).
+  void Add(TermId term, int32_t gid);
+
+  // Columns containing `term`, or nullptr if the term is unknown.
+  const std::vector<int32_t>* Find(TermId term) const;
+
+  int64_t NumEntries() const;
+  size_t ByteSize() const;
+
+ private:
+  std::unordered_map<TermId, std::vector<int32_t>> postings_;
+};
+
+// One entry of a row-level posting list: a row of the column's table and
+// the term frequency within that cell. tf is kept for the IR-style
+// scoring extension (Appendix A.2); the default cell similarity only
+// uses presence.
+struct Posting {
+  int32_t row;
+  uint16_t tf;
+};
+
+// Row-level inverted index (Sec 3.1): inv(w, R[j]) = rows of R where w
+// appears in column j, with term frequencies.
+class RowInvertedIndex {
+ public:
+  void Add(TermId term, int32_t gid, int32_t row, uint16_t tf);
+
+  // Posting list for (term, column gid), or nullptr.
+  const std::vector<Posting>* Find(TermId term, int32_t gid) const;
+
+  // |inv(w, R[j])|: posting-list length, 0 if absent. This is the l_w of
+  // Propositions 3-4 and the cost model (12).
+  int64_t PostingLength(TermId term, int32_t gid) const {
+    const std::vector<Posting>* p = Find(term, gid);
+    return p == nullptr ? 0 : static_cast<int64_t>(p->size());
+  }
+
+  int64_t TotalPostings() const { return total_postings_; }
+  size_t ByteSize() const;
+
+ private:
+  static uint64_t Key(TermId term, int32_t gid) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(term)) << 32) |
+           static_cast<uint32_t>(gid);
+  }
+
+  std::unordered_map<uint64_t, std::vector<Posting>> postings_;
+  int64_t total_postings_ = 0;
+};
+
+}  // namespace s4
+
+#endif  // S4_INDEX_INVERTED_INDEX_H_

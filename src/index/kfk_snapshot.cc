@@ -1,0 +1,38 @@
+#include "index/kfk_snapshot.h"
+
+namespace s4 {
+
+StatusOr<KfkSnapshot> KfkSnapshot::Build(const Database& db) {
+  if (!db.finalized()) {
+    return Status::FailedPrecondition("database must be finalized");
+  }
+  KfkSnapshot snap;
+  snap.pk_.resize(db.NumTables());
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const Table& table = db.table(t);
+    snap.pk_[t] = table.IntColumn(table.primary_key_column());
+  }
+  snap.fk_.resize(db.foreign_keys().size());
+  snap.fk_valid_.resize(db.foreign_keys().size());
+  for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
+    const ForeignKeyDef& fk = db.foreign_keys()[i];
+    const Table& src = db.table(fk.src_table);
+    snap.fk_[i] = src.IntColumn(fk.src_column);
+    std::vector<bool> valid(static_cast<size_t>(src.NumRows()));
+    for (int64_t r = 0; r < src.NumRows(); ++r) {
+      valid[r] = !src.IsNull(r, fk.src_column);
+    }
+    snap.fk_valid_[i] = std::move(valid);
+  }
+  return snap;
+}
+
+size_t KfkSnapshot::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& v : pk_) bytes += v.capacity() * sizeof(int64_t);
+  for (const auto& v : fk_) bytes += v.capacity() * sizeof(int64_t);
+  for (const auto& v : fk_valid_) bytes += v.capacity() / 8;
+  return bytes;
+}
+
+}  // namespace s4

@@ -1,0 +1,53 @@
+#ifndef S4_INDEX_KFK_SNAPSHOT_H_
+#define S4_INDEX_KFK_SNAPSHOT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace s4 {
+
+// In-memory (key, foreign key) snapshot of the database (Sec 3.1): for
+// every relation, its primary-key column and all foreign-key columns are
+// materialized as flat arrays so PJ queries execute without touching the
+// (conceptually on-disk) base tables. Execution plans scan these arrays
+// and perform hash lookups (Appendix B.1).
+class KfkSnapshot {
+ public:
+  // Builds the snapshot; `db` must be finalized and must outlive it.
+  static StatusOr<KfkSnapshot> Build(const Database& db);
+
+  int64_t NumRows(TableId t) const {
+    return static_cast<int64_t>(pk_[t].size());
+  }
+  // Primary keys of table `t`, aligned with dense row ids.
+  const std::vector<int64_t>& Pk(TableId t) const { return pk_[t]; }
+
+  // FK values of foreign key `fk_index` (index into db.foreign_keys(),
+  // equal to the SchemaEdgeId), aligned with rows of the source table.
+  const std::vector<int64_t>& Fk(int32_t fk_index) const {
+    return fk_[fk_index];
+  }
+  bool FkValid(int32_t fk_index, int64_t row) const {
+    return fk_valid_[fk_index][row];
+  }
+
+  // Approximate bytes of all materialized key arrays (Table 1's
+  // "(key,fk) snap." column).
+  size_t ByteSize() const;
+
+  // Creates an empty snapshot; prefer Build().
+  KfkSnapshot() = default;
+
+ private:
+  std::vector<std::vector<int64_t>> pk_;        // per table
+  std::vector<std::vector<int64_t>> fk_;        // per foreign key
+  std::vector<std::vector<bool>> fk_valid_;     // per foreign key
+};
+
+}  // namespace s4
+
+#endif  // S4_INDEX_KFK_SNAPSHOT_H_

@@ -1,0 +1,176 @@
+#include "query/spreadsheet.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+
+namespace s4 {
+
+StatusOr<ExampleSpreadsheet> ExampleSpreadsheet::FromCells(
+    const std::vector<std::vector<std::string>>& cells,
+    const Tokenizer& tokenizer) {
+  if (cells.empty()) {
+    return Status::InvalidArgument("spreadsheet needs at least one row");
+  }
+  ExampleSpreadsheet sheet;
+  sheet.num_columns_ = static_cast<int32_t>(cells[0].size());
+  if (sheet.num_columns_ == 0) {
+    return Status::InvalidArgument("spreadsheet needs at least one column");
+  }
+  for (const auto& row : cells) {
+    if (static_cast<int32_t>(row.size()) != sheet.num_columns_) {
+      return Status::InvalidArgument("spreadsheet rows must be rectangular");
+    }
+    std::vector<Cell> cell_row;
+    cell_row.reserve(row.size());
+    for (const std::string& raw : row) {
+      Cell c;
+      c.raw = raw;
+      c.terms = tokenizer.TokenizeUnique(raw);
+      cell_row.push_back(std::move(c));
+    }
+    sheet.cells_.push_back(std::move(cell_row));
+  }
+  sheet.RebuildColumnTerms();
+  return sheet;
+}
+
+void ExampleSpreadsheet::RebuildColumnTerms() {
+  column_terms_.assign(num_columns_, {});
+  for (int32_t col = 0; col < num_columns_; ++col) {
+    std::unordered_set<std::string> seen;
+    for (int32_t row = 0; row < NumRows(); ++row) {
+      for (const std::string& t : cells_[row][col].terms) {
+        if (seen.insert(t).second) column_terms_[col].push_back(t);
+      }
+    }
+  }
+}
+
+int64_t ExampleSpreadsheet::TotalTerms() const {
+  int64_t n = 0;
+  for (const auto& row : cells_) {
+    for (const Cell& c : row) n += static_cast<int64_t>(c.terms.size());
+  }
+  return n;
+}
+
+Status ExampleSpreadsheet::Validate() const {
+  for (int32_t row = 0; row < NumRows(); ++row) {
+    bool has_term = false;
+    for (int32_t col = 0; col < num_columns_; ++col) {
+      if (!cells_[row][col].empty()) has_term = true;
+    }
+    if (!has_term) {
+      return Status::InvalidArgument(StrFormat("row %d has no terms", row));
+    }
+  }
+  for (int32_t col = 0; col < num_columns_; ++col) {
+    if (column_terms_[col].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("column %d has no terms", col));
+    }
+  }
+  return Status::OK();
+}
+
+ExampleSpreadsheet ExampleSpreadsheet::WithCell(
+    int32_t row, int32_t col, const std::string& text,
+    const Tokenizer& tokenizer) const {
+  ExampleSpreadsheet out = *this;
+  Cell c;
+  c.raw = text;
+  c.terms = tokenizer.TokenizeUnique(text);
+  out.cells_[row][col] = std::move(c);
+  out.RebuildColumnTerms();
+  return out;
+}
+
+std::vector<int32_t> ExampleSpreadsheet::ChangedRows(
+    const ExampleSpreadsheet& other) const {
+  std::vector<int32_t> changed;
+  for (int32_t row = 0; row < NumRows(); ++row) {
+    if (row >= other.NumRows()) {
+      changed.push_back(row);
+      continue;
+    }
+    for (int32_t col = 0; col < num_columns_; ++col) {
+      if (col >= other.NumColumns() ||
+          cells_[row][col].raw != other.cells_[row][col].raw) {
+        changed.push_back(row);
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+std::string ExampleSpreadsheet::ToString() const {
+  std::string out;
+  for (const auto& row : cells_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += row[c].raw;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ResolvedSpreadsheet ResolvedSpreadsheet::Resolve(
+    const ExampleSpreadsheet& sheet, const TermDict& dict,
+    int32_t spelling_edits) {
+  ResolvedSpreadsheet r;
+  r.num_rows = sheet.NumRows();
+  r.num_columns = sheet.NumColumns();
+  r.cell_terms.resize(r.num_rows);
+  r.cell_term_groups.resize(r.num_rows);
+  r.cell_num_terms.resize(r.num_rows);
+
+  // Expansions are computed once per distinct raw term.
+  std::unordered_map<std::string, std::vector<TermId>> expansion;
+  auto expand = [&](const std::string& t) -> const std::vector<TermId>& {
+    auto it = expansion.find(t);
+    if (it != expansion.end()) return it->second;
+    std::vector<TermId> ids;
+    if (spelling_edits > 0) {
+      ids = SimilarTerms(dict, t, spelling_edits);
+    } else {
+      TermId id = dict.Lookup(t);
+      if (id != kInvalidTermId) ids.push_back(id);
+    }
+    return expansion.emplace(t, std::move(ids)).first->second;
+  };
+
+  for (int32_t row = 0; row < r.num_rows; ++row) {
+    r.cell_terms[row].resize(r.num_columns);
+    r.cell_term_groups[row].resize(r.num_columns);
+    r.cell_num_terms[row].resize(r.num_columns);
+    for (int32_t col = 0; col < r.num_columns; ++col) {
+      r.cell_num_terms[row][col] =
+          static_cast<int32_t>(sheet.cell(row, col).terms.size());
+      std::unordered_set<TermId> seen;
+      for (const std::string& t : sheet.cell(row, col).terms) {
+        const std::vector<TermId>& ids = expand(t);
+        if (ids.empty()) continue;
+        r.cell_term_groups[row][col].push_back(ids);
+        for (TermId id : ids) {
+          if (seen.insert(id).second) r.cell_terms[row][col].push_back(id);
+        }
+      }
+    }
+  }
+  r.column_terms.resize(r.num_columns);
+  for (int32_t col = 0; col < r.num_columns; ++col) {
+    std::unordered_set<TermId> seen;
+    for (const std::string& t : sheet.ColumnTerms(col)) {
+      for (TermId id : expand(t)) {
+        if (seen.insert(id).second) r.column_terms[col].push_back(id);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace s4

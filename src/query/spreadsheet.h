@@ -1,0 +1,99 @@
+#ifndef S4_QUERY_SPREADSHEET_H_
+#define S4_QUERY_SPREADSHEET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/term_dict.h"
+#include "text/tokenizer.h"
+
+namespace s4 {
+
+// An example spreadsheet T (Def 1): an m x n grid of cells, each either
+// empty or containing text. Rows are example tuples the user believes
+// should appear (approximately) in the desired query's output.
+class ExampleSpreadsheet {
+ public:
+  struct Cell {
+    std::string raw;                  // as typed by the user
+    std::vector<std::string> terms;   // unique tokens of `raw`
+    bool empty() const { return terms.empty(); }
+  };
+
+  // Builds a spreadsheet from raw cell strings (rows x columns,
+  // rectangular); cells are tokenized with `tokenizer`.
+  static StatusOr<ExampleSpreadsheet> FromCells(
+      const std::vector<std::vector<std::string>>& cells,
+      const Tokenizer& tokenizer);
+
+  int32_t NumRows() const { return static_cast<int32_t>(cells_.size()); }
+  int32_t NumColumns() const { return num_columns_; }
+  const Cell& cell(int32_t row, int32_t col) const {
+    return cells_[row][col];
+  }
+
+  // Distinct terms appearing anywhere in column `col` (first-seen order).
+  const std::vector<std::string>& ColumnTerms(int32_t col) const {
+    return column_terms_[col];
+  }
+
+  // Total number of term occurrences across all cells.
+  int64_t TotalTerms() const;
+
+  // Def 1 requires every row and every column to contain at least one
+  // term. Callers decide whether to enforce (the incremental path allows
+  // transiently incomplete spreadsheets while the user is typing).
+  Status Validate() const;
+
+  // Returns a copy with cell (row, col) replaced by `text` (retokenized).
+  ExampleSpreadsheet WithCell(int32_t row, int32_t col,
+                              const std::string& text,
+                              const Tokenizer& tokenizer) const;
+
+  // Row indexes whose cells differ from `other` (other must have the
+  // same column count; rows beyond other's row count are all "changed").
+  std::vector<int32_t> ChangedRows(const ExampleSpreadsheet& other) const;
+
+  std::string ToString() const;
+
+ private:
+  int32_t num_columns_ = 0;
+  std::vector<std::vector<Cell>> cells_;
+  std::vector<std::vector<std::string>> column_terms_;
+
+  void RebuildColumnTerms();
+};
+
+// The spreadsheet's terms resolved against a database term dictionary.
+// Terms absent from the corpus map to kInvalidTermId (they can never
+// match and contribute zero everywhere, but still count as user terms).
+struct ResolvedSpreadsheet {
+  // [row][col] -> unique term ids of the cell (invalid ids dropped).
+  // With spelling expansion these include all similar terms.
+  std::vector<std::vector<std::vector<TermId>>> cell_terms;
+  // [row][col] -> one group per *original* cell term: the dictionary
+  // terms it resolves to (itself, or its edit-distance expansions per
+  // Appendix A.2). Matching is union semantics within a group: a row
+  // matching any group member counts the original term once.
+  std::vector<std::vector<std::vector<std::vector<TermId>>>>
+      cell_term_groups;
+  // [row][col] -> distinct term count of the raw cell, *including* terms
+  // unknown to the corpus (needed by the exact-match bonus).
+  std::vector<std::vector<int32_t>> cell_num_terms;
+  // [col] -> unique known term ids of the column.
+  std::vector<std::vector<TermId>> column_terms;
+  int32_t num_rows = 0;
+  int32_t num_columns = 0;
+
+  // `spelling_edits` > 0 expands every cell term to all dictionary
+  // terms within that Levenshtein distance (Appendix A.2 spelling-error
+  // handling); 0 = exact term lookup.
+  static ResolvedSpreadsheet Resolve(const ExampleSpreadsheet& sheet,
+                                     const TermDict& dict,
+                                     int32_t spelling_edits = 0);
+};
+
+}  // namespace s4
+
+#endif  // S4_QUERY_SPREADSHEET_H_

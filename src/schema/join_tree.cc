@@ -1,0 +1,278 @@
+#include "schema/join_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+JoinTree JoinTree::Single(TableId table) {
+  JoinTree t;
+  t.nodes_.push_back(Node{table, kNoNode, -1, false});
+  return t;
+}
+
+JoinTree JoinTree::FromNodes(std::vector<Node> nodes) {
+  JoinTree t;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    assert((i == 0) == (nodes[i].parent == kNoNode));
+    assert(nodes[i].parent < static_cast<TreeNodeId>(i));
+  }
+  t.nodes_ = std::move(nodes);
+  return t;
+}
+
+TreeNodeId JoinTree::AddChild(TreeNodeId parent, const SchemaGraph& graph,
+                              SchemaEdgeId edge, EdgeDir dir) {
+  assert(parent >= 0 && parent < size());
+  const SchemaEdge& e = graph.edge(edge);
+  Node n;
+  n.parent = parent;
+  n.edge_to_parent = edge;
+  if (dir == EdgeDir::kForward) {
+    // Traversal from FK side to PK side: parent holds the FK.
+    assert(nodes_[parent].table == e.src);
+    n.table = e.dst;
+    n.parent_holds_fk = true;
+  } else {
+    assert(nodes_[parent].table == e.dst);
+    n.table = e.src;
+    n.parent_holds_fk = false;
+  }
+  nodes_.push_back(n);
+  return static_cast<TreeNodeId>(nodes_.size() - 1);
+}
+
+std::vector<TreeNodeId> JoinTree::ChildrenOf(TreeNodeId id) const {
+  std::vector<TreeNodeId> out;
+  for (TreeNodeId i = 0; i < size(); ++i) {
+    if (nodes_[i].parent == id) out.push_back(i);
+  }
+  return out;
+}
+
+int32_t JoinTree::Degree(TreeNodeId id) const {
+  int32_t d = nodes_[id].parent == kNoNode ? 0 : 1;
+  for (TreeNodeId i = 0; i < size(); ++i) {
+    if (nodes_[i].parent == id) ++d;
+  }
+  return d;
+}
+
+std::vector<TreeNodeId> JoinTree::Leaves() const {
+  std::vector<TreeNodeId> out;
+  for (TreeNodeId i = 0; i < size(); ++i) {
+    if (Degree(i) <= 1) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<TreeNodeId> JoinTree::DescendantsOf(TreeNodeId v) const {
+  std::vector<bool> in(nodes_.size(), false);
+  in[v] = true;
+  std::vector<TreeNodeId> out{v};
+  // Parents precede children in storage.
+  for (TreeNodeId i = v + 1; i < size(); ++i) {
+    if (nodes_[i].parent != kNoNode && in[nodes_[i].parent]) {
+      in[i] = true;
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool JoinTree::ContainsTable(TableId table) const {
+  for (const Node& n : nodes_) {
+    if (n.table == table) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<JoinTree::AdjEntry>> JoinTree::BuildAdjacency()
+    const {
+  std::vector<std::vector<AdjEntry>> adj(nodes_.size());
+  for (TreeNodeId i = 0; i < size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.parent == kNoNode) continue;
+    // From parent's viewpoint, this node holds the FK iff the parent does
+    // not, and vice versa.
+    adj[n.parent].push_back(AdjEntry{i, n.edge_to_parent, !n.parent_holds_fk});
+    adj[i].push_back(AdjEntry{n.parent, n.edge_to_parent, n.parent_holds_fk});
+  }
+  return adj;
+}
+
+std::string JoinTree::SigFrom(const std::vector<std::vector<AdjEntry>>& adj,
+                              const std::vector<Node>& nodes,
+                              const std::vector<std::string>& annotations,
+                              TreeNodeId v, TreeNodeId from) {
+  std::vector<std::string> child_sigs;
+  for (const AdjEntry& e : adj[v]) {
+    if (e.neighbor == from) continue;
+    std::string label = StrFormat("e%d%c", e.edge,
+                                  e.neighbor_holds_fk ? '<' : '>');
+    child_sigs.push_back(label +
+                         SigFrom(adj, nodes, annotations, e.neighbor, v));
+  }
+  std::sort(child_sigs.begin(), child_sigs.end());
+  std::string sig = StrFormat("(t%d", nodes[v].table);
+  if (v < static_cast<TreeNodeId>(annotations.size()) &&
+      !annotations[v].empty()) {
+    sig += "|" + annotations[v];
+  }
+  for (const std::string& cs : child_sigs) sig += cs;
+  sig += ")";
+  return sig;
+}
+
+std::string JoinTree::RootedSignature(
+    const std::vector<std::string>& annotations) const {
+  auto adj = BuildAdjacency();
+  return SigFrom(adj, nodes_, annotations, root(), kNoNode);
+}
+
+std::string JoinTree::UnrootedSignature(
+    const std::vector<std::string>& annotations) const {
+  auto adj = BuildAdjacency();
+  std::string best;
+  for (TreeNodeId r = 0; r < size(); ++r) {
+    std::string sig = SigFrom(adj, nodes_, annotations, r, kNoNode);
+    if (best.empty() || sig < best) best = sig;
+  }
+  return best;
+}
+
+JoinTree JoinTree::Canonicalize(const std::vector<std::string>& annotations,
+                                std::vector<TreeNodeId>* remap,
+                                const std::vector<int64_t>* root_weights)
+    const {
+  auto adj = BuildAdjacency();
+  TreeNodeId best_root = 0;
+  std::string best;
+  int64_t best_weight = 0;
+  for (TreeNodeId r = 0; r < size(); ++r) {
+    const int64_t weight =
+        root_weights == nullptr ? 0 : (*root_weights)[r];
+    if (!best.empty() && weight > best_weight) continue;
+    std::string sig = SigFrom(adj, nodes_, annotations, r, kNoNode);
+    if (best.empty() || weight < best_weight ||
+        (weight == best_weight && sig < best)) {
+      best = std::move(sig);
+      best_root = r;
+      best_weight = weight;
+    }
+  }
+
+  JoinTree out;
+  out.nodes_.reserve(nodes_.size());
+  std::vector<TreeNodeId> map(nodes_.size(), kNoNode);
+
+  // Preorder DFS from the canonical root with children visited in
+  // signature order.
+  std::function<void(TreeNodeId, TreeNodeId, TreeNodeId)> visit =
+      [&](TreeNodeId v, TreeNodeId from, TreeNodeId new_parent) {
+        TreeNodeId new_id = static_cast<TreeNodeId>(out.nodes_.size());
+        map[v] = new_id;
+        Node n;
+        n.table = nodes_[v].table;
+        n.parent = new_parent;
+        if (from != kNoNode) {
+          for (const AdjEntry& e : adj[v]) {
+            if (e.neighbor == from) {
+              n.edge_to_parent = e.edge;
+              // The parent holds the FK iff the FK side of the edge is
+              // not this node; AdjEntry is from v's viewpoint looking at
+              // the parent, so "neighbor_holds_fk" = parent holds FK.
+              n.parent_holds_fk = e.neighbor_holds_fk;
+              break;
+            }
+          }
+        }
+        out.nodes_.push_back(n);
+        std::vector<std::pair<std::string, const AdjEntry*>> kids;
+        for (const AdjEntry& e : adj[v]) {
+          if (e.neighbor == from) continue;
+          std::string label = StrFormat("e%d%c", e.edge,
+                                        e.neighbor_holds_fk ? '<' : '>');
+          kids.emplace_back(
+              label + SigFrom(adj, nodes_, annotations, e.neighbor, v), &e);
+        }
+        std::sort(kids.begin(), kids.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [sig, e] : kids) {
+          (void)sig;
+          visit(e->neighbor, v, new_id);
+        }
+      };
+  visit(best_root, kNoNode, kNoNode);
+  if (remap != nullptr) *remap = std::move(map);
+  return out;
+}
+
+JoinTree JoinTree::RootedSubtree(TreeNodeId v,
+                                 std::vector<TreeNodeId>* remap) const {
+  std::vector<TreeNodeId> map(nodes_.size(), kNoNode);
+  JoinTree out;
+  // Parents precede children in storage, so one forward pass collects the
+  // whole subtree.
+  for (TreeNodeId i = v; i < size(); ++i) {
+    bool in_subtree =
+        (i == v) || (nodes_[i].parent != kNoNode && map[nodes_[i].parent] != kNoNode);
+    if (!in_subtree) continue;
+    Node n = nodes_[i];
+    if (i == v) {
+      n.parent = kNoNode;
+      n.edge_to_parent = -1;
+      n.parent_holds_fk = false;
+    } else {
+      n.parent = map[n.parent];
+    }
+    map[i] = static_cast<TreeNodeId>(out.nodes_.size());
+    out.nodes_.push_back(n);
+  }
+  if (remap != nullptr) *remap = std::move(map);
+  return out;
+}
+
+JoinTree JoinTree::SubtreeWithParent(TreeNodeId v,
+                                     std::vector<TreeNodeId>* remap) const {
+  assert(nodes_[v].parent != kNoNode);
+  TreeNodeId p = nodes_[v].parent;
+  std::vector<TreeNodeId> map(nodes_.size(), kNoNode);
+  JoinTree out;
+  // New root: the parent, stripped of its own parent and other children.
+  out.nodes_.push_back(Node{nodes_[p].table, kNoNode, -1, false});
+  map[p] = 0;
+  for (TreeNodeId i = v; i < size(); ++i) {
+    bool in_subtree =
+        (i == v) || (nodes_[i].parent != kNoNode && nodes_[i].parent != p &&
+                     map[nodes_[i].parent] != kNoNode);
+    if (!in_subtree) continue;
+    Node n = nodes_[i];
+    n.parent = map[n.parent];
+    map[i] = static_cast<TreeNodeId>(out.nodes_.size());
+    out.nodes_.push_back(n);
+  }
+  if (remap != nullptr) *remap = std::move(map);
+  return out;
+}
+
+std::string JoinTree::ToString(const Database& db) const {
+  std::string out;
+  std::function<void(TreeNodeId, int)> visit = [&](TreeNodeId v, int depth) {
+    out += std::string(static_cast<size_t>(depth) * 2, ' ');
+    const Node& n = nodes_[v];
+    out += db.table(n.table).name();
+    if (n.parent != kNoNode) {
+      out += n.parent_holds_fk ? "  [parent FK]" : "  [own FK]";
+    }
+    out += "\n";
+    for (TreeNodeId c : ChildrenOf(v)) visit(c, depth + 1);
+  };
+  visit(root(), 0);
+  return out;
+}
+
+}  // namespace s4

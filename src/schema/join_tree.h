@@ -1,0 +1,129 @@
+#ifndef S4_SCHEMA_JOIN_TREE_H_
+#define S4_SCHEMA_JOIN_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/schema_graph.h"
+
+namespace s4 {
+
+// Node index within a JoinTree.
+using TreeNodeId = int32_t;
+inline constexpr TreeNodeId kNoNode = -1;
+
+// A rooted join tree J (Def 2): a subtree of the schema graph whose nodes
+// are *relation instances* (the same relation may occur more than once)
+// and whose edges are schema-graph FK edges traversed in either
+// orientation. Node 0 is always the root and every node's parent precedes
+// it (topological storage), so copying a tree and growing it during
+// enumeration is O(n).
+class JoinTree {
+ public:
+  struct Node {
+    TableId table = kInvalidTableId;
+    TreeNodeId parent = kNoNode;          // kNoNode for the root
+    SchemaEdgeId edge_to_parent = -1;     // schema edge linking to parent
+    // True iff the parent relation holds the FK of `edge_to_parent`
+    // (parent "points at" this node); false iff this node holds the FK.
+    bool parent_holds_fk = false;
+  };
+
+  JoinTree() = default;
+
+  // Creates a single-node tree rooted at `table`.
+  static JoinTree Single(TableId table);
+
+  // Constructs a tree from raw nodes. Requires node 0 to be the root and
+  // every node's parent to precede it (asserted in debug builds).
+  static JoinTree FromNodes(std::vector<Node> nodes);
+
+  // Appends a child of `parent` reached over `edge` in direction `dir`
+  // (as produced by SchemaGraph::IncidentEdges on the parent's table).
+  // Returns the new node id.
+  TreeNodeId AddChild(TreeNodeId parent, const SchemaGraph& graph,
+                      SchemaEdgeId edge, EdgeDir dir);
+
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+  const Node& node(TreeNodeId id) const { return nodes_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  TreeNodeId root() const { return 0; }
+
+  // Children of `id`, in storage order.
+  std::vector<TreeNodeId> ChildrenOf(TreeNodeId id) const;
+  // Number of tree neighbors (degree d_J(R), used by the cost model and
+  // the minimality check on degree-1 relations).
+  int32_t Degree(TreeNodeId id) const;
+  // Node ids with degree 1 (the root counts as degree = #children).
+  std::vector<TreeNodeId> Leaves() const;
+
+  // `v` plus all its descendants, ascending.
+  std::vector<TreeNodeId> DescendantsOf(TreeNodeId v) const;
+
+  // True if some node instance uses `table`.
+  bool ContainsTable(TableId table) const;
+
+  // -- Canonicalization ----------------------------------------------------
+  // `annotations[i]` is an opaque per-node label (e.g. the projection
+  // mapping of a PJ query) that participates in the signature so that
+  // trees equal only up to an automorphism that permutes distinct
+  // mappings are kept distinct.
+
+  // Signature of the tree as rooted at its current root.
+  std::string RootedSignature(const std::vector<std::string>& annotations) const;
+
+  // Minimal signature over all possible roots; identifies the tree as an
+  // unrooted object. Used to deduplicate enumerated candidates.
+  std::string UnrootedSignature(const std::vector<std::string>& annotations) const;
+
+  // Rebuilds the tree rooted at the canonical root with children in
+  // canonical (signature-sorted) DFS order. `remap` receives old->new
+  // node ids. The resulting tree has a deterministic layout: equal trees
+  // (under `annotations`) become structurally identical.
+  //
+  // By default the root minimizes the rooted signature. When
+  // `root_weights` (one value per node, e.g. the node relation's row
+  // count) is supplied, the root minimizes (weight, signature) instead:
+  // rooting at the cheapest relation pushes expensive relations into
+  // subtrees whose materialized outputs the sub-PJ cache can share
+  // across queries (Sec 5.3.2).
+  JoinTree Canonicalize(const std::vector<std::string>& annotations,
+                        std::vector<TreeNodeId>* remap,
+                        const std::vector<int64_t>* root_weights =
+                            nullptr) const;
+
+  // -- Sub-PJ support (Def 4) ----------------------------------------------
+
+  // Extracts the full rooted subtree at `v` (type-i sub-PJ tree).
+  // `remap[old] = new or kNoNode`.
+  JoinTree RootedSubtree(TreeNodeId v, std::vector<TreeNodeId>* remap) const;
+
+  // Extracts the rooted subtree at `v` plus v's parent as new root with
+  // single child v (type-ii sub-PJ tree). Requires v != root.
+  JoinTree SubtreeWithParent(TreeNodeId v,
+                             std::vector<TreeNodeId>* remap) const;
+
+  // Human-readable rendering using the database catalog.
+  std::string ToString(const Database& db) const;
+
+ private:
+  struct AdjEntry {
+    TreeNodeId neighbor;
+    SchemaEdgeId edge;
+    bool neighbor_holds_fk;  // the FK side of `edge` is `neighbor`
+  };
+  std::vector<std::vector<AdjEntry>> BuildAdjacency() const;
+  // Signature of the subtree reachable from `v` avoiding `from`, over the
+  // undirected adjacency.
+  static std::string SigFrom(const std::vector<std::vector<AdjEntry>>& adj,
+                             const std::vector<Node>& nodes,
+                             const std::vector<std::string>& annotations,
+                             TreeNodeId v, TreeNodeId from);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SCHEMA_JOIN_TREE_H_

@@ -1,0 +1,53 @@
+#include "schema/schema_graph.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+SchemaGraph::SchemaGraph(const Database& db)
+    : db_(&db), num_vertices_(db.NumTables()) {
+  edges_.reserve(db.foreign_keys().size());
+  incidence_.resize(num_vertices_);
+  for (const ForeignKeyDef& fk : db.foreign_keys()) {
+    SchemaEdgeId id = static_cast<SchemaEdgeId>(edges_.size());
+    edges_.push_back(SchemaEdge{fk.src_table, fk.src_column, fk.dst_table,
+                                fk.label});
+    incidence_[fk.src_table].push_back(
+        Incidence{id, EdgeDir::kForward, fk.dst_table});
+    incidence_[fk.dst_table].push_back(
+        Incidence{id, EdgeDir::kBackward, fk.src_table});
+  }
+}
+
+int32_t SchemaGraph::UndirectedDistance(TableId a, TableId b) const {
+  if (a == b) return 0;
+  std::vector<int32_t> dist(num_vertices_, -1);
+  dist[a] = 0;
+  std::deque<TableId> queue{a};
+  while (!queue.empty()) {
+    TableId u = queue.front();
+    queue.pop_front();
+    for (const Incidence& inc : incidence_[u]) {
+      if (dist[inc.neighbor] < 0) {
+        dist[inc.neighbor] = dist[u] + 1;
+        if (inc.neighbor == b) return dist[inc.neighbor];
+        queue.push_back(inc.neighbor);
+      }
+    }
+  }
+  return -1;
+}
+
+std::string SchemaGraph::ToString() const {
+  std::string out = StrFormat("SchemaGraph(%d vertices, %d edges)\n",
+                              num_vertices_, NumEdges());
+  for (const SchemaEdge& e : edges_) {
+    out += "  " + db_->table(e.src).name() + "." + e.label + " -> " +
+           db_->table(e.dst).name() + "\n";
+  }
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,73 @@
+#ifndef S4_SCHEMA_SCHEMA_GRAPH_H_
+#define S4_SCHEMA_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace s4 {
+
+// Index of an edge within SchemaGraph::edges().
+using SchemaEdgeId = int32_t;
+
+// One directed edge of the schema graph G(V, E): src (the relation
+// holding the foreign key) -> dst (the relation whose primary key is
+// referenced). Multiple edges may connect the same pair of relations;
+// they are distinguished by the FK column (`src_column` / `label`).
+struct SchemaEdge {
+  TableId src = kInvalidTableId;
+  int32_t src_column = -1;
+  TableId dst = kInvalidTableId;
+  std::string label;
+};
+
+// Direction in which an edge is traversed when growing join trees: the
+// schema graph is directed (FK -> PK) but join trees may traverse edges
+// either way (Sec 2.2; candidate-network generation in [13]).
+enum class EdgeDir : uint8_t {
+  kForward = 0,   // from src (FK side) to dst (PK side)
+  kBackward = 1,  // from dst (PK side) to src (FK side)
+};
+
+// In-memory directed schema graph over a finalized Database. Keeps, per
+// relation, the incident edges in both directions for join-tree
+// enumeration.
+class SchemaGraph {
+ public:
+  // `db` must outlive the graph and be finalized.
+  explicit SchemaGraph(const Database& db);
+
+  const Database& db() const { return *db_; }
+  int32_t NumVertices() const { return num_vertices_; }
+  int32_t NumEdges() const { return static_cast<int32_t>(edges_.size()); }
+  const SchemaEdge& edge(SchemaEdgeId id) const { return edges_[id]; }
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  struct Incidence {
+    SchemaEdgeId edge;
+    EdgeDir dir;        // direction of traversal away from this vertex
+    TableId neighbor;   // the vertex reached
+  };
+  // All edges incident to `table`, both orientations.
+  const std::vector<Incidence>& IncidentEdges(TableId table) const {
+    return incidence_[table];
+  }
+
+  // Unweighted hop distance between two relations ignoring direction;
+  // -1 if disconnected. Used to bound join-tree search.
+  int32_t UndirectedDistance(TableId a, TableId b) const;
+
+  std::string ToString() const;
+
+ private:
+  const Database* db_;
+  int32_t num_vertices_;
+  std::vector<SchemaEdge> edges_;
+  std::vector<std::vector<Incidence>> incidence_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SCHEMA_SCHEMA_GRAPH_H_

@@ -1,0 +1,121 @@
+#include "score/score_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace s4 {
+
+ScoreContext::ScoreContext(const IndexSet& index,
+                           const ExampleSpreadsheet& sheet,
+                           ScoreParams params)
+    : index_(&index),
+      params_(params),
+      resolved_(ResolvedSpreadsheet::Resolve(sheet, index.dict(),
+                                             params.spelling_edits)) {
+  candidates_.resize(resolved_.num_columns);
+
+  // Candidate projection columns C_i = union of inv(w) over the column's
+  // terms (Sec 4.1.1). The column-level index only holds text columns,
+  // so no extra filtering is needed.
+  for (int32_t i = 0; i < resolved_.num_columns; ++i) {
+    std::set<int32_t> gids;
+    for (TermId w : resolved_.column_terms[i]) {
+      const std::vector<int32_t>* cols = index.column_index().Find(w);
+      if (cols != nullptr) gids.insert(cols->begin(), cols->end());
+    }
+    candidates_[i].assign(gids.begin(), gids.end());
+  }
+
+  // Algorithm 1 per candidate pair: scan the row-level posting lists of
+  // the cell terms and keep the per-row aggregate to extract the max.
+  const std::vector<uint16_t>* lengths = nullptr;
+  std::unordered_map<int32_t, std::pair<double, int32_t>> acc;
+  for (int32_t i = 0; i < resolved_.num_columns; ++i) {
+    for (int32_t gid : candidates_[i]) {
+      PairStats stats;
+      stats.cellmax.assign(resolved_.num_rows, 0.0);
+      lengths = params_.exact_match_bonus != 0.0 ? index.CellLengths(gid)
+                                                 : nullptr;
+      for (int32_t t = 0; t < resolved_.num_rows; ++t) {
+        const auto& groups = resolved_.cell_term_groups[t][i];
+        if (groups.empty()) continue;
+        acc.clear();
+        std::unordered_map<int32_t, double> group_best;
+        for (const std::vector<TermId>& group : groups) {
+          // Union semantics across a term's expansions (App A.2): a row
+          // matching any variant counts the original term once, at the
+          // best variant weight.
+          const bool single = group.size() == 1;
+          if (!single) group_best.clear();
+          for (TermId w : group) {
+            const std::vector<Posting>* plist =
+                index.row_index().Find(w, gid);
+            if (plist == nullptr) continue;
+            stats.posting_cost += static_cast<int64_t>(plist->size());
+            const double weight = TermWeight(w, gid);
+            if (single) {
+              for (const Posting& p : *plist) {
+                auto& entry = acc[p.row];
+                entry.first += weight;
+                entry.second += 1;
+              }
+            } else {
+              for (const Posting& p : *plist) {
+                double& best = group_best[p.row];
+                best = std::max(best, weight);
+              }
+            }
+          }
+          if (!single) {
+            for (const auto& [row, weight] : group_best) {
+              auto& entry = acc[row];
+              entry.first += weight;
+              entry.second += 1;
+            }
+          }
+        }
+        double best = 0.0;
+        const int32_t cell_terms = resolved_.cell_num_terms[t][i];
+        for (const auto& [row, entry] : acc) {
+          double sim = entry.first;
+          if (lengths != nullptr && entry.second == cell_terms &&
+              static_cast<int32_t>((*lengths)[row]) == cell_terms) {
+            sim += params_.exact_match_bonus;
+          }
+          best = std::max(best, sim);
+        }
+        stats.cellmax[t] = best;
+      }
+      for (double v : stats.cellmax) stats.column_score += v;
+      pair_stats_.emplace(Key(i, gid), std::move(stats));
+    }
+  }
+}
+
+const std::vector<double>* ScoreContext::CellMax(int32_t es_col,
+                                                 int32_t gid) const {
+  auto it = pair_stats_.find(Key(es_col, gid));
+  return it == pair_stats_.end() ? nullptr : &it->second.cellmax;
+}
+
+double ScoreContext::ColumnScore(int32_t es_col, int32_t gid) const {
+  auto it = pair_stats_.find(Key(es_col, gid));
+  return it == pair_stats_.end() ? 0.0 : it->second.column_score;
+}
+
+int64_t ScoreContext::PostingCost(int32_t es_col, int32_t gid) const {
+  auto it = pair_stats_.find(Key(es_col, gid));
+  return it == pair_stats_.end() ? 0 : it->second.posting_cost;
+}
+
+double ScoreContext::TermWeight(TermId term, int32_t gid) const {
+  if (!params_.use_idf) return 1.0;
+  int64_t df = index_->row_index().PostingLength(term, gid);
+  if (df <= 0) return 1.0;
+  const ColumnRef& ref = index_->column_ids().FromGid(gid);
+  const int64_t n = index_->db().table(ref.table_id).NumRows();
+  return std::log(1.0 + static_cast<double>(n) / static_cast<double>(df));
+}
+
+}  // namespace s4

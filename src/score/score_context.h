@@ -1,0 +1,77 @@
+#ifndef S4_SCORE_SCORE_CONTEXT_H_
+#define S4_SCORE_SCORE_CONTEXT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/index_set.h"
+#include "query/spreadsheet.h"
+#include "score/score_model.h"
+
+namespace s4 {
+
+// Per-search scoring state shared by enumeration, upper-bound
+// computation, and evaluation (Algorithm 1). For every spreadsheet
+// column i and every candidate database column R[j] (those sharing at
+// least one term with T[i], found via the column-level inverted index),
+// it precomputes:
+//   * cellmax[t] = max_{r in R} score_cell(t[i] | r[j])  for each row t,
+//     whose sum over t is the column containment contribution of mapping
+//     i -> R[j] (Eq. 4);
+//   * the posting-scan cost sum_{w in T[i]} |inv(w, R[j])| used by the
+//     evaluation cost model (Eq. 12).
+// All quantities honor the optional A.2 extensions (idf term weights,
+// exact-match bonus) configured in ScoreParams.
+class ScoreContext {
+ public:
+  ScoreContext(const IndexSet& index, const ExampleSpreadsheet& sheet,
+               ScoreParams params);
+
+  const IndexSet& index() const { return *index_; }
+  const ResolvedSpreadsheet& resolved() const { return resolved_; }
+  const ScoreParams& params() const { return params_; }
+  int32_t NumEsRows() const { return resolved_.num_rows; }
+  int32_t NumEsColumns() const { return resolved_.num_columns; }
+
+  // Candidate projection columns C_i for spreadsheet column `es_col`
+  // (global column ids, ascending). Only text columns qualify.
+  const std::vector<int32_t>& CandidateColumns(int32_t es_col) const {
+    return candidates_[es_col];
+  }
+
+  // Per-ES-row max cell similarity for the mapping es_col -> gid, or
+  // nullptr if gid is not a candidate for es_col.
+  const std::vector<double>* CellMax(int32_t es_col, int32_t gid) const;
+
+  // Column containment contribution of mapping es_col -> gid
+  // (sum over rows of CellMax); 0 if not a candidate.
+  double ColumnScore(int32_t es_col, int32_t gid) const;
+
+  // sum_{w in T[es_col]} |inv(w, gid)| for the cost model.
+  int64_t PostingCost(int32_t es_col, int32_t gid) const;
+
+  // Weight of a matched term in a given column: 1, or ln(1 + N/df)
+  // under the idf extension.
+  double TermWeight(TermId term, int32_t gid) const;
+
+ private:
+  struct PairStats {
+    std::vector<double> cellmax;  // per ES row
+    double column_score = 0.0;
+    int64_t posting_cost = 0;
+  };
+  static uint64_t Key(int32_t es_col, int32_t gid) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(es_col)) << 32) |
+           static_cast<uint32_t>(gid);
+  }
+
+  const IndexSet* index_;
+  ScoreParams params_;
+  ResolvedSpreadsheet resolved_;
+  std::vector<std::vector<int32_t>> candidates_;
+  std::unordered_map<uint64_t, PairStats> pair_stats_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SCORE_SCORE_CONTEXT_H_

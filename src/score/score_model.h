@@ -1,0 +1,51 @@
+#ifndef S4_SCORE_SCORE_MODEL_H_
+#define S4_SCORE_SCORE_MODEL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace s4 {
+
+// Parameters of the relevance scoring model (Sec 2.3).
+struct ScoreParams {
+  // Weight of the row containment score; (1 - alpha) weighs the column
+  // containment score (Eq. 5). Table 2 default: 0.8.
+  double alpha = 0.8;
+
+  // --- Appendix A.2 extensions (off by default = paper's base model) ---
+  // Weighs each matched term by ln(1 + N/df) instead of 1.
+  bool use_idf = false;
+  // Added to a cell similarity when the example cell exactly matches the
+  // database cell (same distinct token set).
+  double exact_match_bonus = 0.0;
+  // Expand each spreadsheet term to all corpus terms within this
+  // Levenshtein distance and match their posting-list union (Appendix
+  // A.2 spelling-error handling). 0 = exact terms only.
+  int32_t spelling_edits = 0;
+
+  bool UsesExtensions() const {
+    return use_idf || exact_match_bonus != 0.0 || spelling_edits > 0;
+  }
+};
+
+// Join-tree size penalty 1 + ln(1 + ln|J|) (Eq. 5). |J| >= 1.
+inline double SizePenalty(int32_t tree_size) {
+  return 1.0 + std::log(1.0 + std::log(static_cast<double>(tree_size)));
+}
+
+// Final relevance score (Eq. 5).
+inline double CombineScore(double score_row, double score_col, double alpha,
+                           int32_t tree_size) {
+  return (alpha * score_row + (1.0 - alpha) * score_col) /
+         SizePenalty(tree_size);
+}
+
+// Upper bound of the final score given only score_col (Prop 2).
+inline double UpperBoundFromColumnScore(double score_col,
+                                        int32_t tree_size) {
+  return score_col / SizePenalty(tree_size);
+}
+
+}  // namespace s4
+
+#endif  // S4_SCORE_SCORE_MODEL_H_

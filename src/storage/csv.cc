@@ -1,0 +1,151 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    // Skip fully empty lines.
+    if (!(row.size() == 1 && row[0].empty())) rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+Status LoadCsvInto(const std::string& text, Table* table) {
+  auto parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = *parsed;
+  if (rows.empty()) return Status::InvalidArgument("empty CSV");
+
+  const auto& header = rows[0];
+  if (static_cast<int32_t>(header.size()) != table->NumColumns()) {
+    return Status::InvalidArgument(
+        StrFormat("CSV has %zu columns, table %s has %d", header.size(),
+                  table->name().c_str(), table->NumColumns()));
+  }
+  for (int32_t c = 0; c < table->NumColumns(); ++c) {
+    if (header[c] != table->column(c).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     header[c]);
+    }
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV row %zu has %zu fields, want %zu", r,
+                    rows[r].size(), header.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(rows[r].size());
+    for (int32_t c = 0; c < table->NumColumns(); ++c) {
+      const std::string& f = rows[r][c];
+      if (f.empty()) {
+        values.push_back(Value::Null());
+      } else if (table->column(c).type == ColumnType::kInt64) {
+        char* end = nullptr;
+        long long v = std::strtoll(f.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("non-integer value '" + f +
+                                         "' for INT64 column");
+        }
+        values.push_back(Value::Int(v));
+      } else {
+        values.push_back(Value::Text(f));
+      }
+    }
+    S4_RETURN_IF_ERROR(table->AppendRow(values));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string ToCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      const std::string& f = row[c];
+      bool needs_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+      if (needs_quotes) {
+        out.push_back('"');
+        for (char ch : f) {
+          if (ch == '"') out.push_back('"');
+          out.push_back(ch);
+        }
+        out.push_back('"');
+      } else {
+        out.append(f);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,33 @@
+#ifndef S4_STORAGE_CSV_H_
+#define S4_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace s4 {
+
+// Minimal RFC-4180-ish CSV support used by the example programs to load
+// user data into tables and to dump query outputs. Quoted fields with
+// embedded commas/quotes/newlines are handled; all parsed fields are
+// strings and are coerced per the target column type ("" -> NULL).
+
+// Parses CSV text into rows of string fields.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+// Appends all data rows of `text` (first line = header, must match the
+// table's column names in order) to `table`.
+Status LoadCsvInto(const std::string& text, Table* table);
+
+// Reads a file fully into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+// Serializes rows of string fields to CSV (quoting where needed).
+std::string ToCsv(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace s4
+
+#endif  // S4_STORAGE_CSV_H_

@@ -1,0 +1,83 @@
+#include "storage/csv_database.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace s4 {
+
+namespace {
+
+bool LooksLikeKeyColumn(const std::string& name) {
+  if (name.size() < 2) return false;
+  const std::string tail2 = ToLowerAscii(name.substr(name.size() - 2));
+  if (tail2 == "id") return true;
+  return name.size() >= 3 &&
+         ToLowerAscii(name.substr(name.size() - 3)) == "_id";
+}
+
+}  // namespace
+
+StatusOr<Database> LoadCsvDatabase(const std::string& csv_dir,
+                                   const std::string& schema_spec) {
+  Database db;
+  struct PendingFk {
+    std::string src_table, src_column, dst_table;
+  };
+  std::vector<PendingFk> fks;
+
+  for (const std::string& raw_line : SplitAndTrim(schema_spec, "\n")) {
+    std::vector<std::string> parts = SplitAndTrim(raw_line, " \t");
+    if (parts.empty() || parts[0][0] == '#') continue;
+    if (parts[0] == "table" && parts.size() == 4) {
+      auto csv = ReadFile(csv_dir + "/" + parts[2]);
+      if (!csv.ok()) return csv.status();
+      auto parsed = ParseCsv(*csv);
+      if (!parsed.ok()) return parsed.status();
+      if (parsed->empty()) {
+        return Status::InvalidArgument("empty csv " + parts[2]);
+      }
+      auto t = db.AddTable(parts[1]);
+      if (!t.ok()) return t.status();
+      bool has_pk = false;
+      for (const std::string& col : (*parsed)[0]) {
+        const bool is_key = col == parts[3] || LooksLikeKeyColumn(col);
+        S4_RETURN_IF_ERROR(
+            (*t)->AddColumn(col, is_key ? ColumnType::kInt64
+                                        : ColumnType::kText)
+                .status());
+        has_pk = has_pk || col == parts[3];
+      }
+      if (!has_pk) {
+        return Status::InvalidArgument("pk column " + parts[3] +
+                                       " missing from " + parts[2]);
+      }
+      S4_RETURN_IF_ERROR((*t)->SetPrimaryKey((*t)->ColumnIndex(parts[3])));
+      S4_RETURN_IF_ERROR(LoadCsvInto(*csv, *t));
+    } else if (parts[0] == "fk" && parts.size() == 4 && parts[2] == "->") {
+      std::vector<std::string> ref = SplitAndTrim(parts[1], ".");
+      if (ref.size() != 2) {
+        return Status::InvalidArgument("bad fk spec: " + raw_line);
+      }
+      fks.push_back(PendingFk{ref[0], ref[1], parts[3]});
+    } else {
+      return Status::InvalidArgument("bad schema line: " + raw_line);
+    }
+  }
+  for (const PendingFk& fk : fks) {
+    S4_RETURN_IF_ERROR(
+        db.AddForeignKey(fk.src_table, fk.src_column, fk.dst_table));
+  }
+  S4_RETURN_IF_ERROR(db.Finalize(/*check_integrity=*/true));
+  return db;
+}
+
+StatusOr<Database> LoadCsvDatabaseFromFile(const std::string& csv_dir,
+                                           const std::string& schema_path) {
+  auto spec = ReadFile(schema_path);
+  if (!spec.ok()) return spec.status();
+  return LoadCsvDatabase(csv_dir, *spec);
+}
+
+}  // namespace s4

@@ -1,0 +1,32 @@
+#ifndef S4_STORAGE_CSV_DATABASE_H_
+#define S4_STORAGE_CSV_DATABASE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace s4 {
+
+// Builds a Database from a directory of CSV files plus a plain-text
+// schema specification — the bring-your-own-data entry point.
+//
+// Schema spec, one directive per line ('#' comments allowed):
+//
+//   table <name> <csv-file> <pk-column>
+//   fk <table>.<column> -> <table>
+//
+// Column types are inferred from the CSV header: the primary-key column
+// and any column named like a key (ending in "Id"/"ID"/"_id") load as
+// INT64; everything else loads as TEXT. Empty fields are NULL. The
+// returned database is finalized with full referential checking.
+StatusOr<Database> LoadCsvDatabase(const std::string& csv_dir,
+                                   const std::string& schema_spec);
+
+// Same, but reads the schema spec from a file.
+StatusOr<Database> LoadCsvDatabaseFromFile(const std::string& csv_dir,
+                                           const std::string& schema_path);
+
+}  // namespace s4
+
+#endif  // S4_STORAGE_CSV_DATABASE_H_

@@ -1,0 +1,104 @@
+#include "storage/database.h"
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+StatusOr<Table*> Database::AddTable(const std::string& name) {
+  if (table_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  TableId id = NumTables();
+  tables_.push_back(std::make_unique<Table>(id, name));
+  table_by_name_[name] = id;
+  finalized_ = false;
+  return tables_.back().get();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = table_by_name_.find(name);
+  return it == table_by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = table_by_name_.find(name);
+  return it == table_by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+Status Database::AddForeignKey(const std::string& src_table,
+                               const std::string& src_column,
+                               const std::string& dst_table) {
+  Table* src = FindTable(src_table);
+  if (src == nullptr) return Status::NotFound("table " + src_table);
+  Table* dst = FindTable(dst_table);
+  if (dst == nullptr) return Status::NotFound("table " + dst_table);
+  int32_t col = src->ColumnIndex(src_column);
+  if (col < 0) {
+    return Status::NotFound("column " + src_column + " in " + src_table);
+  }
+  if (src->column(col).type != ColumnType::kInt64) {
+    return Status::InvalidArgument("foreign key column must be INT64: " +
+                                   src_table + "." + src_column);
+  }
+  for (const ForeignKeyDef& fk : foreign_keys_) {
+    if (fk.src_table == src->id() && fk.src_column == col) {
+      return Status::AlreadyExists("foreign key on " + src_table + "." +
+                                   src_column);
+    }
+  }
+  foreign_keys_.push_back(
+      ForeignKeyDef{src->id(), col, dst->id(), src_column});
+  finalized_ = false;
+  return Status::OK();
+}
+
+Status Database::Finalize(bool check_integrity) {
+  for (auto& t : tables_) {
+    if (!t->HasPrimaryKey()) {
+      return Status::FailedPrecondition("table " + t->name() +
+                                        " has no primary key");
+    }
+    S4_RETURN_IF_ERROR(t->BuildPkIndex());
+  }
+  if (check_integrity) {
+    for (const ForeignKeyDef& fk : foreign_keys_) {
+      const Table& src = table(fk.src_table);
+      const Table& dst = table(fk.dst_table);
+      const auto& fks = src.IntColumn(fk.src_column);
+      for (int64_t r = 0; r < src.NumRows(); ++r) {
+        if (src.IsNull(r, fk.src_column)) continue;
+        if (dst.FindByPk(fks[r]) < 0) {
+          return Status::InvalidArgument(StrFormat(
+              "dangling foreign key %lld in %s.%s",
+              static_cast<long long>(fks[r]), src.name().c_str(),
+              fk.label.c_str()));
+        }
+      }
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::string Database::ColumnName(const ColumnRef& ref) const {
+  if (!ref.valid() || ref.table_id >= NumTables()) return "<invalid>";
+  const Table& t = table(ref.table_id);
+  if (ref.column_index >= t.NumColumns()) return t.name() + ".<invalid>";
+  return t.name() + "." + t.column(ref.column_index).name;
+}
+
+size_t Database::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->ByteSize();
+  return bytes;
+}
+
+int64_t Database::NumTextColumns() const {
+  int64_t n = 0;
+  for (const auto& t : tables_) {
+    n += static_cast<int64_t>(t->TextColumnIndexes().size());
+  }
+  return n;
+}
+
+}  // namespace s4

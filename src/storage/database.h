@@ -1,0 +1,83 @@
+#ifndef S4_STORAGE_DATABASE_H_
+#define S4_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace s4 {
+
+// A declared foreign-key reference: the INT64 column
+// `src_table[src_column]` references the primary key of `dst_table`.
+// These are the edges E of the directed schema graph G(V, E) (Sec 2.1);
+// `label` names the FK attribute (multiple edges may connect the same
+// pair of relations).
+struct ForeignKeyDef {
+  TableId src_table = kInvalidTableId;
+  int32_t src_column = -1;
+  TableId dst_table = kInvalidTableId;
+  std::string label;
+
+  bool operator==(const ForeignKeyDef&) const = default;
+};
+
+// The database D: a catalog of relations plus declared foreign keys.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Creates an empty table; names must be unique.
+  StatusOr<Table*> AddTable(const std::string& name);
+
+  int32_t NumTables() const { return static_cast<int32_t>(tables_.size()); }
+  Table& table(TableId id) { return *tables_[id]; }
+  const Table& table(TableId id) const { return *tables_[id]; }
+
+  // Table by name, or nullptr.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  // Declares src_table.src_column -> dst_table (primary key). The label
+  // defaults to the source column name.
+  Status AddForeignKey(const std::string& src_table,
+                       const std::string& src_column,
+                       const std::string& dst_table);
+
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  // Validates referential declarations and builds every table's PK index;
+  // call once after loading data, before index building or query
+  // evaluation. `check_integrity` additionally verifies that every
+  // non-NULL FK value resolves to an existing row (O(total rows)).
+  Status Finalize(bool check_integrity = true);
+  bool finalized() const { return finalized_; }
+
+  // Human-readable "R.c" for a column reference.
+  std::string ColumnName(const ColumnRef& ref) const;
+
+  // Total data footprint (approximate bytes) of all tables.
+  size_t ByteSize() const;
+
+  // Total number of declared text columns across all tables.
+  int64_t NumTextColumns() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> table_by_name_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+  bool finalized_ = false;
+};
+
+}  // namespace s4
+
+#endif  // S4_STORAGE_DATABASE_H_

@@ -1,0 +1,246 @@
+#include "storage/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', '4', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void Raw(const void* data, size_t bytes) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+  }
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void I32(int32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      file_size_ = static_cast<uint64_t>(in_.tellg());
+      in_.seekg(0, std::ios::beg);
+    }
+  }
+
+  bool ok() const { return static_cast<bool>(in_) && !failed_; }
+  // Every deserialized count must be plausible given the file size;
+  // callers use this to reject corrupt counts before allocating.
+  uint64_t file_size() const { return file_size_; }
+
+  void Raw(void* data, size_t bytes) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (in_.gcount() != static_cast<std::streamsize>(bytes)) failed_ = true;
+  }
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (failed_ || n > file_size_) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+
+ private:
+  std::ifstream in_;
+  uint64_t file_size_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::Internal("cannot open " + path);
+  w.Raw(kMagic, 4);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(db.NumTables()));
+  for (TableId t = 0; t < db.NumTables(); ++t) {
+    const Table& table = db.table(t);
+    w.Str(table.name());
+    w.U32(static_cast<uint32_t>(table.NumColumns()));
+    for (int32_t c = 0; c < table.NumColumns(); ++c) {
+      w.Str(table.column(c).name);
+      w.U8(static_cast<uint8_t>(table.column(c).type));
+    }
+    w.I32(table.primary_key_column());
+    w.U64(static_cast<uint64_t>(table.NumRows()));
+    for (int32_t c = 0; c < table.NumColumns(); ++c) {
+      // Validity bitmap, one bit per row.
+      std::vector<uint8_t> bits((table.NumRows() + 7) / 8, 0);
+      for (int64_t r = 0; r < table.NumRows(); ++r) {
+        if (!table.IsNull(r, c)) {
+          bits[static_cast<size_t>(r / 8)] |=
+              static_cast<uint8_t>(1u << (r % 8));
+        }
+      }
+      w.Raw(bits.data(), bits.size());
+      if (table.column(c).type == ColumnType::kInt64) {
+        for (int64_t r = 0; r < table.NumRows(); ++r) {
+          w.I64(table.IsNull(r, c) ? 0 : table.GetInt(r, c));
+        }
+      } else {
+        for (int64_t r = 0; r < table.NumRows(); ++r) {
+          w.Str(table.IsNull(r, c) ? std::string() : table.GetText(r, c));
+        }
+      }
+    }
+  }
+  w.U32(static_cast<uint32_t>(db.foreign_keys().size()));
+  for (const ForeignKeyDef& fk : db.foreign_keys()) {
+    w.U32(static_cast<uint32_t>(fk.src_table));
+    w.I32(fk.src_column);
+    w.U32(static_cast<uint32_t>(fk.dst_table));
+  }
+  if (!w.ok()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Database> LoadDatabase(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) return Status::NotFound("cannot open " + path);
+  char magic[4];
+  r.Raw(magic, 4);
+  if (!r.ok() || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::InvalidArgument("not an S4DB file: " + path);
+  }
+  const uint32_t version = r.U32();
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported S4DB version %u", version));
+  }
+
+  Database db;
+  const uint32_t num_tables = r.U32();
+  if (!r.ok() || num_tables > (1u << 20)) {
+    return Status::InvalidArgument("corrupt table count");
+  }
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    std::string name = r.Str();
+    auto table = db.AddTable(name);
+    if (!table.ok()) return table.status();
+    const uint32_t num_cols = r.U32();
+    if (!r.ok() || num_cols > (1u << 16)) {
+      return Status::InvalidArgument("corrupt column count");
+    }
+    std::vector<ColumnType> types;
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      std::string col_name = r.Str();
+      ColumnType type = static_cast<ColumnType>(r.U8());
+      if (type != ColumnType::kInt64 && type != ColumnType::kText) {
+        return Status::InvalidArgument("corrupt column type");
+      }
+      types.push_back(type);
+      S4_RETURN_IF_ERROR((*table)->AddColumn(col_name, type).status());
+    }
+    const int32_t pk = r.I32();
+    S4_RETURN_IF_ERROR((*table)->SetPrimaryKey(pk));
+    const uint64_t num_rows = r.U64();
+    // Every row stores at least the 8-byte primary key, so a plausible
+    // row count is bounded by the file size.
+    if (!r.ok() || num_rows > r.file_size() / 8) {
+      return Status::InvalidArgument("corrupt row count");
+    }
+    // Column-major on disk -> buffer all columns, then append row-wise.
+    std::vector<std::vector<Value>> columns(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      std::vector<uint8_t> bits((num_rows + 7) / 8, 0);
+      r.Raw(bits.data(), bits.size());
+      columns[c].reserve(num_rows);
+      for (uint64_t row = 0; row < num_rows; ++row) {
+        const bool valid =
+            (bits[static_cast<size_t>(row / 8)] >> (row % 8)) & 1u;
+        if (types[c] == ColumnType::kInt64) {
+          int64_t v = r.I64();
+          columns[c].push_back(valid ? Value::Int(v) : Value::Null());
+        } else {
+          std::string v = r.Str();
+          columns[c].push_back(valid ? Value::Text(std::move(v))
+                                     : Value::Null());
+        }
+      }
+      if (!r.ok()) return Status::InvalidArgument("truncated column data");
+    }
+    std::vector<Value> row_values(num_cols);
+    for (uint64_t row = 0; row < num_rows; ++row) {
+      for (uint32_t c = 0; c < num_cols; ++c) {
+        row_values[c] = columns[c][row];
+      }
+      S4_RETURN_IF_ERROR((*table)->AppendRow(row_values));
+    }
+  }
+  const uint32_t num_fks = r.U32();
+  if (!r.ok() || num_fks > (1u << 20)) {
+    return Status::InvalidArgument("corrupt fk count");
+  }
+  for (uint32_t i = 0; i < num_fks; ++i) {
+    const uint32_t src = r.U32();
+    const int32_t col = r.I32();
+    const uint32_t dst = r.U32();
+    if (!r.ok() || src >= num_tables || dst >= num_tables || col < 0 ||
+        col >= db.table(static_cast<TableId>(src)).NumColumns()) {
+      return Status::InvalidArgument("corrupt foreign key");
+    }
+    S4_RETURN_IF_ERROR(db.AddForeignKey(
+        db.table(static_cast<TableId>(src)).name(),
+        db.table(static_cast<TableId>(src)).column(col).name,
+        db.table(static_cast<TableId>(dst)).name()));
+  }
+  S4_RETURN_IF_ERROR(db.Finalize(/*check_integrity=*/false));
+  return db;
+}
+
+}  // namespace s4

@@ -1,0 +1,32 @@
+#ifndef S4_STORAGE_SERIALIZE_H_
+#define S4_STORAGE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace s4 {
+
+// Binary (de)serialization of a Database — schema, foreign keys and all
+// row data — so the offline phase (load + index build) can run against a
+// durable snapshot instead of re-generating or re-importing data.
+//
+// Format (little-endian, version-tagged):
+//   "S4DB" u32-version
+//   u32 table-count, then per table:
+//     string name, u32 column-count, per column (string name, u8 type),
+//     i32 pk-column, u64 row-count,
+//     per column: validity bitmap + raw i64 values or length-prefixed
+//     strings
+//   u32 fk-count, per fk: u32 src-table, i32 src-column, u32 dst-table
+//
+// The loaded database is returned finalized (without re-running the
+// O(rows) referential check; the snapshot is trusted).
+
+Status SaveDatabase(const Database& db, const std::string& path);
+StatusOr<Database> LoadDatabase(const std::string& path);
+
+}  // namespace s4
+
+#endif  // S4_STORAGE_SERIALIZE_H_

@@ -1,0 +1,130 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+StatusOr<int32_t> Table::AddColumn(const std::string& name, ColumnType type) {
+  if (num_rows_ > 0) {
+    return Status::FailedPrecondition(
+        "cannot add column to non-empty table " + name_);
+  }
+  if (column_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("column " + name + " in table " + name_);
+  }
+  int32_t idx = NumColumns();
+  columns_.push_back(ColumnDef{name, type});
+  column_by_name_[name] = idx;
+  int_data_.emplace_back();
+  text_data_.emplace_back();
+  valid_.emplace_back();
+  return idx;
+}
+
+Status Table::SetPrimaryKey(int32_t column_index) {
+  if (column_index < 0 || column_index >= NumColumns()) {
+    return Status::OutOfRange(
+        StrFormat("pk column %d out of range in %s", column_index,
+                  name_.c_str()));
+  }
+  if (columns_[column_index].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("primary key must be INT64 in " + name_);
+  }
+  pk_column_ = column_index;
+  return Status::OK();
+}
+
+int32_t Table::ColumnIndex(const std::string& name) const {
+  auto it = column_by_name_.find(name);
+  return it == column_by_name_.end() ? -1 : it->second;
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (static_cast<int32_t>(values.size()) != NumColumns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != %d columns in %s", values.size(),
+                  NumColumns(), name_.c_str()));
+  }
+  for (int32_t c = 0; c < NumColumns(); ++c) {
+    const Value& v = values[c];
+    if (v.is_null()) {
+      if (c == pk_column_) {
+        return Status::InvalidArgument("NULL primary key in " + name_);
+      }
+      continue;
+    }
+    bool type_ok = (columns_[c].type == ColumnType::kInt64 && v.is_int()) ||
+                   (columns_[c].type == ColumnType::kText && v.is_text());
+    if (!type_ok) {
+      return Status::InvalidArgument(
+          StrFormat("type mismatch at column %d of %s", c, name_.c_str()));
+    }
+  }
+  for (int32_t c = 0; c < NumColumns(); ++c) {
+    const Value& v = values[c];
+    valid_[c].push_back(!v.is_null());
+    if (columns_[c].type == ColumnType::kInt64) {
+      int_data_[c].push_back(v.is_int() ? v.AsInt() : 0);
+    } else {
+      text_data_[c].push_back(v.is_text() ? v.AsText() : std::string());
+    }
+  }
+  ++num_rows_;
+  pk_index_built_ = false;
+  return Status::OK();
+}
+
+Value Table::GetValue(int64_t row, int32_t col) const {
+  if (IsNull(row, col)) return Value::Null();
+  if (columns_[col].type == ColumnType::kInt64) {
+    return Value::Int(GetInt(row, col));
+  }
+  return Value::Text(GetText(row, col));
+}
+
+Status Table::BuildPkIndex() {
+  if (pk_column_ < 0) {
+    return Status::FailedPrecondition("no primary key on " + name_);
+  }
+  pk_index_.clear();
+  pk_index_.reserve(static_cast<size_t>(num_rows_));
+  const auto& keys = int_data_[pk_column_];
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    auto [it, inserted] = pk_index_.emplace(keys[r], r);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate primary key %lld in %s",
+                    static_cast<long long>(keys[r]), name_.c_str()));
+    }
+  }
+  pk_index_built_ = true;
+  return Status::OK();
+}
+
+int64_t Table::FindByPk(int64_t pk) const {
+  auto it = pk_index_.find(pk);
+  return it == pk_index_.end() ? -1 : it->second;
+}
+
+size_t Table::ByteSize() const {
+  size_t bytes = 0;
+  for (int32_t c = 0; c < NumColumns(); ++c) {
+    bytes += int_data_[c].capacity() * sizeof(int64_t);
+    bytes += valid_[c].capacity() / 8;
+    for (const std::string& s : text_data_[c]) {
+      bytes += sizeof(std::string) + s.capacity();
+    }
+  }
+  return bytes;
+}
+
+std::vector<int32_t> Table::TextColumnIndexes() const {
+  std::vector<int32_t> out;
+  for (int32_t c = 0; c < NumColumns(); ++c) {
+    if (columns_[c].type == ColumnType::kText) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace s4

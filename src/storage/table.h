@@ -1,0 +1,127 @@
+#ifndef S4_STORAGE_TABLE_H_
+#define S4_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace s4 {
+
+// Identifies a relation within a Database.
+using TableId = int32_t;
+inline constexpr TableId kInvalidTableId = -1;
+
+// Identifies a column of a relation: R[j] in the paper's notation.
+struct ColumnRef {
+  TableId table_id = kInvalidTableId;
+  int32_t column_index = -1;
+
+  bool valid() const { return table_id >= 0 && column_index >= 0; }
+  bool operator==(const ColumnRef&) const = default;
+  // Orders by (table, column); used for canonical signatures.
+  auto operator<=>(const ColumnRef&) const = default;
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return (static_cast<size_t>(c.table_id) << 20) ^
+           static_cast<size_t>(c.column_index);
+  }
+};
+
+// Definition of one column.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+};
+
+// One relation: columnar in-memory storage. Text columns are stored as
+// strings; INT64 columns back primary keys, foreign keys, and numeric
+// attributes. NULL is represented per-column by a validity bitmap.
+class Table {
+ public:
+  Table(TableId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Appends a column; returns its index. Column names must be unique
+  // within the table.
+  StatusOr<int32_t> AddColumn(const std::string& name, ColumnType type);
+
+  // Declares `column_index` as the (single-column, INT64) primary key.
+  Status SetPrimaryKey(int32_t column_index);
+  int32_t primary_key_column() const { return pk_column_; }
+  bool HasPrimaryKey() const { return pk_column_ >= 0; }
+
+  int32_t NumColumns() const { return static_cast<int32_t>(columns_.size()); }
+  int64_t NumRows() const { return num_rows_; }
+  const ColumnDef& column(int32_t idx) const { return columns_[idx]; }
+
+  // Index of the column named `name`, or -1.
+  int32_t ColumnIndex(const std::string& name) const;
+
+  // Appends a row; `values` must match the column count and types
+  // (NULLs allowed anywhere except the primary key).
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Cell accessors. Row ids are dense [0, NumRows).
+  bool IsNull(int64_t row, int32_t col) const { return !valid_[col][row]; }
+  int64_t GetInt(int64_t row, int32_t col) const {
+    return int_data_[col][row];
+  }
+  const std::string& GetText(int64_t row, int32_t col) const {
+    return text_data_[col][row];
+  }
+  Value GetValue(int64_t row, int32_t col) const;
+
+  // Raw columnar access (valid entries only meaningful where !IsNull).
+  const std::vector<int64_t>& IntColumn(int32_t col) const {
+    return int_data_[col];
+  }
+  const std::vector<std::string>& TextColumn(int32_t col) const {
+    return text_data_[col];
+  }
+
+  // Builds (or rebuilds) the primary-key hash index; required before
+  // FindByPk. Fails if duplicate or NULL keys exist.
+  Status BuildPkIndex();
+  // Row id holding primary key `pk`, or -1. Requires BuildPkIndex().
+  int64_t FindByPk(int64_t pk) const;
+
+  // Approximate memory footprint of the table data in bytes.
+  size_t ByteSize() const;
+
+  // Column indices whose type is kText — the paper's "text columns".
+  std::vector<int32_t> TextColumnIndexes() const;
+
+ private:
+  TableId id_;
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int32_t> column_by_name_;
+  int32_t pk_column_ = -1;
+  int64_t num_rows_ = 0;
+
+  // Parallel per-column storage; only the vector matching the column type
+  // is populated.
+  std::vector<std::vector<int64_t>> int_data_;
+  std::vector<std::vector<std::string>> text_data_;
+  std::vector<std::vector<bool>> valid_;
+
+  std::unordered_map<int64_t, int64_t> pk_index_;
+  bool pk_index_built_ = false;
+};
+
+}  // namespace s4
+
+#endif  // S4_STORAGE_TABLE_H_

@@ -1,0 +1,28 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace s4 {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kText:
+      return "TEXT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(AsInt()));
+  return "'" + AsText() + "'";
+}
+
+size_t Value::ByteSize() const {
+  if (is_text()) return sizeof(Value) + AsText().capacity();
+  return sizeof(Value);
+}
+
+}  // namespace s4

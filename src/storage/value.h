@@ -1,0 +1,53 @@
+#ifndef S4_STORAGE_VALUE_H_
+#define S4_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace s4 {
+
+// Column types of the in-memory store. The paper's algorithms only touch
+// text columns and primary/foreign key columns (Sec 2.1), so the type
+// system is deliberately small: 64-bit keys/ints and strings.
+enum class ColumnType {
+  kInt64,  // primary keys, foreign keys, numeric attributes
+  kText,   // free text; the only type that is tokenized and indexed
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+// A single cell value: NULL, int64, or string.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Text(std::string v) { return Value(std::move(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  const std::string& AsText() const { return std::get<std::string>(v_); }
+
+  // Debug rendering: "NULL", the integer, or the quoted string.
+  std::string ToString() const;
+
+  // Approximate heap + inline footprint, used for Table 1 style size
+  // accounting.
+  size_t ByteSize() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, std::string> v_;
+};
+
+}  // namespace s4
+
+#endif  // S4_STORAGE_VALUE_H_

@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "common/topk_heap.h"
+#include "exec/cost_model.h"
+#include "strategy/strategy_internal.h"
+
+namespace s4::internal {
+
+namespace {
+
+// Per-candidate state inside one batch.
+struct BatchEntry {
+  size_t rt_index;                      // into the runtime list
+  std::vector<SubPJQuery> subs;         // enumerated once
+  std::vector<std::string> keys;        // cache keys incl. row suffix
+  std::unordered_set<std::string> key_set;
+};
+
+// Orders `group` so that consecutive queries share as many sub-PJ
+// queries as possible (heuristic 1 of Sec 5.3.4): greedy chain that
+// starts from the highest-upper-bound member and always appends the
+// unplaced query sharing the most keys with the last placed one.
+std::vector<size_t> SimilarityOrder(const std::vector<size_t>& group,
+                                    const std::vector<BatchEntry>& entries) {
+  if (group.size() <= 2) return group;
+  std::vector<size_t> order;
+  std::vector<bool> used(group.size(), false);
+  order.push_back(group[0]);
+  used[0] = true;
+  for (size_t step = 1; step < group.size(); ++step) {
+    const std::unordered_set<std::string>& last_keys =
+        entries[order.back()].key_set;
+    size_t best = group.size();
+    int64_t best_shared = -1;
+    for (size_t g = 0; g < group.size(); ++g) {
+      if (used[g]) continue;
+      int64_t shared = 0;
+      for (const std::string& key : entries[group[g]].keys) {
+        if (last_keys.count(key) > 0) ++shared;
+      }
+      if (shared > best_shared) {
+        best_shared = shared;
+        best = g;
+      }
+    }
+    used[best] = true;
+    order.push_back(group[best]);
+  }
+  return order;
+}
+
+class FastTopKRun {
+ public:
+  FastTopKRun(PreparedSearch& prep, std::vector<RuntimeCandidate> rts,
+              const SearchOptions& options)
+      : prep_(prep),
+        rts_(std::move(rts)),
+        options_(options),
+        topk_(static_cast<size_t>(options.k)),
+        cache_(options.cache_budget_bytes) {}
+
+  SearchResult Run() {
+    WallTimer timer;
+    const size_t n = rts_.size();
+    size_t next = 0;
+    int64_t batch_index = 0;
+    while (next < n) {
+      // Batch j covers candidates up to rank k*(1+eps)^j (Alg 3).
+      const double bound =
+          static_cast<double>(options_.k) *
+          std::pow(1.0 + options_.epsilon, static_cast<double>(batch_index));
+      size_t end = std::min(
+          n, std::max(next + 1, static_cast<size_t>(std::ceil(bound))));
+      EvaluateBatch(next, end);
+      ++result_.stats.batches;
+      next = end;
+      ++batch_index;
+      // Termination condition (7) after each batch.
+      if (next < n && topk_.Full() && topk_.KthScore() >= rts_[next].ub) {
+        break;
+      }
+    }
+    for (auto& [score, sq] : topk_.TakeSortedDescending()) {
+      (void)score;
+      result_.topk.push_back(std::move(sq));
+    }
+    result_.stats.eval_seconds = timer.ElapsedSeconds();
+    FinishStats(prep_, &cache_, &result_.stats);
+    return std::move(result_);
+  }
+
+ private:
+  void EvaluateOne(size_t rt_index, bool offer_to_cache) {
+    // Skipping condition (heuristic 2, Sec 5.3.4): an upper bound not
+    // beating the current k-th score cannot enter the top-k.
+    if (topk_.Full() && rts_[rt_index].ub <= topk_.KthScore()) {
+      ++result_.stats.skipped_by_condition;
+      return;
+    }
+    ScoredQuery sq =
+        EvaluateCandidate(prep_, rts_[rt_index], &cache_, offer_to_cache,
+                          options_, &result_.stats, &result_.evaluated);
+    topk_.Offer(sq.score, std::move(sq));
+  }
+
+  // BatchEval (Algorithm 4) over candidates [lo, hi) of the runtime list.
+  void EvaluateBatch(size_t lo, size_t hi) {
+    std::vector<BatchEntry> entries;
+    entries.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      BatchEntry e;
+      e.rt_index = i;
+      e.subs = rts_[i].cand->query.EnumerateSubQueries();
+      for (const SubPJQuery& s : e.subs) {
+        e.keys.push_back(s.cache_key + rts_[i].suffix);
+      }
+      e.key_set.insert(e.keys.begin(), e.keys.end());
+      entries.push_back(std::move(e));
+    }
+
+    std::vector<bool> done(entries.size(), false);
+    size_t remaining = entries.size();
+    Evaluator evaluator(prep_.ctx);
+
+    while (remaining > 0) {
+      cache_.Clear();
+
+      // Pick the critical sub-PJ query Q*: highest cost among those
+      // shared by >= 2 unevaluated queries whose output fits in B.
+      std::unordered_map<std::string, std::vector<size_t>> sharers;
+      for (size_t e = 0; e < entries.size(); ++e) {
+        if (done[e]) continue;
+        for (const std::string& key : entries[e].key_set) {
+          sharers[key].push_back(e);
+        }
+      }
+      const SubPJQuery* best_sub = nullptr;
+      std::string best_key;
+      int64_t best_cost = -1;
+      std::vector<size_t>* best_group = nullptr;
+      for (size_t e = 0; e < entries.size(); ++e) {
+        if (done[e]) continue;
+        for (size_t s = 0; s < entries[e].subs.size(); ++s) {
+          const std::string& key = entries[e].keys[s];
+          auto it = sharers.find(key);
+          if (it == sharers.end() || it->second.size() < 2) continue;
+          const SubPJQuery& sub = entries[e].subs[s];
+          int64_t cost = EvaluationCost(sub.tree, sub.bindings, prep_.ctx);
+          if (cost <= best_cost) continue;
+          if (EstimateTableBytes(sub.tree, prep_.ctx) >
+              options_.cache_budget_bytes) {
+            continue;
+          }
+          best_cost = cost;
+          best_sub = &sub;
+          best_key = key;
+          best_group = &it->second;
+        }
+      }
+
+      if (best_sub == nullptr) {
+        // No shareable sub-PJ left: evaluate the rest one by one (with
+        // the skipping condition) and finish the batch (Alg 4 line 5).
+        for (size_t e = 0; e < entries.size(); ++e) {
+          if (done[e]) continue;
+          EvaluateOne(entries[e].rt_index, /*offer_to_cache=*/false);
+          done[e] = true;
+        }
+        remaining = 0;
+        break;
+      }
+
+      // Skipping-condition guard: if no query in Critical^{-1}(Q*) can
+      // still enter the top-k, evaluating Q* itself is wasted work.
+      bool group_live = false;
+      for (size_t e : *best_group) {
+        if (!topk_.Full() ||
+            rts_[entries[e].rt_index].ub > topk_.KthScore()) {
+          group_live = true;
+          break;
+        }
+      }
+      if (!group_live) {
+        for (size_t e : *best_group) {
+          ++result_.stats.skipped_by_condition;
+          done[e] = true;
+          --remaining;
+        }
+        continue;
+      }
+
+      // Evaluate Q* and pin its output relation in M (Alg 4 line 7).
+      EvalOptions eopts;
+      eopts.es_rows = rts_[entries[(*best_group)[0]].rt_index].es_rows;
+      eopts.drop_zero_rows = options_.drop_zero_rows;
+      std::shared_ptr<const SubQueryTable> table = evaluator.EvaluateSub(
+          *best_sub, &cache_, &result_.stats.counters, eopts);
+      result_.stats.model_cost +=
+          EvaluationCost(best_sub->tree, best_sub->bindings, prep_.ctx);
+      cache_.Add(best_key, std::move(table), /*pinned=*/true);
+      ++result_.stats.critical_subs_cached;
+
+      // Evaluate Critical^{-1}(Q*) in similarity order, re-using M with
+      // LRU offers of intermediate tables (heuristic 1).
+      std::vector<size_t> order = SimilarityOrder(*best_group, entries);
+      for (size_t e : order) {
+        EvaluateOne(entries[e].rt_index, /*offer_to_cache=*/true);
+        done[e] = true;
+        --remaining;
+      }
+      cache_.Unpin(best_key);
+    }
+  }
+
+  PreparedSearch& prep_;
+  std::vector<RuntimeCandidate> rts_;
+  const SearchOptions& options_;
+  SearchResult result_;
+  TopKHeap<ScoredQuery> topk_;
+  SubQueryCache cache_;
+};
+
+}  // namespace
+
+SearchResult RunFastTopKCore(PreparedSearch& prep,
+                             std::vector<RuntimeCandidate> rts,
+                             const SearchOptions& options) {
+  SortRuntime(&rts);
+  FastTopKRun run(prep, std::move(rts), options);
+  return run.Run();
+}
+
+}  // namespace s4::internal

@@ -1,0 +1,31 @@
+#ifndef S4_STRATEGY_OR_SEMANTICS_H_
+#define S4_STRATEGY_OR_SEMANTICS_H_
+
+#include "strategy/strategy.h"
+
+namespace s4 {
+
+// OR-column-mapping search (Appendix A.3): instead of requiring every
+// spreadsheet column to be mapped (AND semantics), any non-empty subset
+// of columns may be mapped. Implemented as the paper's "simple
+// extension": run FASTTOPK once per non-empty column subset (2^c - 1
+// spreadsheets, with c small in practice) and aggregate the top-k lists
+// by score. Strategy selection mirrors the AND path.
+enum class OrStrategy {
+  kNaive,     // per-subset NAIVE (reference)
+  kFastTopK,  // per-subset FASTTOPK (the paper's "simple extension")
+  // The paper's "more direct way": enumerate the extended candidate set
+  // Q_C+ once (candidates may leave columns unmapped) and run a single
+  // FASTTOPK pass over it.
+  kDirect,
+};
+
+SearchResult SearchOrSemantics(const IndexSet& index,
+                               const SchemaGraph& graph,
+                               const ExampleSpreadsheet& sheet,
+                               const SearchOptions& options,
+                               OrStrategy strategy = OrStrategy::kFastTopK);
+
+}  // namespace s4
+
+#endif  // S4_STRATEGY_OR_SEMANTICS_H_

@@ -1,0 +1,218 @@
+#include "strategy/strategy.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "common/topk_heap.h"
+#include "exec/cost_model.h"
+#include "strategy/strategy_internal.h"
+
+namespace s4 {
+
+void RunStats::Add(const RunStats& o) {
+  queries_enumerated += o.queries_enumerated;
+  queries_evaluated += o.queries_evaluated;
+  query_row_evals += o.query_row_evals;
+  skipped_by_condition += o.skipped_by_condition;
+  batches += o.batches;
+  critical_subs_cached += o.critical_subs_cached;
+  model_cost += o.model_cost;
+  enum_seconds += o.enum_seconds;
+  eval_seconds += o.eval_seconds;
+  counters.Add(o.counters);
+  cache.hits += o.cache.hits;
+  cache.misses += o.cache.misses;
+  cache.insertions += o.cache.insertions;
+  cache.evictions += o.cache.evictions;
+  cache.rejected_too_large += o.cache.rejected_too_large;
+  cache.peak_bytes = std::max(cache.peak_bytes, o.cache.peak_bytes);
+}
+
+PreparedSearch::PreparedSearch(const IndexSet& index,
+                               const SchemaGraph& graph,
+                               const ExampleSpreadsheet& sheet,
+                               const SearchOptions& options)
+    : ctx(index, sheet, options.score) {
+  WallTimer timer;
+  EnumerationResult result =
+      EnumerateCandidates(graph, ctx, options.enumeration);
+  candidates = std::move(result.candidates);
+  enum_stats = result.stats;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CandidateQuery& a, const CandidateQuery& b) {
+              if (a.upper_bound != b.upper_bound) {
+                return a.upper_bound > b.upper_bound;
+              }
+              return a.query.signature() < b.query.signature();
+            });
+  enum_seconds = timer.ElapsedSeconds();
+}
+
+namespace internal {
+
+std::vector<RuntimeCandidate> MakePlainRuntime(
+    const std::vector<CandidateQuery>& candidates) {
+  std::vector<RuntimeCandidate> rts;
+  rts.reserve(candidates.size());
+  for (const CandidateQuery& c : candidates) {
+    RuntimeCandidate rt;
+    rt.cand = &c;
+    rt.ub = c.upper_bound;
+    rts.push_back(std::move(rt));
+  }
+  return rts;
+}
+
+void SortRuntime(std::vector<RuntimeCandidate>* rts) {
+  std::sort(rts->begin(), rts->end(),
+            [](const RuntimeCandidate& a, const RuntimeCandidate& b) {
+              if (a.ub != b.ub) return a.ub > b.ub;
+              return a.cand->query.signature() < b.cand->query.signature();
+            });
+}
+
+ScoredQuery EvaluateCandidate(PreparedSearch& prep,
+                              const RuntimeCandidate& rt,
+                              SubQueryCache* cache, bool offer_to_cache,
+                              const SearchOptions& options, RunStats* stats,
+                              std::vector<EvaluatedRecord>* records) {
+  const CandidateQuery& cand = *rt.cand;
+  Evaluator evaluator(prep.ctx);
+  EvalOptions eopts;
+  eopts.es_rows = rt.es_rows;
+  eopts.offer_to_cache = offer_to_cache;
+  eopts.drop_zero_rows = options.drop_zero_rows;
+
+  if (cache != nullptr) {
+    stats->model_cost += EvaluationCostWithCache(
+        cand.query, cand.query.EnumerateSubQueries(), *cache, prep.ctx,
+        rt.suffix);
+  } else {
+    stats->model_cost += EvaluationCost(cand.query, prep.ctx);
+  }
+
+  std::vector<double> row_scores =
+      evaluator.RowScores(cand.query, cache, &stats->counters, eopts);
+
+  // Merge prior scores for rows outside the evaluated subset.
+  if (rt.prior_row_scores != nullptr && !rt.es_rows.empty()) {
+    std::vector<bool> evaluated(row_scores.size(), false);
+    for (int32_t t : rt.es_rows) evaluated[t] = true;
+    for (size_t t = 0; t < row_scores.size(); ++t) {
+      if (!evaluated[t] && t < rt.prior_row_scores->size()) {
+        row_scores[t] = (*rt.prior_row_scores)[t];
+      }
+    }
+  }
+
+  ++stats->queries_evaluated;
+  stats->query_row_evals += rt.es_rows.empty()
+                                ? prep.ctx.NumEsRows()
+                                : static_cast<int64_t>(rt.es_rows.size());
+
+  ScoredQuery sq;
+  sq.query = cand.query;
+  sq.upper_bound = rt.ub;
+  sq.column_score = cand.column_score;
+  for (double v : row_scores) sq.row_score += v;
+  sq.score = CombineScore(sq.row_score, sq.column_score,
+                          options.score.alpha, cand.query.tree().size());
+  if (records != nullptr) {
+    records->push_back(
+        EvaluatedRecord{cand.query.signature(), std::move(row_scores)});
+  }
+  return sq;
+}
+
+void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
+                 RunStats* stats) {
+  stats->queries_enumerated =
+      static_cast<int64_t>(prep.candidates.size());
+  stats->enum_seconds = prep.enum_seconds;
+  if (cache != nullptr) stats->cache = cache->stats();
+}
+
+SearchResult RunBaselineCore(PreparedSearch& prep,
+                             std::vector<RuntimeCandidate> rts,
+                             const SearchOptions& options) {
+  SortRuntime(&rts);
+  SearchResult result;
+  WallTimer timer;
+  TopKHeap<ScoredQuery> topk(static_cast<size_t>(options.k));
+  for (size_t i = 0; i < rts.size(); ++i) {
+    ScoredQuery sq =
+        EvaluateCandidate(prep, rts[i], /*cache=*/nullptr,
+                          /*offer_to_cache=*/false, options, &result.stats,
+                          &result.evaluated);
+    topk.Offer(sq.score, std::move(sq));
+    // Termination condition (7): the k-th best known score dominates the
+    // best possible score of everything not yet evaluated.
+    if (i + 1 < rts.size() && topk.Full() &&
+        topk.KthScore() >= rts[i + 1].ub) {
+      break;
+    }
+  }
+  for (auto& [score, sq] : topk.TakeSortedDescending()) {
+    (void)score;
+    result.topk.push_back(std::move(sq));
+  }
+  result.stats.eval_seconds = timer.ElapsedSeconds();
+  FinishStats(prep, nullptr, &result.stats);
+  return result;
+}
+
+}  // namespace internal
+
+SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
+  SearchResult result;
+  WallTimer timer;
+  TopKHeap<ScoredQuery> topk(static_cast<size_t>(options.k));
+  for (const internal::RuntimeCandidate& rt :
+       internal::MakePlainRuntime(prep.candidates)) {
+    ScoredQuery sq =
+        internal::EvaluateCandidate(prep, rt, /*cache=*/nullptr,
+                                    /*offer_to_cache=*/false, options,
+                                    &result.stats, &result.evaluated);
+    topk.Offer(sq.score, std::move(sq));
+  }
+  for (auto& [score, sq] : topk.TakeSortedDescending()) {
+    (void)score;
+    result.topk.push_back(std::move(sq));
+  }
+  result.stats.eval_seconds = timer.ElapsedSeconds();
+  internal::FinishStats(prep, nullptr, &result.stats);
+  return result;
+}
+
+SearchResult RunBaseline(PreparedSearch& prep, const SearchOptions& options) {
+  return internal::RunBaselineCore(
+      prep, internal::MakePlainRuntime(prep.candidates), options);
+}
+
+SearchResult RunFastTopK(PreparedSearch& prep, const SearchOptions& options) {
+  return internal::RunFastTopKCore(
+      prep, internal::MakePlainRuntime(prep.candidates), options);
+}
+
+SearchResult SearchNaive(const IndexSet& index, const SchemaGraph& graph,
+                         const ExampleSpreadsheet& sheet,
+                         const SearchOptions& options) {
+  PreparedSearch prep(index, graph, sheet, options);
+  return RunNaive(prep, options);
+}
+
+SearchResult SearchBaseline(const IndexSet& index, const SchemaGraph& graph,
+                            const ExampleSpreadsheet& sheet,
+                            const SearchOptions& options) {
+  PreparedSearch prep(index, graph, sheet, options);
+  return RunBaseline(prep, options);
+}
+
+SearchResult SearchFastTopK(const IndexSet& index, const SchemaGraph& graph,
+                            const ExampleSpreadsheet& sheet,
+                            const SearchOptions& options) {
+  PreparedSearch prep(index, graph, sheet, options);
+  return RunFastTopK(prep, options);
+}
+
+}  // namespace s4

@@ -1,0 +1,109 @@
+#ifndef S4_STRATEGY_STRATEGY_H_
+#define S4_STRATEGY_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/subquery_cache.h"
+#include "enumerate/enumerator.h"
+#include "exec/evaluator.h"
+#include "index/index_set.h"
+#include "query/spreadsheet.h"
+#include "schema/schema_graph.h"
+#include "score/score_context.h"
+
+namespace s4 {
+
+// End-to-end search configuration (defaults follow Table 2).
+struct SearchOptions {
+  int32_t k = 10;
+  ScoreParams score;                       // alpha = 0.8 default
+  double epsilon = 0.6;                    // batch growth factor (Alg 3)
+  size_t cache_budget_bytes = 500u << 20;  // B = 500 MiB
+  EnumerationOptions enumeration;
+  // Evaluation ablation: paper's drop-zero-rows Stage II shortcut.
+  bool drop_zero_rows = false;
+};
+
+// One ranked answer.
+struct ScoredQuery {
+  PJQuery query;
+  double score = 0.0;        // Eq. 5
+  double upper_bound = 0.0;  // Prop 2
+  double row_score = 0.0;    // Eq. 3
+  double column_score = 0.0; // Eq. 4
+};
+
+// Metrics reported by every strategy; the benchmark harnesses print
+// these as the paper's figures.
+struct RunStats {
+  int64_t queries_enumerated = 0;
+  int64_t queries_evaluated = 0;
+  // "PJ query-row evaluations" (Fig 7): evaluated queries times the
+  // number of example-spreadsheet rows each was evaluated on.
+  int64_t query_row_evals = 0;
+  int64_t skipped_by_condition = 0;  // skipping-condition hits (Sec 5.3.4)
+  int64_t batches = 0;               // FASTTOPK batches formed
+  int64_t critical_subs_cached = 0;  // critical sub-PJ queries cached
+  // Model cost actually incurred: sum of cost(Q, M) per Eq. (12)-(13).
+  int64_t model_cost = 0;
+  double enum_seconds = 0.0;  // enumeration + upper-bound computation
+  double eval_seconds = 0.0;  // evaluation (the online bottleneck)
+  EvalCounters counters;
+  CacheStats cache;
+
+  void Add(const RunStats& o);
+};
+
+// Per-evaluated-query record kept for incremental sessions (Sec 5.4):
+// the per-example-row containment scores score(t | Q) that can be reused
+// verbatim for unchanged rows after the user edits the spreadsheet.
+struct EvaluatedRecord {
+  std::string signature;
+  std::vector<double> row_scores;
+};
+
+struct SearchResult {
+  std::vector<ScoredQuery> topk;  // descending score
+  RunStats stats;
+  std::vector<EvaluatedRecord> evaluated;
+};
+
+// Enumeration + upper-bound computation, shared by all strategies (the
+// cheap phase of Fig 5). Candidates come back sorted by descending upper
+// bound with deterministic tie-breaking.
+struct PreparedSearch {
+  ScoreContext ctx;
+  std::vector<CandidateQuery> candidates;
+  EnumerationStats enum_stats;
+  double enum_seconds = 0.0;
+
+  PreparedSearch(const IndexSet& index, const SchemaGraph& graph,
+                 const ExampleSpreadsheet& sheet,
+                 const SearchOptions& options);
+};
+
+// NAIVE: evaluates every candidate, no upper-bound pruning, no caching.
+SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options);
+
+// BASELINE (Algorithm 2): evaluates candidates in descending upper-bound
+// order and stops at termination condition (7); provably evaluates
+// exactly the minimal evaluation set Q_min (Thm 1).
+SearchResult RunBaseline(PreparedSearch& prep, const SearchOptions& options);
+
+// FASTTOPK (Algorithms 3-4): batch formation, critical sub-PJ caching,
+// similarity-ordered group evaluation with LRU cache offers, and the
+// skipping condition.
+SearchResult RunFastTopK(PreparedSearch& prep, const SearchOptions& options);
+
+// Convenience one-shot drivers (prepare + run).
+SearchResult SearchNaive(const IndexSet&, const SchemaGraph&,
+                         const ExampleSpreadsheet&, const SearchOptions&);
+SearchResult SearchBaseline(const IndexSet&, const SchemaGraph&,
+                            const ExampleSpreadsheet&, const SearchOptions&);
+SearchResult SearchFastTopK(const IndexSet&, const SchemaGraph&,
+                            const ExampleSpreadsheet&, const SearchOptions&);
+
+}  // namespace s4
+
+#endif  // S4_STRATEGY_STRATEGY_H_

@@ -1,0 +1,58 @@
+#ifndef S4_STRATEGY_STRATEGY_INTERNAL_H_
+#define S4_STRATEGY_STRATEGY_INTERNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "strategy/strategy.h"
+
+namespace s4::internal {
+
+// Runtime view of one candidate inside a strategy run. The incremental
+// strategies override the upper bound, restrict evaluation to the
+// changed spreadsheet rows, and supply prior per-row scores for the
+// unchanged rows; plain runs leave those fields empty.
+struct RuntimeCandidate {
+  const CandidateQuery* cand = nullptr;
+  double ub = 0.0;
+  std::vector<int32_t> es_rows;            // empty = evaluate all rows
+  std::string suffix;                      // cache-key row-subset tag
+  const std::vector<double>* prior_row_scores = nullptr;
+};
+
+// Builds the runtime list for a plain (non-incremental) run: one entry
+// per candidate, sorted by descending upper bound with deterministic
+// signature tie-breaking.
+std::vector<RuntimeCandidate> MakePlainRuntime(
+    const std::vector<CandidateQuery>& candidates);
+
+// Sorts by (ub desc, signature asc).
+void SortRuntime(std::vector<RuntimeCandidate>* rts);
+
+// Evaluates one candidate (type-a operator on a full PJ query): runs the
+// hash-join plan on the candidate's row subset, merges prior row scores,
+// and produces the final Eq. 5 score plus the session record.
+ScoredQuery EvaluateCandidate(PreparedSearch& prep,
+                              const RuntimeCandidate& rt,
+                              SubQueryCache* cache, bool offer_to_cache,
+                              const SearchOptions& options, RunStats* stats,
+                              std::vector<EvaluatedRecord>* records);
+
+// Shared epilogue: fold per-run cache stats and enumeration stats.
+void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
+                 RunStats* stats);
+
+// FASTTOPK core over an arbitrary runtime list (used by both the plain
+// and the incremental drivers).
+SearchResult RunFastTopKCore(PreparedSearch& prep,
+                             std::vector<RuntimeCandidate> rts,
+                             const SearchOptions& options);
+
+// BASELINE core (Algorithm 2) over an arbitrary runtime list.
+SearchResult RunBaselineCore(PreparedSearch& prep,
+                             std::vector<RuntimeCandidate> rts,
+                             const SearchOptions& options);
+
+}  // namespace s4::internal
+
+#endif  // S4_STRATEGY_STRATEGY_INTERNAL_H_

@@ -1,0 +1,56 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace s4 {
+
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        int32_t max_edits) {
+  const int32_t n = static_cast<int32_t>(a.size());
+  const int32_t m = static_cast<int32_t>(b.size());
+  if (std::abs(n - m) > max_edits) return false;
+  if (max_edits == 0) return a == b;
+
+  // Banded Levenshtein: only cells within `max_edits` of the diagonal
+  // can stay <= max_edits.
+  constexpr int32_t kInf = 1 << 20;
+  std::vector<int32_t> prev(static_cast<size_t>(m) + 1, kInf);
+  std::vector<int32_t> cur(static_cast<size_t>(m) + 1, kInf);
+  for (int32_t j = 0; j <= std::min(m, max_edits); ++j) prev[j] = j;
+  for (int32_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const int32_t lo = std::max(1, i - max_edits);
+    const int32_t hi = std::min(m, i + max_edits);
+    if (i - max_edits <= 0) cur[0] = i;
+    bool any = cur[0] <= max_edits;
+    for (int32_t j = lo; j <= hi; ++j) {
+      const int32_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const int32_t del = prev[j] + 1;
+      const int32_t ins = cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins});
+      any = any || cur[j] <= max_edits;
+    }
+    if (!any) return false;
+    std::swap(prev, cur);
+  }
+  return prev[m] <= max_edits;
+}
+
+std::vector<TermId> SimilarTerms(const TermDict& dict, std::string_view term,
+                                 int32_t max_edits) {
+  std::vector<TermId> out;
+  if (max_edits <= 0) {
+    TermId exact = dict.Lookup(term);
+    if (exact != kInvalidTermId) out.push_back(exact);
+    return out;
+  }
+  for (TermId id = 0; id < dict.size(); ++id) {
+    if (WithinEditDistance(term, dict.term(id), max_edits)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,25 @@
+#ifndef S4_TEXT_EDIT_DISTANCE_H_
+#define S4_TEXT_EDIT_DISTANCE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/term_dict.h"
+
+namespace s4 {
+
+// True iff the Levenshtein distance between `a` and `b` is <= max_edits.
+// Banded DP: O(|a| * max_edits) time, early exit on length mismatch.
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        int32_t max_edits);
+
+// All dictionary terms within `max_edits` of `term` (including an exact
+// match if present). Linear scan over the dictionary with cheap length
+// pre-filtering — the spelling-error expansion of Appendix A.2 runs this
+// once per query term, and dictionaries are ~10^5-10^6 terms.
+std::vector<TermId> SimilarTerms(const TermDict& dict, std::string_view term,
+                                 int32_t max_edits);
+
+}  // namespace s4
+
+#endif  // S4_TEXT_EDIT_DISTANCE_H_

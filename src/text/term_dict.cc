@@ -1,0 +1,30 @@
+#include "text/term_dict.h"
+
+namespace s4 {
+
+TermId TermDict::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDict::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+size_t TermDict::ByteSize() const {
+  size_t bytes = 0;
+  for (const std::string& t : terms_) {
+    // Each term is stored twice (map key + vector) plus hash bucket
+    // overhead; 2x string payload + ~48 bytes bookkeeping is a fair
+    // approximation for size reporting.
+    bytes += 2 * (sizeof(std::string) + t.capacity()) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace s4

@@ -1,0 +1,47 @@
+#ifndef S4_TEXT_TERM_DICT_H_
+#define S4_TEXT_TERM_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace s4 {
+
+// Interned term identifier; kInvalidTermId means "not in the corpus".
+using TermId = int32_t;
+inline constexpr TermId kInvalidTermId = -1;
+
+// Bidirectional term <-> id mapping shared by all inverted indexes of a
+// database. Interning terms once makes posting-list keys 4 bytes and
+// lets spreadsheet terms that don't occur anywhere short-circuit to
+// kInvalidTermId.
+class TermDict {
+ public:
+  TermDict() = default;
+  TermDict(const TermDict&) = delete;
+  TermDict& operator=(const TermDict&) = delete;
+  TermDict(TermDict&&) = default;
+  TermDict& operator=(TermDict&&) = default;
+
+  // Returns the id for `term`, adding it if absent.
+  TermId Intern(std::string_view term);
+
+  // Returns the id for `term` or kInvalidTermId.
+  TermId Lookup(std::string_view term) const;
+
+  const std::string& term(TermId id) const { return terms_[id]; }
+  int64_t size() const { return static_cast<int64_t>(terms_.size()); }
+
+  // Approximate memory footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace s4
+
+#endif  // S4_TEXT_TERM_DICT_H_

@@ -1,0 +1,74 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace s4 {
+
+std::vector<std::string> Tokenizer::WordTokens(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string cur;
+  bool discard = false;
+  auto flush = [&]() {
+    // The paper discards tokens containing non-alphanumeric characters
+    // and tokens longer than 15 characters (Sec 6.1). A token is
+    // "containing non-alphanumeric" when a non-separator, non-alnum
+    // character (e.g. '@') touches it; whitespace and common punctuation
+    // act as separators.
+    if (!cur.empty() && !discard && cur.size() <= options_.max_token_length) {
+      out.push_back(cur);
+    }
+    cur.clear();
+    discard = false;
+  };
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (std::isspace(c) || c == ',' || c == ';' || c == '.' ||
+               c == '-' || c == '_' || c == '/' || c == '(' || c == ')' ||
+               c == ':' || c == '\'' || c == '"') {
+      flush();
+    } else {
+      // Embedded unusual character: poison the current token.
+      discard = true;
+      cur.push_back(static_cast<char>(c));
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> words = WordTokens(text);
+  if (options_.mode == TokenizerMode::kWord) return words;
+
+  // kNGram: expand each word into its character n-grams (padding short
+  // words to one gram). This is the Appendix A.2 fuzzy-matching index.
+  std::vector<std::string> grams;
+  const size_t n = options_.ngram_size;
+  for (const std::string& w : words) {
+    if (w.size() <= n) {
+      grams.push_back(w);
+      continue;
+    }
+    for (size_t i = 0; i + n <= w.size(); ++i) {
+      grams.push_back(w.substr(i, n));
+    }
+  }
+  return grams;
+}
+
+std::vector<std::string> Tokenizer::TokenizeUnique(
+    std::string_view text) const {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,51 @@
+#ifndef S4_TEXT_TOKENIZER_H_
+#define S4_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s4 {
+
+// Tokenization mode. kWord is the paper's default (Sec 6.1): lowercase
+// alphanumeric tokens, discarding tokens with non-alphanumeric characters
+// or longer than 15 characters. kNGram implements the Appendix A.2
+// extension for fuzzy matching: character n-grams of the word tokens.
+enum class TokenizerMode {
+  kWord,
+  kNGram,
+};
+
+struct TokenizerOptions {
+  TokenizerMode mode = TokenizerMode::kWord;
+  // Max token length; longer word tokens are discarded (paper: 15).
+  size_t max_token_length = 15;
+  // N-gram width for kNGram mode.
+  size_t ngram_size = 3;
+};
+
+// Splits cell text into index/query terms. Both database cells and
+// example-spreadsheet cells must be tokenized with the same instance so
+// vocabularies align.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  const TokenizerOptions& options() const { return options_; }
+
+  // Tokenizes `text` into terms (possibly with duplicates, in order).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Tokenizes and deduplicates, preserving first-occurrence order. Cell
+  // similarity counts *distinct* matching terms, so queries use this.
+  std::vector<std::string> TokenizeUnique(std::string_view text) const;
+
+ private:
+  std::vector<std::string> WordTokens(std::string_view text) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace s4
+
+#endif  // S4_TEXT_TOKENIZER_H_

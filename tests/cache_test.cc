@@ -1,0 +1,121 @@
+// Sub-PJ query cache: LRU replacement, budget enforcement, pinning.
+#include <gtest/gtest.h>
+
+#include "cache/subquery_cache.h"
+
+namespace s4 {
+namespace {
+
+std::shared_ptr<SubQueryTable> MakeTable(int32_t keys, int32_t es_rows = 3) {
+  auto t = std::make_shared<SubQueryTable>();
+  t->num_es_rows = es_rows;
+  for (int32_t i = 0; i < keys; ++i) {
+    t->scored.emplace(i, std::vector<double>(es_rows, 1.0));
+  }
+  return t;
+}
+
+TEST(SubQueryTableTest, FindSemantics) {
+  SubQueryTable t;
+  t.num_es_rows = 2;
+  t.scored.emplace(1, std::vector<double>{1.0, 0.0});
+  t.zero.insert(2);
+  bool exists = false;
+  EXPECT_NE(t.Find(1, &exists), nullptr);
+  EXPECT_TRUE(exists);
+  EXPECT_EQ(t.Find(2, &exists), nullptr);
+  EXPECT_TRUE(exists);
+  EXPECT_EQ(t.Find(3, &exists), nullptr);
+  EXPECT_FALSE(exists);
+  EXPECT_EQ(t.NumKeys(), 2);
+  EXPECT_GT(t.ByteSize(), 0u);
+}
+
+TEST(SubQueryCacheTest, AddGetRemove) {
+  SubQueryCache cache(1u << 20);
+  auto t = MakeTable(10);
+  EXPECT_TRUE(cache.Add("k1", t));
+  EXPECT_TRUE(cache.Contains("k1"));
+  EXPECT_NE(cache.Get("k1"), nullptr);
+  EXPECT_EQ(cache.Get("k2"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  cache.Remove("k1");
+  EXPECT_FALSE(cache.Contains("k1"));
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(SubQueryCacheTest, BudgetRejectsOversized) {
+  auto t = MakeTable(100);
+  SubQueryCache cache(t->ByteSize() / 2);
+  EXPECT_FALSE(cache.Add("big", t));
+  EXPECT_EQ(cache.stats().rejected_too_large, 1);
+  EXPECT_EQ(cache.NumEntries(), 0);
+}
+
+TEST(SubQueryCacheTest, LruEviction) {
+  auto t = MakeTable(50);
+  const size_t each = t->ByteSize();
+  SubQueryCache cache(each * 2 + each / 2);  // fits two entries
+  EXPECT_TRUE(cache.Add("a", MakeTable(50)));
+  EXPECT_TRUE(cache.Add("b", MakeTable(50)));
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_TRUE(cache.Add("c", MakeTable(50)));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(SubQueryCacheTest, PinnedEntriesSurviveEviction) {
+  auto probe = MakeTable(50);
+  const size_t each = probe->ByteSize();
+  SubQueryCache cache(each * 2 + each / 2);
+  EXPECT_TRUE(cache.Add("pinned", MakeTable(50), /*pinned=*/true));
+  EXPECT_TRUE(cache.Add("b", MakeTable(50)));
+  EXPECT_TRUE(cache.Add("c", MakeTable(50)));  // evicts b, not pinned
+  EXPECT_TRUE(cache.Contains("pinned"));
+  EXPECT_FALSE(cache.Contains("b"));
+
+  // With everything pinned, a new Add fails rather than evicting.
+  SubQueryCache cache2(each + each / 2);
+  EXPECT_TRUE(cache2.Add("p1", MakeTable(50), /*pinned=*/true));
+  EXPECT_FALSE(cache2.Add("x", MakeTable(50)));
+  cache2.Unpin("p1");
+  EXPECT_TRUE(cache2.Add("x", MakeTable(50)));
+  EXPECT_FALSE(cache2.Contains("p1"));
+}
+
+TEST(SubQueryCacheTest, ReinsertReplaces) {
+  SubQueryCache cache(1u << 20);
+  EXPECT_TRUE(cache.Add("k", MakeTable(10)));
+  const size_t before = cache.bytes_used();
+  EXPECT_TRUE(cache.Add("k", MakeTable(20)));
+  EXPECT_EQ(cache.NumEntries(), 1);
+  EXPECT_GT(cache.bytes_used(), before);
+}
+
+TEST(SubQueryCacheTest, ClearResetsBytes) {
+  SubQueryCache cache(1u << 20);
+  cache.Add("a", MakeTable(5));
+  cache.Add("b", MakeTable(5));
+  cache.Clear();
+  EXPECT_EQ(cache.NumEntries(), 0);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_GT(cache.stats().peak_bytes, 0u);
+}
+
+TEST(SubQueryCacheTest, SharedPtrSurvivesEviction) {
+  auto t = MakeTable(50);
+  const size_t each = t->ByteSize();
+  SubQueryCache cache(each + each / 2);
+  cache.Add("a", t);
+  std::shared_ptr<const SubQueryTable> held = cache.Get("a");
+  cache.Add("b", MakeTable(50));  // evicts "a"
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->scored.size(), 50u);  // still usable
+}
+
+}  // namespace
+}  // namespace s4

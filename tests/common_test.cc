@@ -1,0 +1,159 @@
+// Common substrate tests: Status/StatusOr, string utils, RNG, top-k
+// heap, table printer.
+#include <gtest/gtest.h>
+
+#include "common/hash_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/topk_heap.h"
+
+namespace s4 {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+  EXPECT_EQ(s, Status::NotFound("thing"));
+  EXPECT_FALSE(s == Status::NotFound("other"));
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  S4_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = Status::OutOfRange("x");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kOutOfRange);
+
+  StatusOr<std::string> s = std::string("hi");
+  EXPECT_EQ(s->size(), 2u);
+  std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "hi");
+}
+
+TEST(StringUtilTest, Basics) {
+  EXPECT_EQ(ToLowerAscii("AbC1"), "abc1");
+  EXPECT_EQ(SplitAndTrim("a, b ,,c", ","),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_TRUE(IsAlphaNumeric("abc123"));
+  EXPECT_FALSE(IsAlphaNumeric("a b"));
+  EXPECT_FALSE(IsAlphaNumeric(""));
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(HashUtilTest, Fingerprint) {
+  EXPECT_EQ(FingerprintString("abc"), FingerprintString("abc"));
+  EXPECT_NE(FingerprintString("abc"), FingerprintString("abd"));
+  uint64_t seed = 1;
+  HashCombine(seed, 42);
+  EXPECT_NE(seed, 1u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfSamplerTest, HeadHeavierThanTail) {
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 2);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(TopKHeapTest, KeepsHighest) {
+  TopKHeap<std::string> heap(2);
+  heap.Offer(1.0, "a");
+  heap.Offer(3.0, "b");
+  heap.Offer(2.0, "c");
+  EXPECT_TRUE(heap.Full());
+  EXPECT_DOUBLE_EQ(heap.KthScore(), 2.0);
+  auto sorted = heap.TakeSortedDescending();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].second, "b");
+  EXPECT_EQ(sorted[1].second, "c");
+}
+
+TEST(TopKHeapTest, TieBreakByInsertionOrder) {
+  TopKHeap<int> heap(2);
+  heap.Offer(1.0, 1);
+  heap.Offer(1.0, 2);
+  heap.Offer(1.0, 3);  // tie: earlier entries win
+  auto sorted = heap.TakeSortedDescending();
+  EXPECT_EQ(sorted[0].second, 1);
+  EXPECT_EQ(sorted[1].second, 2);
+}
+
+TEST(TopKHeapTest, KthScoreBeforeFull) {
+  TopKHeap<int> heap(3);
+  heap.Offer(5.0, 1);
+  EXPECT_FALSE(heap.Full());
+  EXPECT_LT(heap.KthScore(), -1e100);
+}
+
+TEST(TopKHeapTest, ZeroK) {
+  TopKHeap<int> heap(0);
+  heap.Offer(1.0, 1);
+  EXPECT_EQ(heap.TakeSortedDescending().size(), 0u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"x", TablePrinter::Num(1.5)});
+  tp.AddRow({"longer", TablePrinter::Int(42)});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("| name   |"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Short rows are padded.
+  TablePrinter tp2({"a", "b"});
+  tp2.AddRow({"only"});
+  EXPECT_NE(tp2.ToString().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,220 @@
+// Data generators and the example-spreadsheet workload generator.
+#include <gtest/gtest.h>
+
+#include "datagen/es_gen.h"
+#include "datagen/synthetic.h"
+#include "datagen/tpch_mini.h"
+#include "index/index_set.h"
+#include "schema/schema_graph.h"
+
+namespace s4 {
+namespace {
+
+using datagen::EsBucket;
+using datagen::EsGenerator;
+
+TEST(TpchMiniTest, MatchesFigure1) {
+  auto db = datagen::MakeTpchMini();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->NumTables(), 7);
+  EXPECT_EQ(db->foreign_keys().size(), 7u);
+  EXPECT_EQ(db->FindTable("Customer")->NumRows(), 3);
+  EXPECT_EQ(db->FindTable("LineItem")->NumRows(), 4);
+  EXPECT_EQ(db->FindTable("PartSupp")->NumRows(), 4);
+  EXPECT_EQ(db->NumTextColumns(), 5);  // the five text columns of Sec 2.1
+  const Table* cust = db->FindTable("Customer");
+  EXPECT_EQ(cust->GetText(0, 1), "Rick Miller");
+  EXPECT_TRUE(db->finalized());
+}
+
+TEST(CsuppSimTest, BuildsValidDatabase) {
+  datagen::CsuppSimOptions opts;
+  opts.num_cities = 10;
+  opts.num_customers = 30;
+  opts.num_products = 20;
+  opts.num_agents = 10;
+  opts.num_tickets = 50;
+  opts.num_notes = 60;
+  auto db = datagen::MakeCsuppSim(opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->NumTables(), 11);
+  // Re-finalize with full referential integrity checking.
+  EXPECT_TRUE(db->Finalize(/*check_integrity=*/true).ok());
+  EXPECT_EQ(db->FindTable("Ticket")->NumRows(), 50);
+  EXPECT_GT(db->NumTextColumns(), 10);
+}
+
+TEST(CsuppSimTest, DeterministicAcrossRuns) {
+  datagen::CsuppSimOptions opts;
+  opts.num_tickets = 30;
+  opts.num_notes = 30;
+  auto a = datagen::MakeCsuppSim(opts);
+  auto b = datagen::MakeCsuppSim(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Table* ta = a->FindTable("Ticket");
+  const Table* tb = b->FindTable("Ticket");
+  for (int64_t r = 0; r < ta->NumRows(); ++r) {
+    EXPECT_EQ(ta->GetText(r, 1), tb->GetText(r, 1));
+  }
+}
+
+TEST(CsuppSimTest, ScaleMultipliesRows) {
+  datagen::CsuppSimOptions small;
+  small.num_tickets = 40;
+  small.num_notes = 40;
+  small.num_customers = 30;
+  datagen::CsuppSimOptions big = small;
+  big.scale = 2;
+  auto a = datagen::MakeCsuppSim(small);
+  auto b = datagen::MakeCsuppSim(big);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b->FindTable("Ticket")->NumRows(),
+            2 * a->FindTable("Ticket")->NumRows());
+}
+
+TEST(AdvwSimTest, DimScaleAddsUnreferencedCopies) {
+  datagen::AdvwSimOptions base;
+  base.num_sales = 200;
+  auto a = datagen::MakeAdvwSim(base);
+  ASSERT_TRUE(a.ok());
+
+  datagen::AdvwSimOptions scaled = base;
+  scaled.dim_scale = 3;
+  auto b = datagen::MakeAdvwSim(scaled);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->FindTable("DimProduct")->NumRows(),
+            3 * a->FindTable("DimProduct")->NumRows());
+  // Fact table unchanged.
+  EXPECT_EQ(b->FindTable("FactSales")->NumRows(),
+            a->FindTable("FactSales")->NumRows());
+  // Copies repeat the same values (first copy row == first base row).
+  const Table* pa = a->FindTable("DimProduct");
+  const Table* pb = b->FindTable("DimProduct");
+  EXPECT_EQ(pb->GetText(pa->NumRows(), 1), pa->GetText(0, 1));
+  // Referential integrity still holds.
+  EXPECT_TRUE(b->Finalize(/*check_integrity=*/true).ok());
+}
+
+TEST(AdvwSimTest, FactScaleAddsReferencingCopies) {
+  datagen::AdvwSimOptions base;
+  base.num_sales = 150;
+  datagen::AdvwSimOptions scaled = base;
+  scaled.fact_scale = 4;
+  auto a = datagen::MakeAdvwSim(base);
+  auto b = datagen::MakeAdvwSim(scaled);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b->FindTable("FactSales")->NumRows(),
+            4 * a->FindTable("FactSales")->NumRows());
+  EXPECT_EQ(b->FindTable("DimProduct")->NumRows(),
+            a->FindTable("DimProduct")->NumRows());
+  EXPECT_TRUE(b->Finalize(/*check_integrity=*/true).ok());
+}
+
+TEST(ImdbSimTest, BuildsValidDatabase) {
+  datagen::ImdbSimOptions opts;
+  opts.num_movies = 50;
+  opts.num_people = 60;
+  opts.num_cast = 150;
+  auto db = datagen::MakeImdbSim(opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->NumTables(), 6);
+  EXPECT_TRUE(db->Finalize(/*check_integrity=*/true).ok());
+}
+
+class EsGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::CsuppSimOptions opts;
+    opts.num_cities = 15;
+    opts.num_customers = 40;
+    opts.num_products = 25;
+    opts.num_agents = 15;
+    opts.num_tickets = 120;
+    opts.num_notes = 150;
+    auto db = datagen::MakeCsuppSim(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(db).value());
+    auto index = IndexSet::Build(*db_);
+    ASSERT_TRUE(index.ok());
+    index_ = index->release();
+    graph_ = new SchemaGraph(*db_);
+  }
+
+  static Database* db_;
+  static IndexSet* index_;
+  static SchemaGraph* graph_;
+};
+
+Database* EsGenTest::db_ = nullptr;
+IndexSet* EsGenTest::index_ = nullptr;
+SchemaGraph* EsGenTest::graph_ = nullptr;
+
+TEST_F(EsGenTest, GeneratesRequestedShape) {
+  EsGenerator gen(*index_, *graph_, 1);
+  ASSERT_TRUE(gen.Init(6, 4).ok());
+  datagen::EsGenOptions opts;
+  opts.num_rows = 3;
+  opts.num_cols = 3;
+  opts.relationship_errors = 2;
+  auto es = gen.Generate(opts);
+  ASSERT_TRUE(es.ok()) << es.status();
+  EXPECT_EQ(es->sheet.NumRows(), 3);
+  EXPECT_EQ(es->sheet.NumColumns(), 3);
+  EXPECT_TRUE(es->sheet.Validate().ok());
+  // Single-token cells (paper keeps only the first token).
+  for (int32_t r = 0; r < 3; ++r) {
+    for (int32_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(es->sheet.cell(r, c).terms.size(), 1u);
+    }
+  }
+  EXPECT_GT(es->term_frequency, 0);
+  EXPECT_GE(es->source_query.tree().size(), 1);
+  EXPECT_TRUE(es->source_query.IsMinimalShape());
+}
+
+TEST_F(EsGenTest, DeterministicWithSeed) {
+  EsGenerator a(*index_, *graph_, 77);
+  EsGenerator b(*index_, *graph_, 77);
+  ASSERT_TRUE(a.Init(6, 4).ok());
+  ASSERT_TRUE(b.Init(6, 4).ok());
+  auto ea = a.Generate();
+  auto eb = b.Generate();
+  ASSERT_TRUE(ea.ok() && eb.ok());
+  EXPECT_EQ(ea->sheet.ToString(), eb->sheet.ToString());
+}
+
+TEST_F(EsGenTest, ErrorFreeSheetsMatchSource) {
+  EsGenerator gen(*index_, *graph_, 5);
+  ASSERT_TRUE(gen.Init(6, 4).ok());
+  datagen::EsGenOptions opts;
+  opts.relationship_errors = 0;
+  auto es = gen.Generate(opts);
+  ASSERT_TRUE(es.ok());
+  EXPECT_TRUE(es->sheet.Validate().ok());
+}
+
+TEST_F(EsGenTest, BucketsFollowProportions) {
+  EsGenerator gen(*index_, *graph_, 13);
+  ASSERT_TRUE(gen.Init(6, 4).ok());
+  auto many = gen.GenerateMany(20);
+  ASSERT_TRUE(many.ok());
+  std::vector<EsBucket> buckets = EsGenerator::AssignBuckets(*many);
+  int low = 0, med = 0, high = 0;
+  for (EsBucket b : buckets) {
+    if (b == EsBucket::kLow) ++low;
+    if (b == EsBucket::kMedium) ++med;
+    if (b == EsBucket::kHigh) ++high;
+  }
+  EXPECT_EQ(low, 10);
+  EXPECT_EQ(med, 6);
+  EXPECT_EQ(high, 4);
+  EXPECT_STREQ(datagen::EsBucketName(EsBucket::kLow), "low");
+}
+
+TEST_F(EsGenTest, InitFailsWhenNotEnoughTextColumns) {
+  EsGenerator gen(*index_, *graph_, 3);
+  EXPECT_FALSE(gen.Init(/*min_text_columns=*/500, 3).ok());
+}
+
+}  // namespace
+}  // namespace s4

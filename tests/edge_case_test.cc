@@ -1,0 +1,237 @@
+// Edge cases of the data model and evaluator: NULL foreign keys,
+// self-referencing foreign keys (relation instances / self-joins), empty
+// relations, and disconnected schemas. Every evaluation is
+// cross-validated against the brute-force join reference.
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "strategy/strategy.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+// Dept(DeptId, DeptName)
+// Emp(EmpId, EmpName, DeptId -> Dept NULLABLE, MentorId -> Emp NULLABLE)
+// Project(ProjId, ProjName)            -- intentionally EMPTY
+// Assignment(AsgId, EmpId -> Emp, ProjId -> Project)
+Database MakeEdgeDb() {
+  Database db;
+  Table* dept = *db.AddTable("Dept");
+  EXPECT_TRUE(dept->AddColumn("DeptId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(dept->AddColumn("DeptName", ColumnType::kText).ok());
+  EXPECT_TRUE(dept->SetPrimaryKey(0).ok());
+  EXPECT_TRUE(dept->AppendRow({Value::Int(1), Value::Text("Sales")}).ok());
+  EXPECT_TRUE(
+      dept->AppendRow({Value::Int(2), Value::Text("Engineering")}).ok());
+
+  Table* emp = *db.AddTable("Emp");
+  EXPECT_TRUE(emp->AddColumn("EmpId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(emp->AddColumn("EmpName", ColumnType::kText).ok());
+  EXPECT_TRUE(emp->AddColumn("DeptId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(emp->AddColumn("MentorId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(emp->SetPrimaryKey(0).ok());
+  // Alice mentors Bob; Bob mentors Carol; Dave has no dept, no mentor.
+  EXPECT_TRUE(emp->AppendRow({Value::Int(1), Value::Text("Alice Reed"),
+                              Value::Int(1), Value::Null()})
+                  .ok());
+  EXPECT_TRUE(emp->AppendRow({Value::Int(2), Value::Text("Bob Stone"),
+                              Value::Int(2), Value::Int(1)})
+                  .ok());
+  EXPECT_TRUE(emp->AppendRow({Value::Int(3), Value::Text("Carol Reed"),
+                              Value::Int(2), Value::Int(2)})
+                  .ok());
+  EXPECT_TRUE(emp->AppendRow({Value::Int(4), Value::Text("Dave Hill"),
+                              Value::Null(), Value::Null()})
+                  .ok());
+
+  Table* project = *db.AddTable("Project");
+  EXPECT_TRUE(project->AddColumn("ProjId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(project->AddColumn("ProjName", ColumnType::kText).ok());
+  EXPECT_TRUE(project->SetPrimaryKey(0).ok());
+  // No rows on purpose.
+
+  Table* asg = *db.AddTable("Assignment");
+  EXPECT_TRUE(asg->AddColumn("AsgId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(asg->AddColumn("EmpId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(asg->AddColumn("ProjId", ColumnType::kInt64).ok());
+  EXPECT_TRUE(asg->SetPrimaryKey(0).ok());
+
+  EXPECT_TRUE(db.AddForeignKey("Emp", "DeptId", "Dept").ok());
+  EXPECT_TRUE(db.AddForeignKey("Emp", "MentorId", "Emp").ok());
+  EXPECT_TRUE(db.AddForeignKey("Assignment", "EmpId", "Emp").ok());
+  EXPECT_TRUE(db.AddForeignKey("Assignment", "ProjId", "Project").ok());
+  EXPECT_TRUE(db.Finalize(/*check_integrity=*/false).ok());
+  return db;
+}
+
+struct EdgeWorld {
+  Database db;
+  std::unique_ptr<IndexSet> index;
+  std::unique_ptr<SchemaGraph> graph;
+};
+
+const EdgeWorld& World() {
+  static const EdgeWorld& world = *[] {
+    auto* w = new EdgeWorld;
+    w->db = MakeEdgeDb();
+    auto index = IndexSet::Build(w->db);
+    if (!index.ok()) abort();
+    w->index = std::move(index).value();
+    w->graph = std::make_unique<SchemaGraph>(w->db);
+    return w;
+  }();
+  return world;
+}
+
+TEST(EdgeCaseTest, SelfReferencingFkInSchemaGraph) {
+  const SchemaGraph& g = *World().graph;
+  const TableId emp = World().db.FindTable("Emp")->id();
+  int self_edges = 0;
+  for (const SchemaGraph::Incidence& inc : g.IncidentEdges(emp)) {
+    if (inc.neighbor == emp) ++self_edges;
+  }
+  // The Emp->Emp mentor edge contributes both orientations.
+  EXPECT_EQ(self_edges, 2);
+}
+
+// Mentor-of spreadsheet: find queries joining Emp to itself. "Alice
+// mentors someone named Stone" requires a self-join via MentorId.
+TEST(EdgeCaseTest, SelfJoinDiscovery) {
+  const EdgeWorld& w = World();
+  auto sheet = ExampleSpreadsheet::FromCells({{"Alice", "Stone"}},
+                                             w.index->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  options.k = 20;
+  options.enumeration.max_tree_size = 3;
+  SearchResult r = SearchFastTopK(*w.index, *w.graph, *sheet, options);
+  ASSERT_FALSE(r.topk.empty());
+  bool found_self_join = false;
+  for (const ScoredQuery& sq : r.topk) {
+    int emp_instances = 0;
+    for (const JoinTree::Node& n : sq.query.tree().nodes()) {
+      if (n.table == w.db.FindTable("Emp")->id()) ++emp_instances;
+    }
+    if (emp_instances == 2 && sq.row_score == 2.0) found_self_join = true;
+  }
+  EXPECT_TRUE(found_self_join);
+}
+
+// All candidate evaluations on this tricky database (NULL FKs, self
+// joins) match the brute-force reference.
+TEST(EdgeCaseTest, EvaluatorMatchesBruteForceWithNullsAndSelfJoins) {
+  const EdgeWorld& w = World();
+  auto sheet = ExampleSpreadsheet::FromCells(
+      {{"Reed", "Engineering"}, {"Alice", "Sales"}}, w.index->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  ScoreContext ctx(*w.index, *sheet, ScoreParams{});
+  EnumerationOptions opts;
+  opts.max_tree_size = 3;
+  EnumerationResult result = EnumerateCandidates(*w.graph, ctx, opts);
+  ASSERT_GT(result.candidates.size(), 0u);
+
+  testing::BruteForceEvaluator reference(*w.index, *sheet);
+  Evaluator ev(ctx);
+  for (const CandidateQuery& c : result.candidates) {
+    EvalCounters counters;
+    std::vector<double> got = ev.RowScores(c.query, nullptr, &counters);
+    std::vector<double> want = reference.RowScores(c.query);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t t = 0; t < got.size(); ++t) {
+      EXPECT_DOUBLE_EQ(got[t], want[t]) << c.query.ToString(w.db);
+    }
+  }
+}
+
+// Rows with NULL FKs must not join: Dave has no department, so a query
+// projecting EmpName and DeptName cannot reach a score of 2 for the row
+// ("Dave", "Sales") even though both values exist separately.
+TEST(EdgeCaseTest, NullFkRowsDoNotJoin) {
+  const EdgeWorld& w = World();
+  auto sheet = ExampleSpreadsheet::FromCells({{"Dave", "Sales"}},
+                                             w.index->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  options.k = 10;
+  SearchResult r = SearchNaive(*w.index, *w.graph, *sheet, options);
+  for (const ScoredQuery& sq : r.topk) {
+    if (sq.query.tree().size() == 2) {
+      EXPECT_LT(sq.row_score, 2.0) << sq.query.ToString(w.db);
+    }
+  }
+}
+
+// Queries whose join tree touches the empty Project relation (or the
+// empty Assignment fact) evaluate to zero without crashing.
+TEST(EdgeCaseTest, EmptyRelationYieldsZeroScores) {
+  const EdgeWorld& w = World();
+  auto sheet = ExampleSpreadsheet::FromCells({{"Alice"}},
+                                             w.index->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  ScoreContext ctx(*w.index, *sheet, ScoreParams{});
+
+  // Hand-build Emp <- Assignment (backward edge) with A -> EmpName.
+  SchemaEdgeId asg_emp = -1;
+  for (SchemaEdgeId e = 0; e < w.graph->NumEdges(); ++e) {
+    if (w.db.table(w.graph->edge(e).src).name() == "Assignment" &&
+        w.db.table(w.graph->edge(e).dst).name() == "Emp") {
+      asg_emp = e;
+    }
+  }
+  ASSERT_GE(asg_emp, 0);
+  JoinTree tree = JoinTree::Single(w.db.FindTable("Emp")->id());
+  tree.AddChild(0, *w.graph, asg_emp, EdgeDir::kBackward);
+  PJQuery q(tree, {ProjectionBinding{
+                      0, 0, w.db.FindTable("Emp")->ColumnIndex("EmpName")}});
+  Evaluator ev(ctx);
+  EvalCounters counters;
+  std::vector<double> scores = ev.RowScores(q, nullptr, &counters);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+// With the text vocabulary split across disconnected schema components,
+// AND semantics cannot build a tree and returns nothing (rather than
+// inventing cross-component joins).
+TEST(EdgeCaseTest, DisconnectedSchemaComponents) {
+  Database db;
+  for (const char* name : {"Alpha", "Beta"}) {
+    Table* t = *db.AddTable(name);
+    ASSERT_TRUE(t->AddColumn("Id", ColumnType::kInt64).ok());
+    ASSERT_TRUE(t->AddColumn("Name", ColumnType::kText).ok());
+    ASSERT_TRUE(t->SetPrimaryKey(0).ok());
+    ASSERT_TRUE(t->AppendRow({Value::Int(1),
+                              Value::Text(std::string(name) + " thing")})
+                    .ok());
+  }
+  ASSERT_TRUE(db.Finalize().ok());
+  auto index = IndexSet::Build(db);
+  ASSERT_TRUE(index.ok());
+  SchemaGraph graph(db);
+  auto sheet = ExampleSpreadsheet::FromCells({{"alpha", "beta"}},
+                                             (*index)->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  SearchResult r = SearchFastTopK(**index, graph, *sheet, options);
+  EXPECT_TRUE(r.topk.empty());
+}
+
+// Strategies agree on the edge database too.
+TEST(EdgeCaseTest, StrategiesAgreeOnEdgeDb) {
+  const EdgeWorld& w = World();
+  auto sheet = ExampleSpreadsheet::FromCells(
+      {{"Reed", "Engineering"}, {"Bob", "Sales"}}, w.index->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  options.k = 7;
+  options.enumeration.max_tree_size = 3;
+  SearchResult naive = SearchNaive(*w.index, *w.graph, *sheet, options);
+  SearchResult fast = SearchFastTopK(*w.index, *w.graph, *sheet, options);
+  ASSERT_EQ(naive.topk.size(), fast.topk.size());
+  for (size_t i = 0; i < naive.topk.size(); ++i) {
+    EXPECT_NEAR(naive.topk[i].score, fast.topk[i].score, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace s4

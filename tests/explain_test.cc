@@ -1,0 +1,55 @@
+// EXPLAIN-style plan rendering (the Fig 14 view).
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "exec/explain.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::Fig2aSheet;
+using testing::TpchGraph;
+using testing::TpchIndex;
+
+TEST(ExplainTest, PlanShowsAllStagesAndNodes) {
+  ExampleSpreadsheet sheet = Fig2aSheet(TpchIndex());
+  ScoreContext ctx(TpchIndex(), sheet, ScoreParams{});
+  EnumerationResult r = EnumerateCandidates(TpchGraph(), ctx);
+  ASSERT_FALSE(r.candidates.empty());
+  const PJQuery* big = nullptr;
+  for (const CandidateQuery& c : r.candidates) {
+    if (c.query.tree().size() == 5) big = &c.query;
+  }
+  ASSERT_NE(big, nullptr);
+  std::string plan = ExplainPlan(*big, ctx);
+  EXPECT_NE(plan.find("|J|=5"), std::string::npos);
+  EXPECT_NE(plan.find("stage I"), std::string::npos);
+  EXPECT_NE(plan.find("stage II"), std::string::npos);
+  EXPECT_NE(plan.find("build table keyed by"), std::string::npos);
+  EXPECT_NE(plan.find("cache key"), std::string::npos);
+  // All five relations appear, numbered in post-order 1..5.
+  EXPECT_NE(plan.find("(1) "), std::string::npos);
+  EXPECT_NE(plan.find("(5) "), std::string::npos);
+  EXPECT_NE(plan.find("model cost="), std::string::npos);
+}
+
+TEST(ExplainTest, SingleNodePlan) {
+  auto sheet = ExampleSpreadsheet::FromCells({{"Xbox"}},
+                                             TpchIndex().tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  ScoreContext ctx(TpchIndex(), *sheet, ScoreParams{});
+  EnumerationResult r = EnumerateCandidates(TpchGraph(), ctx);
+  for (const CandidateQuery& c : r.candidates) {
+    if (c.query.tree().size() == 1) {
+      std::string plan = ExplainPlan(c.query, ctx);
+      EXPECT_NE(plan.find("Part"), std::string::npos);
+      EXPECT_NE(plan.find("keyed by pk"), std::string::npos);
+      return;
+    }
+  }
+  FAIL() << "no single-node candidate";
+}
+
+}  // namespace
+}  // namespace s4

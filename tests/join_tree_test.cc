@@ -1,0 +1,186 @@
+// JoinTree structure, canonicalization, and sub-tree extraction tests.
+#include <gtest/gtest.h>
+
+#include "schema/join_tree.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::TpchDb;
+using testing::TpchGraph;
+
+// Finds the schema edge src -> dst by table names.
+SchemaEdgeId EdgeBetween(const std::string& src, const std::string& dst) {
+  const SchemaGraph& g = TpchGraph();
+  for (SchemaEdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (TpchDb().table(g.edge(e).src).name() == src &&
+        TpchDb().table(g.edge(e).dst).name() == dst) {
+      return e;
+    }
+  }
+  return -1;
+}
+
+TableId TableByName(const std::string& name) {
+  return TpchDb().FindTable(name)->id();
+}
+
+// LineItem -> {Orders -> Customer -> Nation, Part}: the join tree of
+// Figure 2(b)-(i).
+JoinTree Fig2iTree() {
+  JoinTree t = JoinTree::Single(TableByName("LineItem"));
+  TreeNodeId orders = t.AddChild(0, TpchGraph(),
+                                 EdgeBetween("LineItem", "Orders"),
+                                 EdgeDir::kForward);
+  TreeNodeId cust = t.AddChild(orders, TpchGraph(),
+                               EdgeBetween("Orders", "Customer"),
+                               EdgeDir::kForward);
+  t.AddChild(cust, TpchGraph(), EdgeBetween("Customer", "Nation"),
+             EdgeDir::kForward);
+  t.AddChild(0, TpchGraph(), EdgeBetween("LineItem", "Part"),
+             EdgeDir::kForward);
+  return t;
+}
+
+TEST(JoinTreeTest, BasicStructure) {
+  JoinTree t = Fig2iTree();
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.ChildrenOf(0).size(), 2u);   // Orders, Part
+  EXPECT_EQ(t.Degree(0), 2);
+  EXPECT_EQ(t.Degree(1), 2);               // Orders: LineItem + Customer
+  EXPECT_EQ(t.Leaves().size(), 2u);        // Nation, Part
+  EXPECT_TRUE(t.ContainsTable(TableByName("Nation")));
+  EXPECT_FALSE(t.ContainsTable(TableByName("Supplier")));
+}
+
+TEST(JoinTreeTest, AddChildDirections) {
+  // Backward traversal: Nation -> Customer (Customer holds the FK).
+  JoinTree t = JoinTree::Single(TableByName("Nation"));
+  TreeNodeId cust = t.AddChild(0, TpchGraph(),
+                               EdgeBetween("Customer", "Nation"),
+                               EdgeDir::kBackward);
+  EXPECT_EQ(t.node(cust).table, TableByName("Customer"));
+  EXPECT_FALSE(t.node(cust).parent_holds_fk);
+
+  // Forward: Customer -> Nation (parent holds the FK).
+  JoinTree t2 = JoinTree::Single(TableByName("Customer"));
+  TreeNodeId nation = t2.AddChild(0, TpchGraph(),
+                                  EdgeBetween("Customer", "Nation"),
+                                  EdgeDir::kForward);
+  EXPECT_TRUE(t2.node(nation).parent_holds_fk);
+}
+
+TEST(JoinTreeTest, UnrootedSignatureInvariantToConstructionOrder) {
+  // Build the same undirected tree from two different starting points.
+  JoinTree a = JoinTree::Single(TableByName("Customer"));
+  a.AddChild(0, TpchGraph(), EdgeBetween("Customer", "Nation"),
+             EdgeDir::kForward);
+  a.AddChild(0, TpchGraph(), EdgeBetween("Orders", "Customer"),
+             EdgeDir::kBackward);
+
+  JoinTree b = JoinTree::Single(TableByName("Nation"));
+  TreeNodeId cust = b.AddChild(0, TpchGraph(),
+                               EdgeBetween("Customer", "Nation"),
+                               EdgeDir::kBackward);
+  b.AddChild(cust, TpchGraph(), EdgeBetween("Orders", "Customer"),
+             EdgeDir::kBackward);
+
+  std::vector<std::string> empty_a(a.size()), empty_b(b.size());
+  EXPECT_EQ(a.UnrootedSignature(empty_a), b.UnrootedSignature(empty_b));
+  // Rooted signatures differ (different roots).
+  EXPECT_NE(a.RootedSignature(empty_a), b.RootedSignature(empty_b));
+}
+
+TEST(JoinTreeTest, CanonicalizeProducesIdenticalLayout) {
+  JoinTree a = JoinTree::Single(TableByName("Customer"));
+  a.AddChild(0, TpchGraph(), EdgeBetween("Customer", "Nation"),
+             EdgeDir::kForward);
+  a.AddChild(0, TpchGraph(), EdgeBetween("Orders", "Customer"),
+             EdgeDir::kBackward);
+
+  JoinTree b = JoinTree::Single(TableByName("Orders"));
+  TreeNodeId cust = b.AddChild(0, TpchGraph(),
+                               EdgeBetween("Orders", "Customer"),
+                               EdgeDir::kForward);
+  b.AddChild(cust, TpchGraph(), EdgeBetween("Customer", "Nation"),
+             EdgeDir::kForward);
+
+  std::vector<TreeNodeId> remap_a, remap_b;
+  JoinTree ca = a.Canonicalize(std::vector<std::string>(a.size()), &remap_a);
+  JoinTree cb = b.Canonicalize(std::vector<std::string>(b.size()), &remap_b);
+  EXPECT_EQ(ca.RootedSignature(std::vector<std::string>(ca.size())),
+            cb.RootedSignature(std::vector<std::string>(cb.size())));
+  for (TreeNodeId v = 0; v < ca.size(); ++v) {
+    EXPECT_EQ(ca.node(v).table, cb.node(v).table);
+    EXPECT_EQ(ca.node(v).parent, cb.node(v).parent);
+  }
+  // Remaps are permutations.
+  for (TreeNodeId v = 0; v < a.size(); ++v) {
+    EXPECT_GE(remap_a[v], 0);
+    EXPECT_LT(remap_a[v], a.size());
+  }
+}
+
+TEST(JoinTreeTest, AnnotationsDistinguishMappings) {
+  JoinTree t = JoinTree::Single(TableByName("Customer"));
+  t.AddChild(0, TpchGraph(), EdgeBetween("Customer", "Nation"),
+             EdgeDir::kForward);
+  std::vector<std::string> ann1{"m1:0", ""};
+  std::vector<std::string> ann2{"m1:1", ""};
+  EXPECT_NE(t.RootedSignature(ann1), t.RootedSignature(ann2));
+  EXPECT_NE(t.UnrootedSignature(ann1), t.UnrootedSignature(ann2));
+}
+
+TEST(JoinTreeTest, RootedSubtree) {
+  JoinTree t = Fig2iTree();
+  // Subtree at Orders: Orders -> Customer -> Nation.
+  std::vector<TreeNodeId> remap;
+  JoinTree sub = t.RootedSubtree(1, &remap);
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.node(0).table, TableByName("Orders"));
+  EXPECT_EQ(sub.node(0).parent, kNoNode);
+  EXPECT_EQ(remap[1], 0);
+  EXPECT_EQ(remap[0], kNoNode);  // LineItem not in subtree
+  // FK orientation preserved.
+  EXPECT_TRUE(sub.node(1).parent_holds_fk);
+}
+
+TEST(JoinTreeTest, SubtreeWithParent) {
+  JoinTree t = Fig2iTree();
+  // Subtree at Customer (node 2) plus parent Orders, Orders as root with
+  // the single child Customer.
+  std::vector<TreeNodeId> remap;
+  JoinTree sub = t.SubtreeWithParent(2, &remap);
+  EXPECT_EQ(sub.size(), 3);  // Orders, Customer, Nation
+  EXPECT_EQ(sub.node(0).table, TableByName("Orders"));
+  EXPECT_EQ(sub.ChildrenOf(0).size(), 1u);
+  EXPECT_EQ(sub.node(1).table, TableByName("Customer"));
+}
+
+TEST(JoinTreeTest, DescendantsOf) {
+  JoinTree t = Fig2iTree();
+  EXPECT_EQ(t.DescendantsOf(0).size(), 5u);
+  EXPECT_EQ(t.DescendantsOf(1).size(), 3u);  // Orders, Customer, Nation
+  EXPECT_EQ(t.DescendantsOf(4).size(), 1u);  // Part leaf
+}
+
+TEST(JoinTreeTest, FromNodesRoundTrip) {
+  JoinTree t = Fig2iTree();
+  JoinTree copy = JoinTree::FromNodes(
+      std::vector<JoinTree::Node>(t.nodes().begin(), t.nodes().end()));
+  std::vector<std::string> empty(t.size());
+  EXPECT_EQ(copy.RootedSignature(empty), t.RootedSignature(empty));
+}
+
+TEST(JoinTreeTest, ToStringMentionsAllTables) {
+  JoinTree t = Fig2iTree();
+  std::string s = t.ToString(TpchDb());
+  for (const char* name :
+       {"LineItem", "Orders", "Customer", "Nation", "Part"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,195 @@
+// PJQuery canonicalization, minimality, sub-PJ enumeration and SQL.
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "query/pj_query.h"
+#include "score/score_context.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::Fig2aSheet;
+using testing::TpchDb;
+using testing::TpchGraph;
+using testing::TpchIndex;
+
+SchemaEdgeId EdgeBetween(const std::string& src, const std::string& dst) {
+  const SchemaGraph& g = TpchGraph();
+  for (SchemaEdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (TpchDb().table(g.edge(e).src).name() == src &&
+        TpchDb().table(g.edge(e).dst).name() == dst) {
+      return e;
+    }
+  }
+  return -1;
+}
+
+TableId TableByName(const std::string& name) {
+  return TpchDb().FindTable(name)->id();
+}
+
+int32_t Col(const std::string& table, const std::string& col) {
+  return TpchDb().FindTable(table)->ColumnIndex(col);
+}
+
+// Customer -> Nation with A -> CustName, B -> NatName.
+PJQuery CustomerNationQuery() {
+  JoinTree t = JoinTree::Single(TableByName("Customer"));
+  TreeNodeId nation = t.AddChild(0, TpchGraph(),
+                                 EdgeBetween("Customer", "Nation"),
+                                 EdgeDir::kForward);
+  return PJQuery(t, {ProjectionBinding{0, 0, Col("Customer", "CustName")},
+                     ProjectionBinding{1, nation, Col("Nation", "NatName")}});
+}
+
+TEST(PJQueryTest, SignatureInvariantToConstructionOrder) {
+  PJQuery a = CustomerNationQuery();
+
+  // Same query built from the Nation side.
+  JoinTree t = JoinTree::Single(TableByName("Nation"));
+  TreeNodeId cust = t.AddChild(0, TpchGraph(),
+                               EdgeBetween("Customer", "Nation"),
+                               EdgeDir::kBackward);
+  PJQuery b(t, {ProjectionBinding{0, cust, Col("Customer", "CustName")},
+                ProjectionBinding{1, 0, Col("Nation", "NatName")}});
+
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PJQueryTest, DifferentMappingsDifferentSignatures) {
+  PJQuery a = CustomerNationQuery();
+
+  JoinTree t = JoinTree::Single(TableByName("Customer"));
+  TreeNodeId nation = t.AddChild(0, TpchGraph(),
+                                 EdgeBetween("Customer", "Nation"),
+                                 EdgeDir::kForward);
+  // Swap which ES column maps where.
+  PJQuery b(t, {ProjectionBinding{1, 0, Col("Customer", "CustName")},
+                ProjectionBinding{0, nation, Col("Nation", "NatName")}});
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(PJQueryTest, MinimalShape) {
+  PJQuery good = CustomerNationQuery();
+  EXPECT_TRUE(good.IsMinimalShape());
+
+  // Nation leaf unbound -> not minimal.
+  JoinTree t = JoinTree::Single(TableByName("Customer"));
+  t.AddChild(0, TpchGraph(), EdgeBetween("Customer", "Nation"),
+             EdgeDir::kForward);
+  PJQuery bad(t, {ProjectionBinding{0, 0, Col("Customer", "CustName")}});
+  EXPECT_FALSE(bad.IsMinimalShape());
+}
+
+TEST(PJQueryTest, ProjectionColumnsDeduplicated) {
+  JoinTree t = JoinTree::Single(TableByName("Customer"));
+  // Two ES columns mapped to the same projection column: C has size 1,
+  // phi stays surjective (Def 2).
+  PJQuery q(t, {ProjectionBinding{0, 0, Col("Customer", "CustName")},
+                ProjectionBinding{1, 0, Col("Customer", "CustName")}});
+  EXPECT_EQ(q.ProjectionColumns().size(), 1u);
+  EXPECT_EQ(q.bindings().size(), 2u);
+}
+
+TEST(PJQueryTest, SubQueryEnumerationCounts) {
+  PJQuery q = CustomerNationQuery();
+  // 2 nodes: type-i at each node + type-ii at the non-root = 3.
+  EXPECT_EQ(q.EnumerateSubQueries().size(), 3u);
+}
+
+// Figure 3: the two sub-PJ queries (Customer->Nation with B, and Part
+// with C) are shared between queries (i) and (iii) — their cache keys
+// must collide across the two distinct PJ queries.
+TEST(PJQueryTest, Fig3SharedSubQueriesAcrossQueries) {
+  const IndexSet& index = TpchIndex();
+  ExampleSpreadsheet sheet = Fig2aSheet(index);
+  ScoreContext ctx(index, sheet, ScoreParams{});
+  EnumerationResult result = EnumerateCandidates(TpchGraph(), ctx);
+
+  const PJQuery* qi = nullptr;
+  const PJQuery* qiii = nullptr;
+  for (const CandidateQuery& c : result.candidates) {
+    if (c.query.tree().size() != 5) continue;
+    for (const ProjectionBinding& b : c.query.bindings()) {
+      if (b.es_column != 0) continue;
+      const Table& t = TpchDb().table(c.query.tree().node(b.node).table);
+      if (t.name() == "Customer") qi = &c.query;
+      if (t.name() == "Orders") qiii = &c.query;
+    }
+  }
+  ASSERT_NE(qi, nullptr);
+  ASSERT_NE(qiii, nullptr);
+
+  std::set<std::string> keys_i, keys_iii;
+  for (const SubPJQuery& s : qi->EnumerateSubQueries()) {
+    keys_i.insert(s.cache_key);
+  }
+  for (const SubPJQuery& s : qiii->EnumerateSubQueries()) {
+    keys_iii.insert(s.cache_key);
+  }
+  std::vector<std::string> shared;
+  std::set_intersection(keys_i.begin(), keys_i.end(), keys_iii.begin(),
+                        keys_iii.end(), std::back_inserter(shared));
+  // At least the Part-with-C sub-PJ is shared (the Customer->Nation
+  // sub-PJ of (i) carries mapping A->CustName which (iii) does not).
+  EXPECT_GE(shared.size(), 1u);
+}
+
+TEST(PJQueryTest, SubQueryLinkSpecs) {
+  PJQuery q = CustomerNationQuery();
+  bool found_root = false, found_leaf = false;
+  for (const SubPJQuery& s : q.EnumerateSubQueries()) {
+    if (s.kind == SubPJQuery::Kind::kSubtree &&
+        s.anchor == q.tree().root()) {
+      EXPECT_EQ(s.link.kind, LinkSpec::Kind::kByPk);
+      EXPECT_EQ(s.tree.size(), q.tree().size());
+      found_root = true;
+    }
+    if (s.kind == SubPJQuery::Kind::kSubtree && s.anchor != q.tree().root()) {
+      // Orientation decides the key: Customer holds the FK (if Customer
+      // is root) => child keyed by its PK; Nation-rooted canonical form
+      // flips it. Just check consistency with the tree.
+      const JoinTree::Node& n = q.tree().node(s.anchor);
+      if (n.parent_holds_fk) {
+        EXPECT_EQ(s.link.kind, LinkSpec::Kind::kByPk);
+      } else {
+        EXPECT_EQ(s.link.kind, LinkSpec::Kind::kByFk);
+        EXPECT_EQ(s.link.edge, n.edge_to_parent);
+      }
+      found_leaf = true;
+    }
+  }
+  EXPECT_TRUE(found_root);
+  EXPECT_TRUE(found_leaf);
+}
+
+TEST(PJQueryTest, ToSqlContainsJoinsAndAliases) {
+  PJQuery q = CustomerNationQuery();
+  std::string sql = q.ToSql(TpchDb());
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("AS A"), std::string::npos);
+  EXPECT_NE(sql.find("AS B"), std::string::npos);
+  EXPECT_NE(sql.find("JOIN"), std::string::npos);
+  EXPECT_NE(sql.find("NatId"), std::string::npos);
+}
+
+TEST(PJQueryTest, ToStringListsMappings) {
+  PJQuery q = CustomerNationQuery();
+  std::string s = q.ToString(TpchDb());
+  EXPECT_NE(s.find("A->Customer.CustName"), std::string::npos);
+  EXPECT_NE(s.find("B->Nation.NatName"), std::string::npos);
+}
+
+TEST(PJQueryTest, SingleNodeQuerySubQueries) {
+  JoinTree t = JoinTree::Single(TableByName("Part"));
+  PJQuery q(t, {ProjectionBinding{0, 0, Col("Part", "PartName")}});
+  auto subs = q.EnumerateSubQueries();
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].kind, SubPJQuery::Kind::kSubtree);
+  EXPECT_EQ(subs[0].link.kind, LinkSpec::Kind::kByPk);
+}
+
+}  // namespace
+}  // namespace s4

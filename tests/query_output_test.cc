@@ -1,0 +1,136 @@
+// Materialized query outputs (the Fig 2(b) view): projection contents,
+// best-match tracking, truncation, and agreement with the evaluator.
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "exec/evaluator.h"
+#include "exec/query_output.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::Fig2aSheet;
+using testing::TpchDb;
+using testing::TpchGraph;
+using testing::TpchIndex;
+
+class QueryOutputTest : public ::testing::Test {
+ protected:
+  QueryOutputTest()
+      : sheet_(Fig2aSheet(TpchIndex())),
+        ctx_(TpchIndex(), sheet_, ScoreParams{}),
+        result_(EnumerateCandidates(TpchGraph(), ctx_)) {}
+
+  const PJQuery* FindQueryI() {
+    for (const CandidateQuery& c : result_.candidates) {
+      if (c.query.tree().size() != 5) continue;
+      std::string s = c.query.ToString(TpchDb());
+      if (s.find("A->Customer.CustName") != std::string::npos &&
+          s.find("LineItem") != std::string::npos) {
+        return &c.query;
+      }
+    }
+    return nullptr;
+  }
+
+  ExampleSpreadsheet sheet_;
+  ScoreContext ctx_;
+  EnumerationResult result_;
+};
+
+// Figure 2(b)-(i): the output contains "Rick Miller | USA | Xbox One"
+// and friends; each example tuple's best row carries score(t|Q).
+TEST_F(QueryOutputTest, Fig2bOutputRows) {
+  const PJQuery* q = FindQueryI();
+  ASSERT_NE(q, nullptr);
+  auto out = ExecuteQuery(*q, ctx_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->truncated);
+  // Fig 2(b)-(i) lists 4 output rows.
+  EXPECT_EQ(out->rows.size(), 4u);
+
+  bool found_rick_xbox = false;
+  for (const OutputRow& row : out->rows) {
+    std::string joined;
+    for (const std::string& c : row.cells) joined += c + "|";
+    if (joined == "Rick Miller|USA|Xbox One|") found_rick_xbox = true;
+  }
+  EXPECT_TRUE(found_rick_xbox);
+
+  // Best rows exist for all three example tuples and their similarities
+  // match the evaluator's row scores (3, 2, 2 per the score test).
+  Evaluator ev(ctx_);
+  EvalCounters counters;
+  std::vector<double> scores = ev.RowScores(*q, nullptr, &counters);
+  ASSERT_EQ(out->best_row.size(), 3u);
+  for (size_t t = 0; t < 3; ++t) {
+    ASSERT_GE(out->best_row[t], 0) << "tuple " << t;
+    EXPECT_DOUBLE_EQ(
+        out->rows[out->best_row[t]].similarity[t], scores[t]);
+  }
+}
+
+// Best-match similarity equals score(t|Q) for every candidate when the
+// join is fully explored.
+TEST_F(QueryOutputTest, BestRowsMatchEvaluatorEverywhere) {
+  Evaluator ev(ctx_);
+  for (const CandidateQuery& c : result_.candidates) {
+    auto out = ExecuteQuery(c.query, ctx_);
+    ASSERT_TRUE(out.ok());
+    if (out->truncated) continue;
+    EvalCounters counters;
+    std::vector<double> scores = ev.RowScores(c.query, nullptr, &counters);
+    for (size_t t = 0; t < scores.size(); ++t) {
+      const double got = out->best_row[t] < 0
+                             ? 0.0
+                             : out->rows[out->best_row[t]].similarity[t];
+      EXPECT_DOUBLE_EQ(got, scores[t]) << c.query.ToString(TpchDb());
+    }
+  }
+}
+
+TEST_F(QueryOutputTest, MaxRowsTruncates) {
+  const PJQuery* q = FindQueryI();
+  ASSERT_NE(q, nullptr);
+  OutputOptions opts;
+  opts.max_rows = 2;
+  auto out = ExecuteQuery(*q, ctx_, opts);
+  ASSERT_TRUE(out.ok());
+  // 2 listing rows plus possibly retained best-match rows.
+  EXPECT_LE(out->rows.size(), 4u);
+  EXPECT_TRUE(out->truncated);
+}
+
+TEST_F(QueryOutputTest, OnlyMatchingFilter) {
+  const PJQuery* q = FindQueryI();
+  ASSERT_NE(q, nullptr);
+  OutputOptions opts;
+  opts.only_matching = true;
+  auto out = ExecuteQuery(*q, ctx_, opts);
+  ASSERT_TRUE(out.ok());
+  for (const OutputRow& row : out->rows) {
+    double total = 0.0;
+    for (double s : row.similarity) total += s;
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST_F(QueryOutputTest, ToStringMarksBestRows) {
+  const PJQuery* q = FindQueryI();
+  ASSERT_NE(q, nullptr);
+  auto out = ExecuteQuery(*q, ctx_);
+  ASSERT_TRUE(out.ok());
+  std::string s = out->ToString();
+  EXPECT_NE(s.find("A:Customer.CustName"), std::string::npos);
+  EXPECT_NE(s.find("t0(3)"), std::string::npos);
+  EXPECT_NE(s.find("Rick Miller"), std::string::npos);
+}
+
+TEST_F(QueryOutputTest, RejectsEmptyProjection) {
+  PJQuery empty;
+  EXPECT_FALSE(ExecuteQuery(empty, ctx_).ok());
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,122 @@
+// Robustness: corrupted snapshots and CSV never crash the loaders, and
+// concurrent searches on one S4System are safe (the online path is
+// read-only after index build).
+#include <cstdio>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/csv.h"
+#include "storage/serialize.h"
+#include "strategy/strategy.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  auto content = ReadFile(path);
+  EXPECT_TRUE(content.ok());
+  return content.ok() ? *content : std::string();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+// Truncations of a valid snapshot must fail cleanly (or, for whole-file
+// prefixes that happen to be self-consistent, load something valid).
+TEST(RobustnessTest, TruncatedSnapshots) {
+  const std::string path = TempPath("s4_trunc.s4db");
+  ASSERT_TRUE(SaveDatabase(testing::TpchDb(), path).ok());
+  const std::string bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 64u);
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{7}, size_t{15},
+                     bytes.size() / 4, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    WriteAll(path, bytes.substr(0, cut));
+    auto loaded = LoadDatabase(path);  // must not crash
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+// Random single-byte corruptions must never crash; they may fail or may
+// load (benign flips in text payloads are fine).
+TEST(RobustnessTest, BitFlippedSnapshots) {
+  const std::string path = TempPath("s4_flip.s4db");
+  ASSERT_TRUE(SaveDatabase(testing::TpchDb(), path).ok());
+  const std::string bytes = ReadAll(path);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^
+                                     static_cast<char>(1 + rng.Uniform(255)));
+    WriteAll(path, mutated);
+    auto loaded = LoadDatabase(path);  // crash = test failure
+    if (loaded.ok()) {
+      // Whatever loaded must at least be structurally sound.
+      EXPECT_TRUE(loaded->finalized());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, RandomCsvNeverCrashes) {
+  Rng rng(7);
+  const char alphabet[] = "ab,\"\n\r\\x1;";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    auto parsed = ParseCsv(text);  // ok() either way; must not crash
+    if (parsed.ok()) {
+      for (const auto& row : *parsed) {
+        EXPECT_GE(row.size(), 1u);
+      }
+    }
+  }
+}
+
+// Concurrent read-only searches over a shared prepared system.
+TEST(RobustnessTest, ConcurrentSearchesAgree) {
+  const IndexSet& index = testing::TpchIndex();
+  const SchemaGraph& graph = testing::TpchGraph();
+  ExampleSpreadsheet sheet = testing::Fig2aSheet(index);
+  SearchOptions options;
+  options.k = 5;
+
+  SearchResult expected = SearchFastTopK(index, graph, sheet, options);
+
+  constexpr int kThreads = 4;
+  std::vector<SearchResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = SearchFastTopK(index, graph, sheet, options);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const SearchResult& r : results) {
+    ASSERT_EQ(r.topk.size(), expected.topk.size());
+    for (size_t i = 0; i < r.topk.size(); ++i) {
+      EXPECT_NEAR(r.topk[i].score, expected.topk[i].score, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,79 @@
+// Schema graph construction and traversal tests.
+#include <gtest/gtest.h>
+
+#include "schema/schema_graph.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::TpchDb;
+using testing::TpchGraph;
+
+TEST(SchemaGraphTest, VerticesAndEdges) {
+  const SchemaGraph& g = TpchGraph();
+  EXPECT_EQ(g.NumVertices(), 7);
+  EXPECT_EQ(g.NumEdges(), 7);
+  // Edge order follows the declaration order in MakeTpchMini.
+  EXPECT_EQ(TpchDb().table(g.edge(0).src).name(), "Customer");
+  EXPECT_EQ(TpchDb().table(g.edge(0).dst).name(), "Nation");
+  EXPECT_EQ(g.edge(0).label, "NatId");
+}
+
+TEST(SchemaGraphTest, IncidenceBothDirections) {
+  const SchemaGraph& g = TpchGraph();
+  const TableId nation = TpchDb().FindTable("Nation")->id();
+  // Nation is referenced by Customer and Supplier: two backward
+  // incidences, no forward ones.
+  int fwd = 0, bwd = 0;
+  for (const SchemaGraph::Incidence& inc : g.IncidentEdges(nation)) {
+    if (inc.dir == EdgeDir::kForward) {
+      ++fwd;
+    } else {
+      ++bwd;
+      EXPECT_EQ(g.edge(inc.edge).dst, nation);
+    }
+  }
+  EXPECT_EQ(fwd, 0);
+  EXPECT_EQ(bwd, 2);
+
+  const TableId lineitem = TpchDb().FindTable("LineItem")->id();
+  fwd = 0;
+  for (const SchemaGraph::Incidence& inc : g.IncidentEdges(lineitem)) {
+    if (inc.dir == EdgeDir::kForward) ++fwd;
+  }
+  EXPECT_EQ(fwd, 2);  // Orders, Part
+}
+
+TEST(SchemaGraphTest, UndirectedDistance) {
+  const SchemaGraph& g = TpchGraph();
+  auto id = [&](const char* n) { return TpchDb().FindTable(n)->id(); };
+  EXPECT_EQ(g.UndirectedDistance(id("Nation"), id("Nation")), 0);
+  EXPECT_EQ(g.UndirectedDistance(id("Customer"), id("Nation")), 1);
+  EXPECT_EQ(g.UndirectedDistance(id("LineItem"), id("Nation")), 3);
+  EXPECT_EQ(g.UndirectedDistance(id("Part"), id("Nation")), 3);
+}
+
+TEST(SchemaGraphTest, DisconnectedDistance) {
+  Database db;
+  auto a = db.AddTable("A");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*a)->AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE((*a)->SetPrimaryKey(0).ok());
+  auto b = db.AddTable("B");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE((*b)->SetPrimaryKey(0).ok());
+  ASSERT_TRUE(db.Finalize().ok());
+  SchemaGraph g(db);
+  EXPECT_EQ(g.UndirectedDistance(0, 1), -1);
+}
+
+TEST(SchemaGraphTest, ToStringListsEdges) {
+  std::string s = TpchGraph().ToString();
+  EXPECT_NE(s.find("Customer.NatId -> Nation"), std::string::npos);
+  EXPECT_NE(s.find("LineItem.PartId -> Part"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,264 @@
+// Validates the scoring model (Sec 2.3) against the paper's worked
+// examples and properties (Prop 1, Prop 2).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "exec/evaluator.h"
+#include "score/score_context.h"
+#include "score/score_model.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::Fig2aSheet;
+using testing::TpchGraph;
+using testing::TpchIndex;
+
+// Finds the enumerated candidate whose ES column A maps to the given
+// database column (identifying the paper's queries (i)/(ii)/(iii)).
+const CandidateQuery* FindByColumnA(const std::vector<CandidateQuery>& cands,
+                                    const std::string& table,
+                                    const std::string& column,
+                                    int32_t tree_size) {
+  const Database& db = TpchIndex().db();
+  for (const CandidateQuery& c : cands) {
+    if (c.query.tree().size() != tree_size) continue;
+    for (const ProjectionBinding& b : c.query.bindings()) {
+      if (b.es_column != 0) continue;
+      const Table& t = db.table(c.query.tree().node(b.node).table);
+      if (t.name() == table && t.column(b.column).name == column) return &c;
+    }
+  }
+  return nullptr;
+}
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  PaperExamplesTest()
+      : sheet_(Fig2aSheet(TpchIndex())),
+        ctx_(TpchIndex(), sheet_, ScoreParams{}),
+        result_(EnumerateCandidates(TpchGraph(), ctx_)) {}
+
+  std::vector<double> RowScores(const PJQuery& q) {
+    Evaluator ev(ctx_);
+    EvalCounters counters;
+    return ev.RowScores(q, nullptr, &counters);
+  }
+
+  ExampleSpreadsheet sheet_;
+  ScoreContext ctx_;
+  EnumerationResult result_;
+};
+
+// Example 2: score_row of query (iii) (A -> Orders.Clerk) is 2+1+1 = 4.
+TEST_F(PaperExamplesTest, Example2RowScoreQueryIii) {
+  const CandidateQuery* q =
+      FindByColumnA(result_.candidates, "Orders", "Clerk", 5);
+  ASSERT_NE(q, nullptr);
+  std::vector<double> scores = RowScores(q->query);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);  // Julie/USA/Samsung row: USA+? -> 2
+  EXPECT_DOUBLE_EQ(scores[0] + scores[1] + scores[2], 4.0);
+}
+
+// Example 2: score_row of query (ii) (A -> Supplier.SuppName) is
+// 2 + 1 + 2 = 5.
+TEST_F(PaperExamplesTest, Example2RowScoreQueryIi) {
+  const CandidateQuery* q =
+      FindByColumnA(result_.candidates, "Supplier", "SuppName", 4);
+  ASSERT_NE(q, nullptr);
+  std::vector<double> scores = RowScores(q->query);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores[2], 2.0);
+}
+
+// Example 3: score_col of (ii) is 5 (only 'Rick' of column A appears in
+// Supplier.SuppName), and score_col of (iii) is 3+2+2 = 7.
+TEST_F(PaperExamplesTest, Example3ColumnScores) {
+  const CandidateQuery* qii =
+      FindByColumnA(result_.candidates, "Supplier", "SuppName", 4);
+  ASSERT_NE(qii, nullptr);
+  EXPECT_DOUBLE_EQ(qii->column_score, 5.0);
+
+  const CandidateQuery* qiii =
+      FindByColumnA(result_.candidates, "Orders", "Clerk", 5);
+  ASSERT_NE(qiii, nullptr);
+  EXPECT_DOUBLE_EQ(qiii->column_score, 7.0);
+}
+
+// The flagship query (i) (A -> Customer.CustName) fully contains the
+// spreadsheet: row score = column score = 7.
+TEST_F(PaperExamplesTest, FlagshipQueryFullContainment) {
+  const CandidateQuery* qi =
+      FindByColumnA(result_.candidates, "Customer", "CustName", 5);
+  ASSERT_NE(qi, nullptr);
+  EXPECT_DOUBLE_EQ(qi->column_score, 7.0);
+  std::vector<double> scores = RowScores(qi->query);
+  EXPECT_DOUBLE_EQ(scores[0] + scores[1] + scores[2], 7.0);
+  EXPECT_DOUBLE_EQ(scores[0], 3.0);
+  EXPECT_DOUBLE_EQ(scores[1], 2.0);
+  EXPECT_DOUBLE_EQ(scores[2], 2.0);
+}
+
+// Prop 2: the upper bound dominates the exact score for every candidate
+// and every alpha.
+TEST_F(PaperExamplesTest, UpperBoundDominatesExactScore) {
+  for (double alpha : {0.5, 0.8, 1.0}) {
+    for (const CandidateQuery& c : result_.candidates) {
+      std::vector<double> rows = RowScores(c.query);
+      double row_score = 0.0;
+      for (double v : rows) row_score += v;
+      const double score = CombineScore(row_score, c.column_score, alpha,
+                                        c.query.tree().size());
+      EXPECT_LE(score, c.upper_bound + 1e-9)
+          << c.query.ToString(TpchIndex().db()) << " alpha=" << alpha;
+    }
+  }
+}
+
+// score_row <= score_col (the inequality behind Prop 2).
+TEST_F(PaperExamplesTest, RowScoreBoundedByColumnScore) {
+  for (const CandidateQuery& c : result_.candidates) {
+    std::vector<double> rows = RowScores(c.query);
+    double row_score = 0.0;
+    for (double v : rows) row_score += v;
+    EXPECT_LE(row_score, c.column_score + 1e-9);
+  }
+}
+
+// Prop 1(i): extending a minimal query with an unbound degree-1 relation
+// can only lower its score (the enumerator is right to prune those).
+TEST_F(PaperExamplesTest, Prop1UnboundLeafNeverHelps) {
+  const Database& db = TpchIndex().db();
+  const SchemaGraph& graph = testing::TpchGraph();
+  for (const CandidateQuery& c : result_.candidates) {
+    if (c.query.tree().size() >= 5) continue;
+    // Graft one extra unbound leaf onto some node, any edge.
+    const JoinTree& tree = c.query.tree();
+    for (TreeNodeId v = 0; v < tree.size() && v < 2; ++v) {
+      const auto& incident = graph.IncidentEdges(tree.node(v).table);
+      if (incident.empty()) continue;
+      JoinTree extended = tree;
+      extended.AddChild(v, graph, incident[0].edge, incident[0].dir);
+      PJQuery bigger(extended, c.query.bindings());
+      ASSERT_FALSE(bigger.IsMinimalShape());
+
+      Evaluator ev(ctx_);
+      EvalCounters counters;
+      auto sum = [](const std::vector<double>& v) {
+        double s = 0.0;
+        for (double x : v) s += x;
+        return s;
+      };
+      const double minimal_row =
+          sum(ev.RowScores(c.query, nullptr, &counters));
+      const double extended_row =
+          sum(ev.RowScores(bigger, nullptr, &counters));
+      const double minimal_score = CombineScore(
+          minimal_row, c.column_score, 0.8, c.query.tree().size());
+      const double extended_score = CombineScore(
+          extended_row, c.column_score, 0.8, bigger.tree().size());
+      EXPECT_LE(extended_score, minimal_score + 1e-9)
+          << c.query.ToString(db) << " vs " << bigger.ToString(db);
+    }
+  }
+}
+
+TEST(ScoreModelTest, SizePenalty) {
+  EXPECT_DOUBLE_EQ(SizePenalty(1), 1.0);
+  EXPECT_GT(SizePenalty(2), SizePenalty(1));
+  EXPECT_GT(SizePenalty(5), SizePenalty(4));
+  EXPECT_DOUBLE_EQ(SizePenalty(3), 1.0 + std::log(1.0 + std::log(3.0)));
+}
+
+TEST(ScoreModelTest, CombineScoreWeighting) {
+  // alpha = 1 ignores column score; alpha = 0 ignores row score.
+  EXPECT_DOUBLE_EQ(CombineScore(4.0, 8.0, 1.0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(CombineScore(4.0, 8.0, 0.0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(CombineScore(4.0, 8.0, 0.5, 1), 6.0);
+}
+
+TEST(ScoreContextTest, CandidateColumnsForFig2a) {
+  const IndexSet& index = TpchIndex();
+  ExampleSpreadsheet sheet = Fig2aSheet(index);
+  ScoreContext ctx(index, sheet, ScoreParams{});
+
+  // Sec 4.1.1: column A's candidates are Customer.CustName, Orders.Clerk
+  // and Supplier.SuppName; B -> Nation.NatName; C -> Part.PartName.
+  auto names = [&](int32_t es_col) {
+    std::vector<std::string> out;
+    for (int32_t gid : ctx.CandidateColumns(es_col)) {
+      out.push_back(
+          index.db().ColumnName(index.column_ids().FromGid(gid)));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(names(0),
+            (std::vector<std::string>{"Customer.CustName", "Orders.Clerk",
+                                      "Supplier.SuppName"}));
+  EXPECT_EQ(names(1), (std::vector<std::string>{"Nation.NatName"}));
+  EXPECT_EQ(names(2), (std::vector<std::string>{"Part.PartName"}));
+}
+
+TEST(ScoreContextTest, CellMaxPerRow) {
+  const IndexSet& index = TpchIndex();
+  ExampleSpreadsheet sheet = Fig2aSheet(index);
+  ScoreContext ctx(index, sheet, ScoreParams{});
+
+  const Table* cust = index.db().FindTable("Customer");
+  ASSERT_NE(cust, nullptr);
+  const int32_t gid = index.column_ids().Gid(
+      ColumnRef{cust->id(), cust->ColumnIndex("CustName")});
+  const std::vector<double>* cm = ctx.CellMax(0, gid);
+  ASSERT_NE(cm, nullptr);
+  // Rick, Julie, Kevin each appear in CustName.
+  EXPECT_DOUBLE_EQ((*cm)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*cm)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*cm)[2], 1.0);
+  EXPECT_DOUBLE_EQ(ctx.ColumnScore(0, gid), 3.0);
+  EXPECT_GT(ctx.PostingCost(0, gid), 0);
+}
+
+TEST(ScoreContextTest, IdfWeightsRareTermsHigher) {
+  const IndexSet& index = TpchIndex();
+  ExampleSpreadsheet sheet = Fig2aSheet(index);
+  ScoreParams params;
+  params.use_idf = true;
+  ScoreContext ctx(index, sheet, params);
+
+  const Table* nation = index.db().FindTable("Nation");
+  const int32_t gid = index.column_ids().Gid(
+      ColumnRef{nation->id(), nation->ColumnIndex("NatName")});
+  TermId usa = index.dict().Lookup("usa");
+  ASSERT_NE(usa, kInvalidTermId);
+  // idf = ln(1 + N/df) with N=3, df=1 here.
+  EXPECT_NEAR(ctx.TermWeight(usa, gid), std::log(4.0), 1e-12);
+}
+
+TEST(ScoreContextTest, ExactMatchBonusAppliesOnlyOnFullCellMatch) {
+  const IndexSet& index = TpchIndex();
+  // "Xbox One" matches the Part cell exactly; "Xbox" alone does not.
+  auto sheet = ExampleSpreadsheet::FromCells({{"Xbox One"}, {"Xbox"}},
+                                             index.tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  ScoreParams params;
+  params.exact_match_bonus = 10.0;
+  ScoreContext ctx(index, *sheet, params);
+
+  const Table* part = index.db().FindTable("Part");
+  const int32_t gid = index.column_ids().Gid(
+      ColumnRef{part->id(), part->ColumnIndex("PartName")});
+  const std::vector<double>* cm = ctx.CellMax(0, gid);
+  ASSERT_NE(cm, nullptr);
+  EXPECT_DOUBLE_EQ((*cm)[0], 12.0);  // 2 terms + bonus
+  EXPECT_DOUBLE_EQ((*cm)[1], 1.0);   // partial match: no bonus
+}
+
+}  // namespace
+}  // namespace s4

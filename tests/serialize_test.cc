@@ -1,0 +1,113 @@
+// Database binary snapshot round-trips.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_schema.h"
+#include "datagen/synthetic.h"
+#include "storage/serialize.h"
+#include "strategy/strategy.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+void ExpectSameDatabase(const Database& a, const Database& b) {
+  ASSERT_EQ(a.NumTables(), b.NumTables());
+  for (TableId t = 0; t < a.NumTables(); ++t) {
+    const Table& ta = a.table(t);
+    const Table& tb = b.table(t);
+    EXPECT_EQ(ta.name(), tb.name());
+    ASSERT_EQ(ta.NumColumns(), tb.NumColumns());
+    EXPECT_EQ(ta.primary_key_column(), tb.primary_key_column());
+    ASSERT_EQ(ta.NumRows(), tb.NumRows());
+    for (int32_t c = 0; c < ta.NumColumns(); ++c) {
+      EXPECT_EQ(ta.column(c).name, tb.column(c).name);
+      EXPECT_EQ(ta.column(c).type, tb.column(c).type);
+      for (int64_t r = 0; r < ta.NumRows(); ++r) {
+        EXPECT_EQ(ta.GetValue(r, c), tb.GetValue(r, c))
+            << ta.name() << " row " << r << " col " << c;
+      }
+    }
+  }
+  ASSERT_EQ(a.foreign_keys().size(), b.foreign_keys().size());
+  for (size_t i = 0; i < a.foreign_keys().size(); ++i) {
+    EXPECT_EQ(a.foreign_keys()[i], b.foreign_keys()[i]);
+  }
+}
+
+TEST(SerializeTest, TpchRoundTrip) {
+  const std::string path = TempPath("s4_tpch.s4db");
+  ASSERT_TRUE(SaveDatabase(testing::TpchDb(), path).ok());
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->finalized());
+  ExpectSameDatabase(testing::TpchDb(), *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NullsAndRandomSchemasRoundTrip) {
+  for (uint64_t seed : {2u, 8u}) {
+    datagen::RandomSchemaOptions opts;
+    opts.seed = seed;
+    auto db = datagen::MakeRandomSchema(opts);
+    ASSERT_TRUE(db.ok());
+    const std::string path = TempPath("s4_rand.s4db");
+    ASSERT_TRUE(SaveDatabase(*db, path).ok());
+    auto loaded = LoadDatabase(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ExpectSameDatabase(*db, *loaded);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SerializeTest, SearchResultsSurviveRoundTrip) {
+  const std::string path = TempPath("s4_search.s4db");
+  ASSERT_TRUE(SaveDatabase(testing::TpchDb(), path).ok());
+  auto loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  auto index = IndexSet::Build(*loaded);
+  ASSERT_TRUE(index.ok());
+  SchemaGraph graph(*loaded);
+  auto sheet = ExampleSpreadsheet::FromCells(
+      {{"Rick", "USA", "Xbox"}, {"Julie", "", "iPhone"}},
+      (*index)->tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  SearchResult from_loaded = SearchFastTopK(**index, graph, *sheet, options);
+
+  auto orig_sheet = ExampleSpreadsheet::FromCells(
+      {{"Rick", "USA", "Xbox"}, {"Julie", "", "iPhone"}},
+      testing::TpchIndex().tokenizer());
+  SearchResult from_orig = SearchFastTopK(
+      testing::TpchIndex(), testing::TpchGraph(), *orig_sheet, options);
+
+  ASSERT_EQ(from_loaded.topk.size(), from_orig.topk.size());
+  for (size_t i = 0; i < from_loaded.topk.size(); ++i) {
+    EXPECT_NEAR(from_loaded.topk[i].score, from_orig.topk[i].score, 1e-9);
+    EXPECT_EQ(from_loaded.topk[i].query.signature(),
+              from_orig.topk[i].query.signature());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  const std::string path = TempPath("s4_garbage.s4db");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a database", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadDatabase(path).ok());
+  EXPECT_FALSE(LoadDatabase("/nonexistent/nope.s4db").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,141 @@
+// Appendix A.2 spelling-error handling: edit-distance term expansion
+// with union posting-list semantics.
+#include <gtest/gtest.h>
+
+#include "strategy/strategy.h"
+#include "tests/test_util.h"
+#include "text/edit_distance.h"
+
+namespace s4 {
+namespace {
+
+using testing::Fig2aSheet;
+using testing::TpchGraph;
+using testing::TpchIndex;
+
+TEST(EditDistanceTest, WithinEditDistance) {
+  EXPECT_TRUE(WithinEditDistance("xbox", "xbox", 0));
+  EXPECT_FALSE(WithinEditDistance("xbox", "xbx", 0));
+  EXPECT_TRUE(WithinEditDistance("xbox", "xbx", 1));    // deletion
+  EXPECT_TRUE(WithinEditDistance("xbox", "xboxx", 1));  // insertion
+  EXPECT_TRUE(WithinEditDistance("xbox", "xbux", 1));   // substitution
+  EXPECT_FALSE(WithinEditDistance("xbox", "xu", 1));
+  EXPECT_TRUE(WithinEditDistance("xbox", "xu", 3));
+  EXPECT_TRUE(WithinEditDistance("", "ab", 2));
+  EXPECT_FALSE(WithinEditDistance("", "ab", 1));
+  EXPECT_TRUE(WithinEditDistance("kitten", "sitting", 3));
+  EXPECT_FALSE(WithinEditDistance("kitten", "sitting", 2));
+}
+
+TEST(EditDistanceTest, SimilarTermsOnTpchDict) {
+  const TermDict& dict = TpchIndex().dict();
+  // "xbax" is one substitution away from "xbox" only.
+  std::vector<TermId> similar = SimilarTerms(dict, "xbax", 1);
+  ASSERT_EQ(similar.size(), 1u);
+  EXPECT_EQ(dict.term(similar[0]), "xbox");
+  // Distance 0 = exact lookup.
+  EXPECT_TRUE(SimilarTerms(dict, "xbax", 0).empty());
+  EXPECT_EQ(SimilarTerms(dict, "xbox", 0).size(), 1u);
+}
+
+TEST(SpellingSearchTest, MisspelledSpreadsheetStillFindsQueries) {
+  // "Xbax" (typo), "USAa" (typo): exact search finds nothing for these
+  // terms; with spelling_edits=1 the search behaves like the clean one.
+  auto sheet = ExampleSpreadsheet::FromCells({{"Xbax", "USAa"}},
+                                             TpchIndex().tokenizer());
+  ASSERT_TRUE(sheet.ok());
+
+  SearchOptions exact;
+  SearchResult none =
+      SearchFastTopK(TpchIndex(), TpchGraph(), *sheet, exact);
+  EXPECT_TRUE(none.topk.empty());
+
+  SearchOptions fuzzy;
+  fuzzy.score.spelling_edits = 1;
+  SearchResult some =
+      SearchFastTopK(TpchIndex(), TpchGraph(), *sheet, fuzzy);
+  ASSERT_FALSE(some.topk.empty());
+  // The Part "xbox" interpretation must be found.
+  bool mentions_part = false;
+  for (const ScoredQuery& sq : some.topk) {
+    if (sq.query.ToString(TpchIndex().db()).find("Part") !=
+        std::string::npos) {
+      mentions_part = true;
+    }
+  }
+  EXPECT_TRUE(mentions_part);
+}
+
+// Union semantics: expanding a term must count at most once per row even
+// if several variants match the same cell, so fuzzy scores never exceed
+// the clean-spreadsheet scores.
+TEST(SpellingSearchTest, FuzzyScoresMatchCleanScores) {
+  ExampleSpreadsheet clean = Fig2aSheet(TpchIndex());
+  // Misspell every non-empty cell by appending a character.
+  std::vector<std::vector<std::string>> cells;
+  for (int32_t r = 0; r < clean.NumRows(); ++r) {
+    cells.emplace_back();
+    for (int32_t c = 0; c < clean.NumColumns(); ++c) {
+      std::string raw = clean.cell(r, c).raw;
+      if (!raw.empty()) raw += "q";
+      cells.back().push_back(raw);
+    }
+  }
+  auto fuzzy_sheet =
+      ExampleSpreadsheet::FromCells(cells, TpchIndex().tokenizer());
+  ASSERT_TRUE(fuzzy_sheet.ok());
+
+  SearchOptions clean_opts;
+  clean_opts.k = 5;
+  SearchResult clean_result =
+      SearchFastTopK(TpchIndex(), TpchGraph(), clean, clean_opts);
+
+  SearchOptions fuzzy_opts = clean_opts;
+  fuzzy_opts.score.spelling_edits = 1;
+  SearchResult fuzzy_result =
+      SearchFastTopK(TpchIndex(), TpchGraph(), *fuzzy_sheet, fuzzy_opts);
+
+  // Same queries, same scores: every misspelled term expands to exactly
+  // its clean form (unique within edit distance 1 in this tiny corpus).
+  ASSERT_EQ(fuzzy_result.topk.size(), clean_result.topk.size());
+  for (size_t i = 0; i < clean_result.topk.size(); ++i) {
+    EXPECT_NEAR(fuzzy_result.topk[i].score, clean_result.topk[i].score,
+                1e-9)
+        << "rank " << i;
+  }
+}
+
+TEST(SpellingSearchTest, StrategiesAgreeUnderExpansion) {
+  auto sheet = ExampleSpreadsheet::FromCells(
+      {{"Rik", "USA"}, {"Kevin", "Canda"}}, TpchIndex().tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  options.k = 5;
+  options.score.spelling_edits = 1;
+  SearchResult naive =
+      SearchNaive(TpchIndex(), TpchGraph(), *sheet, options);
+  SearchResult fast =
+      SearchFastTopK(TpchIndex(), TpchGraph(), *sheet, options);
+  ASSERT_EQ(naive.topk.size(), fast.topk.size());
+  ASSERT_FALSE(naive.topk.empty());
+  for (size_t i = 0; i < naive.topk.size(); ++i) {
+    EXPECT_NEAR(naive.topk[i].score, fast.topk[i].score, 1e-9);
+    EXPECT_LE(naive.topk[i].score, naive.topk[i].upper_bound + 1e-9);
+  }
+}
+
+TEST(ResolveExpansionTest, GroupsKeepUnionStructure) {
+  auto sheet = ExampleSpreadsheet::FromCells({{"Xbax iphone"}},
+                                             TpchIndex().tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  ResolvedSpreadsheet rs =
+      ResolvedSpreadsheet::Resolve(*sheet, TpchIndex().dict(), 1);
+  // Two original terms -> two groups; 'xbax' expands to 'xbox'.
+  ASSERT_EQ(rs.cell_term_groups[0][0].size(), 2u);
+  EXPECT_EQ(rs.cell_num_terms[0][0], 2);
+  // The flat list covers both groups.
+  EXPECT_GE(rs.cell_terms[0][0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,99 @@
+// Example spreadsheet (Def 1) and resolution tests.
+#include <gtest/gtest.h>
+
+#include "query/spreadsheet.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::TpchIndex;
+
+Tokenizer Tok() { return Tokenizer(); }
+
+TEST(SpreadsheetTest, FromCellsAndAccessors) {
+  auto s = ExampleSpreadsheet::FromCells(
+      {{"Rick", "USA Xbox"}, {"", "iPhone"}}, Tok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->NumRows(), 2);
+  EXPECT_EQ(s->NumColumns(), 2);
+  EXPECT_EQ(s->cell(0, 1).terms,
+            (std::vector<std::string>{"usa", "xbox"}));
+  EXPECT_TRUE(s->cell(1, 0).empty());
+  EXPECT_EQ(s->ColumnTerms(1),
+            (std::vector<std::string>{"usa", "xbox", "iphone"}));
+  EXPECT_EQ(s->TotalTerms(), 4);
+  EXPECT_TRUE(s->Validate().ok());
+}
+
+TEST(SpreadsheetTest, RejectsMalformedShapes) {
+  EXPECT_FALSE(ExampleSpreadsheet::FromCells({}, Tok()).ok());
+  EXPECT_FALSE(ExampleSpreadsheet::FromCells({{}}, Tok()).ok());
+  EXPECT_FALSE(
+      ExampleSpreadsheet::FromCells({{"a", "b"}, {"c"}}, Tok()).ok());
+}
+
+TEST(SpreadsheetTest, ValidateRequiresTermsPerRowAndColumn) {
+  auto empty_row =
+      ExampleSpreadsheet::FromCells({{"a", "b"}, {"", ""}}, Tok());
+  ASSERT_TRUE(empty_row.ok());
+  EXPECT_FALSE(empty_row->Validate().ok());
+
+  auto empty_col = ExampleSpreadsheet::FromCells({{"a", ""}, {"b", ""}},
+                                                 Tok());
+  ASSERT_TRUE(empty_col.ok());
+  EXPECT_FALSE(empty_col->Validate().ok());
+}
+
+TEST(SpreadsheetTest, WithCellRetokenizes) {
+  auto s = ExampleSpreadsheet::FromCells({{"Rick", "USA"}}, Tok());
+  ASSERT_TRUE(s.ok());
+  ExampleSpreadsheet t = s->WithCell(0, 0, "Kevin Chen", Tok());
+  EXPECT_EQ(t.cell(0, 0).terms,
+            (std::vector<std::string>{"kevin", "chen"}));
+  EXPECT_EQ(t.ColumnTerms(0),
+            (std::vector<std::string>{"kevin", "chen"}));
+  // Original untouched.
+  EXPECT_EQ(s->cell(0, 0).terms, (std::vector<std::string>{"rick"}));
+}
+
+TEST(SpreadsheetTest, ChangedRows) {
+  auto a = ExampleSpreadsheet::FromCells({{"x"}, {"y"}, {"z"}}, Tok());
+  ASSERT_TRUE(a.ok());
+  ExampleSpreadsheet b = a->WithCell(1, 0, "w", Tok());
+  EXPECT_EQ(b.ChangedRows(*a), (std::vector<int32_t>{1}));
+  EXPECT_TRUE(a->ChangedRows(*a).empty());
+
+  auto shorter = ExampleSpreadsheet::FromCells({{"x"}}, Tok());
+  ASSERT_TRUE(shorter.ok());
+  EXPECT_EQ(a->ChangedRows(*shorter), (std::vector<int32_t>{1, 2}));
+}
+
+TEST(SpreadsheetTest, ToStringShowsGrid) {
+  auto s = ExampleSpreadsheet::FromCells({{"a", "b"}}, Tok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "a | b\n");
+}
+
+TEST(ResolvedSpreadsheetTest, DropsUnknownTermsButCountsThem) {
+  auto s = ExampleSpreadsheet::FromCells({{"Rick zzzznot"}},
+                                         TpchIndex().tokenizer());
+  ASSERT_TRUE(s.ok());
+  ResolvedSpreadsheet r =
+      ResolvedSpreadsheet::Resolve(*s, TpchIndex().dict());
+  EXPECT_EQ(r.cell_terms[0][0].size(), 1u);   // only 'rick' known
+  EXPECT_EQ(r.cell_num_terms[0][0], 2);       // raw count keeps both
+  EXPECT_EQ(r.column_terms[0].size(), 1u);
+}
+
+TEST(ResolvedSpreadsheetTest, DeduplicatesColumnTerms) {
+  auto s = ExampleSpreadsheet::FromCells({{"Rick"}, {"rick"}},
+                                         TpchIndex().tokenizer());
+  ASSERT_TRUE(s.ok());
+  ResolvedSpreadsheet r =
+      ResolvedSpreadsheet::Resolve(*s, TpchIndex().dict());
+  EXPECT_EQ(r.column_terms[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace s4

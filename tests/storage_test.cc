@@ -1,0 +1,149 @@
+// Storage engine tests: Value, Table, Database, referential checks.
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+
+namespace s4 {
+namespace {
+
+TEST(ValueTest, Variants) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(7).is_int());
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_TRUE(Value::Text("hi").is_text());
+  EXPECT_EQ(Value::Text("hi").AsText(), "hi");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Text("a b").ToString(), "'a b'");
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Text("1"));
+}
+
+TEST(TableTest, ColumnsAndRows) {
+  Table t(0, "T");
+  ASSERT_TRUE(t.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("Name", ColumnType::kText).ok());
+  EXPECT_FALSE(t.AddColumn("Name", ColumnType::kText).ok());  // duplicate
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+  EXPECT_FALSE(t.SetPrimaryKey(1).ok());  // text PK rejected
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Text("alpha")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(2), Value::Null()}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Int(3)}).ok());            // arity
+  EXPECT_FALSE(t.AppendRow({Value::Text("x"), Value::Null()}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Null(), Value::Null()}).ok());  // null PK
+
+  EXPECT_EQ(t.NumRows(), 2);
+  EXPECT_EQ(t.GetInt(0, 0), 1);
+  EXPECT_EQ(t.GetText(0, 1), "alpha");
+  EXPECT_TRUE(t.IsNull(1, 1));
+  EXPECT_EQ(t.ColumnIndex("Name"), 1);
+  EXPECT_EQ(t.ColumnIndex("Nope"), -1);
+  EXPECT_EQ(t.TextColumnIndexes(), std::vector<int32_t>{1});
+  EXPECT_GT(t.ByteSize(), 0u);
+}
+
+TEST(TableTest, PkIndex) {
+  Table t(0, "T");
+  ASSERT_TRUE(t.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(10)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(20)}).ok());
+  ASSERT_TRUE(t.BuildPkIndex().ok());
+  EXPECT_EQ(t.FindByPk(10), 0);
+  EXPECT_EQ(t.FindByPk(20), 1);
+  EXPECT_EQ(t.FindByPk(30), -1);
+
+  ASSERT_TRUE(t.AppendRow({Value::Int(10)}).ok());  // duplicate PK
+  EXPECT_FALSE(t.BuildPkIndex().ok());
+}
+
+TEST(TableTest, NoColumnsAfterRows) {
+  Table t(0, "T");
+  ASSERT_TRUE(t.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(t.AddColumn("Late", ColumnType::kText).ok());
+}
+
+TEST(DatabaseTest, TablesAndForeignKeys) {
+  Database db;
+  auto a = db.AddTable("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(db.AddTable("A").ok());
+  ASSERT_TRUE((*a)->AddColumn("AId", ColumnType::kInt64).ok());
+  ASSERT_TRUE((*a)->AddColumn("BId", ColumnType::kInt64).ok());
+  ASSERT_TRUE((*a)->SetPrimaryKey(0).ok());
+
+  auto b = db.AddTable("B");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->AddColumn("BId", ColumnType::kInt64).ok());
+  ASSERT_TRUE((*b)->AddColumn("Name", ColumnType::kText).ok());
+  ASSERT_TRUE((*b)->SetPrimaryKey(0).ok());
+
+  EXPECT_FALSE(db.AddForeignKey("A", "Nope", "B").ok());
+  EXPECT_FALSE(db.AddForeignKey("Nope", "BId", "B").ok());
+  EXPECT_FALSE(db.AddForeignKey("A", "BId", "Nope").ok());
+  ASSERT_TRUE(db.AddForeignKey("A", "BId", "B").ok());
+  EXPECT_FALSE(db.AddForeignKey("A", "BId", "B").ok());  // duplicate
+
+  ASSERT_TRUE((*b)->AppendRow({Value::Int(1), Value::Text("x")}).ok());
+  ASSERT_TRUE((*a)->AppendRow({Value::Int(1), Value::Int(1)}).ok());
+  EXPECT_TRUE(db.Finalize().ok());
+  EXPECT_TRUE(db.finalized());
+
+  // Dangling FK detected.
+  ASSERT_TRUE((*a)->AppendRow({Value::Int(2), Value::Int(99)}).ok());
+  EXPECT_FALSE(db.Finalize().ok());
+  EXPECT_TRUE(db.Finalize(/*check_integrity=*/false).ok());
+
+  EXPECT_EQ(db.ColumnName(ColumnRef{(*b)->id(), 1}), "B.Name");
+  EXPECT_EQ(db.NumTextColumns(), 1);
+  EXPECT_GT(db.ByteSize(), 0u);
+}
+
+TEST(DatabaseTest, FinalizeRequiresPrimaryKeys) {
+  Database db;
+  auto a = db.AddTable("A");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*a)->AddColumn("X", ColumnType::kInt64).ok());
+  EXPECT_FALSE(db.Finalize().ok());
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto rows = ParseCsv("a,b,c\n1,\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "x,y");
+  EXPECT_EQ((*rows)[1][2], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseErrors) {
+  EXPECT_FALSE(ParseCsv("a,\"unterminated\n").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows{{"a", "b"},
+                                             {"1,2", "line\nbreak"}};
+  auto parsed = ParseCsv(ToCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, LoadIntoTable) {
+  Table t(0, "T");
+  ASSERT_TRUE(t.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("Name", ColumnType::kText).ok());
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+  ASSERT_TRUE(LoadCsvInto("Id,Name\n1,alpha\n2,\n", &t).ok());
+  EXPECT_EQ(t.NumRows(), 2);
+  EXPECT_TRUE(t.IsNull(1, 1));
+
+  EXPECT_FALSE(LoadCsvInto("Wrong,Header\n", &t).ok());
+  EXPECT_FALSE(LoadCsvInto("Id,Name\nnotanint,x\n", &t).ok());
+}
+
+}  // namespace
+}  // namespace s4

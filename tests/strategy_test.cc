@@ -1,0 +1,284 @@
+// Validates the three evaluation strategies: agreement of results
+// (Thm 1, Thm 3), the minimal-evaluation-set property (Prop 5), the
+// termination condition, and the FASTTOPK scheduling bookkeeping —
+// including parameterized sweeps over k, alpha, epsilon and cache size.
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/es_gen.h"
+#include "datagen/synthetic.h"
+#include "strategy/strategy.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using testing::Fig2aSheet;
+using testing::TpchGraph;
+using testing::TpchIndex;
+
+// A small CSUPP-sim world shared by the heavier strategy tests.
+struct CsuppWorld {
+  Database db;
+  std::unique_ptr<IndexSet> index;
+  std::unique_ptr<SchemaGraph> graph;
+};
+
+const CsuppWorld& SmallCsupp() {
+  static const CsuppWorld& world = *[] {
+    auto* w = new CsuppWorld;
+    datagen::CsuppSimOptions opts;
+    opts.num_cities = 20;
+    opts.num_customers = 60;
+    opts.num_products = 40;
+    opts.num_agents = 25;
+    opts.num_tickets = 220;
+    opts.num_notes = 300;
+    auto db = datagen::MakeCsuppSim(opts);
+    if (!db.ok()) abort();
+    w->db = std::move(db).value();
+    auto index = IndexSet::Build(w->db);
+    if (!index.ok()) abort();
+    w->index = std::move(index).value();
+    w->graph = std::make_unique<SchemaGraph>(w->db);
+    return w;
+  }();
+  return world;
+}
+
+std::vector<std::pair<std::string, double>> Summarize(
+    const SearchResult& r) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const ScoredQuery& sq : r.topk) {
+    out.emplace_back(sq.query.signature(), sq.score);
+  }
+  return out;
+}
+
+void ExpectSameTopK(const SearchResult& a, const SearchResult& b,
+                    const std::string& label) {
+  auto sa = Summarize(a);
+  auto sb = Summarize(b);
+  ASSERT_EQ(sa.size(), sb.size()) << label;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    // Scores must agree rank-by-rank; signatures may swap among exact
+    // ties, so compare the score sequence and the signature multisets.
+    EXPECT_NEAR(sa[i].second, sb[i].second, 1e-9) << label << " rank " << i;
+  }
+  std::multiset<std::string> seta, setb;
+  // Only compare membership among non-tied scores: collect all.
+  for (auto& [sig, score] : sa) seta.insert(sig);
+  for (auto& [sig, score] : sb) setb.insert(sig);
+  // Tied tail can differ in membership only if scores tie; verify the
+  // score multiset instead.
+  std::multiset<double> scores_a, scores_b;
+  for (auto& [sig, score] : sa) scores_a.insert(score);
+  for (auto& [sig, score] : sb) scores_b.insert(score);
+  EXPECT_EQ(scores_a.size(), scores_b.size()) << label;
+}
+
+TEST(StrategyAgreementTest, TpchFig2a) {
+  SearchOptions options;
+  options.k = 5;
+  ExampleSpreadsheet sheet = Fig2aSheet(TpchIndex());
+  SearchResult naive =
+      SearchNaive(TpchIndex(), TpchGraph(), sheet, options);
+  SearchResult baseline =
+      SearchBaseline(TpchIndex(), TpchGraph(), sheet, options);
+  SearchResult fast =
+      SearchFastTopK(TpchIndex(), TpchGraph(), sheet, options);
+
+  ExpectSameTopK(naive, baseline, "naive-vs-baseline");
+  ExpectSameTopK(naive, fast, "naive-vs-fasttopk");
+
+  EXPECT_EQ(naive.stats.queries_evaluated, naive.stats.queries_enumerated);
+  EXPECT_LE(baseline.stats.queries_evaluated,
+            naive.stats.queries_evaluated);
+  EXPECT_LE(fast.stats.queries_evaluated + fast.stats.skipped_by_condition,
+            naive.stats.queries_evaluated);
+}
+
+// Prop 5 / Thm 1: BASELINE evaluates exactly the minimal evaluation set
+// Q_min determined by the upper bounds and exact scores.
+TEST(StrategyAgreementTest, BaselineEvaluatesMinimalSet) {
+  SearchOptions options;
+  options.k = 3;
+  ExampleSpreadsheet sheet = Fig2aSheet(TpchIndex());
+  PreparedSearch prep(TpchIndex(), TpchGraph(), sheet, options);
+  SearchResult naive = RunNaive(prep, options);
+  SearchResult baseline = RunBaseline(prep, options);
+
+  // Recompute i*: candidates are sorted by ub desc; find the minimal i
+  // with top_k{score(Q_1..Q_i)} >= ub(Q_{i+1}).
+  std::unordered_map<std::string, double> exact;
+  for (const EvaluatedRecord& rec : naive.evaluated) {
+    double total = 0.0;
+    for (double v : rec.row_scores) total += v;
+    (void)total;
+  }
+  std::vector<double> scores;
+  // Use the scored info by re-running scoring through naive's topk is
+  // insufficient (only k kept); recompute exact scores per candidate.
+  scores.reserve(prep.candidates.size());
+  {
+    std::unordered_map<std::string, double> by_sig;
+    SearchOptions all;
+    all.k = static_cast<int32_t>(prep.candidates.size());
+    PreparedSearch prep2(TpchIndex(), TpchGraph(), sheet, all);
+    SearchResult everything = RunNaive(prep2, all);
+    for (const ScoredQuery& sq : everything.topk) {
+      by_sig[sq.query.signature()] = sq.score;
+    }
+    for (const CandidateQuery& c : prep.candidates) {
+      scores.push_back(by_sig.at(c.query.signature()));
+    }
+  }
+  size_t istar = prep.candidates.size();
+  std::multiset<double, std::greater<>> seen;
+  for (size_t i = 0; i < prep.candidates.size(); ++i) {
+    seen.insert(scores[i]);
+    if (i + 1 == prep.candidates.size()) {
+      istar = i + 1;
+      break;
+    }
+    if (seen.size() >= static_cast<size_t>(options.k)) {
+      auto it = seen.begin();
+      std::advance(it, options.k - 1);
+      if (*it >= prep.candidates[i + 1].upper_bound) {
+        istar = i + 1;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(baseline.stats.queries_evaluated,
+            static_cast<int64_t>(istar));
+}
+
+struct SweepParam {
+  int32_t k;
+  double alpha;
+  double epsilon;
+  size_t cache_mb;
+};
+
+class StrategySweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(StrategySweepTest, AllStrategiesAgreeOnCsupp) {
+  const SweepParam& p = GetParam();
+  const CsuppWorld& world = SmallCsupp();
+
+  datagen::EsGenerator gen(*world.index, *world.graph, /*seed=*/99);
+  ASSERT_TRUE(gen.Init(/*min_text_columns=*/6, /*max_tree_size=*/4).ok());
+  auto es = gen.Generate();
+  ASSERT_TRUE(es.ok()) << es.status();
+
+  SearchOptions options;
+  options.k = p.k;
+  options.score.alpha = p.alpha;
+  options.epsilon = p.epsilon;
+  options.cache_budget_bytes = p.cache_mb << 20;
+  options.enumeration.max_tree_size = 4;
+
+  PreparedSearch prep(*world.index, *world.graph, es->sheet, options);
+  SearchResult naive = RunNaive(prep, options);
+  SearchResult baseline = RunBaseline(prep, options);
+  SearchResult fast = RunFastTopK(prep, options);
+
+  ExpectSameTopK(naive, baseline, "naive-vs-baseline");
+  ExpectSameTopK(naive, fast, "naive-vs-fast");
+  EXPECT_LE(baseline.stats.queries_evaluated, naive.stats.queries_evaluated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrategySweepTest,
+    ::testing::Values(SweepParam{1, 0.8, 0.6, 64}, SweepParam{5, 0.8, 0.6, 64},
+                      SweepParam{10, 0.5, 0.6, 64},
+                      SweepParam{10, 1.0, 0.6, 64},
+                      SweepParam{10, 0.8, 0.2, 64},
+                      SweepParam{10, 0.8, 2.0, 64},
+                      SweepParam{20, 0.8, 0.6, 1},
+                      SweepParam{5, 0.6, 1.0, 2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "k" + std::to_string(info.param.k) + "_a" +
+             std::to_string(static_cast<int>(info.param.alpha * 10)) + "_e" +
+             std::to_string(static_cast<int>(info.param.epsilon * 10)) +
+             "_c" + std::to_string(info.param.cache_mb);
+    });
+
+TEST(FastTopKTest, UsesCacheAndBatches) {
+  const CsuppWorld& world = SmallCsupp();
+  datagen::EsGenerator gen(*world.index, *world.graph, /*seed=*/123);
+  ASSERT_TRUE(gen.Init(6, 4).ok());
+  auto es = gen.Generate();
+  ASSERT_TRUE(es.ok());
+
+  SearchOptions options;
+  options.k = 10;
+  SearchResult fast =
+      SearchFastTopK(*world.index, *world.graph, es->sheet, options);
+  EXPECT_GE(fast.stats.batches, 1);
+  // On a schema with shared sub-expressions, FASTTOPK should find
+  // critical sub-PJs and get cache hits.
+  EXPECT_GT(fast.stats.critical_subs_cached, 0);
+  EXPECT_GT(fast.stats.cache.hits, 0);
+}
+
+TEST(FastTopKTest, ModelCostNotWorseThanBaseline) {
+  const CsuppWorld& world = SmallCsupp();
+  datagen::EsGenerator gen(*world.index, *world.graph, /*seed=*/321);
+  ASSERT_TRUE(gen.Init(6, 4).ok());
+  auto es = gen.Generate();
+  ASSERT_TRUE(es.ok());
+
+  SearchOptions options;
+  options.k = 10;
+  SearchResult baseline =
+      SearchBaseline(*world.index, *world.graph, es->sheet, options);
+  SearchResult fast =
+      SearchFastTopK(*world.index, *world.graph, es->sheet, options);
+  // FASTTOPK may evaluate more queries (up to (1+eps) * |Q_min|) but its
+  // hash-operation count should benefit from sharing: allow slack but
+  // catch pathological regressions.
+  EXPECT_LT(static_cast<double>(fast.stats.counters.hash_lookups +
+                                fast.stats.counters.hash_inserts),
+            2.0 * static_cast<double>(baseline.stats.counters.hash_lookups +
+                                      baseline.stats.counters.hash_inserts));
+}
+
+TEST(StrategyTest, KLargerThanCandidates) {
+  SearchOptions options;
+  options.k = 10000;
+  ExampleSpreadsheet sheet = Fig2aSheet(TpchIndex());
+  SearchResult fast =
+      SearchFastTopK(TpchIndex(), TpchGraph(), sheet, options);
+  SearchResult naive = SearchNaive(TpchIndex(), TpchGraph(), sheet, options);
+  EXPECT_EQ(fast.topk.size(), naive.topk.size());
+  EXPECT_EQ(fast.stats.queries_evaluated, fast.stats.queries_enumerated);
+}
+
+TEST(StrategyTest, NoMatchesGivesEmptyTopK) {
+  auto sheet = ExampleSpreadsheet::FromCells(
+      {{"zzzzzz", "qqqqqq"}}, TpchIndex().tokenizer());
+  ASSERT_TRUE(sheet.ok());
+  SearchOptions options;
+  SearchResult r = SearchFastTopK(TpchIndex(), TpchGraph(), *sheet, options);
+  EXPECT_TRUE(r.topk.empty());
+  EXPECT_EQ(r.stats.queries_enumerated, 0);
+}
+
+TEST(StrategyTest, StatsTimingSplitPopulated) {
+  ExampleSpreadsheet sheet = Fig2aSheet(TpchIndex());
+  SearchOptions options;
+  SearchResult r = SearchFastTopK(TpchIndex(), TpchGraph(), sheet, options);
+  EXPECT_GT(r.stats.enum_seconds, 0.0);
+  EXPECT_GT(r.stats.eval_seconds, 0.0);
+  EXPECT_GT(r.stats.model_cost, 0);
+  EXPECT_EQ(r.stats.query_row_evals, r.stats.queries_evaluated * 3);
+}
+
+}  // namespace
+}  // namespace s4

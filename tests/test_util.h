@@ -1,0 +1,145 @@
+#ifndef S4_TESTS_TEST_UTIL_H_
+#define S4_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/tpch_mini.h"
+#include "index/index_set.h"
+#include "query/pj_query.h"
+#include "query/spreadsheet.h"
+#include "schema/schema_graph.h"
+#include "score/score_model.h"
+
+namespace s4::testing {
+
+// Builds the Figure-1 database once per process.
+inline const Database& TpchDb() {
+  static const Database& db = *new Database([] {
+    auto d = datagen::MakeTpchMini();
+    if (!d.ok()) abort();
+    return std::move(d).value();
+  }());
+  return db;
+}
+
+inline const IndexSet& TpchIndex() {
+  static const IndexSet& index = *[] {
+    auto i = IndexSet::Build(TpchDb());
+    if (!i.ok()) abort();
+    return i->release();
+  }();
+  return index;
+}
+
+inline const SchemaGraph& TpchGraph() {
+  static const SchemaGraph& g = *new SchemaGraph(TpchDb());
+  return g;
+}
+
+// The example spreadsheet of Figure 2(a).
+inline ExampleSpreadsheet Fig2aSheet(const IndexSet& index) {
+  auto sheet = ExampleSpreadsheet::FromCells(
+      {
+          {"Rick", "USA", "Xbox"},
+          {"Julie", "", "iPhone"},
+          {"Kevin", "Canada", ""},
+      },
+      index.tokenizer());
+  if (!sheet.ok()) abort();
+  return std::move(sheet).value();
+}
+
+// Reference implementation of the row-containment components
+// score(t | Q) by explicit enumeration of all join-output rows —
+// exponential but exact; used to validate the hash-join evaluator.
+// Supports the base scoring model (no idf / exact-match bonus).
+class BruteForceEvaluator {
+ public:
+  BruteForceEvaluator(const IndexSet& index, const ExampleSpreadsheet& sheet)
+      : index_(&index), sheet_(&sheet) {}
+
+  std::vector<double> RowScores(const PJQuery& q) {
+    const JoinTree& tree = q.tree();
+    std::vector<double> best(sheet_->NumRows(), 0.0);
+    std::vector<int64_t> rows(tree.size(), -1);
+    Assign(q, tree, 0, &rows, &best);
+    return best;
+  }
+
+ private:
+  // Distinct terms of the example cell found in the database cell.
+  double CellSim(const std::string& cell_raw, TableId table, int64_t row,
+                 int32_t col) const {
+    const Table& t = index_->db().table(table);
+    if (t.IsNull(row, col)) return 0.0;
+    std::vector<std::string> db_tokens =
+        index_->tokenizer().Tokenize(t.GetText(row, col));
+    std::unordered_set<std::string> db_set(db_tokens.begin(),
+                                           db_tokens.end());
+    double sim = 0.0;
+    for (const std::string& term :
+         index_->tokenizer().TokenizeUnique(cell_raw)) {
+      if (db_set.count(term) > 0) sim += 1.0;
+    }
+    return sim;
+  }
+
+  void Score(const PJQuery& q, const std::vector<int64_t>& rows,
+             std::vector<double>* best) const {
+    for (int32_t t = 0; t < sheet_->NumRows(); ++t) {
+      double total = 0.0;
+      for (const ProjectionBinding& b : q.bindings()) {
+        const auto& cell = sheet_->cell(t, b.es_column);
+        if (cell.empty()) continue;
+        total += CellSim(cell.raw, q.tree().node(b.node).table,
+                         rows[b.node], b.column);
+      }
+      (*best)[t] = std::max((*best)[t], total);
+    }
+  }
+
+  void Assign(const PJQuery& q, const JoinTree& tree, TreeNodeId v,
+              std::vector<int64_t>* rows, std::vector<double>* best) {
+    const Database& db = index_->db();
+    const KfkSnapshot& snap = index_->snapshot();
+    const TableId table = tree.node(v).table;
+    auto descend = [&](int64_t row) {
+      (*rows)[v] = row;
+      // Verify the join predicate with the parent.
+      if (v != tree.root()) {
+        const JoinTree::Node& n = tree.node(v);
+        const int64_t parent_row = (*rows)[n.parent];
+        const TableId parent_table = tree.node(n.parent).table;
+        int64_t fk, pk;
+        if (n.parent_holds_fk) {
+          if (!snap.FkValid(n.edge_to_parent, parent_row)) return;
+          fk = snap.Fk(n.edge_to_parent)[parent_row];
+          pk = snap.Pk(table)[row];
+        } else {
+          if (!snap.FkValid(n.edge_to_parent, row)) return;
+          fk = snap.Fk(n.edge_to_parent)[row];
+          pk = snap.Pk(parent_table)[parent_row];
+        }
+        if (fk != pk) return;
+      }
+      if (v + 1 == tree.size()) {
+        Score(q, *rows, best);
+      } else {
+        Assign(q, tree, v + 1, rows, best);
+      }
+    };
+    for (int64_t r = 0; r < db.table(table).NumRows(); ++r) descend(r);
+  }
+
+  const IndexSet* index_;
+  const ExampleSpreadsheet* sheet_;
+};
+
+}  // namespace s4::testing
+
+#endif  // S4_TESTS_TEST_UTIL_H_

@@ -1,0 +1,93 @@
+// Tokenizer and term dictionary tests (Sec 6.1 tokenization rules,
+// Appendix A.2 n-gram mode).
+#include <gtest/gtest.h>
+
+#include "text/term_dict.h"
+#include "text/tokenizer.h"
+
+namespace s4 {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Xbox One"),
+            (std::vector<std::string>{"xbox", "one"}));
+  EXPECT_EQ(tok.Tokenize("  Rick   Miller "),
+            (std::vector<std::string>{"rick", "miller"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("a-b c_d e/f (g) h:i 'j' \"k\""),
+            (std::vector<std::string>{"a", "b", "c", "d", "e", "f", "g",
+                                      "h", "i", "j", "k"}));
+}
+
+TEST(TokenizerTest, DiscardsTokensWithOddCharacters) {
+  Tokenizer tok;
+  // '@' is not a separator: it poisons the token (paper: discard tokens
+  // containing non-alphanumeric characters).
+  EXPECT_EQ(tok.Tokenize("bob@example ok"),
+            (std::vector<std::string>{"ok"}));
+}
+
+TEST(TokenizerTest, DiscardsOverlongTokens) {
+  Tokenizer tok;  // default max 15
+  EXPECT_EQ(tok.Tokenize("short aaaaaaaaaaaaaaaa"),
+            (std::vector<std::string>{"short"}));
+  EXPECT_EQ(tok.Tokenize("exactlyfifteen1"),
+            (std::vector<std::string>{"exactlyfifteen1"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("iPhone 6"),
+            (std::vector<std::string>{"iphone", "6"}));
+}
+
+TEST(TokenizerTest, TokenizeUniquePreservesOrder) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.TokenizeUnique("b a b c a"),
+            (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  -- ").empty());
+}
+
+TEST(TokenizerTest, NGramMode) {
+  TokenizerOptions opts;
+  opts.mode = TokenizerMode::kNGram;
+  opts.ngram_size = 3;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("abcd"),
+            (std::vector<std::string>{"abc", "bcd"}));
+  // Short words become a single gram.
+  EXPECT_EQ(tok.Tokenize("ab"), (std::vector<std::string>{"ab"}));
+  // Fuzzy overlap: "xbox" and "xbbox" share grams.
+  auto a = tok.TokenizeUnique("xbox");
+  auto b = tok.TokenizeUnique("xbbox");
+  int shared = 0;
+  for (const auto& g : a) {
+    if (std::find(b.begin(), b.end(), g) != b.end()) ++shared;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+TEST(TermDictTest, InternAndLookup) {
+  TermDict dict;
+  TermId a = dict.Intern("alpha");
+  TermId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.Lookup("alpha"), a);
+  EXPECT_EQ(dict.Lookup("gamma"), kInvalidTermId);
+  EXPECT_EQ(dict.term(a), "alpha");
+  EXPECT_EQ(dict.size(), 2);
+  EXPECT_GT(dict.ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expv_errors.dir/bench_expv_errors.cc.o"
+  "CMakeFiles/bench_expv_errors.dir/bench_expv_errors.cc.o.d"
+  "bench_expv_errors"
+  "bench_expv_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expv_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

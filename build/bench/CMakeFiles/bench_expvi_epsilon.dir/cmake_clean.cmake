@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expvi_epsilon.dir/bench_expvi_epsilon.cc.o"
+  "CMakeFiles/bench_expvi_epsilon.dir/bench_expvi_epsilon.cc.o.d"
+  "bench_expvi_epsilon"
+  "bench_expvi_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expvi_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fig13_or_semantics.dir/bench_fig12_fig13_or_semantics.cc.o"
+  "CMakeFiles/bench_fig12_fig13_or_semantics.dir/bench_fig12_fig13_or_semantics.cc.o.d"
+  "bench_fig12_fig13_or_semantics"
+  "bench_fig12_fig13_or_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fig13_or_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

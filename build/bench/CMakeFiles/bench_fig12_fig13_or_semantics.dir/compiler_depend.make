@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_fig13_or_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_fig13_or_semantics.
+# This may be replaced when dependencies are built.

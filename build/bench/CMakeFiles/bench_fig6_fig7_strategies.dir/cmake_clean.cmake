@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fig7_strategies.dir/bench_fig6_fig7_strategies.cc.o"
+  "CMakeFiles/bench_fig6_fig7_strategies.dir/bench_fig6_fig7_strategies.cc.o.d"
+  "bench_fig6_fig7_strategies"
+  "bench_fig6_fig7_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fig7_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_alpha_k.cc" "bench/CMakeFiles/bench_fig9_alpha_k.dir/bench_fig9_alpha_k.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_alpha_k.dir/bench_fig9_alpha_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/s4_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/s4/CMakeFiles/s4_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/s4_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerate/CMakeFiles/s4_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/s4_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/s4_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/s4_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/s4_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/s4_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/s4_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/s4_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s4_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/s4_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_user_study_mrr.dir/bench_user_study_mrr.cc.o"
+  "CMakeFiles/bench_user_study_mrr.dir/bench_user_study_mrr.cc.o.d"
+  "bench_user_study_mrr"
+  "bench_user_study_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_user_study_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

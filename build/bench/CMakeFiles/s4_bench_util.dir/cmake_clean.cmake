@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/s4_bench_util.dir/bench_util.cc.o.d"
+  "libs4_bench_util.a"
+  "libs4_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soak_scale.dir/soak_scale.cc.o"
+  "CMakeFiles/soak_scale.dir/soak_scale.cc.o.d"
+  "soak_scale"
+  "soak_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_search.dir/enterprise_search.cpp.o"
+  "CMakeFiles/enterprise_search.dir/enterprise_search.cpp.o.d"
+  "enterprise_search"
+  "enterprise_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_typing.dir/incremental_typing.cpp.o"
+  "CMakeFiles/incremental_typing.dir/incremental_typing.cpp.o.d"
+  "incremental_typing"
+  "incremental_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_discovery.dir/movie_discovery.cpp.o"
+  "CMakeFiles/movie_discovery.dir/movie_discovery.cpp.o.d"
+  "movie_discovery"
+  "movie_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

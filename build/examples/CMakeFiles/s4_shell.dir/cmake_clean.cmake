@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_shell.dir/s4_shell.cpp.o"
+  "CMakeFiles/s4_shell.dir/s4_shell.cpp.o.d"
+  "s4_shell"
+  "s4_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

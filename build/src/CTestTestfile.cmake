@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("schema")
+subdirs("text")
+subdirs("index")
+subdirs("query")
+subdirs("enumerate")
+subdirs("score")
+subdirs("cache")
+subdirs("exec")
+subdirs("strategy")
+subdirs("s4")
+subdirs("datagen")

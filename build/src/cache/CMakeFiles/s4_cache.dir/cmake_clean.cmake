@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_cache.dir/subquery_cache.cc.o"
+  "CMakeFiles/s4_cache.dir/subquery_cache.cc.o.d"
+  "libs4_cache.a"
+  "libs4_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_common.dir/rng.cc.o"
+  "CMakeFiles/s4_common.dir/rng.cc.o.d"
+  "CMakeFiles/s4_common.dir/status.cc.o"
+  "CMakeFiles/s4_common.dir/status.cc.o.d"
+  "CMakeFiles/s4_common.dir/string_util.cc.o"
+  "CMakeFiles/s4_common.dir/string_util.cc.o.d"
+  "CMakeFiles/s4_common.dir/table_printer.cc.o"
+  "CMakeFiles/s4_common.dir/table_printer.cc.o.d"
+  "libs4_common.a"
+  "libs4_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/es_gen.cc" "src/datagen/CMakeFiles/s4_datagen.dir/es_gen.cc.o" "gcc" "src/datagen/CMakeFiles/s4_datagen.dir/es_gen.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/datagen/CMakeFiles/s4_datagen.dir/names.cc.o" "gcc" "src/datagen/CMakeFiles/s4_datagen.dir/names.cc.o.d"
+  "/root/repo/src/datagen/random_schema.cc" "src/datagen/CMakeFiles/s4_datagen.dir/random_schema.cc.o" "gcc" "src/datagen/CMakeFiles/s4_datagen.dir/random_schema.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/s4_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/s4_datagen.dir/synthetic.cc.o.d"
+  "/root/repo/src/datagen/tpch_mini.cc" "src/datagen/CMakeFiles/s4_datagen.dir/tpch_mini.cc.o" "gcc" "src/datagen/CMakeFiles/s4_datagen.dir/tpch_mini.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/s4_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/s4_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/s4_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s4_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/s4_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_datagen.dir/es_gen.cc.o"
+  "CMakeFiles/s4_datagen.dir/es_gen.cc.o.d"
+  "CMakeFiles/s4_datagen.dir/names.cc.o"
+  "CMakeFiles/s4_datagen.dir/names.cc.o.d"
+  "CMakeFiles/s4_datagen.dir/random_schema.cc.o"
+  "CMakeFiles/s4_datagen.dir/random_schema.cc.o.d"
+  "CMakeFiles/s4_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/s4_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/s4_datagen.dir/tpch_mini.cc.o"
+  "CMakeFiles/s4_datagen.dir/tpch_mini.cc.o.d"
+  "libs4_datagen.a"
+  "libs4_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

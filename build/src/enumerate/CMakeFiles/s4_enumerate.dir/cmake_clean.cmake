@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_enumerate.dir/enumerator.cc.o"
+  "CMakeFiles/s4_enumerate.dir/enumerator.cc.o.d"
+  "libs4_enumerate.a"
+  "libs4_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

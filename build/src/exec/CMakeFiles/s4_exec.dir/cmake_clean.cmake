@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_exec.dir/cost_model.cc.o"
+  "CMakeFiles/s4_exec.dir/cost_model.cc.o.d"
+  "CMakeFiles/s4_exec.dir/evaluator.cc.o"
+  "CMakeFiles/s4_exec.dir/evaluator.cc.o.d"
+  "CMakeFiles/s4_exec.dir/explain.cc.o"
+  "CMakeFiles/s4_exec.dir/explain.cc.o.d"
+  "CMakeFiles/s4_exec.dir/query_output.cc.o"
+  "CMakeFiles/s4_exec.dir/query_output.cc.o.d"
+  "libs4_exec.a"
+  "libs4_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_set.cc" "src/index/CMakeFiles/s4_index.dir/index_set.cc.o" "gcc" "src/index/CMakeFiles/s4_index.dir/index_set.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/s4_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/s4_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/kfk_snapshot.cc" "src/index/CMakeFiles/s4_index.dir/kfk_snapshot.cc.o" "gcc" "src/index/CMakeFiles/s4_index.dir/kfk_snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/s4_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/s4_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

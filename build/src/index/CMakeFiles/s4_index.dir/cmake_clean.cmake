@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_index.dir/index_set.cc.o"
+  "CMakeFiles/s4_index.dir/index_set.cc.o.d"
+  "CMakeFiles/s4_index.dir/inverted_index.cc.o"
+  "CMakeFiles/s4_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/s4_index.dir/kfk_snapshot.cc.o"
+  "CMakeFiles/s4_index.dir/kfk_snapshot.cc.o.d"
+  "libs4_index.a"
+  "libs4_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

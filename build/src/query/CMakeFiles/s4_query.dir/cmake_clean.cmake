@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_query.dir/pj_query.cc.o"
+  "CMakeFiles/s4_query.dir/pj_query.cc.o.d"
+  "CMakeFiles/s4_query.dir/spreadsheet.cc.o"
+  "CMakeFiles/s4_query.dir/spreadsheet.cc.o.d"
+  "libs4_query.a"
+  "libs4_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_system.dir/s4.cc.o"
+  "CMakeFiles/s4_system.dir/s4.cc.o.d"
+  "libs4_system.a"
+  "libs4_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

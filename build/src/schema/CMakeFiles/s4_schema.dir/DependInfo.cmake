@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/join_tree.cc" "src/schema/CMakeFiles/s4_schema.dir/join_tree.cc.o" "gcc" "src/schema/CMakeFiles/s4_schema.dir/join_tree.cc.o.d"
+  "/root/repo/src/schema/schema_graph.cc" "src/schema/CMakeFiles/s4_schema.dir/schema_graph.cc.o" "gcc" "src/schema/CMakeFiles/s4_schema.dir/schema_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/s4_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_schema.dir/join_tree.cc.o"
+  "CMakeFiles/s4_schema.dir/join_tree.cc.o.d"
+  "CMakeFiles/s4_schema.dir/schema_graph.cc.o"
+  "CMakeFiles/s4_schema.dir/schema_graph.cc.o.d"
+  "libs4_schema.a"
+  "libs4_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

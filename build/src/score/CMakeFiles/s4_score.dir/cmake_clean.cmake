@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_score.dir/score_context.cc.o"
+  "CMakeFiles/s4_score.dir/score_context.cc.o.d"
+  "libs4_score.a"
+  "libs4_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_storage.dir/csv.cc.o"
+  "CMakeFiles/s4_storage.dir/csv.cc.o.d"
+  "CMakeFiles/s4_storage.dir/csv_database.cc.o"
+  "CMakeFiles/s4_storage.dir/csv_database.cc.o.d"
+  "CMakeFiles/s4_storage.dir/database.cc.o"
+  "CMakeFiles/s4_storage.dir/database.cc.o.d"
+  "CMakeFiles/s4_storage.dir/serialize.cc.o"
+  "CMakeFiles/s4_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/s4_storage.dir/table.cc.o"
+  "CMakeFiles/s4_storage.dir/table.cc.o.d"
+  "CMakeFiles/s4_storage.dir/value.cc.o"
+  "CMakeFiles/s4_storage.dir/value.cc.o.d"
+  "libs4_storage.a"
+  "libs4_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

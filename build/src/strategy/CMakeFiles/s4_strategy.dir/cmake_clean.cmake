@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_strategy.dir/fasttopk.cc.o"
+  "CMakeFiles/s4_strategy.dir/fasttopk.cc.o.d"
+  "CMakeFiles/s4_strategy.dir/incremental.cc.o"
+  "CMakeFiles/s4_strategy.dir/incremental.cc.o.d"
+  "CMakeFiles/s4_strategy.dir/or_semantics.cc.o"
+  "CMakeFiles/s4_strategy.dir/or_semantics.cc.o.d"
+  "CMakeFiles/s4_strategy.dir/strategy.cc.o"
+  "CMakeFiles/s4_strategy.dir/strategy.cc.o.d"
+  "libs4_strategy.a"
+  "libs4_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_text.dir/edit_distance.cc.o"
+  "CMakeFiles/s4_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/s4_text.dir/term_dict.cc.o"
+  "CMakeFiles/s4_text.dir/term_dict.cc.o.d"
+  "CMakeFiles/s4_text.dir/tokenizer.cc.o"
+  "CMakeFiles/s4_text.dir/tokenizer.cc.o.d"
+  "libs4_text.a"
+  "libs4_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/s4_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/s4_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/csv_database_test.cc" "tests/CMakeFiles/s4_tests.dir/csv_database_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/csv_database_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/s4_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/edge_case_test.cc" "tests/CMakeFiles/s4_tests.dir/edge_case_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/edge_case_test.cc.o.d"
+  "/root/repo/tests/enumerator_test.cc" "tests/CMakeFiles/s4_tests.dir/enumerator_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/enumerator_test.cc.o.d"
+  "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/s4_tests.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/evaluator_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/s4_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/s4_tests.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/incremental_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/s4_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/join_tree_test.cc" "tests/CMakeFiles/s4_tests.dir/join_tree_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/join_tree_test.cc.o.d"
+  "/root/repo/tests/multi_edge_test.cc" "tests/CMakeFiles/s4_tests.dir/multi_edge_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/multi_edge_test.cc.o.d"
+  "/root/repo/tests/or_semantics_test.cc" "tests/CMakeFiles/s4_tests.dir/or_semantics_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/or_semantics_test.cc.o.d"
+  "/root/repo/tests/pj_query_test.cc" "tests/CMakeFiles/s4_tests.dir/pj_query_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/pj_query_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/s4_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_output_test.cc" "tests/CMakeFiles/s4_tests.dir/query_output_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/query_output_test.cc.o.d"
+  "/root/repo/tests/random_schema_test.cc" "tests/CMakeFiles/s4_tests.dir/random_schema_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/random_schema_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/s4_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/s4_system_test.cc" "tests/CMakeFiles/s4_tests.dir/s4_system_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/s4_system_test.cc.o.d"
+  "/root/repo/tests/schema_graph_test.cc" "tests/CMakeFiles/s4_tests.dir/schema_graph_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/schema_graph_test.cc.o.d"
+  "/root/repo/tests/score_test.cc" "tests/CMakeFiles/s4_tests.dir/score_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/score_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/s4_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/spelling_test.cc" "tests/CMakeFiles/s4_tests.dir/spelling_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/spelling_test.cc.o.d"
+  "/root/repo/tests/spreadsheet_test.cc" "tests/CMakeFiles/s4_tests.dir/spreadsheet_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/spreadsheet_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/s4_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/strategy_test.cc" "tests/CMakeFiles/s4_tests.dir/strategy_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/strategy_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/s4_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/text_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/s4/CMakeFiles/s4_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/s4_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerate/CMakeFiles/s4_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/s4_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/s4_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/s4_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/s4_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/s4_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/s4_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/s4_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s4_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/s4_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s4_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

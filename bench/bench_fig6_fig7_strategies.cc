@@ -3,8 +3,10 @@
 // evaluation, per term-frequency bucket) and Figure 7 (number of PJ
 // query-row evaluations per strategy and bucket).
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 
 int main() {
   using namespace s4;
@@ -77,5 +79,39 @@ int main() {
       "\npaper's shape: FASTTOPK beats NAIVE by ~5-11x and BASELINE by"
       " ~1.5-5x; BASELINE/FASTTOPK evaluate far fewer queries than"
       " NAIVE.\n");
+
+  // Thread-count sweep over the Stage-II evaluation path: FASTTOPK on
+  // the whole workload at 1/2/4/8 evaluation threads. The top-k score
+  // checksum must be identical at every thread count (Thm 3 preserved
+  // by the batch-boundary merge); the speedup column is only meaningful
+  // on a machine with that many hardware threads.
+  const int32_t max_threads =
+      static_cast<int32_t>(EnvInt("S4_BENCH_THREADS_MAX", 8));
+  std::printf("\nThread sweep: FASTTOPK evaluation (whole workload)\n");
+  TablePrinter tt({"threads", "eval (ms)", "speedup vs 1T",
+                   "topk score checksum"});
+  double serial_eval_ms = 0.0;
+  for (int32_t threads = 1; threads <= max_threads; threads *= 2) {
+    SearchOptions topt = options;
+    topt.num_threads = threads;
+    double eval_ms = 0.0;
+    double checksum = 0.0;
+    for (size_t i = 0; i < workload.es.size(); ++i) {
+      PreparedSearch prep(*world->index, *world->graph,
+                          workload.es[i].sheet, topt);
+      SearchResult r = RunFastTopK(prep, topt);
+      eval_ms += r.stats.eval_seconds * 1e3;
+      for (const ScoredQuery& sq : r.topk) checksum += sq.score;
+    }
+    if (threads == 1) serial_eval_ms = eval_ms;
+    tt.AddRow({std::to_string(threads), TablePrinter::Num(eval_ms, 3),
+               TablePrinter::Num(serial_eval_ms / eval_ms, 2) + "x",
+               TablePrinter::Num(checksum, 6)});
+  }
+  tt.Print();
+  std::printf(
+      "\nhardware threads on this machine: %d (speedups flatten beyond"
+      " that)\n",
+      ThreadPool::DefaultThreads());
   return 0;
 }

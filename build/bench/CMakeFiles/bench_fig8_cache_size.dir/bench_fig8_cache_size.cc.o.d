@@ -218,9 +218,12 @@ bench/CMakeFiles/bench_fig8_cache_size.dir/bench_fig8_cache_size.cc.o: \
  /root/repo/src/query/pj_query.h /root/repo/src/schema/join_tree.h \
  /root/repo/src/schema/schema_graph.h /root/repo/src/query/spreadsheet.h \
  /root/repo/src/datagen/synthetic.h /root/repo/src/strategy/strategy.h \
- /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/enumerate/enumerator.h \
  /root/repo/src/score/score_context.h /root/repo/src/score/score_model.h \
@@ -234,8 +237,7 @@ bench/CMakeFiles/bench_fig8_cache_size.dir/bench_fig8_cache_size.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -242,8 +242,11 @@ examples/CMakeFiles/s4_shell.dir/s4_shell.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/s4/s4.h \
  /root/repo/src/exec/query_output.h /root/repo/src/strategy/incremental.h \
  /root/repo/src/strategy/strategy.h /root/repo/src/cache/subquery_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/enumerate/enumerator.h /root/repo/src/exec/evaluator.h \
  /root/repo/src/strategy/or_semantics.h \

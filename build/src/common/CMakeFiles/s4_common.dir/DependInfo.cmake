@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/s4_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/s4_common.dir/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/s4_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/s4_common.dir/string_util.cc.o.d"
   "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/s4_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/s4_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/s4_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/s4_common.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/s4_common.dir/string_util.cc.o.d"
   "CMakeFiles/s4_common.dir/table_printer.cc.o"
   "CMakeFiles/s4_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/s4_common.dir/thread_pool.cc.o"
+  "CMakeFiles/s4_common.dir/thread_pool.cc.o.d"
   "libs4_common.a"
   "libs4_common.pdb"
 )

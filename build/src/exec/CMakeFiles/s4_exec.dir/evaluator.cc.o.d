@@ -198,9 +198,14 @@ src/exec/CMakeFiles/s4_exec.dir/evaluator.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -213,7 +218,6 @@ src/exec/CMakeFiles/s4_exec.dir/evaluator.cc.o: \
  /root/repo/src/schema/join_tree.h /root/repo/src/schema/schema_graph.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/value.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/score/score_context.h /root/repo/src/index/index_set.h \
  /root/repo/src/index/column_ids.h /root/repo/src/index/inverted_index.h \
  /root/repo/src/text/term_dict.h /root/repo/src/index/kfk_snapshot.h \
@@ -228,8 +232,7 @@ src/exec/CMakeFiles/s4_exec.dir/evaluator.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

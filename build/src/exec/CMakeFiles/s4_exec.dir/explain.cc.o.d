@@ -245,7 +245,10 @@ src/exec/CMakeFiles/s4_exec.dir/explain.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/common/hash_util.h /usr/include/c++/12/cstddef \
  /root/repo/src/common/string_util.h /root/repo/src/exec/cost_model.h \
- /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

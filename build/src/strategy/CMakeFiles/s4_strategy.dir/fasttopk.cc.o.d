@@ -206,17 +206,7 @@ src/strategy/CMakeFiles/s4_strategy.dir/fasttopk.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/exec/cost_model.h /root/repo/src/cache/subquery_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -238,22 +228,44 @@ src/strategy/CMakeFiles/s4_strategy.dir/fasttopk.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/query/pj_query.h /root/repo/src/schema/join_tree.h \
- /root/repo/src/schema/schema_graph.h /root/repo/src/storage/database.h \
- /root/repo/src/common/status.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/optional \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/value.h \
- /usr/include/c++/12/variant /root/repo/src/score/score_context.h \
- /root/repo/src/index/index_set.h /root/repo/src/index/column_ids.h \
- /root/repo/src/index/inverted_index.h /root/repo/src/text/term_dict.h \
- /root/repo/src/index/kfk_snapshot.h /root/repo/src/text/tokenizer.h \
- /root/repo/src/query/spreadsheet.h /root/repo/src/score/score_model.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/query/pj_query.h \
+ /root/repo/src/schema/join_tree.h /root/repo/src/schema/schema_graph.h \
+ /root/repo/src/storage/database.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/value.h /usr/include/c++/12/variant \
+ /root/repo/src/score/score_context.h /root/repo/src/index/index_set.h \
+ /root/repo/src/index/column_ids.h /root/repo/src/index/inverted_index.h \
+ /root/repo/src/text/term_dict.h /root/repo/src/index/kfk_snapshot.h \
+ /root/repo/src/text/tokenizer.h /root/repo/src/query/spreadsheet.h \
+ /root/repo/src/score/score_model.h \
  /root/repo/src/strategy/strategy_internal.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/strategy/strategy.h /root/repo/src/enumerate/enumerator.h \
  /root/repo/src/exec/evaluator.h

@@ -12,6 +12,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common_test.cc" "tests/CMakeFiles/s4_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/common_test.cc.o.d"
   "/root/repo/tests/csv_database_test.cc" "tests/CMakeFiles/s4_tests.dir/csv_database_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/csv_database_test.cc.o.d"
   "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/s4_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/s4_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/s4_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/differential_test.cc.o.d"
   "/root/repo/tests/edge_case_test.cc" "tests/CMakeFiles/s4_tests.dir/edge_case_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/edge_case_test.cc.o.d"
   "/root/repo/tests/enumerator_test.cc" "tests/CMakeFiles/s4_tests.dir/enumerator_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/enumerator_test.cc.o.d"
   "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/s4_tests.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/evaluator_test.cc.o.d"
@@ -35,6 +37,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/s4_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/storage_test.cc.o.d"
   "/root/repo/tests/strategy_test.cc" "tests/CMakeFiles/s4_tests.dir/strategy_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/strategy_test.cc.o.d"
   "/root/repo/tests/text_test.cc" "tests/CMakeFiles/s4_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/s4_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/s4_tests.dir/thread_pool_test.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -335,6 +335,7 @@ tests/CMakeFiles/s4_tests.dir/csv_database_test.cc.o: \
  /root/repo/src/strategy/incremental.h /root/repo/src/strategy/strategy.h \
  /root/repo/src/cache/subquery_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/enumerate/enumerator.h /root/repo/src/exec/evaluator.h \

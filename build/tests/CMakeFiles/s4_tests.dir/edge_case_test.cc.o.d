@@ -325,7 +325,9 @@ tests/CMakeFiles/s4_tests.dir/edge_case_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/strategy/strategy.h /root/repo/src/cache/subquery_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/evaluator.h \
  /root/repo/tests/test_util.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -1,9 +1,11 @@
 #ifndef S4_CACHE_SUBQUERY_CACHE_H_
 #define S4_CACHE_SUBQUERY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,11 +39,22 @@ struct SubQueryTable {
     return static_cast<int64_t>(scored.size() + zero.size());
   }
 
-  // Approximate bytes (hash buckets + score vectors).
+  // Approximate bytes. Counts the bucket arrays (one pointer-sized
+  // bucket head per bucket) and the per-node overhead of the chained
+  // hash tables (next pointer + cached hash) in addition to the
+  // payload, so the cache budget B reflects the real footprint — the
+  // bucket array alone can dominate for sparse, heavily rehashed
+  // tables.
   size_t ByteSize() const {
-    return scored.size() * (sizeof(int64_t) + 32 +
-                            sizeof(double) * static_cast<size_t>(num_es_rows)) +
-           zero.size() * (sizeof(int64_t) + 16) + sizeof(SubQueryTable);
+    constexpr size_t kNodeOverhead = 2 * sizeof(void*);  // next ptr + hash
+    size_t bytes = sizeof(SubQueryTable);
+    bytes += scored.bucket_count() * sizeof(void*);
+    bytes += scored.size() *
+             (kNodeOverhead + sizeof(int64_t) + sizeof(std::vector<double>) +
+              sizeof(double) * static_cast<size_t>(num_es_rows));
+    bytes += zero.bucket_count() * sizeof(void*);
+    bytes += zero.size() * (kNodeOverhead + sizeof(int64_t));
+    return bytes;
   }
 };
 
@@ -58,24 +71,42 @@ struct CacheStats {
 // The scheduler explicitly Adds critical sub-PJ results (optionally
 // pinned so the LRU heuristic never drops them mid-group, Sec 5.3.4),
 // and the evaluator opportunistically offers intermediate tables.
+//
+// Concurrency: the cache is split into `num_shards` shards, each owning
+// a mutex-guarded hash map + LRU list of the keys that hash to it, so
+// parallel candidate evaluations contend only on colliding shards. The
+// byte budget B is global, tracked by one atomic counter; an Add that
+// would exceed it evicts unpinned LRU entries one shard at a time
+// (own shard first), never holding two shard locks at once. The
+// single-shard default preserves the exact global LRU order of the
+// paper's serial scheduler, which the serial (num_threads = 1)
+// strategies rely on for reproducibility.
 class SubQueryCache {
  public:
-  explicit SubQueryCache(size_t budget_bytes) : budget_(budget_bytes) {}
+  explicit SubQueryCache(size_t budget_bytes, int32_t num_shards = 1);
 
   SubQueryCache(const SubQueryCache&) = delete;
   SubQueryCache& operator=(const SubQueryCache&) = delete;
 
   size_t budget() const { return budget_; }
-  size_t bytes_used() const { return bytes_used_; }
-  const CacheStats& stats() const { return stats_; }
+  size_t bytes_used() const {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+
+  // Merged snapshot of the per-shard counters.
+  CacheStats stats() const;
+
+  // Shard count for a given evaluation thread count: one shard for the
+  // serial path (exact global LRU), else enough shards to keep
+  // lock contention low.
+  static int32_t ShardsForThreads(int32_t num_threads);
 
   // Looks up `key`; records a hit/miss and refreshes LRU recency.
   std::shared_ptr<const SubQueryTable> Get(const std::string& key);
 
   // True without touching stats or recency (used by cost estimation).
-  bool Contains(const std::string& key) const {
-    return entries_.count(key) > 0;
-  }
+  bool Contains(const std::string& key) const;
 
   // Inserts `table` under `key`, evicting unpinned LRU entries as needed.
   // Returns false (and stores nothing) if the table cannot fit even
@@ -91,7 +122,7 @@ class SubQueryCache {
   // Pin management; pinned entries are never evicted by Add.
   void Unpin(const std::string& key);
 
-  int64_t NumEntries() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t NumEntries() const;
 
  private:
   struct Entry {
@@ -101,14 +132,27 @@ class SubQueryCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void Touch(Entry& e, const std::string& key);
-  bool EvictUntil(size_t needed);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    std::list<std::string> lru;  // front = most recent
+    CacheStats stats;            // shard-local; merged by stats()
+  };
+
+  size_t ShardIndex(const std::string& key) const {
+    return std::hash<std::string>{}(key) % shards_.size();
+  }
+
+  // Evicts the shard's LRU unpinned entry; true if one was evicted.
+  bool EvictOneFrom(Shard& shard);
+  // Drops `key` from `shard` (shard.mu must be held by the caller).
+  void RemoveLocked(Shard& shard, const std::string& key);
+  void UpdatePeak();
 
   size_t budget_;
-  size_t bytes_used_ = 0;
-  CacheStats stats_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> bytes_used_{0};
+  std::atomic<size_t> peak_bytes_{0};
 };
 
 }  // namespace s4

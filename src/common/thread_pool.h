@@ -1,0 +1,72 @@
+#ifndef S4_COMMON_THREAD_POOL_H_
+#define S4_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s4 {
+
+// Work-stealing thread pool backing the parallel candidate-evaluation
+// path. Tasks are distributed round-robin across per-worker deques; an
+// idle worker first drains its own deque from the front and then steals
+// from the back of a sibling's deque, keeping owners and thieves on
+// opposite ends. Destruction drains every queued task before joining.
+//
+// ParallelFor blocks the calling thread (it does not execute loop
+// bodies), so a pool of N workers gives exactly N evaluation threads.
+// Calling ParallelFor from inside a pool task is not supported.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; <= 0 means DefaultThreads().
+  explicit ThreadPool(int32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t num_threads() const { return static_cast<int32_t>(workers_.size()); }
+
+  // std::thread::hardware_concurrency(), never less than 1.
+  static int32_t DefaultThreads();
+
+  // Enqueues `fn`; the returned future rethrows anything `fn` throws.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Runs fn(i) for every i in [0, n), blocking until all invocations
+  // finish. Indices are claimed dynamically (one shared cursor) so
+  // uneven per-index costs balance across workers. If any invocation
+  // throws, one of the thrown exceptions is rethrown here and indices
+  // not yet claimed are abandoned.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops one task (own front, else steal a sibling's back) and runs it.
+  bool RunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<int64_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+}  // namespace s4
+
+#endif  // S4_COMMON_THREAD_POOL_H_

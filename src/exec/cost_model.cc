@@ -28,8 +28,10 @@ int64_t EvaluationCost(const JoinTree& tree,
 size_t EstimateTableBytes(const JoinTree& tree, const ScoreContext& ctx) {
   const int64_t root_rows =
       ctx.index().snapshot().NumRows(tree.node(tree.root()).table);
+  // Mirrors SubQueryTable::ByteSize(): bucket head + node overhead +
+  // key + vector header per scored entry, plus the score payload.
   const size_t per_entry =
-      sizeof(int64_t) + 32 +
+      3 * sizeof(void*) + sizeof(int64_t) + sizeof(std::vector<double>) +
       sizeof(double) * static_cast<size_t>(ctx.NumEsRows());
   return static_cast<size_t>(root_rows) * per_entry + sizeof(SubQueryTable);
 }

@@ -44,6 +44,9 @@ class S4System {
 
   // One-shot top-k search from raw spreadsheet cells (rows x columns;
   // empty strings are empty cells). Validates Def 1.
+  // SearchOptions::num_threads controls Stage-II evaluation parallelism
+  // for all Search/SearchOr/session entry points; every thread count
+  // returns the same top-k sets and scores.
   StatusOr<SearchResult> Search(
       const std::vector<std::vector<std::string>>& cells,
       const SearchOptions& options = {},

@@ -61,9 +61,14 @@ class FastTopKRun {
         rts_(std::move(rts)),
         options_(options),
         topk_(static_cast<size_t>(options.k)),
-        cache_(options.cache_budget_bytes) {}
+        cache_(options.cache_budget_bytes,
+               SubQueryCache::ShardsForThreads(ResolveNumThreads(options))) {}
 
   SearchResult Run() {
+    const int32_t threads = ResolveNumThreads(options_);
+    if (threads > 1 && rts_.size() > 1) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
     WallTimer timer;
     const size_t n = rts_.size();
     size_t next = 0;
@@ -105,6 +110,44 @@ class FastTopKRun {
         EvaluateCandidate(prep_, rts_[rt_index], &cache_, offer_to_cache,
                           options_, &result_.stats, &result_.evaluated);
     topk_.Offer(sq.score, std::move(sq));
+  }
+
+  // Evaluates the given candidates (already in deterministic order —
+  // similarity order for a critical group, entry order for a batch
+  // remainder). Serial path: the legacy per-candidate loop, re-checking
+  // the skipping condition after every evaluation. Parallel path: skip
+  // decisions are frozen against the k-th score at entry (a group/batch
+  // boundary — Prop 2 still guarantees a skipped candidate cannot enter
+  // the top-k, so only the skip *count* can differ from serial), the
+  // survivors fan out to the pool sharing the sharded cache, and the
+  // outcomes merge back in order. Every decision point reads topk state
+  // only between fan-outs, so a fixed thread count is deterministic.
+  void EvaluateRts(const std::vector<size_t>& rt_indices,
+                   bool offer_to_cache) {
+    if (pool_ == nullptr || rt_indices.size() <= 1) {
+      for (size_t rt : rt_indices) EvaluateOne(rt, offer_to_cache);
+      return;
+    }
+    const bool full = topk_.Full();
+    const double kth = topk_.KthScore();
+    std::vector<size_t> live;
+    live.reserve(rt_indices.size());
+    for (size_t rt : rt_indices) {
+      if (full && rts_[rt].ub <= kth) {
+        ++result_.stats.skipped_by_condition;
+      } else {
+        live.push_back(rt);
+      }
+    }
+    if (live.empty()) return;
+    std::vector<EvalOutcome> outcomes(live.size());
+    pool_->ParallelFor(live.size(), [&](size_t j) {
+      outcomes[j] = EvaluateCandidateIsolated(prep_, rts_[live[j]], &cache_,
+                                              offer_to_cache, options_);
+    });
+    for (EvalOutcome& o : outcomes) {
+      MergeOutcome(std::move(o), &result_, &topk_);
+    }
   }
 
   // BatchEval (Algorithm 4) over candidates [lo, hi) of the runtime list.
@@ -163,13 +206,16 @@ class FastTopKRun {
       }
 
       if (best_sub == nullptr) {
-        // No shareable sub-PJ left: evaluate the rest one by one (with
-        // the skipping condition) and finish the batch (Alg 4 line 5).
+        // No shareable sub-PJ left: evaluate the rest in entry order
+        // (with the skipping condition) and finish the batch (Alg 4
+        // line 5).
+        std::vector<size_t> rest;
         for (size_t e = 0; e < entries.size(); ++e) {
           if (done[e]) continue;
-          EvaluateOne(entries[e].rt_index, /*offer_to_cache=*/false);
+          rest.push_back(entries[e].rt_index);
           done[e] = true;
         }
+        EvaluateRts(rest, /*offer_to_cache=*/false);
         remaining = 0;
         break;
       }
@@ -207,11 +253,14 @@ class FastTopKRun {
       // Evaluate Critical^{-1}(Q*) in similarity order, re-using M with
       // LRU offers of intermediate tables (heuristic 1).
       std::vector<size_t> order = SimilarityOrder(*best_group, entries);
+      std::vector<size_t> order_rts;
+      order_rts.reserve(order.size());
       for (size_t e : order) {
-        EvaluateOne(entries[e].rt_index, /*offer_to_cache=*/true);
+        order_rts.push_back(entries[e].rt_index);
         done[e] = true;
         --remaining;
       }
+      EvaluateRts(order_rts, /*offer_to_cache=*/true);
       cache_.Unpin(best_key);
     }
   }
@@ -222,6 +271,7 @@ class FastTopKRun {
   SearchResult result_;
   TopKHeap<ScoredQuery> topk_;
   SubQueryCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // null on the serial legacy path
 };
 
 }  // namespace

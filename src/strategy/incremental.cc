@@ -88,6 +88,8 @@ SearchResult SearchSession::Search(const ExampleSpreadsheet& sheet,
     }
   }
 
+  // The shared cores carry SearchOptions::num_threads, so incremental
+  // re-searches parallelize (and stay equivalent) exactly like plain runs.
   SearchResult result = (mode == IncrementalMode::kBaselineInc)
                             ? RunBaselineCore(prep, std::move(rts), options_)
                             : RunFastTopKCore(prep, std::move(rts), options_);

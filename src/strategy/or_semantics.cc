@@ -31,6 +31,8 @@ SearchResult SearchOrSemantics(const IndexSet& index,
         sub_options.enumeration.active_columns.push_back(i);
       }
     }
+    // Each subset search inherits num_threads; parallelism lives inside
+    // the per-subset Stage-II evaluation, not across subsets.
     SearchResult r = strategy == OrStrategy::kNaive
                          ? SearchNaive(index, graph, sheet, sub_options)
                          : SearchFastTopK(index, graph, sheet, sub_options);

@@ -132,6 +132,31 @@ void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
   if (cache != nullptr) stats->cache = cache->stats();
 }
 
+int32_t ResolveNumThreads(const SearchOptions& options) {
+  return options.num_threads <= 0 ? ThreadPool::DefaultThreads()
+                                  : options.num_threads;
+}
+
+EvalOutcome EvaluateCandidateIsolated(PreparedSearch& prep,
+                                      const RuntimeCandidate& rt,
+                                      SubQueryCache* cache,
+                                      bool offer_to_cache,
+                                      const SearchOptions& options) {
+  EvalOutcome out;
+  out.sq = EvaluateCandidate(prep, rt, cache, offer_to_cache, options,
+                             &out.stats, &out.records);
+  return out;
+}
+
+void MergeOutcome(EvalOutcome&& outcome, SearchResult* result,
+                  TopKHeap<ScoredQuery>* topk) {
+  result->stats.Add(outcome.stats);
+  for (EvaluatedRecord& rec : outcome.records) {
+    result->evaluated.push_back(std::move(rec));
+  }
+  topk->Offer(outcome.sq.score, std::move(outcome.sq));
+}
+
 SearchResult RunBaselineCore(PreparedSearch& prep,
                              std::vector<RuntimeCandidate> rts,
                              const SearchOptions& options) {
@@ -139,17 +164,45 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
   SearchResult result;
   WallTimer timer;
   TopKHeap<ScoredQuery> topk(static_cast<size_t>(options.k));
-  for (size_t i = 0; i < rts.size(); ++i) {
-    ScoredQuery sq =
-        EvaluateCandidate(prep, rts[i], /*cache=*/nullptr,
-                          /*offer_to_cache=*/false, options, &result.stats,
-                          &result.evaluated);
-    topk.Offer(sq.score, std::move(sq));
-    // Termination condition (7): the k-th best known score dominates the
-    // best possible score of everything not yet evaluated.
-    if (i + 1 < rts.size() && topk.Full() &&
-        topk.KthScore() >= rts[i + 1].ub) {
-      break;
+  // Termination condition (7): the k-th best known score dominates the
+  // best possible score of everything not yet evaluated.
+  auto stop_after = [&](size_t rank) {
+    return rank + 1 < rts.size() && topk.Full() &&
+           topk.KthScore() >= rts[rank + 1].ub;
+  };
+  const int32_t threads = ResolveNumThreads(options);
+  if (threads <= 1 || rts.size() <= 1) {
+    for (size_t i = 0; i < rts.size(); ++i) {
+      ScoredQuery sq =
+          EvaluateCandidate(prep, rts[i], /*cache=*/nullptr,
+                            /*offer_to_cache=*/false, options, &result.stats,
+                            &result.evaluated);
+      topk.Offer(sq.score, std::move(sq));
+      if (stop_after(i)) break;
+    }
+  } else {
+    // Speculative lookahead: evaluate a block of candidates in parallel,
+    // then replay the outcomes in rank order applying condition (7)
+    // exactly as the serial scan would. Outcomes past the stop point are
+    // dropped unmerged, so the top-k, session records, and stats —
+    // including the Thm-1 minimal evaluation count — are identical to
+    // the serial path at any thread count; the only speculative waste is
+    // at most one block beyond the stopping rank.
+    ThreadPool pool(threads);
+    const size_t block = 2 * static_cast<size_t>(threads);
+    bool stop = false;
+    for (size_t lo = 0; lo < rts.size() && !stop; lo += block) {
+      const size_t hi = std::min(rts.size(), lo + block);
+      std::vector<EvalOutcome> outcomes(hi - lo);
+      pool.ParallelFor(hi - lo, [&](size_t j) {
+        outcomes[j] = EvaluateCandidateIsolated(
+            prep, rts[lo + j], /*cache=*/nullptr,
+            /*offer_to_cache=*/false, options);
+      });
+      for (size_t j = 0; j < outcomes.size() && !stop; ++j) {
+        MergeOutcome(std::move(outcomes[j]), &result, &topk);
+        stop = stop_after(lo + j);
+      }
     }
   }
   for (auto& [score, sq] : topk.TakeSortedDescending()) {
@@ -167,13 +220,30 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
   SearchResult result;
   WallTimer timer;
   TopKHeap<ScoredQuery> topk(static_cast<size_t>(options.k));
-  for (const internal::RuntimeCandidate& rt :
-       internal::MakePlainRuntime(prep.candidates)) {
-    ScoredQuery sq =
-        internal::EvaluateCandidate(prep, rt, /*cache=*/nullptr,
-                                    /*offer_to_cache=*/false, options,
-                                    &result.stats, &result.evaluated);
-    topk.Offer(sq.score, std::move(sq));
+  std::vector<internal::RuntimeCandidate> rts =
+      internal::MakePlainRuntime(prep.candidates);
+  const int32_t threads = internal::ResolveNumThreads(options);
+  if (threads <= 1 || rts.size() <= 1) {
+    for (const internal::RuntimeCandidate& rt : rts) {
+      ScoredQuery sq =
+          internal::EvaluateCandidate(prep, rt, /*cache=*/nullptr,
+                                      /*offer_to_cache=*/false, options,
+                                      &result.stats, &result.evaluated);
+      topk.Offer(sq.score, std::move(sq));
+    }
+  } else {
+    // Cache-less evaluations are fully independent: fan the whole list
+    // out to the pool and merge in candidate order, which reproduces the
+    // serial result bit-for-bit (heap tie-breaking included).
+    ThreadPool pool(threads);
+    std::vector<internal::EvalOutcome> outcomes(rts.size());
+    pool.ParallelFor(rts.size(), [&](size_t i) {
+      outcomes[i] = internal::EvaluateCandidateIsolated(
+          prep, rts[i], /*cache=*/nullptr, /*offer_to_cache=*/false, options);
+    });
+    for (internal::EvalOutcome& o : outcomes) {
+      internal::MergeOutcome(std::move(o), &result, &topk);
+    }
   }
   for (auto& [score, sq] : topk.TakeSortedDescending()) {
     (void)score;

@@ -23,6 +23,15 @@ struct SearchOptions {
   EnumerationOptions enumeration;
   // Evaluation ablation: paper's drop-zero-rows Stage II shortcut.
   bool drop_zero_rows = false;
+  // Worker threads for Stage-II candidate evaluation, the online
+  // bottleneck (Fig 5): 0 = auto (std::thread::hardware_concurrency()),
+  // 1 = the exact serial legacy path. Candidate evaluations are
+  // independent given the shared sub-PJ cache, so any thread count
+  // returns the same top-k set and scores (Thms 3-5); order-dependent
+  // bookkeeping (skipping-condition hits, cache hit/miss counts, model
+  // cost) may differ from the serial path but stays deterministic for a
+  // fixed thread count. See DESIGN.md "Parallel evaluation model".
+  int32_t num_threads = 0;
 };
 
 // One ranked answer.

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "common/topk_heap.h"
 #include "strategy/strategy.h"
 
 namespace s4::internal {
@@ -41,6 +43,34 @@ ScoredQuery EvaluateCandidate(PreparedSearch& prep,
 // Shared epilogue: fold per-run cache stats and enumeration stats.
 void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
                  RunStats* stats);
+
+// SearchOptions::num_threads resolved: <= 0 means auto (one worker per
+// hardware thread).
+int32_t ResolveNumThreads(const SearchOptions& options);
+
+// Everything one candidate evaluation produces, isolated for off-thread
+// execution: the scored query plus per-candidate stats/record deltas.
+// Workers never touch shared accumulators; outcomes are merged at join
+// points in deterministic candidate order (no hot-path atomics), which
+// keeps topk tie-breaking and stats reproducible at any thread count.
+struct EvalOutcome {
+  ScoredQuery sq;
+  RunStats stats;
+  std::vector<EvaluatedRecord> records;
+};
+
+// EvaluateCandidate writing into a fresh EvalOutcome (thread-safe given
+// a sharded cache: all other inputs are read-only during a run).
+EvalOutcome EvaluateCandidateIsolated(PreparedSearch& prep,
+                                      const RuntimeCandidate& rt,
+                                      SubQueryCache* cache,
+                                      bool offer_to_cache,
+                                      const SearchOptions& options);
+
+// Folds one outcome into the run result and heap. Must be called in
+// deterministic candidate order.
+void MergeOutcome(EvalOutcome&& outcome, SearchResult* result,
+                  TopKHeap<ScoredQuery>* topk);
 
 // FASTTOPK core over an arbitrary runtime list (used by both the plain
 // and the incremental drivers).

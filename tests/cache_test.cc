@@ -1,4 +1,10 @@
-// Sub-PJ query cache: LRU replacement, budget enforcement, pinning.
+// Sub-PJ query cache: LRU replacement, budget enforcement, pinning,
+// byte accounting, and sharded concurrent access.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "cache/subquery_cache.h"
@@ -115,6 +121,154 @@ TEST(SubQueryCacheTest, SharedPtrSurvivesEviction) {
   cache.Add("b", MakeTable(50));  // evicts "a"
   ASSERT_NE(held, nullptr);
   EXPECT_EQ(held->scored.size(), 50u);  // still usable
+}
+
+// Regression: ByteSize() used to ignore the hash tables' bucket arrays,
+// so a sparse, heavily rehashed table under-reported its footprint and
+// the cache silently blew past the budget B.
+TEST(SubQueryTableTest, ByteSizeCountsBucketArrays) {
+  auto t = MakeTable(200);
+  EXPECT_GE(t->ByteSize(),
+            t->scored.bucket_count() * sizeof(void*) +
+                t->zero.bucket_count() * sizeof(void*));
+
+  // Growing only the bucket array (no new entries) must grow ByteSize.
+  SubQueryTable sparse;
+  sparse.num_es_rows = 3;
+  sparse.scored.emplace(1, std::vector<double>(3, 1.0));
+  const size_t before = sparse.ByteSize();
+  sparse.scored.rehash(4096);
+  EXPECT_GT(sparse.ByteSize(),
+            before + 2048 * sizeof(void*));  // at least ~4k new buckets
+}
+
+TEST(SubQueryCacheTest, BudgetHonoredWithBucketOverhead) {
+  // A rehashed-but-sparse table must be charged for its buckets: a
+  // budget sized to its payload alone has to reject it.
+  auto sparse = std::make_shared<SubQueryTable>();
+  sparse->num_es_rows = 3;
+  for (int32_t i = 0; i < 4; ++i) {
+    sparse->scored.emplace(i, std::vector<double>(3, 1.0));
+  }
+  sparse->scored.rehash(1u << 16);
+  const size_t payload_only =
+      sizeof(SubQueryTable) +
+      sparse->scored.size() *
+          (2 * sizeof(void*) + sizeof(int64_t) +
+           sizeof(std::vector<double>) + 3 * sizeof(double));
+  SubQueryCache cache(payload_only * 2);
+  EXPECT_FALSE(cache.Add("sparse", sparse));
+  EXPECT_EQ(cache.stats().rejected_too_large, 1);
+}
+
+TEST(ShardedCacheTest, ShardsForThreads) {
+  EXPECT_EQ(SubQueryCache::ShardsForThreads(0), 1);
+  EXPECT_EQ(SubQueryCache::ShardsForThreads(1), 1);
+  EXPECT_GT(SubQueryCache::ShardsForThreads(4), 1);
+  EXPECT_LE(SubQueryCache::ShardsForThreads(1024), 64);
+}
+
+TEST(ShardedCacheTest, BasicOpsAcrossShards) {
+  SubQueryCache cache(8u << 20, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 8);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(cache.Add("key" + std::to_string(i), MakeTable(5)));
+  }
+  EXPECT_EQ(cache.NumEntries(), 64);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NE(cache.Get("key" + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(cache.stats().hits, 64);
+  EXPECT_EQ(cache.stats().insertions, 64);
+  cache.Remove("key0");
+  EXPECT_FALSE(cache.Contains("key0"));
+  EXPECT_EQ(cache.NumEntries(), 63);
+  cache.Clear();
+  EXPECT_EQ(cache.NumEntries(), 0);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(ShardedCacheTest, PinnedSurvivesCrossShardPressure) {
+  auto probe = MakeTable(50);
+  const size_t each = probe->ByteSize();
+  SubQueryCache cache(each * 3 + each / 2, /*num_shards=*/8);
+  EXPECT_TRUE(cache.Add("pinned", MakeTable(50), /*pinned=*/true));
+  // Overflow the global budget from many shards; the pinned entry must
+  // never be the victim.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cache.Add("filler" + std::to_string(i), MakeTable(50)));
+  }
+  EXPECT_TRUE(cache.Contains("pinned"));
+  EXPECT_LE(cache.bytes_used(), cache.budget());
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(ShardedCacheTest, ConcurrentSameKeyAddKeepsOneEntry) {
+  SubQueryCache cache(8u << 20, /*num_shards=*/8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < 50; ++i) {
+        cache.Add("same-key", MakeTable(10));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.NumEntries(), 1);
+  EXPECT_EQ(cache.bytes_used(), MakeTable(10)->ByteSize());
+  ASSERT_NE(cache.Get("same-key"), nullptr);
+}
+
+TEST(ShardedCacheTest, ConcurrentHammerStaysWithinBudget) {
+  // 8 threads hammer a small cache with mixed Add/Get/Remove across a
+  // shared key space, forcing constant cross-shard eviction.
+  auto probe = MakeTable(20);
+  const size_t budget = probe->ByteSize() * 12;
+  SubQueryCache cache(budget, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  constexpr int kKeySpace = 48;
+  std::atomic<int64_t> gets{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "k" + std::to_string((t * 31 + i * 7) % kKeySpace);
+        switch (i % 4) {
+          case 0:
+          case 1:
+            cache.Add(key, MakeTable(20));
+            break;
+          case 2: {
+            cache.Get(key);
+            gets.fetch_add(1);
+            break;
+          }
+          default:
+            if (i % 16 == 3) {
+              cache.Remove(key);
+            } else {
+              cache.Contains(key);
+            }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Quiescent invariants: the budget held, byte accounting balances,
+  // and the shard-local stats add up.
+  EXPECT_LE(cache.bytes_used(), budget);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load());
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GE(stats.peak_bytes, cache.bytes_used());
+  size_t recount = 0;
+  for (int i = 0; i < kKeySpace; ++i) {
+    auto table = cache.Get("k" + std::to_string(i));
+    if (table != nullptr) recount += table->ByteSize();
+  }
+  EXPECT_EQ(recount, cache.bytes_used());
 }
 
 }  // namespace

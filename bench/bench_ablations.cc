@@ -10,10 +10,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "ablations");
   PrintHeader("Ablations of design choices",
               "CSUPP-sim, Table-2 defaults unless stated");
 

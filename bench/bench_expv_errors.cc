@@ -5,10 +5,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "expv_errors");
   PrintHeader("Exp-V: varying #relationship errors",
               "CSUPP-sim; fresh ES set per error count, other parameters"
               " at Table-2 defaults");

@@ -5,10 +5,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "expvi_epsilon");
   PrintHeader("Exp-VI: varying batch factor epsilon",
               "CSUPP-sim; FASTTOPK only (epsilon does not affect"
               " BASELINE)");

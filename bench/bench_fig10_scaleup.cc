@@ -7,10 +7,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "fig10_scaleup");
   PrintHeader("Figure 10: ADVW-sim scale-up (Exp-IIV)",
               "per-point: rebuild database+indexes, run FASTTOPK over a"
               " fresh ES workload, report averages");

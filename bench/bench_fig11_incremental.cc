@@ -9,10 +9,11 @@
 #include "common/string_util.h"
 #include "strategy/incremental.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "fig11_incremental");
   PrintHeader("Figure 11: incremental input (Sec 5.4 / App A.1)",
               "CSUPP-sim 3x3 spreadsheets; 6 cell additions after the"
               " first row, averaged over the workload");

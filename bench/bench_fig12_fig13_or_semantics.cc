@@ -10,11 +10,12 @@
 #include "bench/bench_util.h"
 #include "strategy/or_semantics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
   using datagen::EsBucket;
 
+  JsonInit(argc, argv, "fig12_fig13_or_semantics");
   PrintHeader("Figures 12-13: AND vs OR column mapping (App A.3)",
               "CSUPP-sim; OR = aggregate FASTTOPK over all non-empty"
               " column subsets");

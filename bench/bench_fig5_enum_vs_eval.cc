@@ -5,11 +5,12 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
   using datagen::EsBucket;
 
+  JsonInit(argc, argv, "fig5_enum_vs_eval");
   PrintHeader("Figure 5: enumeration+upper-bound vs evaluation time",
               "per-PJ-query average microseconds on CSUPP-sim; NAIVE"
               " evaluates every candidate so both phases cover the same"

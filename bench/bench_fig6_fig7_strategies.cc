@@ -8,11 +8,12 @@
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
   using datagen::EsBucket;
 
+  JsonInit(argc, argv, "fig6_fig7_strategies");
   PrintHeader("Figures 6-7: strategy comparison (Exp-I)",
               "CSUPP-sim, Table-2 defaults: k=10, alpha=0.8, eps=0.6,"
               " 2 relationship errors");
@@ -54,6 +55,10 @@ int main() {
                  TablePrinter::Num(a.AvgEvalMs(), 3),
                  TablePrinter::Num(a.AvgTotalMs(), 3),
                  TablePrinter::Num(naive_total / a.AvgTotalMs(), 2) + "x"});
+      JsonAgg(std::string("bucket=") +
+                  datagen::EsBucketName(static_cast<EsBucket>(b)) +
+                  "/strategy=" + strategy_names[s],
+              a);
     }
   }
   t6.Print();
@@ -107,6 +112,10 @@ int main() {
     tt.AddRow({std::to_string(threads), TablePrinter::Num(eval_ms, 3),
                TablePrinter::Num(serial_eval_ms / eval_ms, 2) + "x",
                TablePrinter::Num(checksum, 6)});
+    const std::string section =
+        "thread_sweep/threads=" + std::to_string(threads);
+    JsonMetric(section, "eval_ms", eval_ms);
+    JsonMetric(section, "topk_score_checksum", checksum);
   }
   tt.Print();
   std::printf(

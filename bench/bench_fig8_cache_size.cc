@@ -7,11 +7,12 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
   using datagen::EsBucket;
 
+  JsonInit(argc, argv, "fig8_cache_size");
   PrintHeader("Figure 8: varying cache size B (Exp-II)",
               "CSUPP-sim; BASELINE is cache-independent (flat line)");
 
@@ -53,6 +54,14 @@ int main() {
            TablePrinter::Num(static_cast<double>(fast_agg.critical_subs) /
                                  static_cast<double>(fast_agg.runs),
                              1)});
+      const std::string section = std::string("bucket=") +
+                                  datagen::EsBucketName(bucket) +
+                                  "/B_kib=" + std::to_string(kib);
+      JsonMetric(section, "baseline_ms", base_agg.AvgTotalMs());
+      JsonMetric(section, "fasttopk_ms", fast_agg.AvgTotalMs());
+      JsonMetric(section, "cache_hits_per_es",
+                 static_cast<double>(fast_agg.cache_hits) /
+                     static_cast<double>(fast_agg.runs));
     }
     tp.Print();
     std::printf("\n");

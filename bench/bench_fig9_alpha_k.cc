@@ -5,11 +5,12 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
   using datagen::EsBucket;
 
+  JsonInit(argc, argv, "fig9_alpha_k");
   PrintHeader("Figure 9: varying alpha (Exp-III) and k (Exp-IV)",
               "CSUPP-sim, medium bucket; other parameters at Table-2"
               " defaults");

@@ -1,11 +1,19 @@
 // Google-benchmark micro-benchmarks of the individual operators the
 // cost model (Eq. 12) assumes to be constant-time: tokenization, posting
 // scans (Algorithm 1), hash-join evaluation, sub-PJ cache operations,
-// candidate enumeration and index building.
+// candidate enumeration and index building — plus a hand-rolled
+// build/probe comparison of the flat-arena SubQueryTable against the
+// legacy chained-hash layout it replaced.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "bench/bench_util.h"
 #include "cache/subquery_cache.h"
+#include "common/timer.h"
 #include "datagen/tpch_mini.h"
 #include "enumerate/enumerator.h"
 #include "exec/evaluator.h"
@@ -130,8 +138,12 @@ void BM_CacheAddGet(benchmark::State& state) {
   SubQueryCache cache(64u << 20);
   auto table = std::make_shared<SubQueryTable>();
   table->num_es_rows = 3;
+  bool fresh = false;
   for (int i = 0; i < 1000; ++i) {
-    table->scored.emplace(i, std::vector<double>{1.0, 2.0, 3.0});
+    double* row = table->UpsertScored(i, &fresh);
+    row[0] = 1.0;
+    row[1] = 2.0;
+    row[2] = 3.0;
   }
   int i = 0;
   for (auto _ : state) {
@@ -154,6 +166,192 @@ void BM_FullSearchFastTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSearchFastTopK);
 
+// --- flat-arena vs legacy SubQueryTable layout ------------------------
+
+// The pre-flat SubQueryTable layout, kept here as the comparison
+// reference: chained unordered_map with one heap-allocated vector per
+// scored key plus a separate zero-key set, with its original ByteSize
+// accounting.
+struct LegacyTable {
+  int32_t num_es_rows = 0;
+  std::unordered_map<int64_t, std::vector<double>> scored;
+  std::unordered_set<int64_t> zero;
+
+  const std::vector<double>* Find(int64_t key, bool* exists) const {
+    auto it = scored.find(key);
+    if (it != scored.end()) {
+      *exists = true;
+      return &it->second;
+    }
+    *exists = zero.count(key) > 0;
+    return nullptr;
+  }
+
+  size_t ByteSize() const {
+    constexpr size_t kNodeOverhead = 2 * sizeof(void*);
+    size_t bytes = sizeof(LegacyTable);
+    bytes += scored.bucket_count() * sizeof(void*);
+    bytes += scored.size() *
+             (kNodeOverhead + sizeof(int64_t) + sizeof(std::vector<double>) +
+              sizeof(double) * static_cast<size_t>(num_es_rows));
+    bytes += zero.bucket_count() * sizeof(void*);
+    bytes += zero.size() * (kNodeOverhead + sizeof(int64_t));
+    return bytes;
+  }
+};
+
+// Build + probe microbenchmark over one (num_es_rows, hit-density)
+// configuration. Keys are spread over a 4x-wider space so probes mix
+// hits and misses at the requested density, like a join probe stream.
+void RunFlatVsLegacyConfig(int32_t num_es_rows, double density,
+                           int64_t num_keys, int64_t num_probes,
+                           TablePrinter* tp) {
+  const int64_t key_space = num_keys * 4;
+  std::vector<int64_t> keys(static_cast<size_t>(num_keys));
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(num_es_rows);
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int64_t i = 0; i < num_keys; ++i) {
+    keys[i] = static_cast<int64_t>(next() % static_cast<uint64_t>(key_space));
+  }
+  // Probe stream: `density` of the probes target stored keys.
+  std::vector<int64_t> probes(static_cast<size_t>(num_probes));
+  for (int64_t i = 0; i < num_probes; ++i) {
+    if (static_cast<double>(next() % 1000) < density * 1000.0) {
+      probes[i] = keys[next() % static_cast<uint64_t>(num_keys)];
+    } else {
+      probes[i] = key_space + static_cast<int64_t>(
+                                  next() % static_cast<uint64_t>(key_space));
+    }
+  }
+
+  // Build both layouts: every 8th key joins with all-zero scores.
+  WallTimer flat_build_timer;
+  SubQueryTable flat;
+  flat.num_es_rows = num_es_rows;
+  bool fresh = false;
+  for (int64_t i = 0; i < num_keys; ++i) {
+    if ((i & 7) == 0) {
+      flat.InsertZero(keys[i]);
+    } else {
+      double* row = flat.UpsertScored(keys[i], &fresh);
+      row[static_cast<size_t>(i) % num_es_rows] += 1.0;
+    }
+  }
+  flat.ShrinkToFit();
+  const double flat_build_ns =
+      flat_build_timer.ElapsedSeconds() * 1e9 / static_cast<double>(num_keys);
+
+  WallTimer legacy_build_timer;
+  LegacyTable legacy;
+  legacy.num_es_rows = num_es_rows;
+  for (int64_t i = 0; i < num_keys; ++i) {
+    if ((i & 7) == 0) {
+      if (legacy.scored.find(keys[i]) == legacy.scored.end()) {
+        legacy.zero.insert(keys[i]);
+      }
+    } else {
+      auto [it, inserted] = legacy.scored.try_emplace(keys[i]);
+      if (inserted) {
+        it->second.assign(num_es_rows, 0.0);
+        legacy.zero.erase(keys[i]);
+      }
+      it->second[static_cast<size_t>(i) % num_es_rows] += 1.0;
+    }
+  }
+  const double legacy_build_ns = legacy_build_timer.ElapsedSeconds() * 1e9 /
+                                 static_cast<double>(num_keys);
+
+  // Probe both layouts, accumulating a checksum the optimizer cannot
+  // drop; assert the layouts agree while at it.
+  double flat_sum = 0.0;
+  int64_t flat_hits = 0;
+  WallTimer flat_probe_timer;
+  for (int64_t p : probes) {
+    bool exists = false;
+    const double* row = flat.Find(p, &exists);
+    flat_hits += exists ? 1 : 0;
+    if (row != nullptr) flat_sum += row[0];
+  }
+  const double flat_probe_ns = flat_probe_timer.ElapsedSeconds() * 1e9 /
+                               static_cast<double>(num_probes);
+
+  double legacy_sum = 0.0;
+  int64_t legacy_hits = 0;
+  WallTimer legacy_probe_timer;
+  for (int64_t p : probes) {
+    bool exists = false;
+    const std::vector<double>* row = legacy.Find(p, &exists);
+    legacy_hits += exists ? 1 : 0;
+    if (row != nullptr) legacy_sum += (*row)[0];
+  }
+  const double legacy_probe_ns = legacy_probe_timer.ElapsedSeconds() * 1e9 /
+                                 static_cast<double>(num_probes);
+
+  if (flat_hits != legacy_hits || flat_sum != legacy_sum) {
+    std::fprintf(stderr, "layout mismatch: flat %lld/%f legacy %lld/%f\n",
+                 static_cast<long long>(flat_hits), flat_sum,
+                 static_cast<long long>(legacy_hits), legacy_sum);
+    std::abort();
+  }
+
+  const double flat_bpk =
+      static_cast<double>(flat.ByteSize()) / static_cast<double>(flat.NumKeys());
+  const double legacy_bpk =
+      static_cast<double>(legacy.ByteSize()) /
+      static_cast<double>(legacy.scored.size() + legacy.zero.size());
+  tp->AddRow({std::to_string(num_es_rows), TablePrinter::Num(density, 2),
+              TablePrinter::Num(flat_probe_ns, 1),
+              TablePrinter::Num(legacy_probe_ns, 1),
+              TablePrinter::Num(legacy_probe_ns / flat_probe_ns, 2) + "x",
+              TablePrinter::Num(flat_build_ns, 1),
+              TablePrinter::Num(legacy_build_ns, 1),
+              TablePrinter::Num(flat_bpk, 1), TablePrinter::Num(legacy_bpk, 1),
+              TablePrinter::Num(100.0 * (1.0 - flat_bpk / legacy_bpk), 1) +
+                  "%"});
+  const std::string section = "es_rows=" + std::to_string(num_es_rows) +
+                              "/density=" + TablePrinter::Num(density, 2);
+  JsonMetric(section, "flat_probe_ns", flat_probe_ns);
+  JsonMetric(section, "legacy_probe_ns", legacy_probe_ns);
+  JsonMetric(section, "probe_speedup", legacy_probe_ns / flat_probe_ns);
+  JsonMetric(section, "flat_build_ns", flat_build_ns);
+  JsonMetric(section, "legacy_build_ns", legacy_build_ns);
+  JsonMetric(section, "flat_bytes_per_key", flat_bpk);
+  JsonMetric(section, "legacy_bytes_per_key", legacy_bpk);
+}
+
+void RunFlatVsLegacy() {
+  const int64_t num_keys = EnvInt("S4_BENCH_FLAT_KEYS", 50000);
+  const int64_t num_probes = EnvInt("S4_BENCH_FLAT_PROBES", 2000000);
+  std::printf(
+      "Flat-arena SubQueryTable vs legacy chained-hash layout"
+      " (%lld keys, %lld probes per config)\n",
+      static_cast<long long>(num_keys), static_cast<long long>(num_probes));
+  TablePrinter tp({"es_rows", "hit density", "flat ns/probe",
+                   "legacy ns/probe", "probe speedup", "flat ns/build",
+                   "legacy ns/build", "flat B/key", "legacy B/key",
+                   "B/key saved"});
+  for (int32_t es_rows : {1, 5, 20}) {
+    for (double density : {0.1, 0.5, 0.9}) {
+      RunFlatVsLegacyConfig(es_rows, density, num_keys, num_probes, &tp);
+    }
+  }
+  tp.Print();
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int remaining = s4::bench::JsonInit(argc, argv, "micro_operators");
+  RunFlatVsLegacy();
+  int bench_argc = remaining;
+  benchmark::Initialize(&bench_argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,10 +4,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "table1_index_sizes");
   PrintHeader("Table 1: index sizes",
               "CSUPP-sim and ADVW-sim schema statistics and offline index"
               " footprints");

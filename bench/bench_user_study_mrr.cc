@@ -12,11 +12,12 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
   using datagen::EsBucket;
 
+  JsonInit(argc, argv, "user_study_mrr");
   PrintHeader("Sec 6.3 user study (synthetic judge)",
               "IMDB-sim, 52 ESs from web-table-like noisy samples;"
               " relevance = matches the generating query");

@@ -1,10 +1,118 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/timer.h"
 
 namespace s4::bench {
+
+namespace {
+
+struct JsonRecord {
+  std::string section;
+  std::string name;
+  double value;
+};
+
+struct JsonState {
+  std::string path;
+  std::string bench_name;
+  std::vector<JsonRecord> records;
+  bool written = false;
+};
+
+JsonState& State() {
+  static JsonState* state = new JsonState();
+  return *state;
+}
+
+// Escapes the characters JSON strings cannot hold verbatim; the metric
+// labels are ASCII identifiers, so this only has to be correct, not fast.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int JsonInit(int argc, char** argv, const std::string& bench_name) {
+  JsonState& state = State();
+  state.bench_name = bench_name;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      state.path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      state.path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  if (!state.path.empty()) std::atexit(JsonWrite);
+  return out;
+}
+
+bool JsonEnabled() { return !State().path.empty(); }
+
+void JsonMetric(const std::string& section, const std::string& name,
+                double value) {
+  if (!JsonEnabled()) return;
+  State().records.push_back(JsonRecord{section, name, value});
+}
+
+void JsonAgg(const std::string& section, const Agg& agg) {
+  JsonMetric(section, "runs", static_cast<double>(agg.runs));
+  JsonMetric(section, "total_ms", agg.AvgTotalMs());
+  JsonMetric(section, "enum_ms", agg.AvgEnumMs());
+  JsonMetric(section, "eval_ms", agg.AvgEvalMs());
+  JsonMetric(section, "queries_evaluated", agg.AvgEvaluated());
+  JsonMetric(section, "query_row_evals", agg.AvgRowEvals());
+}
+
+void JsonWrite() {
+  JsonState& state = State();
+  if (state.path.empty() || state.written) return;
+  std::FILE* f = std::fopen(state.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                 state.path.c_str());
+    return;
+  }
+  state.written = true;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [",
+               JsonEscape(state.bench_name).c_str());
+  for (size_t i = 0; i < state.records.size(); ++i) {
+    const JsonRecord& r = state.records[i];
+    std::fprintf(f, "%s\n    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %.17g}",
+                 i == 0 ? "" : ",", JsonEscape(r.section).c_str(),
+                 JsonEscape(r.name).c_str(), r.value);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("json metrics written to %s (%zu records)\n",
+              state.path.c_str(), state.records.size());
+}
 
 std::unique_ptr<World> MakeWorld(StatusOr<Database> db) {
   if (!db.ok()) {

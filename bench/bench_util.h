@@ -103,6 +103,36 @@ int64_t EnvInt(const char* name, int64_t def);
 // Prints the standard bench banner (dataset + substitution note).
 void PrintHeader(const std::string& title, const std::string& what);
 
+// --- machine-readable output ------------------------------------------
+//
+// Every bench binary accepts `--json <path>` (or `--json=<path>`): the
+// metrics recorded through JsonMetric are written to `path` on exit as
+//
+//   {"bench": "<name>", "metrics": [
+//     {"section": "...", "name": "...", "value": ...}, ...]}
+//
+// so perf trajectories can be tracked across commits without parsing the
+// human-readable tables. Without the flag, recording is a no-op.
+
+// Parses `--json` out of argv (call first in main). Returns the new argc
+// with the flag removed, so binaries that forward argv elsewhere (e.g.
+// google-benchmark) can pass the remainder along.
+int JsonInit(int argc, char** argv, const std::string& bench_name);
+
+// True when `--json` was given.
+bool JsonEnabled();
+
+// Records one numeric metric under a section label (e.g. the table cell
+// coordinates: "bucket=low/strategy=FastTopK").
+void JsonMetric(const std::string& section, const std::string& name,
+                double value);
+
+// Records the standard Agg averages under `section`.
+void JsonAgg(const std::string& section, const Agg& agg);
+
+// Writes the JSON file now (also runs automatically at exit).
+void JsonWrite();
+
 }  // namespace s4::bench
 
 #endif  // S4_BENCH_BENCH_UTIL_H_

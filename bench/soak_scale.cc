@@ -6,10 +6,11 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace s4;
   using namespace s4::bench;
 
+  JsonInit(argc, argv, "soak_scale");
   PrintHeader("Scale stress: CSUPP-sim growth",
               "per scale: regenerate + reindex, then average strategies"
               " over a fresh workload");

@@ -1,0 +1,146 @@
+#ifndef S4_CACHE_FLAT_TABLE_H_
+#define S4_CACHE_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace s4 {
+
+// Flat open-addressing hash map from int64 join keys to uint32 payloads,
+// tuned for the hash-join hot path: robin-hood displacement bounds probe
+// chains, capacity is a power of two, and there is no deletion (the
+// evaluator only ever inserts or promotes). Slots live in two parallel
+// arrays — an int64 key array and a uint32 value array — so a probe
+// touches at most two adjacent cache lines instead of chasing
+// unordered_map node pointers.
+//
+// The value 0xFFFFFFFF is reserved as the empty-slot marker; callers may
+// store any other uint32. Allocation is exact (the arrays are sized to
+// the capacity, never over-reserved), so ByteSize() reports true heap
+// bytes.
+class FlatMap64 {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;  // empty-slot marker
+  static constexpr size_t kSlotBytes = sizeof(int64_t) + sizeof(uint32_t);
+
+  FlatMap64() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return vals_.size(); }
+
+  // Grows (never shrinks) so `n` keys fit without further rehashing.
+  void Reserve(size_t n);
+
+  // Capacity the table settles on to hold `n` keys at the 3/4 max load
+  // factor; used by the cost model to predict ByteSize without building.
+  static size_t CapacityFor(size_t n);
+
+  // Value stored under `key`, or kNotFound. Robin-hood order lets a miss
+  // stop as soon as it passes a slot whose resident is closer to its
+  // ideal position than the probe is.
+  uint32_t Find(int64_t key) const {
+    if (size_ == 0) return kNotFound;
+    const size_t mask = vals_.size() - 1;
+    size_t i = Ideal(key);
+    size_t dist = 0;
+    while (true) {
+      const uint32_t v = vals_[i];
+      if (v == kNotFound) return kNotFound;
+      if (keys_[i] == key) return v;
+      if (ProbeDistance(keys_[i], i) < dist) return kNotFound;
+      i = (i + 1) & mask;
+      ++dist;
+    }
+  }
+
+  // Pointer to the value slot of `key`, inserting `value` if absent
+  // (`*inserted` reports which). The pointer is valid until the next
+  // insertion that grows the table.
+  uint32_t* FindOrInsert(int64_t key, uint32_t value, bool* inserted) {
+    if ((size_ + 1) * 4 > vals_.size() * 3) {
+      Grow(vals_.empty() ? kMinCapacity : vals_.size() * 2);
+    }
+    const size_t mask = vals_.size() - 1;
+    size_t i = Ideal(key);
+    size_t dist = 0;
+    int64_t k = key;
+    uint32_t v = value;
+    size_t home = kNoSlot;  // where the original key ends up
+    while (true) {
+      if (vals_[i] == kNotFound) {
+        keys_[i] = k;
+        vals_[i] = v;
+        ++size_;
+        *inserted = true;
+        return &vals_[home == kNoSlot ? i : home];
+      }
+      if (keys_[i] == k) {  // only reachable before any displacement
+        *inserted = false;
+        return &vals_[i];
+      }
+      const size_t d = ProbeDistance(keys_[i], i);
+      if (d < dist) {  // rich resident: displace it, keep inserting
+        std::swap(k, keys_[i]);
+        std::swap(v, vals_[i]);
+        if (home == kNoSlot) home = i;
+        dist = d;
+      }
+      i = (i + 1) & mask;
+      ++dist;
+    }
+  }
+
+  // Calls f(key, value) for every occupied slot, in slot order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t i = 0; i < vals_.size(); ++i) {
+      if (vals_[i] != kNotFound) f(keys_[i], vals_[i]);
+    }
+  }
+
+  // Exact heap bytes of the slot arrays.
+  size_t ByteSize() const {
+    return keys_.capacity() * sizeof(int64_t) +
+           vals_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr size_t kNoSlot = ~size_t{0};
+
+  // splitmix64 finalizer: full-avalanche mix so sequential join keys
+  // spread over the slot range.
+  static uint64_t Mix(int64_t key) {
+    uint64_t x = static_cast<uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  // Ideal slot from the top bits of the mix (capacity = 1 << (64-shift_)).
+  size_t Ideal(int64_t key) const {
+    return static_cast<size_t>(Mix(key) >> shift_);
+  }
+
+  size_t ProbeDistance(int64_t key, size_t slot) const {
+    const size_t mask = vals_.size() - 1;
+    return (slot + vals_.size() - Ideal(key)) & mask;
+  }
+
+  void Grow(size_t new_capacity);
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> vals_;  // kNotFound marks an empty slot
+  size_t size_ = 0;
+  int shift_ = 64;  // 64 - log2(capacity)
+};
+
+}  // namespace s4
+
+#endif  // S4_CACHE_FLAT_TABLE_H_

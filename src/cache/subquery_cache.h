@@ -8,53 +8,107 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
+
+#include "cache/flat_table.h"
 
 namespace s4 {
 
 // The materialized output relation of a (sub-)PJ query in the form the
-// hash-join execution plan consumes (Appendix B.1/B.2): a hash table
-// from join-key to the per-example-row best partial similarity scores of
-// the subtree, plus the set of keys that join but carry all-zero scores
-// (needed for exact inner-join semantics).
+// hash-join execution plan consumes (Appendix B.1/B.2): one flat
+// open-addressing table mapping each join key to a row of a contiguous
+// `num_es_rows`-strided double arena holding the per-example-row best
+// partial similarity scores of the subtree. Keys that join but carry
+// all-zero scores (needed for exact inner-join semantics) map to the
+// sentinel row id kZeroRow instead of an arena row, so they cost one
+// 12-byte slot and no payload.
 struct SubQueryTable {
+  // Sentinel arena-row id for keys that join with all-zero scores.
+  static constexpr uint32_t kZeroRow = 0xFFFFFFFEu;
+
   int32_t num_es_rows = 0;
-  std::unordered_map<int64_t, std::vector<double>> scored;
-  std::unordered_set<int64_t> zero;
+  FlatMap64 keys;             // join key -> arena row id or kZeroRow
+  std::vector<double> arena;  // NumScored() rows, num_es_rows doubles each
 
-  // Scores for `key`: pointer into `scored`, nullptr+exists for zero
-  // keys, nullptr+!exists when the key does not join.
-  const std::vector<double>* Find(int64_t key, bool* exists) const {
-    auto it = scored.find(key);
-    if (it != scored.end()) {
-      *exists = true;
-      return &it->second;
+  // Scores for `key`: pointer to its num_es_rows-wide arena row,
+  // nullptr+exists for zero keys, nullptr+!exists when the key does not
+  // join. The pointer stays valid while the table is not mutated.
+  const double* Find(int64_t key, bool* exists) const {
+    const uint32_t row = keys.Find(key);
+    if (row == FlatMap64::kNotFound) {
+      *exists = false;
+      return nullptr;
     }
-    *exists = zero.count(key) > 0;
-    return nullptr;
+    *exists = true;
+    if (row == kZeroRow) return nullptr;
+    return arena.data() + static_cast<size_t>(row) * num_es_rows;
   }
 
-  int64_t NumKeys() const {
-    return static_cast<int64_t>(scored.size() + zero.size());
+  // Mutable arena row for `key`, allocating a fresh zero-filled row when
+  // the key is new or promoting it when it was a zero sentinel; `*fresh`
+  // reports which. The pointer is invalidated by the next Upsert.
+  double* UpsertScored(int64_t key, bool* fresh) {
+    bool inserted = false;
+    uint32_t* slot = keys.FindOrInsert(key, 0, &inserted);
+    if (inserted || *slot == kZeroRow) {
+      const uint32_t row =
+          static_cast<uint32_t>(arena.size() / static_cast<size_t>(num_es_rows));
+      *slot = row;
+      arena.resize(arena.size() + static_cast<size_t>(num_es_rows), 0.0);
+      *fresh = true;
+      return arena.data() + static_cast<size_t>(row) * num_es_rows;
+    }
+    *fresh = false;
+    return arena.data() + static_cast<size_t>(*slot) * num_es_rows;
   }
 
-  // Approximate bytes. Counts the bucket arrays (one pointer-sized
-  // bucket head per bucket) and the per-node overhead of the chained
-  // hash tables (next pointer + cached hash) in addition to the
-  // payload, so the cache budget B reflects the real footprint — the
-  // bucket array alone can dominate for sparse, heavily rehashed
-  // tables.
+  // Records that `key` joins with all-zero scores; no-op when the key is
+  // already present (scored or zero). True if newly inserted.
+  bool InsertZero(int64_t key) {
+    bool inserted = false;
+    keys.FindOrInsert(key, kZeroRow, &inserted);
+    return inserted;
+  }
+
+  int64_t NumKeys() const { return static_cast<int64_t>(keys.size()); }
+  int64_t NumScored() const {
+    return num_es_rows == 0
+               ? 0
+               : static_cast<int64_t>(arena.size() /
+                                      static_cast<size_t>(num_es_rows));
+  }
+  int64_t NumZero() const { return NumKeys() - NumScored(); }
+
+  // Calls f(key) for every joining key (scored and zero), in slot order.
+  template <typename F>
+  void ForEachKey(F&& f) const {
+    keys.ForEach([&](int64_t key, uint32_t) { f(key); });
+  }
+
+  // Calls f(key, row) for every scored key, `row` pointing at its
+  // num_es_rows-wide arena row.
+  template <typename F>
+  void ForEachScored(F&& f) const {
+    keys.ForEach([&](int64_t key, uint32_t row) {
+      if (row != kZeroRow) {
+        f(key, arena.data() + static_cast<size_t>(row) * num_es_rows);
+      }
+    });
+  }
+
+  // Pre-sizes the key table for `n` keys (the arena grows on demand).
+  void Reserve(size_t n) { keys.Reserve(n); }
+
+  // Drops arena growth slack once building is done, so cached tables are
+  // charged (and occupy) exactly what they use.
+  void ShrinkToFit() { arena.shrink_to_fit(); }
+
+  // Exact bytes: the flat table's slot arrays at capacity plus the arena
+  // allocation. Both allocate exactly their capacity, so the cache
+  // budget B, eviction order, and the Fig. 8 sweep see true memory.
   size_t ByteSize() const {
-    constexpr size_t kNodeOverhead = 2 * sizeof(void*);  // next ptr + hash
-    size_t bytes = sizeof(SubQueryTable);
-    bytes += scored.bucket_count() * sizeof(void*);
-    bytes += scored.size() *
-             (kNodeOverhead + sizeof(int64_t) + sizeof(std::vector<double>) +
-              sizeof(double) * static_cast<size_t>(num_es_rows));
-    bytes += zero.bucket_count() * sizeof(void*);
-    bytes += zero.size() * (kNodeOverhead + sizeof(int64_t));
-    return bytes;
+    return sizeof(SubQueryTable) + keys.ByteSize() +
+           arena.capacity() * sizeof(double);
   }
 };
 

@@ -26,14 +26,14 @@ int64_t EvaluationCost(const JoinTree& tree,
 }
 
 size_t EstimateTableBytes(const JoinTree& tree, const ScoreContext& ctx) {
-  const int64_t root_rows =
-      ctx.index().snapshot().NumRows(tree.node(tree.root()).table);
-  // Mirrors SubQueryTable::ByteSize(): bucket head + node overhead +
-  // key + vector header per scored entry, plus the score payload.
-  const size_t per_entry =
-      3 * sizeof(void*) + sizeof(int64_t) + sizeof(std::vector<double>) +
-      sizeof(double) * static_cast<size_t>(ctx.NumEsRows());
-  return static_cast<size_t>(root_rows) * per_entry + sizeof(SubQueryTable);
+  const size_t root_rows = static_cast<size_t>(
+      ctx.index().snapshot().NumRows(tree.node(tree.root()).table));
+  // Mirrors SubQueryTable::ByteSize(): one flat-table slot per emitted
+  // key at the capacity the table would grow to, plus one
+  // num_es_rows-strided arena row per scored key.
+  return FlatMap64::CapacityFor(root_rows) * FlatMap64::kSlotBytes +
+         root_rows * sizeof(double) * static_cast<size_t>(ctx.NumEsRows()) +
+         sizeof(SubQueryTable);
 }
 
 int64_t EvaluationCostWithCache(const PJQuery& q,

@@ -25,14 +25,14 @@ struct Evaluator::Ctx {
   std::string rows_suffix;
 };
 
-void Evaluator::ComputeOwnSims(
-    const Ctx& c, TreeNodeId v,
-    std::unordered_map<int64_t, std::vector<double>>* own) {
+void Evaluator::ComputeOwnSims(const Ctx& c, TreeNodeId v,
+                               SubQueryTable* own) {
   const ResolvedSpreadsheet& rs = ctx_->resolved();
   const IndexSet& index = ctx_->index();
-  const int32_t num_rows = rs.num_rows;
   const bool bonus = ctx_->params().exact_match_bonus != 0.0;
+  own->num_es_rows = rs.num_rows;
   std::unordered_map<int32_t, int32_t> matchcnt;
+  bool fresh = false;
 
   for (const ProjectionBinding& b : *c.bindings) {
     if (b.node != v) continue;
@@ -57,9 +57,7 @@ void Evaluator::ComputeOwnSims(
           const double weight = ctx_->TermWeight(w, gid);
           if (single) {
             for (const Posting& p : *plist) {
-              auto [it, inserted] = own->try_emplace(p.row);
-              if (inserted) it->second.assign(num_rows, 0.0);
-              it->second[t] += weight;
+              own->UpsertScored(p.row, &fresh)[t] += weight;
               if (bonus) ++matchcnt[p.row];
             }
           } else {
@@ -71,9 +69,7 @@ void Evaluator::ComputeOwnSims(
         }
         if (!single) {
           for (const auto& [row, weight] : group_best) {
-            auto [it, inserted] = own->try_emplace(row);
-            if (inserted) it->second.assign(num_rows, 0.0);
-            it->second[t] += weight;
+            own->UpsertScored(row, &fresh)[t] += weight;
             if (bonus) ++matchcnt[row];
           }
         }
@@ -83,7 +79,8 @@ void Evaluator::ComputeOwnSims(
         for (const auto& [row, cnt] : matchcnt) {
           if (cnt == cell_terms &&
               static_cast<int32_t>((*lengths)[row]) == cell_terms) {
-            (*own)[row][t] += ctx_->params().exact_match_bonus;
+            own->UpsertScored(row, &fresh)[t] +=
+                ctx_->params().exact_match_bonus;
           }
         }
       }
@@ -140,7 +137,7 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
 
   // Stage I: this node's own cell similarities (folded into `base`
   // already when a type-ii table is reused).
-  std::unordered_map<int64_t, std::vector<double>> own;
+  SubQueryTable own;
   if (base == nullptr) ComputeOwnSims(c, v, &own);
 
   const TableId table_id = tree.node(v).table;
@@ -151,18 +148,16 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
   out->num_es_rows = num_es_rows;
 
   std::vector<double> sims;
-  const Table& table = ctx_->index().db().table(table_id);
 
   // Row loop (Stage II): either scan the snapshot or, when a type-ii
-  // table supplies the joining rows, iterate its keys.
+  // table supplies the joining rows, iterate its keys through the
+  // snapshot's flat pk->row index.
   std::vector<int64_t> base_rows;
   if (base != nullptr) {
     base_rows.reserve(static_cast<size_t>(base->NumKeys()));
-    for (const auto& [pk, scores] : base->scored) {
-      (void)scores;
-      base_rows.push_back(table.FindByPk(pk));
-    }
-    for (int64_t pk : base->zero) base_rows.push_back(table.FindByPk(pk));
+    base->ForEachKey([&](int64_t pk) {
+      base_rows.push_back(snap.RowOfPk(table_id, pk));
+    });
     c.counters->hash_lookups += static_cast<int64_t>(base_rows.size());
   }
   const int64_t limit = base != nullptr
@@ -176,24 +171,15 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
 
     // Seed similarities: the node's own sims or the type-ii fold.
     bool nonzero = false;
-    if (base != nullptr) {
-      bool exists = false;
-      const std::vector<double>* bs = base->Find(pks[r], &exists);
-      if (!exists) continue;
-      if (bs != nullptr) {
-        sims = *bs;
-        for (int32_t t : c.es_rows) nonzero = nonzero || sims[t] > 0.0;
-      } else {
-        sims.assign(num_es_rows, 0.0);
-      }
+    bool exists = false;
+    const double* seed = base != nullptr ? base->Find(pks[r], &exists)
+                                         : own.Find(r, &exists);
+    if (base != nullptr && !exists) continue;
+    if (seed != nullptr) {
+      sims.assign(seed, seed + num_es_rows);
+      for (int32_t t : c.es_rows) nonzero = nonzero || sims[t] > 0.0;
     } else {
-      auto it = own.find(r);
-      if (it != own.end()) {
-        sims = it->second;
-        for (int32_t t : c.es_rows) nonzero = nonzero || sims[t] > 0.0;
-      } else {
-        sims.assign(num_es_rows, 0.0);
-      }
+      sims.assign(num_es_rows, 0.0);
     }
 
     // Join with every remaining child subtree.
@@ -212,16 +198,16 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
         probe = pks[r];
       }
       ++c.counters->hash_lookups;
-      bool exists = false;
-      const std::vector<double>* cs = ctab->Find(probe, &exists);
-      if (!exists) {
+      bool child_exists = false;
+      const double* cs = ctab->Find(probe, &child_exists);
+      if (!child_exists) {
         joined = false;
         break;
       }
       if (cs != nullptr) {
         for (int32_t t : c.es_rows) {
-          if ((*cs)[t] > 0.0) {
-            sims[t] += (*cs)[t];
+          if (cs[t] > 0.0) {
+            sims[t] += cs[t];
             nonzero = true;
           }
         }
@@ -238,24 +224,23 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
       out_key = snap.Fk(link.edge)[r];
     }
     if (nonzero) {
-      auto [it, inserted] = out->scored.try_emplace(out_key);
-      if (inserted) {
-        it->second = sims;
-        out->zero.erase(out_key);
+      bool fresh = false;
+      double* row = out->UpsertScored(out_key, &fresh);
+      if (fresh) {
+        std::copy(sims.begin(), sims.end(), row);
       } else {
         for (int32_t t : c.es_rows) {
-          it->second[t] = std::max(it->second[t], sims[t]);
+          row[t] = std::max(row[t], sims[t]);
         }
       }
       ++c.counters->hash_inserts;
     } else if (!c.options->drop_zero_rows) {
-      if (out->scored.find(out_key) == out->scored.end() &&
-          out->zero.insert(out_key).second) {
-        ++c.counters->hash_inserts;
-      }
+      if (out->InsertZero(out_key)) ++c.counters->hash_inserts;
     }
   }
 
+  // Cached (and returned) tables are charged exactly what they use.
+  out->ShrinkToFit();
   if (c.cache != nullptr && c.options->offer_to_cache) {
     c.cache->Add(key, out);
   }
@@ -296,10 +281,10 @@ std::vector<double> Evaluator::RowScores(const PJQuery& query,
   if (rows.empty()) {
     for (int32_t t = 0; t < ctx_->resolved().num_rows; ++t) rows.push_back(t);
   }
-  for (const auto& [key, sims] : root_table->scored) {
+  root_table->ForEachScored([&](int64_t key, const double* sims) {
     (void)key;
     for (int32_t t : rows) scores[t] = std::max(scores[t], sims[t]);
-  }
+  });
   return scores;
 }
 

@@ -82,9 +82,9 @@ class Evaluator {
   std::shared_ptr<const SubQueryTable> EvalNode(const Ctx& c, TreeNodeId v,
                                           const LinkSpec& link);
 
-  // Stage I: per-row similarity vectors of node v's own bindings.
-  void ComputeOwnSims(const Ctx& c, TreeNodeId v,
-                      std::unordered_map<int64_t, std::vector<double>>* own);
+  // Stage I: per-row similarity rows of node v's own bindings, built
+  // directly into an arena-backed table keyed by dense row id.
+  void ComputeOwnSims(const Ctx& c, TreeNodeId v, SubQueryTable* own);
 
   const ScoreContext* ctx_;
 };

@@ -8,9 +8,23 @@ StatusOr<KfkSnapshot> KfkSnapshot::Build(const Database& db) {
   }
   KfkSnapshot snap;
   snap.pk_.resize(db.NumTables());
+  snap.pk_row_.resize(db.NumTables());
   for (TableId t = 0; t < db.NumTables(); ++t) {
     const Table& table = db.table(t);
     snap.pk_[t] = table.IntColumn(table.primary_key_column());
+    // Flat pk -> dense-row index; row ids are stored as uint32, which
+    // bounds an in-memory relation at ~4.29e9 rows.
+    const std::vector<int64_t>& pks = snap.pk_[t];
+    if (pks.size() >= static_cast<size_t>(FlatMap64::kNotFound)) {
+      return Status::InvalidArgument(
+          "table too large for the in-memory kfk snapshot");
+    }
+    FlatMap64& index = snap.pk_row_[t];
+    index.Reserve(pks.size());
+    bool inserted = false;
+    for (size_t r = 0; r < pks.size(); ++r) {
+      index.FindOrInsert(pks[r], static_cast<uint32_t>(r), &inserted);
+    }
   }
   snap.fk_.resize(db.foreign_keys().size());
   snap.fk_valid_.resize(db.foreign_keys().size());
@@ -30,6 +44,7 @@ StatusOr<KfkSnapshot> KfkSnapshot::Build(const Database& db) {
 size_t KfkSnapshot::ByteSize() const {
   size_t bytes = 0;
   for (const auto& v : pk_) bytes += v.capacity() * sizeof(int64_t);
+  for (const auto& m : pk_row_) bytes += m.ByteSize();
   for (const auto& v : fk_) bytes += v.capacity() * sizeof(int64_t);
   for (const auto& v : fk_valid_) bytes += v.capacity() / 8;
   return bytes;

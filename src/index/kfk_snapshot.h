@@ -2,9 +2,9 @@
 #define S4_INDEX_KFK_SNAPSHOT_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/flat_table.h"
 #include "common/status.h"
 #include "storage/database.h"
 
@@ -35,8 +35,16 @@ class KfkSnapshot {
     return fk_valid_[fk_index][row];
   }
 
-  // Approximate bytes of all materialized key arrays (Table 1's
-  // "(key,fk) snap." column).
+  // Dense row id of table `t`'s row whose primary key is `pk`, or -1.
+  // A flat open-addressing probe; this is the evaluator's hot pk lookup
+  // (replaces Table::FindByPk's unordered_map on that path).
+  int64_t RowOfPk(TableId t, int64_t pk) const {
+    const uint32_t row = pk_row_[t].Find(pk);
+    return row == FlatMap64::kNotFound ? -1 : static_cast<int64_t>(row);
+  }
+
+  // Bytes of all materialized key arrays plus the flat pk->row indexes
+  // (Table 1's "(key,fk) snap." column).
   size_t ByteSize() const;
 
   // Creates an empty snapshot; prefer Build().
@@ -44,6 +52,7 @@ class KfkSnapshot {
 
  private:
   std::vector<std::vector<int64_t>> pk_;        // per table
+  std::vector<FlatMap64> pk_row_;               // per table: pk -> row id
   std::vector<std::vector<int64_t>> fk_;        // per foreign key
   std::vector<std::vector<bool>> fk_valid_;     // per foreign key
 };

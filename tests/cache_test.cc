@@ -15,8 +15,10 @@ namespace {
 std::shared_ptr<SubQueryTable> MakeTable(int32_t keys, int32_t es_rows = 3) {
   auto t = std::make_shared<SubQueryTable>();
   t->num_es_rows = es_rows;
+  bool fresh = false;
   for (int32_t i = 0; i < keys; ++i) {
-    t->scored.emplace(i, std::vector<double>(es_rows, 1.0));
+    double* row = t->UpsertScored(i, &fresh);
+    for (int32_t e = 0; e < es_rows; ++e) row[e] = 1.0;
   }
   return t;
 }
@@ -24,17 +26,43 @@ std::shared_ptr<SubQueryTable> MakeTable(int32_t keys, int32_t es_rows = 3) {
 TEST(SubQueryTableTest, FindSemantics) {
   SubQueryTable t;
   t.num_es_rows = 2;
-  t.scored.emplace(1, std::vector<double>{1.0, 0.0});
-  t.zero.insert(2);
+  bool fresh = false;
+  t.UpsertScored(1, &fresh)[0] = 1.0;
+  EXPECT_TRUE(fresh);
+  EXPECT_TRUE(t.InsertZero(2));
+  EXPECT_FALSE(t.InsertZero(2));  // already present
   bool exists = false;
-  EXPECT_NE(t.Find(1, &exists), nullptr);
+  const double* row = t.Find(1, &exists);
+  ASSERT_NE(row, nullptr);
   EXPECT_TRUE(exists);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);  // fresh rows are zero-filled
   EXPECT_EQ(t.Find(2, &exists), nullptr);
   EXPECT_TRUE(exists);
   EXPECT_EQ(t.Find(3, &exists), nullptr);
   EXPECT_FALSE(exists);
   EXPECT_EQ(t.NumKeys(), 2);
+  EXPECT_EQ(t.NumScored(), 1);
+  EXPECT_EQ(t.NumZero(), 1);
   EXPECT_GT(t.ByteSize(), 0u);
+}
+
+TEST(SubQueryTableTest, ZeroKeyPromotion) {
+  SubQueryTable t;
+  t.num_es_rows = 2;
+  EXPECT_TRUE(t.InsertZero(7));
+  bool fresh = false;
+  double* row = t.UpsertScored(7, &fresh);  // promote zero -> scored
+  EXPECT_TRUE(fresh);
+  row[1] = 3.5;
+  EXPECT_FALSE(t.InsertZero(7));  // scored keys are never demoted
+  bool exists = false;
+  const double* found = t.Find(7, &exists);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(exists);
+  EXPECT_DOUBLE_EQ(found[1], 3.5);
+  EXPECT_EQ(t.NumKeys(), 1);
+  EXPECT_EQ(t.NumScored(), 1);
 }
 
 TEST(SubQueryCacheTest, AddGetRemove) {
@@ -120,42 +148,43 @@ TEST(SubQueryCacheTest, SharedPtrSurvivesEviction) {
   std::shared_ptr<const SubQueryTable> held = cache.Get("a");
   cache.Add("b", MakeTable(50));  // evicts "a"
   ASSERT_NE(held, nullptr);
-  EXPECT_EQ(held->scored.size(), 50u);  // still usable
+  EXPECT_EQ(held->NumScored(), 50);  // still usable
 }
 
-// Regression: ByteSize() used to ignore the hash tables' bucket arrays,
-// so a sparse, heavily rehashed table under-reported its footprint and
-// the cache silently blew past the budget B.
-TEST(SubQueryTableTest, ByteSizeCountsBucketArrays) {
-  auto t = MakeTable(200);
-  EXPECT_GE(t->ByteSize(),
-            t->scored.bucket_count() * sizeof(void*) +
-                t->zero.bucket_count() * sizeof(void*));
+// ByteSize() is exact: slot arrays at capacity plus the arena
+// allocation, nothing estimated.
+TEST(SubQueryTableTest, ByteSizeIsExact) {
+  auto t = MakeTable(200, /*es_rows=*/5);
+  EXPECT_EQ(t->ByteSize(), sizeof(SubQueryTable) + t->keys.ByteSize() +
+                               t->arena.capacity() * sizeof(double));
+  // The slot arrays alone account for capacity * 12 bytes.
+  EXPECT_EQ(t->keys.ByteSize(), t->keys.capacity() * FlatMap64::kSlotBytes);
 
-  // Growing only the bucket array (no new entries) must grow ByteSize.
+  // Growing only the key table (no new entries) must grow ByteSize.
   SubQueryTable sparse;
   sparse.num_es_rows = 3;
-  sparse.scored.emplace(1, std::vector<double>(3, 1.0));
+  bool fresh = false;
+  sparse.UpsertScored(1, &fresh);
   const size_t before = sparse.ByteSize();
-  sparse.scored.rehash(4096);
-  EXPECT_GT(sparse.ByteSize(),
-            before + 2048 * sizeof(void*));  // at least ~4k new buckets
+  sparse.Reserve(4096);
+  EXPECT_GE(sparse.ByteSize(), before + 4096 * FlatMap64::kSlotBytes -
+                                   16 * FlatMap64::kSlotBytes);
 }
 
-TEST(SubQueryCacheTest, BudgetHonoredWithBucketOverhead) {
-  // A rehashed-but-sparse table must be charged for its buckets: a
-  // budget sized to its payload alone has to reject it.
+TEST(SubQueryCacheTest, BudgetHonoredWithCapacityOverhead) {
+  // An over-reserved but sparse table must be charged for its slot
+  // capacity: a budget sized to its payload alone has to reject it.
   auto sparse = std::make_shared<SubQueryTable>();
   sparse->num_es_rows = 3;
+  bool fresh = false;
   for (int32_t i = 0; i < 4; ++i) {
-    sparse->scored.emplace(i, std::vector<double>(3, 1.0));
+    double* row = sparse->UpsertScored(i, &fresh);
+    row[0] = 1.0;
   }
-  sparse->scored.rehash(1u << 16);
+  sparse->Reserve(1u << 16);
   const size_t payload_only =
       sizeof(SubQueryTable) +
-      sparse->scored.size() *
-          (2 * sizeof(void*) + sizeof(int64_t) +
-           sizeof(std::vector<double>) + 3 * sizeof(double));
+      sparse->NumScored() * (FlatMap64::kSlotBytes + 3 * sizeof(double));
   SubQueryCache cache(payload_only * 2);
   EXPECT_FALSE(cache.Add("sparse", sparse));
   EXPECT_EQ(cache.stats().rejected_too_large, 1);

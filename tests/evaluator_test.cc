@@ -178,10 +178,10 @@ TEST_F(EvaluatorTest, SubPjLinkKeys) {
         // Keys must be primary keys of the root table.
         const Table& root =
             TpchIndex().db().table(sub.tree.node(0).table);
-        for (const auto& [key, sims] : table->scored) {
+        table->ForEachScored([&](int64_t key, const double* sims) {
           (void)sims;
           EXPECT_GE(root.FindByPk(key), 0);
-        }
+        });
       }
     }
   }

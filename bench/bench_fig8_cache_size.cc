@@ -62,6 +62,14 @@ int main(int argc, char** argv) {
       JsonMetric(section, "cache_hits_per_es",
                  static_cast<double>(fast_agg.cache_hits) /
                      static_cast<double>(fast_agg.runs));
+      JsonMetric(section, "cache_hits",
+                 static_cast<double>(fast_agg.cache_hits));
+      JsonMetric(section, "cache_misses",
+                 static_cast<double>(fast_agg.cache_misses));
+      JsonMetric(section, "cache_evictions",
+                 static_cast<double>(fast_agg.cache_evictions));
+      JsonMetric(section, "cache_peak_bytes",
+                 static_cast<double>(fast_agg.cache_peak_bytes));
     }
     tp.Print();
     std::printf("\n");

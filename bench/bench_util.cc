@@ -88,6 +88,12 @@ void JsonAgg(const std::string& section, const Agg& agg) {
   JsonMetric(section, "eval_ms", agg.AvgEvalMs());
   JsonMetric(section, "queries_evaluated", agg.AvgEvaluated());
   JsonMetric(section, "query_row_evals", agg.AvgRowEvals());
+  JsonMetric(section, "cache_hits", static_cast<double>(agg.cache_hits));
+  JsonMetric(section, "cache_misses", static_cast<double>(agg.cache_misses));
+  JsonMetric(section, "cache_evictions",
+             static_cast<double>(agg.cache_evictions));
+  JsonMetric(section, "cache_peak_bytes",
+             static_cast<double>(agg.cache_peak_bytes));
 }
 
 void JsonWrite() {

@@ -56,6 +56,9 @@ struct Agg {
   int64_t queries_evaluated = 0;
   int64_t query_row_evals = 0;
   int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  size_t cache_peak_bytes = 0;  // max over runs, not a sum
   int64_t critical_subs = 0;
   int64_t skipped = 0;
   int64_t model_cost = 0;
@@ -68,6 +71,11 @@ struct Agg {
     queries_evaluated += s.queries_evaluated;
     query_row_evals += s.query_row_evals;
     cache_hits += s.cache.hits;
+    cache_misses += s.cache.misses;
+    cache_evictions += s.cache.evictions;
+    if (s.cache.peak_bytes > cache_peak_bytes) {
+      cache_peak_bytes = s.cache.peak_bytes;
+    }
     critical_subs += s.critical_subs_cached;
     skipped += s.skipped_by_condition;
     model_cost += s.model_cost;

@@ -18,6 +18,12 @@ int32_t SubQueryCache::ShardsForThreads(int32_t num_threads) {
   return std::min<int32_t>(64, num_threads * 4);
 }
 
+void SubQueryCache::AttachShared(SubQueryCache* shared,
+                                 std::string key_prefix) {
+  shared_ = shared == this ? nullptr : shared;
+  shared_prefix_ = std::move(key_prefix);
+}
+
 CacheStats SubQueryCache::stats() const {
   CacheStats out;
   for (const auto& shard : shards_) {
@@ -34,24 +40,33 @@ CacheStats SubQueryCache::stats() const {
 
 std::shared_ptr<const SubQueryTable> SubQueryCache::Get(
     const std::string& key) {
-  Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) {
+  {
+    Shard& shard = *shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      ++shard.stats.hits;
+      shard.lru.erase(it->second.lru_it);
+      shard.lru.push_front(key);
+      it->second.lru_it = shard.lru.begin();
+      return it->second.table;
+    }
     ++shard.stats.misses;
-    return nullptr;
   }
-  ++shard.stats.hits;
-  shard.lru.erase(it->second.lru_it);
-  shard.lru.push_front(key);
-  it->second.lru_it = shard.lru.begin();
-  return it->second.table;
+  // Fall through to the cross-query cache; its own stats record the
+  // cross-query hit rate. The table is returned without re-inserting it
+  // locally so local bytes/LRU reflect only this run's insertions.
+  if (shared_ != nullptr) return shared_->Get(shared_prefix_ + key);
+  return nullptr;
 }
 
 bool SubQueryCache::Contains(const std::string& key) const {
-  const Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.entries.count(key) > 0;
+  {
+    const Shard& shard = *shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(key) > 0) return true;
+  }
+  return shared_ != nullptr && shared_->Contains(shared_prefix_ + key);
 }
 
 bool SubQueryCache::EvictOneFrom(Shard& shard) {
@@ -88,6 +103,11 @@ void SubQueryCache::UpdatePeak() {
 bool SubQueryCache::Add(const std::string& key,
                         std::shared_ptr<const SubQueryTable> table,
                         bool pinned) {
+  // Republish to the cross-query cache (best-effort, never pinned: pins
+  // belong to this run's scheduler, not the shared LRU).
+  if (shared_ != nullptr) {
+    shared_->Add(shared_prefix_ + key, table, /*pinned=*/false);
+  }
   const size_t bytes = table->ByteSize();
   const size_t home_index = ShardIndex(key);
   Shard& home = *shards_[home_index];

@@ -135,6 +135,17 @@ struct CacheStats {
 // single-shard default preserves the exact global LRU order of the
 // paper's serial scheduler, which the serial (num_threads = 1)
 // strategies rely on for reproducibility.
+//
+// Cross-query sharing (service layer): a per-run cache may attach a
+// long-lived *shared* cache via AttachShared. Local lookups that miss
+// fall through to the shared cache under a caller-supplied key prefix
+// (epoch + spreadsheet fingerprint, making keys canonical across
+// requests), and local insertions are republished there unpinned.
+// Sub-query tables are immutable once built and deterministic functions
+// of their canonical key, so serving another request's table is always
+// exact — sharing changes work counts, never scores. Clear() and pins
+// stay strictly local: the scheduler's per-group reset and pin/unpin
+// protocol must not perturb concurrent runs.
 class SubQueryCache {
  public:
   explicit SubQueryCache(size_t budget_bytes, int32_t num_shards = 1);
@@ -155,6 +166,12 @@ class SubQueryCache {
   // serial path (exact global LRU), else enough shards to keep
   // lock contention low.
   static int32_t ShardsForThreads(int32_t num_threads);
+
+  // Attaches a long-lived shared cache consulted on local misses and fed
+  // on local insertions, with `key_prefix` namespacing this run's keys
+  // into the shared key space. `shared` must outlive this cache and must
+  // not be `this`. Pass nullptr to detach.
+  void AttachShared(SubQueryCache* shared, std::string key_prefix);
 
   // Looks up `key`; records a hit/miss and refreshes LRU recency.
   std::shared_ptr<const SubQueryTable> Get(const std::string& key);
@@ -207,6 +224,10 @@ class SubQueryCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> bytes_used_{0};
   std::atomic<size_t> peak_bytes_{0};
+  // Cross-query fallthrough target (not owned); set before a run starts
+  // and constant during it.
+  SubQueryCache* shared_ = nullptr;
+  std::string shared_prefix_;
 };
 
 }  // namespace s4

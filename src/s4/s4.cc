@@ -15,10 +15,32 @@ StatusOr<std::unique_ptr<S4System>> S4System::Create(
 StatusOr<SearchResult> S4System::Search(
     const std::vector<std::vector<std::string>>& cells,
     const SearchOptions& options, Strategy strategy) const {
+  S4_RETURN_IF_ERROR(ValidateSearchOptions(options));
   auto sheet = MakeSpreadsheet(cells);
   if (!sheet.ok()) return sheet.status();
   S4_RETURN_IF_ERROR(sheet->Validate());
-  return Search(*sheet, options, strategy);
+  // A requested deadline without a caller-armed token gets one here, so
+  // one-shot searches honor deadlines without going through S4Service.
+  if (options.deadline_seconds > 0.0 && options.stop == nullptr) {
+    StopToken token(options.deadline_seconds);
+    SearchOptions timed = options;
+    timed.stop = &token;
+    SearchResult result = Search(*sheet, timed, strategy);
+    if (result.interrupted) {
+      return Status::DeadlineExceeded(
+          StrFormat("search exceeded its %.3fs deadline",
+                    options.deadline_seconds));
+    }
+    return result;
+  }
+  SearchResult result = Search(*sheet, options, strategy);
+  if (result.interrupted && options.stop != nullptr) {
+    if (options.stop->cancelled()) {
+      return Status::Cancelled("search cancelled by caller");
+    }
+    return Status::DeadlineExceeded("search exceeded its deadline");
+  }
+  return result;
 }
 
 SearchResult S4System::Search(const ExampleSpreadsheet& sheet,

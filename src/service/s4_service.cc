@@ -1,0 +1,292 @@
+#include "service/s4_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/hash_util.h"
+#include "common/string_util.h"
+
+namespace s4 {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+S4Service::S4Service(const S4System& system, ServiceOptions options)
+    : system_(&system),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.eval_threads)),
+      shared_cache_(options.shared_cache_bytes,
+                    options.shared_cache_shards > 0
+                        ? options.shared_cache_shards
+                        : SubQueryCache::ShardsForThreads(
+                              pool_->num_threads())) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_queue < 1) options_.max_queue = 1;
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+S4Service::~S4Service() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::string S4Service::CachePrefix(
+    const std::vector<std::vector<std::string>>& cells,
+    const SearchOptions& options) const {
+  // Everything that shapes a sub-PJ table's *contents* beyond its
+  // canonical sub-query key must land in the fingerprint; anything extra
+  // only fragments sharing, never breaks it. Cell separators keep
+  // {"ab",""} distinct from {"a","b"}.
+  std::string buf;
+  for (const auto& row : cells) {
+    for (const std::string& cell : row) {
+      buf += cell;
+      buf += '\x1f';
+    }
+    buf += '\x1e';
+  }
+  buf += StrFormat("|idf=%d|emb=%.17g|sp=%d|dz=%d",
+                   options.score.use_idf ? 1 : 0,
+                   options.score.exact_match_bonus,
+                   options.score.spelling_edits,
+                   options.drop_zero_rows ? 1 : 0);
+  return StrFormat("g%llu|s%016llx|",
+                   static_cast<unsigned long long>(
+                       generation_.load(std::memory_order_relaxed)),
+                   static_cast<unsigned long long>(FingerprintString(buf)));
+}
+
+StatusOr<S4Service::Ticket> S4Service::Submit(ServiceRequest request) {
+  S4_RETURN_IF_ERROR(ValidateSearchOptions(request.options));
+  if (request.deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("deadline_seconds must be non-negative, got %f",
+                  request.deadline_seconds));
+  }
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->stop = std::make_shared<StopToken>();
+  pending->admitted = std::chrono::steady_clock::now();
+  // Deadline resolution: request > options > service default. Armed at
+  // admission so queue wait counts against it.
+  double deadline = pending->request.deadline_seconds;
+  if (deadline <= 0.0) deadline = pending->request.options.deadline_seconds;
+  if (deadline <= 0.0) deadline = options_.default_deadline_seconds;
+  if (deadline > 0.0) pending->stop->SetDeadline(deadline);
+
+  Ticket ticket;
+  ticket.result = pending->promise.get_future();
+  ticket.stop = pending->stop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          StrFormat("admission queue full (%zu queued)", queue_.size()));
+    }
+    pending->seq = next_seq_++;
+    queue_.push(std::move(pending));
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return ticket;
+}
+
+StatusOr<SearchResult> S4Service::Search(ServiceRequest request) {
+  auto ticket = Submit(std::move(request));
+  if (!ticket.ok()) return ticket.status();
+  return ticket->result.get();
+}
+
+void S4Service::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      // On shutdown, drain the queue so every admitted future resolves.
+      if (queue_.empty()) return;
+      p = queue_.top();
+      queue_.pop();
+    }
+    RunPending(*p);
+  }
+}
+
+void S4Service::CountOutcome(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void S4Service::RunPending(Pending& p) {
+  StatusOr<SearchResult> result = [&]() -> StatusOr<SearchResult> {
+    // A request abandoned (or expired) while queued is not worth
+    // starting at all.
+    if (p.stop->cancelled()) {
+      return Status::Cancelled("request cancelled while queued");
+    }
+    if (p.stop->deadline_expired()) {
+      return Status::DeadlineExceeded("deadline expired while queued");
+    }
+    SearchOptions opts = p.request.options;
+    opts.pool = pool_.get();
+    opts.stop = p.stop.get();
+    opts.deadline_seconds = 0.0;  // the admission token already carries it
+    opts.shared_cache = &shared_cache_;
+    opts.shared_cache_prefix = CachePrefix(p.request.cells, opts);
+    return system_->Search(p.request.cells, opts, p.request.strategy);
+  }();
+  CountOutcome(result.status());
+  latency_.Record(SecondsSince(p.admitted));
+  p.promise.set_value(std::move(result));
+}
+
+StatusOr<uint64_t> S4Service::OpenSession(SearchOptions options) {
+  S4_RETURN_IF_ERROR(ValidateSearchOptions(options));
+  // Sessions share the service pool; per-call fields (stop token, cache
+  // prefix) are re-pointed by SessionSearch under the session lock.
+  options.pool = pool_.get();
+  options.shared_cache = &shared_cache_;
+  auto entry = std::make_unique<SessionEntry>(system_->NewSession(options));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const uint64_t id = next_session_id_++;
+  sessions_.emplace(id, std::move(entry));
+  return id;
+}
+
+StatusOr<SearchResult> S4Service::SessionSearch(
+    uint64_t session_id, const std::vector<std::vector<std::string>>& cells,
+    IncrementalMode mode) {
+  SessionEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound(
+          StrFormat("no session %llu",
+                    static_cast<unsigned long long>(session_id)));
+    }
+    entry = it->second.get();
+  }
+  // One search at a time per session (the history is conversational
+  // state); distinct sessions run concurrently. CloseSession never frees
+  // an entry mid-search: it also takes this per-entry lock.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  auto sheet = system_->MakeSpreadsheet(cells);
+  if (!sheet.ok()) return sheet.status();
+  SearchOptions& so = entry->session.mutable_options();
+  so.shared_cache_prefix = CachePrefix(cells, so);
+  StopToken token;
+  if (so.deadline_seconds > 0.0) {
+    token.SetDeadline(so.deadline_seconds);
+    so.stop = &token;
+  } else {
+    so.stop = nullptr;
+  }
+  SearchResult result = entry->session.Search(*sheet, mode);
+  so.stop = nullptr;
+  const Status status =
+      result.interrupted
+          ? Status::DeadlineExceeded("session search exceeded its deadline")
+          : Status::OK();
+  CountOutcome(status);
+  if (!status.ok()) return status;
+  return result;
+}
+
+Status S4Service::CloseSession(uint64_t session_id) {
+  std::unique_ptr<SessionEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound(
+          StrFormat("no session %llu",
+                    static_cast<unsigned long long>(session_id)));
+    }
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Wait out any in-flight search before the entry is destroyed.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return Status::OK();
+}
+
+void S4Service::InvalidateSharedCache() {
+  // New generation first: requests admitted from here on miss the old
+  // key space even before the eager drop below completes.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  shared_cache_.Clear();
+}
+
+void S4Service::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void S4Service::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+ServiceStats S4Service::stats() const {
+  ServiceStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cache_generation = generation_.load(std::memory_order_relaxed);
+  s.shared_cache = shared_cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    s.sessions_open = static_cast<int64_t>(sessions_.size());
+  }
+  return s;
+}
+
+LatencyHistogram::Snapshot S4Service::latency() const {
+  return latency_.snapshot();
+}
+
+}  // namespace s4

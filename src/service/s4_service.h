@@ -1,0 +1,211 @@
+#ifndef S4_SERVICE_S4_SERVICE_H_
+#define S4_SERVICE_S4_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/stop_token.h"
+#include "common/thread_pool.h"
+#include "s4/s4.h"
+
+namespace s4 {
+
+// Configuration of a long-lived S4Service instance.
+struct ServiceOptions {
+  // Dispatcher threads popping the admission queue and driving searches.
+  // Each running request fans its Stage-II evaluation out on the shared
+  // pool, so a few workers saturate the machine.
+  int32_t num_workers = 2;
+  // Size of the shared work-stealing evaluation pool; 0 = one worker per
+  // hardware thread. One pool serves every request instead of a pool per
+  // Search call.
+  int32_t eval_threads = 0;
+  // Admission-queue capacity: a Submit finding this many requests queued
+  // is rejected with ResourceExhausted (backpressure, never unbounded
+  // buffering).
+  size_t max_queue = 64;
+  // Byte budget of the global cross-query sub-PJ cache.
+  size_t shared_cache_bytes = 500u << 20;
+  // Shards of the shared cache; 0 = derived from eval_threads.
+  int32_t shared_cache_shards = 0;
+  // Deadline applied to requests that do not carry their own (0 = none).
+  double default_deadline_seconds = 0.0;
+};
+
+// One search request as admitted by the service.
+struct ServiceRequest {
+  // Raw spreadsheet cells (rows x columns; empty string = empty cell).
+  std::vector<std::vector<std::string>> cells;
+  SearchOptions options;
+  S4System::Strategy strategy = S4System::Strategy::kFastTopK;
+  // Higher runs first; FIFO among equal priorities.
+  int32_t priority = 0;
+  // Overrides options.deadline_seconds (and the service default) when
+  // positive. Measured from admission, covering queue wait.
+  double deadline_seconds = 0.0;
+};
+
+// Monotonic service counters plus a snapshot of the shared-cache stats.
+struct ServiceStats {
+  int64_t accepted = 0;
+  int64_t rejected = 0;         // backpressure rejections at admission
+  int64_t completed = 0;        // finished with OK
+  int64_t deadline_misses = 0;  // finished with DeadlineExceeded
+  int64_t cancelled = 0;        // finished with Cancelled
+  int64_t failed = 0;           // finished with any other error
+  int64_t sessions_open = 0;
+  uint64_t cache_generation = 0;
+  size_t queue_depth = 0;
+  CacheStats shared_cache;  // cross-query hits/misses/evictions/bytes
+};
+
+// Long-lived concurrent query service over one database (ROADMAP north
+// star: one S4 deployment serving many users). Wraps an S4System with:
+//
+//  * one shared work-stealing ThreadPool sized to the machine — Search
+//    calls no longer construct a pool each;
+//  * a global cross-query SubQueryCache: sub-PJ output relations built
+//    for one request are reused verbatim by later requests with the same
+//    canonical signature (Sec 5.2's sharing argument lifted from
+//    intra-query to inter-query scope), under one byte budget, with a
+//    generation tag for invalidation;
+//  * a bounded priority admission queue with reject-with-Status
+//    backpressure;
+//  * per-request deadlines and cooperative cancellation (StopToken
+//    polled at strategy batch boundaries), so abandoned requests stop
+//    burning evaluator work;
+//  * a registry of incremental SearchSessions so spreadsheet-edit
+//    streams (Sec 5.4) survive across requests.
+//
+// Thread-safe: any thread may Submit/Search/OpenSession/etc. The wrapped
+// S4System (and its Database) must outlive the service.
+class S4Service {
+ public:
+  // Handle of an admitted request: the future resolves to the search
+  // result or to Cancelled / DeadlineExceeded / an execution error, and
+  // the token lets the client abandon the request cooperatively.
+  struct Ticket {
+    std::future<StatusOr<SearchResult>> result;
+    std::shared_ptr<StopToken> stop;
+  };
+
+  explicit S4Service(const S4System& system, ServiceOptions options = {});
+  // Drains the queue (every admitted future resolves) and joins workers.
+  ~S4Service();
+
+  S4Service(const S4Service&) = delete;
+  S4Service& operator=(const S4Service&) = delete;
+
+  // Admission control: validates the request, then either enqueues it
+  // (returning a Ticket) or rejects it immediately — InvalidArgument for
+  // nonsensical options, ResourceExhausted when the queue is full.
+  StatusOr<Ticket> Submit(ServiceRequest request);
+
+  // Blocking convenience wrapper: Submit + wait.
+  StatusOr<SearchResult> Search(ServiceRequest request);
+
+  // --- incremental session registry (Sec 5.4 across requests) --------
+  // Sessions run on the caller's thread (they are conversational, not
+  // queued) but share the service's evaluation pool and cross-query
+  // cache. Searches within one session serialize on the session.
+  StatusOr<uint64_t> OpenSession(SearchOptions options = {});
+  StatusOr<SearchResult> SessionSearch(
+      uint64_t session_id, const std::vector<std::vector<std::string>>& cells,
+      IncrementalMode mode = IncrementalMode::kFastTopKInc);
+  Status CloseSession(uint64_t session_id);
+
+  // Invalidates every cross-query cache entry by bumping the key-space
+  // generation (and eagerly dropping the bytes). Call when the served
+  // database is reloaded/changed out-of-band.
+  void InvalidateSharedCache();
+
+  // Ops/test hook: a paused service keeps admitting up to max_queue
+  // requests but runs none until Resume (deterministic backpressure and
+  // cancellation tests; drain-before-maintenance in deployments).
+  void Pause();
+  void Resume();
+
+  ServiceStats stats() const;
+  // End-to-end request latency (admission to completion), all requests.
+  LatencyHistogram::Snapshot latency() const;
+
+  const S4System& system() const { return *system_; }
+  ThreadPool& eval_pool() { return *pool_; }
+  SubQueryCache& shared_cache() { return shared_cache_; }
+
+ private:
+  struct Pending {
+    ServiceRequest request;
+    std::shared_ptr<StopToken> stop;
+    std::promise<StatusOr<SearchResult>> promise;
+    int64_t seq = 0;
+    std::chrono::steady_clock::time_point admitted;
+  };
+  struct PendingOrder {
+    bool operator()(const std::shared_ptr<Pending>& a,
+                    const std::shared_ptr<Pending>& b) const {
+      if (a->request.priority != b->request.priority) {
+        return a->request.priority < b->request.priority;  // max-heap
+      }
+      return a->seq > b->seq;  // FIFO among equals
+    }
+  };
+  struct SessionEntry {
+    std::mutex mu;
+    SearchSession session;
+    explicit SessionEntry(SearchSession s) : session(std::move(s)) {}
+  };
+
+  void WorkerLoop();
+  void RunPending(Pending& p);
+  void CountOutcome(const Status& status);
+  // Canonical cross-query key namespace for a request: generation tag +
+  // fingerprint of everything the sub-PJ tables depend on besides the
+  // canonical sub-query key (spreadsheet cells and the scoring/eval
+  // parameters that shape table contents).
+  std::string CachePrefix(
+      const std::vector<std::vector<std::string>>& cells,
+      const SearchOptions& options) const;
+
+  const S4System* system_;
+  ServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  SubQueryCache shared_cache_;
+  std::atomic<uint64_t> generation_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<std::shared_ptr<Pending>,
+                      std::vector<std::shared_ptr<Pending>>, PendingOrder>
+      queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  int64_t next_seq_ = 0;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<SessionEntry>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  LatencyHistogram latency_;
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> deadline_misses_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> failed_{0};
+};
+
+}  // namespace s4
+
+#endif  // S4_SERVICE_S4_SERVICE_H_

@@ -62,18 +62,26 @@ class FastTopKRun {
         options_(options),
         topk_(static_cast<size_t>(options.k)),
         cache_(options.cache_budget_bytes,
-               SubQueryCache::ShardsForThreads(ResolveNumThreads(options))) {}
+               SubQueryCache::ShardsForThreads(ResolveNumThreads(options))),
+        pool_(options, rts_.size()) {
+    // Cross-query sharing: misses in the per-run cache fall through to
+    // the service's shared cache; insertions are republished there.
+    if (options.shared_cache != nullptr) {
+      cache_.AttachShared(options.shared_cache, options.shared_cache_prefix);
+    }
+  }
 
   SearchResult Run() {
-    const int32_t threads = ResolveNumThreads(options_);
-    if (threads > 1 && rts_.size() > 1) {
-      pool_ = std::make_unique<ThreadPool>(threads);
-    }
     WallTimer timer;
     const size_t n = rts_.size();
     size_t next = 0;
     int64_t batch_index = 0;
     while (next < n) {
+      // Batch boundary: the natural stop-token poll point (Alg 3).
+      if (StopRequested(options_)) {
+        result_.interrupted = true;
+        break;
+      }
       // Batch j covers candidates up to rank k*(1+eps)^j (Alg 3).
       const double bound =
           static_cast<double>(options_.k) *
@@ -124,7 +132,7 @@ class FastTopKRun {
   // only between fan-outs, so a fixed thread count is deterministic.
   void EvaluateRts(const std::vector<size_t>& rt_indices,
                    bool offer_to_cache) {
-    if (pool_ == nullptr || rt_indices.size() <= 1) {
+    if (pool_.get() == nullptr || rt_indices.size() <= 1) {
       for (size_t rt : rt_indices) EvaluateOne(rt, offer_to_cache);
       return;
     }
@@ -141,7 +149,7 @@ class FastTopKRun {
     }
     if (live.empty()) return;
     std::vector<EvalOutcome> outcomes(live.size());
-    pool_->ParallelFor(live.size(), [&](size_t j) {
+    pool_.get()->ParallelFor(live.size(), [&](size_t j) {
       outcomes[j] = EvaluateCandidateIsolated(prep_, rts_[live[j]], &cache_,
                                               offer_to_cache, options_);
     });
@@ -170,6 +178,12 @@ class FastTopKRun {
     Evaluator evaluator(prep_.ctx);
 
     while (remaining > 0) {
+      // Critical-group boundary: poll the stop token so an abandoned
+      // request stops before picking (and evaluating) the next Q*.
+      if (StopRequested(options_)) {
+        result_.interrupted = true;
+        return;
+      }
       cache_.Clear();
 
       // Pick the critical sub-PJ query Q*: highest cost among those
@@ -271,7 +285,7 @@ class FastTopKRun {
   SearchResult result_;
   TopKHeap<ScoredQuery> topk_;
   SubQueryCache cache_;
-  std::unique_ptr<ThreadPool> pool_;  // null on the serial legacy path
+  PoolHandle pool_;  // get() is null on the serial legacy path
 };
 
 }  // namespace

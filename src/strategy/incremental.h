@@ -27,6 +27,10 @@ class SearchSession {
 
   const SearchOptions& options() const { return options_; }
 
+  // Per-call plumbing mutations (the service layer re-points the shared
+  // cache prefix / stop token / pool between searches of one session).
+  SearchOptions& mutable_options() { return options_; }
+
   // Runs one search over `sheet`, reusing prior evaluation results where
   // the mode allows, and records the results for the next call.
   SearchResult Search(const ExampleSpreadsheet& sheet,

@@ -2,12 +2,37 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "common/topk_heap.h"
 #include "exec/cost_model.h"
 #include "strategy/strategy_internal.h"
 
 namespace s4 {
+
+Status ValidateSearchOptions(const SearchOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("k must be positive, got %d", options.k));
+  }
+  if (options.cache_budget_bytes == 0) {
+    return Status::InvalidArgument("cache_budget_bytes must be positive");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be positive, got %f", options.epsilon));
+  }
+  if (options.deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("deadline_seconds must be non-negative, got %f",
+                  options.deadline_seconds));
+  }
+  if (options.score.alpha < 0.0 || options.score.alpha > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("alpha must be in [0, 1], got %f", options.score.alpha));
+  }
+  return Status::OK();
+}
 
 void RunStats::Add(const RunStats& o) {
   queries_enumerated += o.queries_enumerated;
@@ -133,8 +158,9 @@ void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
 }
 
 int32_t ResolveNumThreads(const SearchOptions& options) {
-  return options.num_threads <= 0 ? ThreadPool::DefaultThreads()
-                                  : options.num_threads;
+  if (options.num_threads > 0) return options.num_threads;
+  if (options.pool != nullptr) return options.pool->num_threads();
+  return ThreadPool::DefaultThreads();
 }
 
 EvalOutcome EvaluateCandidateIsolated(PreparedSearch& prep,
@@ -170,9 +196,13 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
     return rank + 1 < rts.size() && topk.Full() &&
            topk.KthScore() >= rts[rank + 1].ub;
   };
-  const int32_t threads = ResolveNumThreads(options);
-  if (threads <= 1 || rts.size() <= 1) {
+  PoolHandle pool(options, rts.size());
+  if (pool.get() == nullptr) {
     for (size_t i = 0; i < rts.size(); ++i) {
+      if (StopRequested(options)) {
+        result.interrupted = true;
+        break;
+      }
       ScoredQuery sq =
           EvaluateCandidate(prep, rts[i], /*cache=*/nullptr,
                             /*offer_to_cache=*/false, options, &result.stats,
@@ -188,13 +218,16 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
     // including the Thm-1 minimal evaluation count — are identical to
     // the serial path at any thread count; the only speculative waste is
     // at most one block beyond the stopping rank.
-    ThreadPool pool(threads);
-    const size_t block = 2 * static_cast<size_t>(threads);
+    const size_t block = 2 * static_cast<size_t>(ResolveNumThreads(options));
     bool stop = false;
     for (size_t lo = 0; lo < rts.size() && !stop; lo += block) {
+      if (StopRequested(options)) {
+        result.interrupted = true;
+        break;
+      }
       const size_t hi = std::min(rts.size(), lo + block);
       std::vector<EvalOutcome> outcomes(hi - lo);
-      pool.ParallelFor(hi - lo, [&](size_t j) {
+      pool.get()->ParallelFor(hi - lo, [&](size_t j) {
         outcomes[j] = EvaluateCandidateIsolated(
             prep, rts[lo + j], /*cache=*/nullptr,
             /*offer_to_cache=*/false, options);
@@ -222,9 +255,13 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
   TopKHeap<ScoredQuery> topk(static_cast<size_t>(options.k));
   std::vector<internal::RuntimeCandidate> rts =
       internal::MakePlainRuntime(prep.candidates);
-  const int32_t threads = internal::ResolveNumThreads(options);
-  if (threads <= 1 || rts.size() <= 1) {
+  internal::PoolHandle pool(options, rts.size());
+  if (pool.get() == nullptr) {
     for (const internal::RuntimeCandidate& rt : rts) {
+      if (internal::StopRequested(options)) {
+        result.interrupted = true;
+        break;
+      }
       ScoredQuery sq =
           internal::EvaluateCandidate(prep, rt, /*cache=*/nullptr,
                                       /*offer_to_cache=*/false, options,
@@ -232,17 +269,27 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
       topk.Offer(sq.score, std::move(sq));
     }
   } else {
-    // Cache-less evaluations are fully independent: fan the whole list
-    // out to the pool and merge in candidate order, which reproduces the
-    // serial result bit-for-bit (heap tie-breaking included).
-    ThreadPool pool(threads);
-    std::vector<internal::EvalOutcome> outcomes(rts.size());
-    pool.ParallelFor(rts.size(), [&](size_t i) {
-      outcomes[i] = internal::EvaluateCandidateIsolated(
-          prep, rts[i], /*cache=*/nullptr, /*offer_to_cache=*/false, options);
-    });
-    for (internal::EvalOutcome& o : outcomes) {
-      internal::MergeOutcome(std::move(o), &result, &topk);
+    // Cache-less evaluations are fully independent: fan blocks out to
+    // the pool (block boundaries double as stop-token poll points) and
+    // merge in candidate order, which reproduces the serial result
+    // bit-for-bit (heap tie-breaking included).
+    const size_t block =
+        8 * static_cast<size_t>(internal::ResolveNumThreads(options));
+    for (size_t lo = 0; lo < rts.size(); lo += block) {
+      if (internal::StopRequested(options)) {
+        result.interrupted = true;
+        break;
+      }
+      const size_t hi = std::min(rts.size(), lo + block);
+      std::vector<internal::EvalOutcome> outcomes(hi - lo);
+      pool.get()->ParallelFor(hi - lo, [&](size_t j) {
+        outcomes[j] = internal::EvaluateCandidateIsolated(
+            prep, rts[lo + j], /*cache=*/nullptr, /*offer_to_cache=*/false,
+            options);
+      });
+      for (internal::EvalOutcome& o : outcomes) {
+        internal::MergeOutcome(std::move(o), &result, &topk);
+      }
     }
   }
   for (auto& [score, sq] : topk.TakeSortedDescending()) {

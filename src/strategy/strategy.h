@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cache/subquery_cache.h"
+#include "common/stop_token.h"
 #include "enumerate/enumerator.h"
 #include "exec/evaluator.h"
 #include "index/index_set.h"
@@ -13,6 +14,8 @@
 #include "score/score_context.h"
 
 namespace s4 {
+
+class ThreadPool;
 
 // End-to-end search configuration (defaults follow Table 2).
 struct SearchOptions {
@@ -32,7 +35,33 @@ struct SearchOptions {
   // cost) may differ from the serial path but stays deterministic for a
   // fixed thread count. See DESIGN.md "Parallel evaluation model".
   int32_t num_threads = 0;
+
+  // --- service-layer plumbing (DESIGN.md "Service layer") -------------
+  // Shared evaluation pool: when set, strategies fan out on it instead
+  // of constructing a pool per call (num_threads = 1 still forces the
+  // serial path; num_threads = 0 resolves to the pool's size). Not owned.
+  ThreadPool* pool = nullptr;
+  // Cooperative cancellation/deadline, polled at strategy batch/group
+  // boundaries; on observation the run returns its partial top-k with
+  // SearchResult::interrupted set. Not owned.
+  const StopToken* stop = nullptr;
+  // Deadline for this search in seconds (0 = none). Honored by the
+  // StatusOr entry points (S4System::Search over raw cells, S4Service),
+  // which arm a StopToken when `stop` is not already provided.
+  double deadline_seconds = 0.0;
+  // Cross-query shared sub-PJ cache (service layer): attached behind the
+  // per-run FASTTOPK cache under `shared_cache_prefix`, which must make
+  // keys canonical across requests (epoch + spreadsheet/score-parameter
+  // fingerprint). Not owned.
+  SubQueryCache* shared_cache = nullptr;
+  std::string shared_cache_prefix;
 };
+
+// Rejects nonsensical configurations (non-positive k, zero byte budget,
+// non-positive epsilon, negative deadline, alpha outside [0, 1]) with
+// InvalidArgument. Checked at the S4System / S4Service boundary so bad
+// values fail loudly instead of relying on downstream behavior.
+Status ValidateSearchOptions(const SearchOptions& options);
 
 // One ranked answer.
 struct ScoredQuery {
@@ -76,6 +105,9 @@ struct SearchResult {
   std::vector<ScoredQuery> topk;  // descending score
   RunStats stats;
   std::vector<EvaluatedRecord> evaluated;
+  // True when the run observed SearchOptions::stop and wound down early:
+  // `topk` holds the best-of-what-was-evaluated, not the proven top-k.
+  bool interrupted = false;
 };
 
 // Enumeration + upper-bound computation, shared by all strategies (the

@@ -1,6 +1,7 @@
 #ifndef S4_STRATEGY_STRATEGY_INTERNAL_H_
 #define S4_STRATEGY_STRATEGY_INTERNAL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,9 +45,39 @@ ScoredQuery EvaluateCandidate(PreparedSearch& prep,
 void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
                  RunStats* stats);
 
-// SearchOptions::num_threads resolved: <= 0 means auto (one worker per
-// hardware thread).
+// SearchOptions::num_threads resolved: <= 0 means auto (the injected
+// pool's size when one is set, else one worker per hardware thread).
 int32_t ResolveNumThreads(const SearchOptions& options);
+
+// True once the run's stop token (if any) fired; polled at batch/group
+// boundaries so the evaluation loops stay synchronization-free.
+inline bool StopRequested(const SearchOptions& options) {
+  return options.stop != nullptr && options.stop->ShouldStop();
+}
+
+// Owns-or-borrows the Stage-II evaluation pool: borrows
+// SearchOptions::pool when injected (the service's machine-sized shared
+// pool), else constructs one for this call (the legacy per-call path).
+// get() is null on the serial path (resolved threads <= 1 or nothing to
+// fan out).
+class PoolHandle {
+ public:
+  PoolHandle(const SearchOptions& options, size_t work_items) {
+    if (work_items <= 1 || ResolveNumThreads(options) <= 1) return;
+    if (options.pool != nullptr) {
+      pool_ = options.pool;
+    } else {
+      owned_ = std::make_unique<ThreadPool>(ResolveNumThreads(options));
+      pool_ = owned_.get();
+    }
+  }
+
+  ThreadPool* get() const { return pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+};
 
 // Everything one candidate evaluation produces, isolated for off-thread
 // execution: the scored query plus per-candidate stats/record deltas.

@@ -1,0 +1,433 @@
+// Service-layer tests: the concurrent S4Service must be bit-identical
+// to serial S4System::Search for every strategy (cross-query cache hits
+// change work counts, never scores), honor deadlines and cancellation
+// without corrupting shared state, reject on a full admission queue,
+// order the queue by priority, and keep incremental sessions exact.
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/s4_service.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+using Cells = std::vector<std::vector<std::string>>;
+
+const S4System& System() {
+  static const S4System& system = *[] {
+    auto s = S4System::Create(testing::TpchDb());
+    if (!s.ok()) abort();
+    return s->release();
+  }();
+  return system;
+}
+
+// A few Def-1-valid spreadsheets over the Figure-1 vocabulary.
+std::vector<Cells> TestSheets() {
+  return {
+      {{"Rick", "USA", "Xbox"}, {"Julie", "", "iPhone"}, {"Kevin", "Canada", ""}},
+      {{"Rick", "USA"}, {"Kevin", "Canada"}},
+      {{"Julie", "iPhone"}, {"Rick", "Xbox"}},
+      {{"Laptop", "USA"}, {"iPhone", "Canada"}},
+  };
+}
+
+SearchOptions BaseOptions() {
+  SearchOptions options;
+  options.k = 5;
+  // The default max_tree_size: the Figure-1 schema needs 5-relation
+  // trees to cover all three example columns, and a starved enumeration
+  // would make every assertion below vacuous.
+  // Fixed thread count so the parallel block geometry (and thus tie
+  // handling) is identical whether the run borrows the service pool or
+  // builds its own.
+  options.num_threads = 2;
+  return options;
+}
+
+// Bit-identical, not near-equal: a shared-cache hit must serve the very
+// table a private run would have built.
+void ExpectBitIdentical(const SearchResult& ref, const SearchResult& got,
+                        const std::string& label) {
+  ASSERT_EQ(ref.topk.size(), got.topk.size()) << label;
+  for (size_t i = 0; i < ref.topk.size(); ++i) {
+    EXPECT_EQ(ref.topk[i].score, got.topk[i].score) << label << " rank " << i;
+    EXPECT_EQ(ref.topk[i].query.signature(), got.topk[i].query.signature())
+        << label << " rank " << i;
+    EXPECT_EQ(ref.topk[i].row_score, got.topk[i].row_score)
+        << label << " rank " << i;
+    EXPECT_EQ(ref.topk[i].column_score, got.topk[i].column_score)
+        << label << " rank " << i;
+  }
+}
+
+TEST(ServiceDifferentialTest, ConcurrentMatchesSerialAllStrategies) {
+  const std::vector<Cells> sheets = TestSheets();
+  const std::vector<S4System::Strategy> strategies = {
+      S4System::Strategy::kNaive, S4System::Strategy::kBaseline,
+      S4System::Strategy::kFastTopK};
+  const SearchOptions options = BaseOptions();
+
+  // Serial references, no service involved.
+  std::vector<std::vector<SearchResult>> refs(sheets.size());
+  for (size_t s = 0; s < sheets.size(); ++s) {
+    for (S4System::Strategy strategy : strategies) {
+      auto ref = System().Search(sheets[s], options, strategy);
+      ASSERT_TRUE(ref.ok()) << ref.status();
+      refs[s].push_back(std::move(ref).value());
+    }
+  }
+
+  ServiceOptions sopts;
+  sopts.num_workers = 4;
+  sopts.eval_threads = 4;
+  sopts.max_queue = 1024;
+  S4Service service(System(), sopts);
+
+  // M client threads, each replaying every (sheet, strategy) combination
+  // twice; round 2 runs against a warm cross-query cache. Results are
+  // collected and compared on the main thread (gtest assertions are not
+  // thread-safe).
+  constexpr int kClients = 8;
+  constexpr int kRounds = 2;
+  const size_t per_client = sheets.size() * strategies.size() * kRounds;
+  std::vector<std::vector<StatusOr<SearchResult>>> got(
+      kClients, std::vector<StatusOr<SearchResult>>(
+                    per_client, Status::Internal("unset")));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      size_t slot = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t s = 0; s < sheets.size(); ++s) {
+          for (size_t st = 0; st < strategies.size(); ++st) {
+            ServiceRequest req;
+            // Stagger so different spreadsheets are in flight at once.
+            const size_t sheet = (s + static_cast<size_t>(c)) % sheets.size();
+            req.cells = sheets[sheet];
+            req.options = options;
+            req.strategy = strategies[st];
+            got[c][slot++] = service.Search(std::move(req));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    size_t slot = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (size_t s = 0; s < sheets.size(); ++s) {
+        for (size_t st = 0; st < strategies.size(); ++st) {
+          const size_t sheet = (s + static_cast<size_t>(c)) % sheets.size();
+          const StatusOr<SearchResult>& r = got[c][slot++];
+          ASSERT_TRUE(r.ok()) << r.status();
+          ExpectBitIdentical(refs[sheet][st], *r,
+                             "client=" + std::to_string(c) +
+                                 " round=" + std::to_string(round) +
+                                 " sheet=" + std::to_string(sheet) +
+                                 " strategy=" + std::to_string(st));
+        }
+      }
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, kClients * static_cast<int64_t>(per_client));
+  EXPECT_EQ(stats.completed, stats.accepted);
+  EXPECT_EQ(stats.failed, 0);
+  // The workload repeats every spreadsheet many times, so the
+  // cross-query cache must have served hits.
+  EXPECT_GT(stats.shared_cache.hits, 0);
+}
+
+TEST(ServiceDeadlineTest, TinyDeadlineFailsWithoutCorruptingCache) {
+  S4Service service(System());
+  const SearchOptions options = BaseOptions();
+  const Cells cells = TestSheets()[0];
+
+  auto ref = System().Search(cells, options);
+  ASSERT_TRUE(ref.ok());
+
+  // Warm the shared cache, then let a doomed request run against it.
+  {
+    ServiceRequest req;
+    req.cells = cells;
+    req.options = options;
+    auto warm = service.Search(std::move(req));
+    ASSERT_TRUE(warm.ok()) << warm.status();
+  }
+  for (int i = 0; i < 4; ++i) {
+    ServiceRequest req;
+    req.cells = cells;
+    req.options = options;
+    req.deadline_seconds = 1e-9;
+    auto r = service.Search(std::move(req));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << r.status();
+  }
+  // A normal request afterwards still gets the exact answer.
+  ServiceRequest req;
+  req.cells = cells;
+  req.options = options;
+  auto after = service.Search(std::move(req));
+  ASSERT_TRUE(after.ok()) << after.status();
+  ExpectBitIdentical(*ref, *after, "after deadline misses");
+  EXPECT_GE(service.stats().deadline_misses, 4);
+}
+
+TEST(ServiceDeadlineTest, SystemLevelDeadlineHonored) {
+  // The S4System entry point arms its own token: no service required.
+  SearchOptions options = BaseOptions();
+  options.deadline_seconds = 1e-9;
+  for (S4System::Strategy strategy :
+       {S4System::Strategy::kNaive, S4System::Strategy::kBaseline,
+        S4System::Strategy::kFastTopK}) {
+    auto r = System().Search(TestSheets()[0], options, strategy);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
+  }
+}
+
+TEST(ServiceValidationTest, BadOptionsRejectedAtTheBoundary) {
+  S4Service service(System());
+  const Cells cells = TestSheets()[0];
+
+  auto submit = [&](SearchOptions options, double deadline = 0.0) {
+    ServiceRequest req;
+    req.cells = cells;
+    req.options = std::move(options);
+    req.deadline_seconds = deadline;
+    return service.Submit(std::move(req)).status();
+  };
+
+  SearchOptions bad_k = BaseOptions();
+  bad_k.k = 0;
+  EXPECT_EQ(submit(bad_k).code(), StatusCode::kInvalidArgument);
+  bad_k.k = -3;
+  EXPECT_EQ(submit(bad_k).code(), StatusCode::kInvalidArgument);
+
+  SearchOptions bad_budget = BaseOptions();
+  bad_budget.cache_budget_bytes = 0;
+  EXPECT_EQ(submit(bad_budget).code(), StatusCode::kInvalidArgument);
+
+  SearchOptions bad_eps = BaseOptions();
+  bad_eps.epsilon = 0.0;
+  EXPECT_EQ(submit(bad_eps).code(), StatusCode::kInvalidArgument);
+
+  SearchOptions bad_deadline = BaseOptions();
+  bad_deadline.deadline_seconds = -1.0;
+  EXPECT_EQ(submit(bad_deadline).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(submit(BaseOptions(), -0.5).code(),
+            StatusCode::kInvalidArgument);
+
+  SearchOptions bad_alpha = BaseOptions();
+  bad_alpha.score.alpha = 1.5;
+  EXPECT_EQ(submit(bad_alpha).code(), StatusCode::kInvalidArgument);
+
+  // The same validation guards the plain system boundary.
+  EXPECT_EQ(System().Search(cells, bad_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Nothing above was admitted.
+  EXPECT_EQ(service.stats().accepted, 0);
+}
+
+TEST(ServiceBackpressureTest, FullQueueRejectsUntilDrained) {
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.max_queue = 2;
+  S4Service service(System(), sopts);
+  service.Pause();
+
+  auto make_request = [] {
+    ServiceRequest req;
+    req.cells = TestSheets()[0];
+    req.options = BaseOptions();
+    return req;
+  };
+
+  auto a = service.Submit(make_request());
+  auto b = service.Submit(make_request());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = service.Submit(make_request());
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+
+  ServiceStats paused = service.stats();
+  EXPECT_EQ(paused.accepted, 2);
+  EXPECT_EQ(paused.rejected, 1);
+  EXPECT_EQ(paused.queue_depth, 2u);
+
+  service.Resume();
+  auto ra = a->result.get();
+  auto rb = b->result.get();
+  EXPECT_TRUE(ra.ok()) << ra.status();
+  EXPECT_TRUE(rb.ok()) << rb.status();
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+}
+
+TEST(ServiceCancellationTest, QueuedRequestCancelsCleanly) {
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  S4Service service(System(), sopts);
+  service.Pause();
+
+  ServiceRequest req;
+  req.cells = TestSheets()[0];
+  req.options = BaseOptions();
+  auto ticket = service.Submit(std::move(req));
+  ASSERT_TRUE(ticket.ok());
+  ticket->stop->Cancel();
+  service.Resume();
+
+  auto r = ticket->result.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status();
+  EXPECT_EQ(service.stats().cancelled, 1);
+
+  // The service still serves.
+  ServiceRequest again;
+  again.cells = TestSheets()[0];
+  again.options = BaseOptions();
+  EXPECT_TRUE(service.Search(std::move(again)).ok());
+}
+
+TEST(ServicePriorityTest, HigherPriorityRunsFirst) {
+  ServiceOptions sopts;
+  sopts.num_workers = 1;  // strictly sequential execution
+  S4Service service(System(), sopts);
+  service.Pause();
+
+  ServiceRequest low;
+  low.cells = TestSheets()[0];
+  low.options = BaseOptions();
+  low.priority = 0;
+  ServiceRequest high = low;
+  high.priority = 5;
+
+  auto low_ticket = service.Submit(std::move(low));
+  auto high_ticket = service.Submit(std::move(high));
+  ASSERT_TRUE(low_ticket.ok());
+  ASSERT_TRUE(high_ticket.ok());
+  service.Resume();
+
+  // One worker pops by priority: when the low-priority result is ready,
+  // the high-priority one (submitted later) must already be done.
+  auto low_result = low_ticket->result.get();
+  EXPECT_TRUE(low_result.ok()) << low_result.status();
+  EXPECT_EQ(high_ticket->result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+}
+
+TEST(ServiceCacheTest, CrossQueryHitsAndInvalidation) {
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  S4Service service(System(), sopts);
+  const Cells cells = TestSheets()[0];
+
+  auto search = [&] {
+    ServiceRequest req;
+    req.cells = cells;
+    req.options = BaseOptions();
+    return service.Search(std::move(req));
+  };
+
+  auto first = search();
+  ASSERT_TRUE(first.ok());
+  const int64_t hits_after_first = service.stats().shared_cache.hits;
+  auto second = search();
+  ASSERT_TRUE(second.ok());
+  ExpectBitIdentical(*first, *second, "repeat request");
+  EXPECT_GT(service.stats().shared_cache.hits, hits_after_first);
+
+  // Invalidation bumps the generation: the warm entries are unreachable,
+  // yet the answer is unchanged.
+  const uint64_t gen = service.stats().cache_generation;
+  service.InvalidateSharedCache();
+  EXPECT_EQ(service.stats().cache_generation, gen + 1);
+  EXPECT_EQ(service.shared_cache().bytes_used(), 0u);
+  auto third = search();
+  ASSERT_TRUE(third.ok());
+  ExpectBitIdentical(*first, *third, "post-invalidation request");
+}
+
+TEST(ServiceSessionTest, SessionsMatchFreshSearchesAndClose) {
+  S4Service service(System());
+  const SearchOptions options = BaseOptions();
+
+  auto id = service.OpenSession(options);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(service.stats().sessions_open, 1);
+
+  const Cells cells1 = {{"Rick", "USA"}, {"Kevin", "Canada"}};
+  const Cells cells2 = {{"Rick", "USA"}, {"Kevin", "Mexico"}};
+  for (const Cells& cells : {cells1, cells2}) {
+    auto inc = service.SessionSearch(*id, cells);
+    ASSERT_TRUE(inc.ok()) << inc.status();
+    auto fresh = System().Search(cells, options);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ(inc->topk.size(), fresh->topk.size());
+    for (size_t i = 0; i < inc->topk.size(); ++i) {
+      EXPECT_NEAR(inc->topk[i].score, fresh->topk[i].score, 1e-9)
+          << "rank " << i;
+    }
+  }
+
+  EXPECT_TRUE(service.CloseSession(*id).ok());
+  EXPECT_EQ(service.stats().sessions_open, 0);
+  EXPECT_EQ(service.SessionSearch(*id, cells1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.CloseSession(*id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.OpenSession(SearchOptions{.k = -1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceSessionTest, SessionDeadlineReportsMiss) {
+  S4Service service(System());
+  SearchOptions options = BaseOptions();
+  options.deadline_seconds = 1e-9;
+  auto id = service.OpenSession(options);
+  ASSERT_TRUE(id.ok());
+  // NINC mode re-runs a full search, which polls the token at batch
+  // boundaries.
+  auto r = service.SessionSearch(*id, TestSheets()[0],
+                                 IncrementalMode::kFastTopKNInc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
+}
+
+TEST(ServiceShutdownTest, DestructorDrainsQueuedRequests) {
+  std::future<StatusOr<SearchResult>> a, b;
+  {
+    ServiceOptions sopts;
+    sopts.num_workers = 1;
+    S4Service service(System(), sopts);
+    service.Pause();
+    ServiceRequest req;
+    req.cells = TestSheets()[0];
+    req.options = BaseOptions();
+    auto ta = service.Submit(ServiceRequest(req));
+    auto tb = service.Submit(std::move(req));
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    a = std::move(ta->result);
+    b = std::move(tb->result);
+    // Destroyed while paused with two requests queued.
+  }
+  auto ra = a.get();
+  auto rb = b.get();
+  EXPECT_TRUE(ra.ok()) << ra.status();
+  EXPECT_TRUE(rb.ok()) << rb.status();
+}
+
+}  // namespace
+}  // namespace s4

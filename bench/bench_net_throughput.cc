@@ -1,0 +1,196 @@
+// End-to-end throughput of the network serving layer: an in-process
+// S4Server on loopback, N S4Client threads driving it through the wire
+// protocol, same RunLoadGen arrival process as bench_service_throughput
+// so the delta between the two tables is the cost of the network layer
+// itself (framing + epoll + loopback TCP).
+//
+// Modes: closed loop (default) or open loop (S4_BENCH_ARRIVAL_QPS > 0).
+// `--smoke` shrinks everything to a seconds-long CI gate that still
+// crosses the full stack.
+//
+// Knobs (environment): S4_BENCH_CLIENTS (8), S4_BENCH_ROUNDS (3),
+// S4_BENCH_ES_COUNT (10), S4_BENCH_CSUPP_SCALE (1), S4_BENCH_WORKERS
+// (= clients), S4_BENCH_EVAL_THREADS (0 = hardware),
+// S4_BENCH_EVENT_LOOPS (2), S4_BENCH_ARRIVAL_QPS (0 = closed loop).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/s4_service.h"
+
+int main(int argc, char** argv) {
+  using namespace s4;
+  using namespace s4::bench;
+
+  argc = JsonInit(argc, argv, "net_throughput");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int32_t clients =
+      static_cast<int32_t>(EnvInt("S4_BENCH_CLIENTS", smoke ? 4 : 8));
+  const int32_t rounds =
+      static_cast<int32_t>(EnvInt("S4_BENCH_ROUNDS", smoke ? 1 : 3));
+  const int32_t es_count =
+      static_cast<int32_t>(EnvInt("S4_BENCH_ES_COUNT", smoke ? 4 : 10));
+  const double arrival_qps =
+      static_cast<double>(EnvInt("S4_BENCH_ARRIVAL_QPS", 0));
+  const bool open_loop = arrival_qps > 0.0;
+
+  PrintHeader("Network throughput: S4Client fleet over loopback TCP",
+              open_loop ? "CSUPP-sim; open loop (Poisson arrivals) through"
+                          " the wire protocol"
+                        : "CSUPP-sim; closed loop through the wire protocol");
+
+  std::unique_ptr<World> world =
+      CsuppWorld(static_cast<int32_t>(EnvInt("S4_BENCH_CSUPP_SCALE", 1)));
+  Workload workload = MakeWorkload(*world, es_count);
+
+  auto system = S4System::Create(world->db);
+  if (!system.ok()) {
+    std::fprintf(stderr, "S4System::Create failed: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<std::vector<std::string>>> requests;
+  for (const datagen::GeneratedEs& es : workload.es) {
+    std::vector<std::vector<std::string>> cells(
+        static_cast<size_t>(es.sheet.NumRows()));
+    for (int32_t r = 0; r < es.sheet.NumRows(); ++r) {
+      for (int32_t c = 0; c < es.sheet.NumColumns(); ++c) {
+        cells[static_cast<size_t>(r)].push_back(es.sheet.cell(r, c).raw);
+      }
+    }
+    requests.push_back(std::move(cells));
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  ServiceOptions sopts;
+  sopts.num_workers =
+      static_cast<int32_t>(EnvInt("S4_BENCH_WORKERS", clients));
+  sopts.eval_threads =
+      static_cast<int32_t>(EnvInt("S4_BENCH_EVAL_THREADS", 0));
+  sopts.max_queue = static_cast<size_t>(4 * clients);
+  sopts.shared_cache_bytes = 64u << 20;
+  S4Service service(**system, sopts);
+
+  net::ServerOptions server_opts;
+  server_opts.num_event_loops =
+      static_cast<int32_t>(EnvInt("S4_BENCH_EVENT_LOOPS", 2));
+  net::S4Server server(&service, server_opts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  net::ClientOptions copts;
+  copts.port = server.port();
+  copts.request_timeout_seconds = 120.0;
+  copts.max_pool_connections = static_cast<size_t>(clients);
+  net::S4Client client(copts);
+  if (Status st = client.Ping(); !st.ok()) {
+    std::fprintf(stderr, "ping failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  SearchOptions search_options;
+  search_options.enumeration.max_tree_size = 4;
+
+  LoadGenOptions gen;
+  gen.clients = clients;
+  gen.requests_per_client =
+      rounds * static_cast<int32_t>(requests.size());
+  gen.arrival_rate_qps = arrival_qps;
+  const LoadGenResult run = RunLoadGen(gen, [&](int32_t c, int32_t i) {
+    net::NetSearchRequest req = net::NetSearchRequest::From(
+        requests[(static_cast<size_t>(i) + static_cast<size_t>(c)) %
+                 requests.size()],
+        search_options, S4System::Strategy::kFastTopK);
+    return client.Search(req).status();
+  });
+
+  const LatencyHistogram::Snapshot server_lat = server.latency();
+  const net::NetServerCounters& nc = server.counters();
+  const ServiceStats stats = service.stats();
+  const int64_t total = run.ok + run.errors;
+
+  TablePrinter tp({"metric", "value"});
+  tp.AddRow({"mode", open_loop ? "open loop" : "closed loop"});
+  tp.AddRow({"clients", TablePrinter::Int(clients)});
+  if (open_loop) {
+    tp.AddRow({"arrival rate (QPS)", TablePrinter::Num(arrival_qps, 1)});
+  }
+  tp.AddRow({"requests", TablePrinter::Int(static_cast<long long>(total))});
+  tp.AddRow({"errors", TablePrinter::Int(static_cast<long long>(run.errors))});
+  tp.AddRow({"elapsed (s)", TablePrinter::Num(run.elapsed_seconds, 3)});
+  tp.AddRow({"QPS", TablePrinter::Num(run.Qps(), 1)});
+  tp.AddRow({"client p50 (ms)",
+             TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.50), 3)});
+  tp.AddRow({"client p99 (ms)",
+             TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.99), 3)});
+  tp.AddRow({"client p99.9 (ms)",
+             TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.999), 3)});
+  tp.AddRow({"client max (ms)",
+             TablePrinter::Num(1e3 * run.latency.max_seconds, 3)});
+  tp.AddRow({"server p50 (ms)",
+             TablePrinter::Num(1e3 * server_lat.PercentileSeconds(0.50), 3)});
+  tp.AddRow({"server p99 (ms)",
+             TablePrinter::Num(1e3 * server_lat.PercentileSeconds(0.99), 3)});
+  tp.AddRow({"frames received",
+             TablePrinter::Int(static_cast<long long>(
+                 nc.frames_received.load()))});
+  tp.AddRow({"responses sent",
+             TablePrinter::Int(static_cast<long long>(
+                 nc.responses_sent.load()))});
+  tp.AddRow({"errors sent",
+             TablePrinter::Int(static_cast<long long>(nc.errors_sent.load()))});
+  tp.AddRow({"bytes sent (KiB)",
+             TablePrinter::Int(static_cast<long long>(
+                 nc.bytes_sent.load() >> 10))});
+  tp.AddRow({"cross-query hits",
+             TablePrinter::Int(static_cast<long long>(stats.shared_cache.hits))});
+  tp.Print();
+
+  JsonMetric("net", "smoke", smoke ? 1.0 : 0.0);
+  JsonMetric("net", "open_loop", open_loop ? 1.0 : 0.0);
+  JsonMetric("net", "clients", static_cast<double>(clients));
+  JsonMetric("net", "arrival_rate_qps", arrival_qps);
+  JsonMetric("net", "requests", static_cast<double>(total));
+  JsonMetric("net", "errors", static_cast<double>(run.errors));
+  JsonMetric("net", "elapsed_s", run.elapsed_seconds);
+  JsonMetric("net", "qps", run.Qps());
+  JsonLatency("net", run.latency);
+  JsonLatency("net_server", server_lat);
+  JsonMetric("net", "connections_accepted",
+             static_cast<double>(nc.connections_accepted.load()));
+  JsonMetric("net", "frames_received",
+             static_cast<double>(nc.frames_received.load()));
+  JsonMetric("net", "responses_sent",
+             static_cast<double>(nc.responses_sent.load()));
+  JsonMetric("net", "errors_sent",
+             static_cast<double>(nc.errors_sent.load()));
+  JsonMetric("net", "protocol_errors",
+             static_cast<double>(nc.protocol_errors.load()));
+  JsonMetric("net", "bytes_received",
+             static_cast<double>(nc.bytes_received.load()));
+  JsonMetric("net", "bytes_sent",
+             static_cast<double>(nc.bytes_sent.load()));
+  JsonMetric("net", "cross_query_cache_hits",
+             static_cast<double>(stats.shared_cache.hits));
+
+  server.Stop();
+  std::printf(
+      "\nexpected shape: QPS within a small constant factor of"
+      " bench_service_throughput at the same knobs (the search dominates;"
+      " framing + loopback adds microseconds), responses_sent =="
+      " requests, zero protocol errors.\n");
+  return run.errors == 0 ? 0 : 1;
+}

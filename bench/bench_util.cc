@@ -1,9 +1,14 @@
 #include "bench/bench_util.h"
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
+#include "common/rng.h"
 #include "common/timer.h"
 
 namespace s4::bench {
@@ -94,6 +99,17 @@ void JsonAgg(const std::string& section, const Agg& agg) {
              static_cast<double>(agg.cache_evictions));
   JsonMetric(section, "cache_peak_bytes",
              static_cast<double>(agg.cache_peak_bytes));
+}
+
+void JsonLatency(const std::string& section,
+                 const LatencyHistogram::Snapshot& snapshot) {
+  JsonMetric(section, "latency_samples", static_cast<double>(snapshot.total));
+  JsonMetric(section, "p50_ms", 1e3 * snapshot.PercentileSeconds(0.50));
+  JsonMetric(section, "p95_ms", 1e3 * snapshot.PercentileSeconds(0.95));
+  JsonMetric(section, "p99_ms", 1e3 * snapshot.PercentileSeconds(0.99));
+  JsonMetric(section, "p999_ms", 1e3 * snapshot.PercentileSeconds(0.999));
+  JsonMetric(section, "max_ms", 1e3 * snapshot.max_seconds);
+  JsonMetric(section, "mean_ms", 1e3 * snapshot.MeanSeconds());
 }
 
 void JsonWrite() {
@@ -193,6 +209,78 @@ int64_t EnvInt(const char* name, int64_t def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
   return std::atoll(v);
+}
+
+LoadGenResult RunLoadGen(
+    const LoadGenOptions& options,
+    const std::function<Status(int32_t client, int32_t seq)>& issue) {
+  const int32_t clients = options.clients < 1 ? 1 : options.clients;
+  const int32_t per_client =
+      options.requests_per_client < 0 ? 0 : options.requests_per_client;
+  const bool open_loop = options.arrival_rate_qps > 0.0;
+  // Deterministic per-client Poisson schedule, precomputed before any
+  // thread starts so the arrival process is independent of service time.
+  std::vector<std::vector<double>> schedule(static_cast<size_t>(clients));
+  if (open_loop) {
+    const double per_client_rate =
+        options.arrival_rate_qps / static_cast<double>(clients);
+    for (int32_t c = 0; c < clients; ++c) {
+      Rng rng(options.seed + static_cast<uint64_t>(c) * 0x9e3779b9ULL);
+      double t = 0.0;
+      auto& s = schedule[static_cast<size_t>(c)];
+      s.reserve(static_cast<size_t>(per_client));
+      for (int32_t i = 0; i < per_client; ++i) {
+        // Exponential interarrival; 1 - U keeps log() away from 0.
+        t += -std::log(1.0 - rng.NextDouble()) / per_client_rate;
+        s.push_back(t);
+      }
+    }
+  }
+
+  LatencyHistogram latency;
+  std::atomic<int64_t> ok{0}, errors{0};
+  WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int32_t i = 0; i < per_client; ++i) {
+        std::chrono::steady_clock::time_point issued_from;
+        if (open_loop) {
+          const auto scheduled =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              schedule[static_cast<size_t>(c)]
+                                      [static_cast<size_t>(i)]));
+          std::this_thread::sleep_until(scheduled);
+          // Latency anchors at the *scheduled* arrival: if the previous
+          // request overran its slot, the slip counts against us.
+          issued_from = scheduled;
+        } else {
+          issued_from = std::chrono::steady_clock::now();
+        }
+        const Status st = issue(c, i);
+        latency.Record(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - issued_from)
+                           .count());
+        if (st.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadGenResult result;
+  result.ok = ok.load();
+  result.errors = errors.load();
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.latency = latency.snapshot();
+  return result;
 }
 
 void PrintHeader(const std::string& title, const std::string& what) {

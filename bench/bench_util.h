@@ -2,10 +2,13 @@
 #define S4_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/latency_histogram.h"
+#include "common/status.h"
 #include "common/table_printer.h"
 #include "datagen/es_gen.h"
 #include "datagen/synthetic.h"
@@ -108,6 +111,51 @@ struct Agg {
 // users can scale benchmarks up without recompiling.
 int64_t EnvInt(const char* name, int64_t def);
 
+// --- load generation ---------------------------------------------------
+//
+// Shared by the service- and network-throughput benches so both report
+// comparable numbers from the same arrival process.
+
+struct LoadGenOptions {
+  int32_t clients = 8;
+  int32_t requests_per_client = 30;
+  // 0 = closed loop: each client issues its next request the moment the
+  // previous one returns, so offered load self-throttles to capacity.
+  // > 0 = open loop: arrivals follow a Poisson process at this aggregate
+  // rate (split evenly across clients), each request's latency measured
+  // from its *scheduled* arrival time. A slow server cannot slow the
+  // arrival schedule down, so queueing delay lands in the tail instead
+  // of being absorbed by client back-off (coordinated omission).
+  double arrival_rate_qps = 0.0;
+  uint64_t seed = 7;
+};
+
+struct LoadGenResult {
+  int64_t ok = 0;
+  int64_t errors = 0;
+  double elapsed_seconds = 0.0;
+  // Per-request latency: completion minus scheduled arrival (open loop)
+  // or minus issue time (closed loop).
+  LatencyHistogram::Snapshot latency;
+
+  double Qps() const {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(ok + errors) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+// Runs `issue(client, seq)` from `clients` threads per `options`. The
+// interarrival schedule is precomputed (deterministic per seed); open
+// loop sleeps each client to its next scheduled arrival even when the
+// previous request has not returned yet... which it cannot express with
+// one blocking issue() per client, so late requests are issued
+// back-to-back and their measured latency includes the schedule slip —
+// the standard single-threaded open-loop approximation.
+LoadGenResult RunLoadGen(
+    const LoadGenOptions& options,
+    const std::function<Status(int32_t client, int32_t seq)>& issue);
+
 // Prints the standard bench banner (dataset + substitution note).
 void PrintHeader(const std::string& title, const std::string& what);
 
@@ -137,6 +185,11 @@ void JsonMetric(const std::string& section, const std::string& name,
 
 // Records the standard Agg averages under `section`.
 void JsonAgg(const std::string& section, const Agg& agg);
+
+// Records the standard latency metrics (p50/p95/p99/p99.9/max/mean, in
+// milliseconds, plus the sample count) under `section`.
+void JsonLatency(const std::string& section,
+                 const LatencyHistogram::Snapshot& snapshot);
 
 // Writes the JSON file now (also runs automatically at exit).
 void JsonWrite();

@@ -1,0 +1,77 @@
+// Command-line client for a running net_server: type spreadsheet cells
+// on the command line, get back the top-k SQL queries that could have
+// produced them — over the wire, from another process.
+//
+//   ./net_server --port 4321 &
+//   ./net_client --port 4321 "The Matrix" "Keanu Reeves"
+//   ./net_client --port 4321 --k 3 "The Matrix" / "Speed"
+//
+// A bare "/" argument starts a new spreadsheet row; everything else is a
+// cell. --ping just checks liveness and exits.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+int main(int argc, char** argv) {
+  using namespace s4;
+
+  net::ClientOptions copts;
+  copts.port = 4321;
+  SearchOptions options;
+  options.k = 5;
+  bool ping_only = false;
+  std::vector<std::vector<std::string>> cells(1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      copts.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      copts.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+      options.k = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      ping_only = true;
+    } else if (std::strcmp(argv[i], "/") == 0) {
+      if (!cells.back().empty()) cells.emplace_back();
+    } else {
+      cells.back().push_back(argv[i]);
+    }
+  }
+
+  net::S4Client client(copts);
+  if (ping_only) {
+    Status st = client.Ping();
+    std::printf("ping %s:%u -> %s\n", copts.host.c_str(), copts.port,
+                st.ToString().c_str());
+    return st.ok() ? 0 : 1;
+  }
+  if (cells.back().empty()) cells.pop_back();
+  if (cells.empty()) {
+    std::fprintf(stderr,
+                 "usage: net_client [--host H] [--port P] [--k K] cell"
+                 " [cell ...] [/ cell ...]\n");
+    return 2;
+  }
+
+  auto result = client.Search(net::NetSearchRequest::From(
+      cells, options, S4System::Strategy::kFastTopK));
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("top-%zu in %.1f ms server time (%lld queries evaluated,"
+              " %lld cache hits)%s:\n",
+              result->topk.size(), 1e3 * result->server_seconds,
+              static_cast<long long>(result->queries_evaluated),
+              static_cast<long long>(result->cache_hits),
+              result->interrupted ? " [interrupted]" : "");
+  int rank = 1;
+  for (const net::NetTopkEntry& e : result->topk) {
+    std::printf("%2d. score=%.4f\n    %s\n", rank++, e.score, e.sql.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Network server over the movie dataset: builds the IMDB-sim database,
+// wraps it in an S4Service, and serves the S4 wire protocol on loopback
+// so examples/net_client (or any wire-speaking client) can discover
+// queries from another process.
+//
+//   ./net_server --port 4321        # serve until stdin closes
+//   ./net_server --self-test       # start, round-trip one search
+//                                  # through a real socket, exit
+//
+// The self-test mode is what ctest runs: it crosses the full stack
+// (framing, epoll loops, admission queue, completion marshalling) in a
+// few seconds with no free port or second process required.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "datagen/synthetic.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/s4_service.h"
+
+int main(int argc, char** argv) {
+  using namespace s4;
+
+  uint16_t port = 4321;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+      port = 0;  // kernel-assigned; nothing else needs to know it
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    }
+  }
+
+  std::printf("building the movie database + indexes...\n");
+  auto db = datagen::MakeImdbSim();
+  if (!db.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto system = S4System::Create(*db);
+  if (!system.ok()) {
+    std::fprintf(stderr, "indexes: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.max_queue = 32;
+  S4Service service(**system, sopts);
+
+  net::ServerOptions nopts;
+  nopts.port = port;
+  net::S4Server server(&service, nopts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving the S4 wire protocol on 127.0.0.1:%u\n",
+              server.port());
+
+  if (self_test) {
+    // Borrow a movie title and an actor the database is known to hold,
+    // exactly like net_client would type them.
+    const Table* movie = db->FindTable("Movie");
+    const Table* person = db->FindTable("Person");
+    const std::string title = movie->GetText(0, 1);
+    const std::string actor = person->GetText(3, 1);
+    std::printf("self-test: searching for {\"%s\", \"%s\"}\n", title.c_str(),
+                actor.c_str());
+
+    net::ClientOptions copts;
+    copts.port = server.port();
+    net::S4Client client(copts);
+    if (Status st = client.Ping(); !st.ok()) {
+      std::fprintf(stderr, "ping: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    SearchOptions options;
+    options.k = 3;
+    auto result = client.Search(net::NetSearchRequest::From(
+        {{title, actor}}, options, S4System::Strategy::kFastTopK));
+    if (!result.ok()) {
+      std::fprintf(stderr, "search: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("got %zu queries in %.1f ms server time; best:\n%s\n",
+                result->topk.size(), 1e3 * result->server_seconds,
+                result->topk.empty() ? "(none)"
+                                     : result->topk[0].sql.c_str());
+    server.Stop();
+    const net::NetServerCounters& c = server.counters();
+    std::printf("frames=%lld responses=%lld errors=%lld\n",
+                static_cast<long long>(c.frames_received.load()),
+                static_cast<long long>(c.responses_sent.load()),
+                static_cast<long long>(c.errors_sent.load()));
+    return result->topk.empty() ? 1 : 0;
+  }
+
+  std::printf("try: ./net_client --port %u \"<movie title>\" \"<actor>\"\n",
+              server.port());
+  std::printf("serving until stdin closes...\n");
+  while (std::getchar() != EOF) {
+  }
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef S4_COMMON_FD_H_
+#define S4_COMMON_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace s4 {
+
+// Move-only owner of a POSIX file descriptor (socket, epoll, eventfd).
+// Every descriptor the network layer opens lives in one of these, so a
+// connection teardown — normal, error, or exception path — can never
+// leak an fd (the loopback integration test asserts /proc/self/fd counts
+// before/after a full server+client lifecycle).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  // Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+  // Closes the held descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace s4
+
+#endif  // S4_COMMON_FD_H_

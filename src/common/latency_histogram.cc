@@ -30,8 +30,13 @@ void LatencyHistogram::Record(double seconds) {
   if (seconds < 0.0) seconds = 0.0;
   counts_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
-  sum_nanos_.fetch_add(static_cast<int64_t>(seconds * 1e9),
-                       std::memory_order_relaxed);
+  const int64_t nanos = static_cast<int64_t>(seconds * 1e9);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  int64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
@@ -43,7 +48,19 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   }
   s.sum_seconds =
       static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.max_seconds =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   return s;
+}
+
+void LatencyHistogram::Snapshot::Merge(const Snapshot& other) {
+  if (counts.empty()) counts.resize(kNumBuckets);
+  for (size_t b = 0; b < counts.size() && b < other.counts.size(); ++b) {
+    counts[b] += other.counts[b];
+  }
+  total += other.total;
+  sum_seconds += other.sum_seconds;
+  if (other.max_seconds > max_seconds) max_seconds = other.max_seconds;
 }
 
 double LatencyHistogram::Snapshot::PercentileSeconds(double q) const {

@@ -32,6 +32,9 @@ class LatencyHistogram {
     std::vector<int64_t> counts;  // kNumBuckets entries
     int64_t total = 0;
     double sum_seconds = 0.0;
+    // Exact largest recorded sample (not bucket-quantized): tail reports
+    // need the true max, which a ~3.9%-wide bucket midpoint would smear.
+    double max_seconds = 0.0;
 
     // Latency at quantile q in [0, 1] (0.5 = median), as the geometric
     // midpoint of the bucket containing that rank; 0 when empty.
@@ -39,6 +42,11 @@ class LatencyHistogram {
     double MeanSeconds() const {
       return total == 0 ? 0.0 : sum_seconds / static_cast<double>(total);
     }
+
+    // Folds `other` into this snapshot (bucket-wise sums, max of maxes):
+    // per-event-loop histograms stay thread-local and lock-free, and
+    // service-wide percentiles are computed from merged snapshots.
+    void Merge(const Snapshot& other);
   };
   Snapshot snapshot() const;
 
@@ -52,8 +60,9 @@ class LatencyHistogram {
 
   std::array<std::atomic<int64_t>, kNumBuckets> counts_{};
   std::atomic<int64_t> total_{0};
-  // Sum in nanoseconds so the accumulator stays a lock-free integer.
+  // Sum / max in nanoseconds so the accumulators stay lock-free integers.
   std::atomic<int64_t> sum_nanos_{0};
+  std::atomic<int64_t> max_nanos_{0};
 };
 
 }  // namespace s4

@@ -1,0 +1,159 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "net/socket_util.h"
+
+namespace s4::net {
+
+namespace {
+
+double Remaining(std::chrono::steady_clock::time_point start,
+                 double budget_seconds) {
+  if (budget_seconds <= 0.0) return 0.0;  // 0 = no deadline downstream
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Never fall to <= 0 with a budget set: 0 means "no deadline" to the
+  // socket helpers. An exhausted budget becomes an immediate timeout.
+  return std::max(budget_seconds - elapsed, 1e-4);
+}
+
+}  // namespace
+
+S4Client::S4Client(ClientOptions options) : options_(std::move(options)) {}
+
+StatusOr<UniqueFd> S4Client::Checkout(bool* pooled) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      UniqueFd fd = std::move(pool_.back());
+      pool_.pop_back();
+      *pooled = true;
+      return fd;
+    }
+  }
+  *pooled = false;
+  return ConnectWithTimeout(options_.host, options_.port,
+                            options_.connect_timeout_seconds);
+}
+
+void S4Client::Return(UniqueFd fd) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.size() < options_.max_pool_connections) {
+    pool_.push_back(std::move(fd));
+  }
+  // Otherwise fd closes here: the pool is full.
+}
+
+StatusOr<S4Client::RawReply> S4Client::RoundTripOn(int fd,
+                                                   const std::string& frame,
+                                                   uint64_t request_id,
+                                                   bool* reusable) {
+  *reusable = false;
+  const auto start = std::chrono::steady_clock::now();
+  const double budget = options_.request_timeout_seconds;
+  S4_RETURN_IF_ERROR(SendAll(fd, frame.data(), frame.size(),
+                             Remaining(start, budget)));
+  char header[kHeaderBytes];
+  S4_RETURN_IF_ERROR(
+      RecvAll(fd, header, kHeaderBytes, Remaining(start, budget)));
+  FrameHeader h;
+  S4_RETURN_IF_ERROR(
+      DecodeFrameHeader(std::string_view(header, kHeaderBytes), &h));
+  if (h.payload_len > kDefaultMaxFrameBytes) {
+    return Status::Internal(
+        StrFormat("server sent an oversized frame (%u bytes)",
+                  h.payload_len));
+  }
+  RawReply reply;
+  reply.type = h.type;
+  reply.payload.resize(h.payload_len);
+  if (h.payload_len > 0) {
+    S4_RETURN_IF_ERROR(RecvAll(fd, reply.payload.data(), h.payload_len,
+                               Remaining(start, budget)));
+  }
+  if (h.request_id != request_id) {
+    // The stream is out of sync (a previous call abandoned a response
+    // mid-read, or the server is confused); the socket must not be
+    // reused either way.
+    return Status::Internal(
+        StrFormat("response for request %llu while waiting for %llu",
+                  static_cast<unsigned long long>(h.request_id),
+                  static_cast<unsigned long long>(request_id)));
+  }
+  *reusable = true;
+  return reply;
+}
+
+StatusOr<S4Client::RawReply> S4Client::RoundTrip(const std::string& frame,
+                                                 uint64_t request_id) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool pooled = false;
+    auto fd = Checkout(&pooled);
+    if (!fd.ok()) return fd.status();
+    bool reusable = false;
+    auto reply = RoundTripOn(fd->get(), frame, request_id, &reusable);
+    if (reply.ok()) {
+      if (reusable) Return(std::move(*fd));
+      return reply;
+    }
+    // A pooled socket may have been idle-closed by the server since its
+    // last use; a transport failure there (Internal, not a timeout) is
+    // retried once on a fresh connection. Fresh-connection failures are
+    // real.
+    if (pooled && attempt == 0 &&
+        reply.status().code() == StatusCode::kInternal) {
+      continue;
+    }
+    return reply.status();
+  }
+  return Status::Internal("unreachable");  // loop always returns
+}
+
+StatusOr<NetSearchResponse> S4Client::Search(
+    const NetSearchRequest& request) {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = RoundTrip(EncodeSearchRequestFrame(request, id), id);
+  if (!reply.ok()) return reply.status();
+  switch (reply->type) {
+    case FrameType::kSearchResponse: {
+      NetSearchResponse resp;
+      S4_RETURN_IF_ERROR(DecodeSearchResponse(reply->payload, &resp));
+      return resp;
+    }
+    case FrameType::kError: {
+      NetError err;
+      S4_RETURN_IF_ERROR(DecodeError(reply->payload, &err));
+      return err.ToStatus();
+    }
+    default:
+      return Status::Internal(
+          StrFormat("unexpected frame type %u in reply",
+                    static_cast<unsigned>(reply->type)));
+  }
+}
+
+Status S4Client::Ping() {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = RoundTrip(EncodePingFrame(id), id);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) {
+    NetError err;
+    S4_RETURN_IF_ERROR(DecodeError(reply->payload, &err));
+    return err.ToStatus();
+  }
+  if (reply->type != FrameType::kPong) {
+    return Status::Internal(
+        StrFormat("unexpected frame type %u in ping reply",
+                  static_cast<unsigned>(reply->type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace s4::net

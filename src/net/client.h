@@ -1,0 +1,77 @@
+#ifndef S4_NET_CLIENT_H_
+#define S4_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fd.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace s4::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double connect_timeout_seconds = 5.0;
+  // Client-side cap on one whole round trip (send + wait + receive);
+  // <= 0 disables it. Independent of the server-side deadline carried in
+  // the request, which governs the search itself.
+  double request_timeout_seconds = 30.0;
+  // Idle connections kept for reuse (each concurrent call checks one
+  // out, so this bounds pooled sockets, not concurrency).
+  size_t max_pool_connections = 4;
+};
+
+// Blocking client for S4Server. Thread-safe: concurrent Search calls
+// each check a connection out of the pool (or dial a fresh one), so they
+// never share a socket. Server Error frames come back as the typed
+// Status they carry (Status::IsRetryable via net::IsRetryable tells the
+// caller whether a verbatim retry makes sense — only ResourceExhausted
+// does); transport failures surface as Internal and client-side
+// timeouts as DeadlineExceeded.
+//
+// A pooled connection may have been idle-closed by the server between
+// uses; a transport failure on a pooled socket is therefore retried once
+// on a freshly dialed connection before being reported.
+class S4Client {
+ public:
+  explicit S4Client(ClientOptions options);
+  ~S4Client() = default;
+
+  S4Client(const S4Client&) = delete;
+  S4Client& operator=(const S4Client&) = delete;
+
+  StatusOr<NetSearchResponse> Search(const NetSearchRequest& request);
+  Status Ping();
+
+ private:
+  struct RawReply {
+    FrameType type = FrameType::kPong;
+    std::string payload;
+  };
+
+  // Sends `frame` and reads the response frame for `request_id`,
+  // handling pool checkout/return and the one stale-connection retry.
+  StatusOr<RawReply> RoundTrip(const std::string& frame,
+                               uint64_t request_id);
+  // One attempt on one socket. `reusable` is set when the connection is
+  // still in a known-good framing state afterwards.
+  StatusOr<RawReply> RoundTripOn(int fd, const std::string& frame,
+                                 uint64_t request_id, bool* reusable);
+
+  StatusOr<UniqueFd> Checkout(bool* pooled);
+  void Return(UniqueFd fd);
+
+  ClientOptions options_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::mutex pool_mu_;
+  std::vector<UniqueFd> pool_;
+};
+
+}  // namespace s4::net
+
+#endif  // S4_NET_CLIENT_H_

@@ -1,0 +1,127 @@
+#ifndef S4_NET_PROTOCOL_H_
+#define S4_NET_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace s4::net {
+
+// --- S4 wire protocol v1 ----------------------------------------------
+//
+// Every frame on the wire is a fixed 20-byte header followed by a
+// type-specific payload, all integers little-endian:
+//
+//   offset  size  field
+//        0     4  magic        0x53345750 ("S4WP")
+//        4     1  version      kProtocolVersion
+//        5     1  type         FrameType
+//        6     2  reserved     must be 0
+//        8     8  request_id   echoed verbatim in the response frame
+//       16     4  payload_len  bytes following the header
+//
+// The magic is checked first: a stream that does not start every frame
+// with it is garbage (or a different protocol) and the connection is cut
+// without a response — nothing later in such a stream can be trusted.
+// A version mismatch or an unknown type is answered with an Error frame
+// (the peer speaks *a* version of this protocol, so an explanation is
+// deliverable) before the connection closes.
+
+inline constexpr uint32_t kMagic = 0x53345750u;  // "S4WP"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderBytes = 20;
+
+// Frames larger than this are rejected with InvalidArgument and the
+// connection closed: the server never buffers an attacker-sized frame.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kSearchRequest = 1,   // client -> server
+  kSearchResponse = 2,  // server -> client (success)
+  kError = 3,           // server -> client (Status + retryable flag)
+  kPing = 4,            // client -> server (pool health check)
+  kPong = 5,            // server -> client
+};
+
+inline bool IsValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
+         t <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+// S4System::Strategy on the wire (decoupled from the enum's in-memory
+// numbering so either side can re-order its enum without a wire break).
+inline constexpr uint8_t kWireStrategyNaive = 0;
+inline constexpr uint8_t kWireStrategyBaseline = 1;
+inline constexpr uint8_t kWireStrategyFastTopK = 2;
+
+// --- Status <-> wire error code mapping -------------------------------
+//
+// The Error frame carries the StatusCode as a stable small integer plus
+// a retryable hint, so S4Client can hand typed Status values back to
+// callers (the "error-mapping table" of DESIGN.md).
+
+inline uint8_t WireCodeFor(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+inline StatusCode StatusCodeFromWire(uint8_t code) {
+  switch (code) {
+    case static_cast<uint8_t>(StatusCode::kInvalidArgument):
+      return StatusCode::kInvalidArgument;
+    case static_cast<uint8_t>(StatusCode::kNotFound):
+      return StatusCode::kNotFound;
+    case static_cast<uint8_t>(StatusCode::kAlreadyExists):
+      return StatusCode::kAlreadyExists;
+    case static_cast<uint8_t>(StatusCode::kOutOfRange):
+      return StatusCode::kOutOfRange;
+    case static_cast<uint8_t>(StatusCode::kFailedPrecondition):
+      return StatusCode::kFailedPrecondition;
+    case static_cast<uint8_t>(StatusCode::kResourceExhausted):
+      return StatusCode::kResourceExhausted;
+    case static_cast<uint8_t>(StatusCode::kCancelled):
+      return StatusCode::kCancelled;
+    case static_cast<uint8_t>(StatusCode::kDeadlineExceeded):
+      return StatusCode::kDeadlineExceeded;
+    default:
+      // Unknown / kOk in an error frame: a peer bug; surface as Internal
+      // rather than inventing success.
+      return StatusCode::kInternal;
+  }
+}
+
+// Whether a request failing with `code` may be retried verbatim.
+// ResourceExhausted is the admission queue saying "later"; everything
+// else either cannot succeed unchanged (InvalidArgument,
+// FailedPrecondition, ...) or already consumed its budget
+// (DeadlineExceeded, Cancelled).
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted;
+}
+
+inline Status StatusFromWire(uint8_t code, std::string message) {
+  const StatusCode sc = StatusCodeFromWire(code);
+  switch (sc) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+}  // namespace s4::net
+
+#endif  // S4_NET_PROTOCOL_H_

@@ -1,0 +1,203 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "net/socket_util.h"
+#include "net/wire.h"
+
+namespace s4::net {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+NetSearchResponse BuildResponse(const SearchResult& result,
+                                double server_seconds, const Database& db) {
+  NetSearchResponse resp;
+  resp.topk.reserve(result.topk.size());
+  for (const ScoredQuery& sq : result.topk) {
+    NetTopkEntry e;
+    e.signature = sq.query.signature();
+    e.sql = sq.query.ToSql(db);
+    e.score = sq.score;
+    e.upper_bound = sq.upper_bound;
+    e.row_score = sq.row_score;
+    e.column_score = sq.column_score;
+    resp.topk.push_back(std::move(e));
+  }
+  resp.interrupted = result.interrupted;
+  const RunStats& s = result.stats;
+  resp.queries_enumerated = s.queries_enumerated;
+  resp.queries_evaluated = s.queries_evaluated;
+  resp.query_row_evals = s.query_row_evals;
+  resp.skipped_by_condition = s.skipped_by_condition;
+  resp.model_cost = s.model_cost;
+  resp.enum_seconds = s.enum_seconds;
+  resp.eval_seconds = s.eval_seconds;
+  resp.cache_hits = s.cache.hits;
+  resp.cache_misses = s.cache.misses;
+  resp.cache_evictions = s.cache.evictions;
+  resp.cache_peak_bytes = s.cache.peak_bytes;
+  resp.server_seconds = server_seconds;
+  return resp;
+}
+
+}  // namespace
+
+S4Server::S4Server(S4Service* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.num_event_loops < 1) options_.num_event_loops = 1;
+}
+
+S4Server::~S4Server() { Stop(); }
+
+Status S4Server::Start() {
+  if (acceptor_.joinable()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  auto listener = Listen(options_.bind_address, options_.port);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = std::move(*listener);
+  auto port = LocalPort(listen_fd_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+
+  ServerTuning tuning;
+  tuning.max_frame_bytes = options_.max_frame_bytes;
+  tuning.idle_timeout_seconds = options_.idle_timeout_seconds;
+  loops_.reserve(static_cast<size_t>(options_.num_event_loops));
+  for (int32_t i = 0; i < options_.num_event_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>(this, &counters_, tuning);
+    S4_RETURN_IF_ERROR(loop->Start());
+    loops_.push_back(std::move(loop));
+  }
+  acceptor_ = std::thread([this] { AcceptorMain(); });
+  return Status::OK();
+}
+
+void S4Server::Stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_.Reset();
+  // Close every connection first: that cancels in-flight StopTokens, so
+  // running searches wind down at their next batch boundary instead of
+  // holding the drain below for a full search.
+  for (auto& loop : loops_) loop->CloseAllConnections();
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] { return inflight_dispatches_ == 0; });
+  }
+  // Every completion has been posted; the loops run their queues before
+  // joining, so nothing posts to a dead loop.
+  for (auto& loop : loops_) loop->Stop();
+}
+
+size_t S4Server::num_connections() const {
+  size_t n = 0;
+  for (const auto& loop : loops_) n += loop->num_connections();
+  return n;
+}
+
+LatencyHistogram::Snapshot S4Server::latency() const {
+  LatencyHistogram::Snapshot merged;
+  for (const auto& loop : loops_) {
+    merged.Merge(loop->latency().snapshot());
+  }
+  return merged;
+}
+
+void S4Server::AcceptorMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    const int pr = poll(&pfd, 1, 100);
+    if (pr <= 0) continue;  // timeout/EINTR; re-check the stop flag
+    for (;;) {
+      const int raw =
+          accept4(listen_fd_.get(), nullptr, nullptr,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (raw < 0) break;  // EAGAIN: emptied the backlog
+      UniqueFd fd(raw);
+      (void)SetNoDelay(fd.get());
+      loops_[next_loop_]->AdoptSocket(std::move(fd));
+      next_loop_ = (next_loop_ + 1) % loops_.size();
+    }
+  }
+}
+
+void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id, NetSearchRequest req) {
+  const auto start = std::chrono::steady_clock::now();
+  ServiceRequest sreq;
+  sreq.options = req.ToSearchOptions();
+  sreq.strategy = req.ToStrategy();
+  sreq.priority = req.priority;
+  sreq.deadline_seconds = req.deadline_seconds;
+  sreq.cells = std::move(req.cells);
+
+  std::weak_ptr<Connection> wconn = conn;
+  EventLoop* loop = conn->loop();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_dispatches_;
+  }
+  auto done = [this, wconn, loop, request_id,
+               start](StatusOr<SearchResult> result) {
+    const double server_seconds = SecondsSince(start);
+    std::string frame;
+    bool is_error = false;
+    if (result.ok()) {
+      frame = EncodeSearchResponseFrame(
+          BuildResponse(*result, server_seconds, service_->system().db()),
+          request_id);
+    } else {
+      frame = EncodeErrorFrame(result.status(), request_id);
+      is_error = true;
+    }
+    // This runs on a service worker thread; only the owning loop may
+    // touch the connection. The weak_ptr keeps a disconnected peer from
+    // resurrecting: the completion just evaporates.
+    loop->Post([wconn, request_id, frame = std::move(frame), is_error,
+                server_seconds]() mutable {
+      if (auto c = wconn.lock(); c && !c->closed()) {
+        c->CompleteRequest(request_id, std::move(frame), is_error,
+                           server_seconds);
+      }
+    });
+    {
+      // Notify under the lock: the moment the count hits zero, Stop()'s
+      // waiter may return and destroy the cv, so the broadcast must not
+      // outlive the critical section.
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_dispatches_;
+      inflight_cv_.notify_all();
+    }
+  };
+  auto stop = service_->SubmitAsync(std::move(sreq), std::move(done));
+  if (!stop.ok()) {
+    // Rejected at admission (backpressure, validation, shutdown): the
+    // callback will never run. Answer right here on the loop thread —
+    // ResourceExhausted carries the retryable flag on the wire.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_dispatches_;
+      inflight_cv_.notify_all();
+    }
+    conn->CompleteRequest(request_id,
+                          EncodeErrorFrame(stop.status(), request_id),
+                          /*is_error=*/true, SecondsSince(start));
+    return;
+  }
+  conn->RegisterInflight(request_id, *stop);
+}
+
+}  // namespace s4::net

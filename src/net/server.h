@@ -1,0 +1,91 @@
+#ifndef S4_NET_SERVER_H_
+#define S4_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fd.h"
+#include "common/latency_histogram.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "service/s4_service.h"
+
+namespace s4::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  // 0 = kernel-assigned; read the real one back with port().
+  uint16_t port = 0;
+  // Event-loop threads sharing the accepted connections round-robin.
+  int32_t num_event_loops = 2;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  double idle_timeout_seconds = 60.0;
+};
+
+// TCP front-end for an S4Service: one acceptor thread plus
+// `num_event_loops` epoll threads, each owning its connections outright
+// (the data path takes no locks; cross-thread handoff goes through
+// EventLoop::Post). A decoded SearchRequest is dispatched into the
+// service's admission queue from the loop thread — the deadline is armed
+// at admission, i.e. effectively at frame arrival — and the completion
+// callback marshals the response back to the owning loop. A client
+// disconnect cancels its in-flight requests through their StopTokens.
+//
+// The wrapped service must outlive the server. Stop() (also run by the
+// destructor) refuses new connections, closes existing ones, then waits
+// for in-flight dispatches to drain before the loops are joined, so no
+// completion ever posts to a dead loop.
+class S4Server : public SearchDispatcher {
+ public:
+  explicit S4Server(S4Service* service, ServerOptions options = {});
+  ~S4Server() override;
+
+  S4Server(const S4Server&) = delete;
+  S4Server& operator=(const S4Server&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // The port actually bound (differs from options when it was 0).
+  uint16_t port() const { return port_; }
+
+  const NetServerCounters& counters() const { return counters_; }
+  size_t num_connections() const;
+  // Server-side request latency (frame arrival -> response queued),
+  // merged across event loops.
+  LatencyHistogram::Snapshot latency() const;
+
+  // SearchDispatcher (called on a loop thread).
+  void DispatchSearch(const std::shared_ptr<Connection>& conn,
+                      uint64_t request_id, NetSearchRequest req) override;
+
+ private:
+  void AcceptorMain();
+
+  S4Service* service_;
+  ServerOptions options_;
+  NetServerCounters counters_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  size_t next_loop_ = 0;  // acceptor-thread only
+
+  // Dispatches whose completion callback has not yet run; Stop() waits
+  // for zero before tearing the loops down.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int64_t inflight_dispatches_ = 0;
+};
+
+}  // namespace s4::net
+
+#endif  // S4_NET_SERVER_H_

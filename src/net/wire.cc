@@ -1,0 +1,404 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/string_util.h"
+
+namespace s4::net {
+
+namespace {
+
+// Decode-side sanity caps, all far above anything a legitimate request
+// carries but small enough that a hostile frame cannot make the decoder
+// allocate unbounded vectors before the byte-level bounds checks bite.
+constexpr uint32_t kMaxRows = 4096;
+constexpr uint32_t kMaxCols = 4096;
+constexpr uint64_t kMaxCells = 1u << 20;
+constexpr uint32_t kMaxTopk = 1u << 20;
+
+void PutLE(std::string* out, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::string FinishFrame(FrameType type, uint64_t request_id,
+                        std::string payload) {
+  FrameHeader h;
+  h.type = type;
+  h.request_id = request_id;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendFrameHeader(h, &frame);
+  frame += payload;
+  return frame;
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(
+      StrFormat("truncated %s payload", what));
+}
+
+}  // namespace
+
+// --- primitives --------------------------------------------------------
+
+bool WireReader::Take(size_t n, const char** out) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::ReadU8(uint8_t* v) {
+  const char* p;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::ReadU32(uint32_t* v) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::ReadU64(uint64_t* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::ReadI32(int32_t* v) {
+  uint32_t u;
+  if (!ReadU32(&u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool WireReader::ReadI64(int64_t* v) {
+  uint64_t u;
+  if (!ReadU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WireReader::ReadDouble(double* v) {
+  uint64_t u;
+  if (!ReadU64(&u)) return false;
+  *v = std::bit_cast<double>(u);
+  return true;
+}
+
+bool WireReader::ReadString(std::string* v) {
+  uint32_t len;
+  if (!ReadU32(&len)) return false;
+  const char* p;
+  if (!Take(len, &p)) return false;  // validates len <= remaining
+  v->assign(p, len);
+  return true;
+}
+
+void WireWriter::PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void WireWriter::PutU32(uint32_t v) { PutLE(&buf_, v, 4); }
+void WireWriter::PutU64(uint64_t v) { PutLE(&buf_, v, 8); }
+void WireWriter::PutI32(int32_t v) { PutLE(&buf_, static_cast<uint32_t>(v), 4); }
+void WireWriter::PutI64(int64_t v) { PutLE(&buf_, static_cast<uint64_t>(v), 8); }
+void WireWriter::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void WireWriter::PutString(std::string_view v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  buf_.append(v.data(), v.size());
+}
+
+// --- frame header ------------------------------------------------------
+
+void AppendFrameHeader(const FrameHeader& h, std::string* out) {
+  PutLE(out, kMagic, 4);
+  out->push_back(static_cast<char>(h.version));
+  out->push_back(static_cast<char>(h.type));
+  PutLE(out, 0, 2);  // reserved
+  PutLE(out, h.request_id, 8);
+  PutLE(out, h.payload_len, 4);
+}
+
+Status DecodeFrameHeader(std::string_view buf, FrameHeader* h) {
+  if (buf.size() < kHeaderBytes) {
+    return Status::InvalidArgument("short frame header");
+  }
+  WireReader r(buf.substr(0, kHeaderBytes));
+  uint32_t magic;
+  uint8_t version, type;
+  uint8_t reserved0, reserved1;
+  r.ReadU32(&magic);
+  r.ReadU8(&version);
+  r.ReadU8(&type);
+  r.ReadU8(&reserved0);
+  r.ReadU8(&reserved1);
+  uint64_t request_id;
+  uint32_t payload_len;
+  r.ReadU64(&request_id);
+  r.ReadU32(&payload_len);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad frame magic (not an S4 wire peer)");
+  }
+  h->version = version;
+  h->request_id = request_id;
+  h->payload_len = payload_len;
+  if (version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("protocol version mismatch: peer speaks v%u, this side v%u",
+                  version, kProtocolVersion));
+  }
+  if (!IsValidFrameType(type)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown frame type %u", type));
+  }
+  h->type = static_cast<FrameType>(type);
+  return Status::OK();
+}
+
+// --- NetSearchRequest ---------------------------------------------------
+
+NetSearchRequest NetSearchRequest::From(
+    std::vector<std::vector<std::string>> cells, const SearchOptions& options,
+    S4System::Strategy strategy, int32_t priority, double deadline_seconds) {
+  NetSearchRequest req;
+  req.cells = std::move(cells);
+  switch (strategy) {
+    case S4System::Strategy::kNaive:
+      req.strategy = kWireStrategyNaive;
+      break;
+    case S4System::Strategy::kBaseline:
+      req.strategy = kWireStrategyBaseline;
+      break;
+    case S4System::Strategy::kFastTopK:
+      req.strategy = kWireStrategyFastTopK;
+      break;
+  }
+  req.priority = priority;
+  req.deadline_seconds = deadline_seconds;
+  req.k = options.k;
+  req.alpha = options.score.alpha;
+  req.epsilon = options.epsilon;
+  req.use_idf = options.score.use_idf;
+  req.exact_match_bonus = options.score.exact_match_bonus;
+  req.spelling_edits = options.score.spelling_edits;
+  req.drop_zero_rows = options.drop_zero_rows;
+  req.num_threads = options.num_threads;
+  req.max_tree_size = options.enumeration.max_tree_size;
+  req.cache_budget_bytes = options.cache_budget_bytes;
+  return req;
+}
+
+SearchOptions NetSearchRequest::ToSearchOptions() const {
+  SearchOptions options;
+  options.k = k;
+  options.score.alpha = alpha;
+  options.epsilon = epsilon;
+  options.score.use_idf = use_idf;
+  options.score.exact_match_bonus = exact_match_bonus;
+  options.score.spelling_edits = spelling_edits;
+  options.drop_zero_rows = drop_zero_rows;
+  options.num_threads = num_threads;
+  options.enumeration.max_tree_size = max_tree_size;
+  options.cache_budget_bytes = cache_budget_bytes;
+  return options;
+}
+
+S4System::Strategy NetSearchRequest::ToStrategy() const {
+  switch (strategy) {
+    case kWireStrategyNaive:
+      return S4System::Strategy::kNaive;
+    case kWireStrategyBaseline:
+      return S4System::Strategy::kBaseline;
+    default:
+      return S4System::Strategy::kFastTopK;
+  }
+}
+
+std::string EncodeSearchRequestFrame(const NetSearchRequest& req,
+                                     uint64_t request_id) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(req.cells.size()));
+  const uint32_t cols =
+      req.cells.empty() ? 0 : static_cast<uint32_t>(req.cells[0].size());
+  w.PutU32(cols);
+  for (const auto& row : req.cells) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      w.PutString(c < row.size() ? std::string_view(row[c])
+                                 : std::string_view());
+    }
+  }
+  w.PutU8(req.strategy);
+  w.PutI32(req.priority);
+  w.PutDouble(req.deadline_seconds);
+  w.PutI32(req.k);
+  w.PutDouble(req.alpha);
+  w.PutDouble(req.epsilon);
+  w.PutU8(req.use_idf ? 1 : 0);
+  w.PutDouble(req.exact_match_bonus);
+  w.PutI32(req.spelling_edits);
+  w.PutU8(req.drop_zero_rows ? 1 : 0);
+  w.PutI32(req.num_threads);
+  w.PutI32(req.max_tree_size);
+  w.PutU64(req.cache_budget_bytes);
+  return FinishFrame(FrameType::kSearchRequest, request_id, w.Take());
+}
+
+Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req) {
+  WireReader r(payload);
+  uint32_t rows, cols;
+  if (!r.ReadU32(&rows) || !r.ReadU32(&cols)) return Truncated("request");
+  if (rows > kMaxRows || cols > kMaxCols ||
+      static_cast<uint64_t>(rows) * cols > kMaxCells) {
+    return Status::InvalidArgument(
+        StrFormat("request spreadsheet %u x %u exceeds wire limits", rows,
+                  cols));
+  }
+  req->cells.assign(rows, std::vector<std::string>(cols));
+  for (uint32_t t = 0; t < rows; ++t) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (!r.ReadString(&req->cells[t][c])) return Truncated("request cell");
+    }
+  }
+  uint8_t use_idf = 0, drop_zero = 0;
+  if (!r.ReadU8(&req->strategy) || !r.ReadI32(&req->priority) ||
+      !r.ReadDouble(&req->deadline_seconds) || !r.ReadI32(&req->k) ||
+      !r.ReadDouble(&req->alpha) || !r.ReadDouble(&req->epsilon) ||
+      !r.ReadU8(&use_idf) || !r.ReadDouble(&req->exact_match_bonus) ||
+      !r.ReadI32(&req->spelling_edits) || !r.ReadU8(&drop_zero) ||
+      !r.ReadI32(&req->num_threads) || !r.ReadI32(&req->max_tree_size) ||
+      !r.ReadU64(&req->cache_budget_bytes)) {
+    return Truncated("request options");
+  }
+  req->use_idf = use_idf != 0;
+  req->drop_zero_rows = drop_zero != 0;
+  if (req->strategy > kWireStrategyFastTopK) {
+    return Status::InvalidArgument(
+        StrFormat("unknown strategy %u", req->strategy));
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return Status::OK();
+}
+
+// --- NetSearchResponse --------------------------------------------------
+
+std::string EncodeSearchResponseFrame(const NetSearchResponse& resp,
+                                      uint64_t request_id) {
+  WireWriter w;
+  w.PutU8(resp.interrupted ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(resp.topk.size()));
+  for (const NetTopkEntry& e : resp.topk) {
+    w.PutString(e.signature);
+    w.PutString(e.sql);
+    w.PutDouble(e.score);
+    w.PutDouble(e.upper_bound);
+    w.PutDouble(e.row_score);
+    w.PutDouble(e.column_score);
+  }
+  w.PutI64(resp.queries_enumerated);
+  w.PutI64(resp.queries_evaluated);
+  w.PutI64(resp.query_row_evals);
+  w.PutI64(resp.skipped_by_condition);
+  w.PutI64(resp.model_cost);
+  w.PutDouble(resp.enum_seconds);
+  w.PutDouble(resp.eval_seconds);
+  w.PutI64(resp.cache_hits);
+  w.PutI64(resp.cache_misses);
+  w.PutI64(resp.cache_evictions);
+  w.PutU64(resp.cache_peak_bytes);
+  w.PutDouble(resp.server_seconds);
+  return FinishFrame(FrameType::kSearchResponse, request_id, w.Take());
+}
+
+Status DecodeSearchResponse(std::string_view payload,
+                            NetSearchResponse* resp) {
+  WireReader r(payload);
+  uint8_t interrupted;
+  uint32_t n;
+  if (!r.ReadU8(&interrupted) || !r.ReadU32(&n)) return Truncated("response");
+  if (n > kMaxTopk) {
+    return Status::InvalidArgument(
+        StrFormat("top-k count %u exceeds wire limits", n));
+  }
+  resp->interrupted = interrupted != 0;
+  resp->topk.clear();
+  resp->topk.reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n; ++i) {
+    NetTopkEntry e;
+    if (!r.ReadString(&e.signature) || !r.ReadString(&e.sql) ||
+        !r.ReadDouble(&e.score) || !r.ReadDouble(&e.upper_bound) ||
+        !r.ReadDouble(&e.row_score) || !r.ReadDouble(&e.column_score)) {
+      return Truncated("response entry");
+    }
+    resp->topk.push_back(std::move(e));
+  }
+  if (!r.ReadI64(&resp->queries_enumerated) ||
+      !r.ReadI64(&resp->queries_evaluated) ||
+      !r.ReadI64(&resp->query_row_evals) ||
+      !r.ReadI64(&resp->skipped_by_condition) ||
+      !r.ReadI64(&resp->model_cost) || !r.ReadDouble(&resp->enum_seconds) ||
+      !r.ReadDouble(&resp->eval_seconds) || !r.ReadI64(&resp->cache_hits) ||
+      !r.ReadI64(&resp->cache_misses) ||
+      !r.ReadI64(&resp->cache_evictions) ||
+      !r.ReadU64(&resp->cache_peak_bytes) ||
+      !r.ReadDouble(&resp->server_seconds)) {
+    return Truncated("response stats");
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes after response payload");
+  }
+  return Status::OK();
+}
+
+// --- error / ping -------------------------------------------------------
+
+std::string EncodeErrorFrame(const Status& status, uint64_t request_id) {
+  WireWriter w;
+  w.PutU8(WireCodeFor(status.code()));
+  w.PutU8(IsRetryable(status.code()) ? 1 : 0);
+  w.PutString(status.message());
+  return FinishFrame(FrameType::kError, request_id, w.Take());
+}
+
+Status DecodeError(std::string_view payload, NetError* err) {
+  WireReader r(payload);
+  uint8_t retryable;
+  if (!r.ReadU8(&err->code) || !r.ReadU8(&retryable) ||
+      !r.ReadString(&err->message)) {
+    return Truncated("error");
+  }
+  err->retryable = retryable != 0;
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes after error payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodePingFrame(uint64_t request_id) {
+  return FinishFrame(FrameType::kPing, request_id, std::string());
+}
+
+std::string EncodePongFrame(uint64_t request_id) {
+  return FinishFrame(FrameType::kPong, request_id, std::string());
+}
+
+}  // namespace s4::net

@@ -1,0 +1,183 @@
+#ifndef S4_NET_WIRE_H_
+#define S4_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "s4/s4.h"
+#include "strategy/strategy.h"
+
+namespace s4::net {
+
+// --- frame header ------------------------------------------------------
+
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+// Appends the 20-byte header for `h` to `out` (magic included).
+void AppendFrameHeader(const FrameHeader& h, std::string* out);
+
+// Parses a header from the first kHeaderBytes of `buf`. Returns
+// InvalidArgument on short input, bad magic, or an unknown frame type;
+// FailedPrecondition on a version mismatch (the caller can still answer,
+// the framing is intact). `h` is filled as far as parsing got, so the
+// version/request_id of a rejected header are available for the error
+// reply.
+Status DecodeFrameHeader(std::string_view buf, FrameHeader* h);
+
+// --- messages ----------------------------------------------------------
+
+// A search request as it travels on the wire: raw spreadsheet cells plus
+// the SearchOptions subset a remote caller may set. Everything else
+// (pool, stop token, shared cache) is service-side plumbing that never
+// crosses the network.
+struct NetSearchRequest {
+  std::vector<std::vector<std::string>> cells;
+  uint8_t strategy = kWireStrategyFastTopK;
+  int32_t priority = 0;
+  // Armed server-side at frame arrival, so it covers queue wait but not
+  // client-side network time.
+  double deadline_seconds = 0.0;
+
+  int32_t k = 10;
+  double alpha = 0.8;
+  double epsilon = 0.6;
+  bool use_idf = false;
+  double exact_match_bonus = 0.0;
+  int32_t spelling_edits = 0;
+  bool drop_zero_rows = false;
+  int32_t num_threads = 0;
+  int32_t max_tree_size = 5;
+  uint64_t cache_budget_bytes = 500u << 20;
+
+  // Builds the wire request from cells + in-process SearchOptions.
+  static NetSearchRequest From(std::vector<std::vector<std::string>> cells,
+                               const SearchOptions& options,
+                               S4System::Strategy strategy,
+                               int32_t priority = 0,
+                               double deadline_seconds = 0.0);
+  // Expands the wire subset back into SearchOptions (fields not on the
+  // wire keep their defaults).
+  SearchOptions ToSearchOptions() const;
+  S4System::Strategy ToStrategy() const;
+};
+
+// One ranked answer on the wire. Scores travel as raw IEEE-754 bits, so
+// a networked client sees bit-identical values to an in-process caller.
+struct NetTopkEntry {
+  std::string signature;  // canonical PJQuery identity
+  std::string sql;        // rendered SELECT (display; identity is above)
+  double score = 0.0;
+  double upper_bound = 0.0;
+  double row_score = 0.0;
+  double column_score = 0.0;
+};
+
+struct NetSearchResponse {
+  std::vector<NetTopkEntry> topk;
+  bool interrupted = false;
+
+  // RunStats subset (timings + the Fig 5-7 work counters + cache stats).
+  int64_t queries_enumerated = 0;
+  int64_t queries_evaluated = 0;
+  int64_t query_row_evals = 0;
+  int64_t skipped_by_condition = 0;
+  int64_t model_cost = 0;
+  double enum_seconds = 0.0;
+  double eval_seconds = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  uint64_t cache_peak_bytes = 0;
+
+  // Server-side wall time, frame arrival -> completion (includes queue
+  // wait; excludes network transfer either way).
+  double server_seconds = 0.0;
+};
+
+struct NetError {
+  uint8_t code = 0;
+  bool retryable = false;
+  std::string message;
+
+  Status ToStatus() const { return StatusFromWire(code, message); }
+};
+
+// --- frame encode (header + payload in one buffer) ---------------------
+
+std::string EncodeSearchRequestFrame(const NetSearchRequest& req,
+                                     uint64_t request_id);
+std::string EncodeSearchResponseFrame(const NetSearchResponse& resp,
+                                      uint64_t request_id);
+std::string EncodeErrorFrame(const Status& status, uint64_t request_id);
+std::string EncodePingFrame(uint64_t request_id);
+std::string EncodePongFrame(uint64_t request_id);
+
+// --- payload decode (bounds-checked; never reads past `payload`) -------
+
+Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req);
+Status DecodeSearchResponse(std::string_view payload,
+                            NetSearchResponse* resp);
+Status DecodeError(std::string_view payload, NetError* err);
+
+// --- primitive reader (exposed for tests / fuzzing) ---------------------
+
+// Sequential little-endian reader over a payload. All Read* methods are
+// bounds-checked: on exhaustion they return false and the reader stays
+// failed. Strings are u32-length-prefixed and the length is validated
+// against the remaining bytes before any allocation, so a hostile
+// length can never cause an oversized reserve.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI32(int32_t* v);
+  bool ReadI64(int64_t* v);
+  bool ReadDouble(double* v);
+  bool ReadString(std::string* v);
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  // True iff every byte was consumed and nothing failed.
+  bool Exhausted() const { return !failed_ && pos_ == data_.size(); }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Sequential little-endian writer (appends to an owned buffer).
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view v);
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace s4::net
+
+#endif  // S4_NET_WIRE_H_

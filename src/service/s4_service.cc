@@ -71,15 +71,13 @@ std::string S4Service::CachePrefix(
                    static_cast<unsigned long long>(FingerprintString(buf)));
 }
 
-StatusOr<S4Service::Ticket> S4Service::Submit(ServiceRequest request) {
-  S4_RETURN_IF_ERROR(ValidateSearchOptions(request.options));
-  if (request.deadline_seconds < 0.0) {
+Status S4Service::Admit(std::shared_ptr<Pending> pending) {
+  S4_RETURN_IF_ERROR(ValidateSearchOptions(pending->request.options));
+  if (pending->request.deadline_seconds < 0.0) {
     return Status::InvalidArgument(
         StrFormat("deadline_seconds must be non-negative, got %f",
-                  request.deadline_seconds));
+                  pending->request.deadline_seconds));
   }
-  auto pending = std::make_shared<Pending>();
-  pending->request = std::move(request);
   pending->stop = std::make_shared<StopToken>();
   pending->admitted = std::chrono::steady_clock::now();
   // Deadline resolution: request > options > service default. Armed at
@@ -88,10 +86,6 @@ StatusOr<S4Service::Ticket> S4Service::Submit(ServiceRequest request) {
   if (deadline <= 0.0) deadline = pending->request.options.deadline_seconds;
   if (deadline <= 0.0) deadline = options_.default_deadline_seconds;
   if (deadline > 0.0) pending->stop->SetDeadline(deadline);
-
-  Ticket ticket;
-  ticket.result = pending->promise.get_future();
-  ticket.stop = pending->stop;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
@@ -107,7 +101,27 @@ StatusOr<S4Service::Ticket> S4Service::Submit(ServiceRequest request) {
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
+  return Status::OK();
+}
+
+StatusOr<S4Service::Ticket> S4Service::Submit(ServiceRequest request) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  Ticket ticket;
+  ticket.result = pending->promise.get_future();
+  S4_RETURN_IF_ERROR(Admit(pending));
+  ticket.stop = pending->stop;
   return ticket;
+}
+
+StatusOr<std::shared_ptr<StopToken>> S4Service::SubmitAsync(
+    ServiceRequest request,
+    std::function<void(StatusOr<SearchResult>)> done) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->done = std::move(done);
+  S4_RETURN_IF_ERROR(Admit(pending));
+  return pending->stop;
 }
 
 StatusOr<SearchResult> S4Service::Search(ServiceRequest request) {
@@ -170,7 +184,11 @@ void S4Service::RunPending(Pending& p) {
   }();
   CountOutcome(result.status());
   latency_.Record(SecondsSince(p.admitted));
-  p.promise.set_value(std::move(result));
+  if (p.done) {
+    p.done(std::move(result));
+  } else {
+    p.promise.set_value(std::move(result));
+  }
 }
 
 StatusOr<uint64_t> S4Service::OpenSession(SearchOptions options) {

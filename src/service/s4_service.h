@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -111,6 +112,17 @@ class S4Service {
   // nonsensical options, ResourceExhausted when the queue is full.
   StatusOr<Ticket> Submit(ServiceRequest request);
 
+  // Callback-style admission for event-driven callers (the network
+  // layer): same validation/backpressure as Submit, but instead of a
+  // future the completion is delivered by invoking `done` exactly once
+  // on the worker thread that ran (or drained) the request. The caller
+  // must therefore treat `done` as running on a foreign thread and
+  // marshal back to its own executor (e.g. EventLoop::Post). Returns the
+  // request's StopToken so the caller can cancel on client disconnect.
+  StatusOr<std::shared_ptr<StopToken>> SubmitAsync(
+      ServiceRequest request,
+      std::function<void(StatusOr<SearchResult>)> done);
+
   // Blocking convenience wrapper: Submit + wait.
   StatusOr<SearchResult> Search(ServiceRequest request);
 
@@ -148,6 +160,9 @@ class S4Service {
     ServiceRequest request;
     std::shared_ptr<StopToken> stop;
     std::promise<StatusOr<SearchResult>> promise;
+    // When set, completion goes through the callback instead of the
+    // promise (SubmitAsync admissions).
+    std::function<void(StatusOr<SearchResult>)> done;
     int64_t seq = 0;
     std::chrono::steady_clock::time_point admitted;
   };
@@ -167,6 +182,9 @@ class S4Service {
   };
 
   void WorkerLoop();
+  // Validation + deadline arming + enqueue, shared by Submit and
+  // SubmitAsync (the Pending must already carry its completion style).
+  Status Admit(std::shared_ptr<Pending> pending);
   void RunPending(Pending& p);
   void CountOutcome(const Status& status);
   // Canonical cross-query key namespace for a request: generation tag +

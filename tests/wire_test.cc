@@ -1,0 +1,425 @@
+// Wire codec tests: randomized round-trip properties over requests and
+// responses (scores must survive bit-exactly), rejection of truncated
+// frames and garbage prefixes, and a deterministic fuzz corpus run
+// against every decoder. The fuzz suites are part of the asan CI filter:
+// a decoder fed hostile bytes must return a Status, never touch memory
+// it does not own.
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace s4::net {
+namespace {
+
+// A random byte string, including NUL and high bytes (cells are
+// arbitrary user text as far as the wire is concerned).
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string s(rng.Uniform(max_len + 1), '\0');
+  for (char& c : s) c = static_cast<char>(rng.Uniform(256));
+  return s;
+}
+
+// Doubles whose bit patterns stress the codec: specials, denormals, and
+// random bit patterns (which may be NaN — compared bitwise below).
+double RandomDouble(Rng& rng) {
+  switch (rng.Uniform(6)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:
+      return std::numeric_limits<double>::infinity();
+    case 3:
+      return std::numeric_limits<double>::denorm_min();
+    case 4:
+      return rng.NextDouble();
+    default:
+      return std::bit_cast<double>(rng.Next());
+  }
+}
+
+// Bitwise equality: the protocol promise is bit-identical doubles, which
+// operator== cannot check (NaN != NaN, -0.0 == 0.0).
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits";
+}
+
+NetSearchRequest RandomRequest(Rng& rng) {
+  NetSearchRequest req;
+  // Rectangular: the encoder normalizes every row to row 0's width, so
+  // only rectangles round-trip verbatim (as the spreadsheet model
+  // requires anyway).
+  const size_t rows = rng.Uniform(5);
+  const size_t cols = rows == 0 ? 0 : 1 + rng.Uniform(4);
+  req.cells.assign(rows, std::vector<std::string>(cols));
+  for (auto& row : req.cells) {
+    for (auto& cell : row) cell = RandomBytes(rng, 24);
+  }
+  req.strategy = static_cast<uint8_t>(rng.Uniform(3));
+  req.priority = static_cast<int32_t>(rng.Next());
+  req.deadline_seconds = RandomDouble(rng);
+  req.k = static_cast<int32_t>(rng.Next());
+  req.alpha = RandomDouble(rng);
+  req.epsilon = RandomDouble(rng);
+  req.use_idf = rng.Bernoulli(0.5);
+  req.exact_match_bonus = RandomDouble(rng);
+  req.spelling_edits = static_cast<int32_t>(rng.Next());
+  req.drop_zero_rows = rng.Bernoulli(0.5);
+  req.num_threads = static_cast<int32_t>(rng.Next());
+  req.max_tree_size = static_cast<int32_t>(rng.Next());
+  req.cache_budget_bytes = rng.Next();
+  return req;
+}
+
+NetSearchResponse RandomResponse(Rng& rng) {
+  NetSearchResponse resp;
+  const size_t n = rng.Uniform(6);
+  for (size_t i = 0; i < n; ++i) {
+    NetTopkEntry e;
+    e.signature = RandomBytes(rng, 40);
+    e.sql = RandomBytes(rng, 120);
+    e.score = RandomDouble(rng);
+    e.upper_bound = RandomDouble(rng);
+    e.row_score = RandomDouble(rng);
+    e.column_score = RandomDouble(rng);
+    resp.topk.push_back(std::move(e));
+  }
+  resp.interrupted = rng.Bernoulli(0.5);
+  resp.queries_enumerated = static_cast<int64_t>(rng.Next());
+  resp.queries_evaluated = static_cast<int64_t>(rng.Next());
+  resp.query_row_evals = static_cast<int64_t>(rng.Next());
+  resp.skipped_by_condition = static_cast<int64_t>(rng.Next());
+  resp.model_cost = static_cast<int64_t>(rng.Next());
+  resp.enum_seconds = RandomDouble(rng);
+  resp.eval_seconds = RandomDouble(rng);
+  resp.cache_hits = static_cast<int64_t>(rng.Next());
+  resp.cache_misses = static_cast<int64_t>(rng.Next());
+  resp.cache_evictions = static_cast<int64_t>(rng.Next());
+  resp.cache_peak_bytes = rng.Next();
+  resp.server_seconds = RandomDouble(rng);
+  return resp;
+}
+
+TEST(WireCodecTest, HeaderRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    FrameHeader h;
+    h.type = static_cast<FrameType>(1 + rng.Uniform(5));
+    h.request_id = rng.Next();
+    h.payload_len = static_cast<uint32_t>(rng.Next());
+    std::string buf;
+    AppendFrameHeader(h, &buf);
+    ASSERT_EQ(buf.size(), kHeaderBytes);
+    FrameHeader got;
+    ASSERT_TRUE(DecodeFrameHeader(buf, &got).ok());
+    EXPECT_EQ(got.version, kProtocolVersion);
+    EXPECT_EQ(got.type, h.type);
+    EXPECT_EQ(got.request_id, h.request_id);
+    EXPECT_EQ(got.payload_len, h.payload_len);
+  }
+}
+
+TEST(WireCodecTest, RequestRoundTripProperty) {
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    const NetSearchRequest req = RandomRequest(rng);
+    const uint64_t id = rng.Next();
+    const std::string frame = EncodeSearchRequestFrame(req, id);
+
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kSearchRequest);
+    EXPECT_EQ(h.request_id, id);
+    ASSERT_EQ(frame.size(), kHeaderBytes + h.payload_len);
+
+    NetSearchRequest got;
+    const Status st = DecodeSearchRequest(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    EXPECT_EQ(got.cells, req.cells);
+    EXPECT_EQ(got.strategy, req.strategy);
+    EXPECT_EQ(got.priority, req.priority);
+    EXPECT_TRUE(BitEqual(got.deadline_seconds, req.deadline_seconds));
+    EXPECT_EQ(got.k, req.k);
+    EXPECT_TRUE(BitEqual(got.alpha, req.alpha));
+    EXPECT_TRUE(BitEqual(got.epsilon, req.epsilon));
+    EXPECT_EQ(got.use_idf, req.use_idf);
+    EXPECT_TRUE(BitEqual(got.exact_match_bonus, req.exact_match_bonus));
+    EXPECT_EQ(got.spelling_edits, req.spelling_edits);
+    EXPECT_EQ(got.drop_zero_rows, req.drop_zero_rows);
+    EXPECT_EQ(got.num_threads, req.num_threads);
+    EXPECT_EQ(got.max_tree_size, req.max_tree_size);
+    EXPECT_EQ(got.cache_budget_bytes, req.cache_budget_bytes);
+  }
+}
+
+TEST(WireCodecTest, ResponseRoundTripProperty) {
+  Rng rng(43);
+  for (int i = 0; i < 300; ++i) {
+    const NetSearchResponse resp = RandomResponse(rng);
+    const uint64_t id = rng.Next();
+    const std::string frame = EncodeSearchResponseFrame(resp, id);
+
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kSearchResponse);
+    EXPECT_EQ(h.request_id, id);
+
+    NetSearchResponse got;
+    const Status st = DecodeSearchResponse(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    ASSERT_EQ(got.topk.size(), resp.topk.size());
+    for (size_t j = 0; j < resp.topk.size(); ++j) {
+      EXPECT_EQ(got.topk[j].signature, resp.topk[j].signature);
+      EXPECT_EQ(got.topk[j].sql, resp.topk[j].sql);
+      EXPECT_TRUE(BitEqual(got.topk[j].score, resp.topk[j].score));
+      EXPECT_TRUE(BitEqual(got.topk[j].upper_bound, resp.topk[j].upper_bound));
+      EXPECT_TRUE(BitEqual(got.topk[j].row_score, resp.topk[j].row_score));
+      EXPECT_TRUE(
+          BitEqual(got.topk[j].column_score, resp.topk[j].column_score));
+    }
+    EXPECT_EQ(got.interrupted, resp.interrupted);
+    EXPECT_EQ(got.queries_enumerated, resp.queries_enumerated);
+    EXPECT_EQ(got.queries_evaluated, resp.queries_evaluated);
+    EXPECT_EQ(got.query_row_evals, resp.query_row_evals);
+    EXPECT_EQ(got.skipped_by_condition, resp.skipped_by_condition);
+    EXPECT_EQ(got.model_cost, resp.model_cost);
+    EXPECT_TRUE(BitEqual(got.enum_seconds, resp.enum_seconds));
+    EXPECT_TRUE(BitEqual(got.eval_seconds, resp.eval_seconds));
+    EXPECT_EQ(got.cache_hits, resp.cache_hits);
+    EXPECT_EQ(got.cache_misses, resp.cache_misses);
+    EXPECT_EQ(got.cache_evictions, resp.cache_evictions);
+    EXPECT_EQ(got.cache_peak_bytes, resp.cache_peak_bytes);
+    EXPECT_TRUE(BitEqual(got.server_seconds, resp.server_seconds));
+  }
+}
+
+TEST(WireCodecTest, ErrorRoundTripAllCodes) {
+  const std::vector<Status> statuses = {
+      Status::InvalidArgument("bad"),     Status::NotFound("gone"),
+      Status::AlreadyExists("dup"),       Status::OutOfRange("far"),
+      Status::FailedPrecondition("pre"),  Status::ResourceExhausted("full"),
+      Status::Cancelled("stop"),          Status::DeadlineExceeded("late"),
+      Status::Internal("boom"),
+  };
+  for (const Status& s : statuses) {
+    const std::string frame = EncodeErrorFrame(s, 77);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kError);
+    NetError err;
+    ASSERT_TRUE(
+        DecodeError(std::string_view(frame).substr(kHeaderBytes), &err).ok());
+    const Status back = err.ToStatus();
+    EXPECT_EQ(back.code(), s.code());
+    EXPECT_EQ(back.message(), s.message());
+    // The retryable hint is the error-mapping table's one policy bit:
+    // only backpressure is worth a verbatim retry.
+    EXPECT_EQ(err.retryable, s.code() == StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(WireCodecTest, PingPongFrames) {
+  for (uint64_t id : {uint64_t{0}, uint64_t{1}, ~uint64_t{0}}) {
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(EncodePingFrame(id), &h).ok());
+    EXPECT_EQ(h.type, FrameType::kPing);
+    EXPECT_EQ(h.request_id, id);
+    EXPECT_EQ(h.payload_len, 0u);
+    ASSERT_TRUE(DecodeFrameHeader(EncodePongFrame(id), &h).ok());
+    EXPECT_EQ(h.type, FrameType::kPong);
+  }
+}
+
+TEST(WireCodecTest, TruncatedRequestEveryPrefixRejected) {
+  Rng rng(7);
+  const NetSearchRequest req = RandomRequest(rng);
+  const std::string frame = EncodeSearchRequestFrame(req, 5);
+  const std::string_view payload = std::string_view(frame).substr(kHeaderBytes);
+  // Every strict prefix of a valid payload must fail to decode: the
+  // format has no optional tail, so truncation is always detectable.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    NetSearchRequest got;
+    EXPECT_FALSE(DecodeSearchRequest(payload.substr(0, len), &got).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+  // And bytes beyond the payload are trailing garbage, also rejected.
+  std::string padded(payload);
+  padded.push_back('\0');
+  NetSearchRequest got;
+  EXPECT_FALSE(DecodeSearchRequest(padded, &got).ok());
+}
+
+TEST(WireCodecTest, TruncatedResponseEveryPrefixRejected) {
+  Rng rng(9);
+  const NetSearchResponse resp = RandomResponse(rng);
+  const std::string frame = EncodeSearchResponseFrame(resp, 6);
+  const std::string_view payload = std::string_view(frame).substr(kHeaderBytes);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    NetSearchResponse got;
+    EXPECT_FALSE(DecodeSearchResponse(payload.substr(0, len), &got).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireCodecTest, TruncatedHeaderRejected) {
+  std::string buf;
+  AppendFrameHeader(FrameHeader{}, &buf);
+  for (size_t len = 0; len < kHeaderBytes; ++len) {
+    FrameHeader h;
+    EXPECT_FALSE(DecodeFrameHeader(buf.substr(0, len), &h).ok());
+  }
+}
+
+TEST(WireCodecTest, GarbagePrefixRejected) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    std::string buf = RandomBytes(rng, 64);
+    while (buf.size() < kHeaderBytes) buf.push_back('\0');
+    // Force a magic mismatch (a random prefix collides with probability
+    // 2^-32; make it deterministic).
+    buf[0] = static_cast<char>(~buf[0]);
+    if (memcmp(buf.data(), "\x50\x57\x34\x53", 4) == 0) buf[1] ^= 1;
+    FrameHeader h;
+    const Status st = DecodeFrameHeader(buf, &h);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCodecTest, VersionMismatchKeepsRequestId) {
+  std::string buf;
+  AppendFrameHeader(FrameHeader{}, &buf);
+  buf[4] = 9;  // version byte
+  // Re-stamp a recognizable request id (offset 8, little-endian).
+  for (int i = 0; i < 8; ++i) buf[8 + i] = 0;
+  buf[8] = 0x2a;
+  FrameHeader h;
+  const Status st = DecodeFrameHeader(buf, &h);
+  ASSERT_FALSE(st.ok());
+  // FailedPrecondition, not InvalidArgument: the framing is intact and a
+  // reply can be addressed to the request that provoked it.
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(h.version, 9);
+}
+
+TEST(WireCodecTest, UnknownFrameTypeRejected) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{6}, uint8_t{255}}) {
+    std::string buf;
+    AppendFrameHeader(FrameHeader{}, &buf);
+    buf[5] = static_cast<char>(type);
+    FrameHeader h;
+    const Status st = DecodeFrameHeader(buf, &h);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCodecTest, HostileStringLengthDoesNotAllocate) {
+  // A string length of 4 GiB - 1 with 4 bytes of actual data: the reader
+  // must fail on the bounds check, not attempt the allocation.
+  WireWriter w;
+  w.PutU32(0xffffffffu);
+  std::string payload = w.Take();
+  payload += "abcd";
+  WireReader r(payload);
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s));
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(WireCodecTest, OversizedSpreadsheetRejected) {
+  WireWriter w;
+  w.PutU32(4096);  // rows (at the cap)
+  w.PutU32(4096);  // cols: rows * cols > kMaxCells
+  NetSearchRequest req;
+  const Status st = DecodeSearchRequest(w.data(), &req);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// --- deterministic fuzz corpus -----------------------------------------
+//
+// Three generations of hostile input, all seeded: pure noise, noise with
+// a valid magic/header grafted on, and valid frames with bit flips. The
+// assertion is simply "returns, with a Status" — memory safety is the
+// sanitizer's job (these suites run under the asan CI configuration).
+
+TEST(WireFuzzTest, DecodersSurvivePureNoise) {
+  Rng rng(0xf00d);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string noise = RandomBytes(rng, 96);
+    FrameHeader h;
+    (void)DecodeFrameHeader(noise, &h);
+    NetSearchRequest req;
+    (void)DecodeSearchRequest(noise, &req);
+    NetSearchResponse resp;
+    (void)DecodeSearchResponse(noise, &resp);
+    NetError err;
+    (void)DecodeError(noise, &err);
+  }
+}
+
+TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
+  Rng rng(0xbeef);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string payload = RandomBytes(rng, 96);
+    FrameHeader h;
+    h.type = static_cast<FrameType>(1 + rng.Uniform(5));
+    h.request_id = rng.Next();
+    h.payload_len = static_cast<uint32_t>(payload.size());
+    std::string frame;
+    AppendFrameHeader(h, &frame);
+    frame += payload;
+    FrameHeader got;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &got).ok());
+    const std::string_view body = std::string_view(frame).substr(kHeaderBytes);
+    NetSearchRequest req;
+    (void)DecodeSearchRequest(body, &req);
+    NetSearchResponse resp;
+    (void)DecodeSearchResponse(body, &resp);
+    NetError err;
+    (void)DecodeError(body, &err);
+  }
+}
+
+TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
+  Rng rng(0xcafe);
+  for (int i = 0; i < 500; ++i) {
+    std::string frame =
+        (i % 2 == 0)
+            ? EncodeSearchRequestFrame(RandomRequest(rng), rng.Next())
+            : EncodeSearchResponseFrame(RandomResponse(rng), rng.Next());
+    const int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(frame.size());
+      frame[pos] = static_cast<char>(
+          static_cast<unsigned char>(frame[pos]) ^ (1u << rng.Uniform(8)));
+    }
+    const std::string_view body = std::string_view(frame).substr(
+        std::min(frame.size(), kHeaderBytes));
+    NetSearchRequest req;
+    (void)DecodeSearchRequest(body, &req);
+    NetSearchResponse resp;
+    (void)DecodeSearchResponse(body, &resp);
+    NetError err;
+    (void)DecodeError(body, &err);
+  }
+}
+
+}  // namespace
+}  // namespace s4::net

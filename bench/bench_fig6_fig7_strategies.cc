@@ -118,6 +118,11 @@ int main(int argc, char** argv) {
     JsonMetric(section, "topk_score_checksum", checksum);
   }
   tt.Print();
+
+  // Process-wide counters the strategies published while the tables
+  // above ran — additive fields, per-section metrics unchanged.
+  JsonMetricsSnapshot("registry", obs::MetricsRegistry::Global().Snapshot());
+
   std::printf(
       "\nhardware threads on this machine: %d (speedups flatten beyond"
       " that)\n",

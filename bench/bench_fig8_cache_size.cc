@@ -62,18 +62,16 @@ int main(int argc, char** argv) {
       JsonMetric(section, "cache_hits_per_es",
                  static_cast<double>(fast_agg.cache_hits) /
                      static_cast<double>(fast_agg.runs));
-      JsonMetric(section, "cache_hits",
-                 static_cast<double>(fast_agg.cache_hits));
-      JsonMetric(section, "cache_misses",
-                 static_cast<double>(fast_agg.cache_misses));
-      JsonMetric(section, "cache_evictions",
-                 static_cast<double>(fast_agg.cache_evictions));
-      JsonMetric(section, "cache_peak_bytes",
-                 static_cast<double>(fast_agg.cache_peak_bytes));
+      JsonCacheStats(section, fast_agg.CacheTotals());
     }
     tp.Print();
     std::printf("\n");
   }
+  // Process-wide view of the same work, from the metrics registry the
+  // strategies publish into (additive fields; the per-section metrics
+  // above are unchanged).
+  JsonMetricsSnapshot("registry", obs::MetricsRegistry::Global().Snapshot());
+
   std::printf(
       "paper's shape: FASTTOPK beats BASELINE at every budget; the gap"
       " widens with B until the shared sub-PJ outputs all fit.\n");

@@ -185,6 +185,9 @@ int main(int argc, char** argv) {
              static_cast<double>(nc.bytes_sent.load()));
   JsonMetric("net", "cross_query_cache_hits",
              static_cast<double>(stats.shared_cache.hits));
+  // Full registry snapshot (search counters, service gauges, latency
+  // histograms) — the CI smoke gate checks this section is non-empty.
+  JsonMetricsSnapshot("registry", obs::MetricsRegistry::Global().Snapshot());
 
   server.Stop();
   std::printf(

@@ -188,6 +188,8 @@ int main(int argc, char** argv) {
              static_cast<double>(stats.shared_cache.evictions));
   JsonMetric("service", "shared_cache_peak_bytes",
              static_cast<double>(stats.shared_cache.peak_bytes));
+  // Full registry snapshot (additive; the names above are unchanged).
+  JsonMetricsSnapshot("registry", obs::MetricsRegistry::Global().Snapshot());
 
   std::printf(
       "\nexpected shape: hit rate grows with rounds (every spreadsheet"

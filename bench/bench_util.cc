@@ -93,12 +93,7 @@ void JsonAgg(const std::string& section, const Agg& agg) {
   JsonMetric(section, "eval_ms", agg.AvgEvalMs());
   JsonMetric(section, "queries_evaluated", agg.AvgEvaluated());
   JsonMetric(section, "query_row_evals", agg.AvgRowEvals());
-  JsonMetric(section, "cache_hits", static_cast<double>(agg.cache_hits));
-  JsonMetric(section, "cache_misses", static_cast<double>(agg.cache_misses));
-  JsonMetric(section, "cache_evictions",
-             static_cast<double>(agg.cache_evictions));
-  JsonMetric(section, "cache_peak_bytes",
-             static_cast<double>(agg.cache_peak_bytes));
+  JsonCacheStats(section, agg.CacheTotals());
 }
 
 void JsonLatency(const std::string& section,
@@ -110,6 +105,35 @@ void JsonLatency(const std::string& section,
   JsonMetric(section, "p999_ms", 1e3 * snapshot.PercentileSeconds(0.999));
   JsonMetric(section, "max_ms", 1e3 * snapshot.max_seconds);
   JsonMetric(section, "mean_ms", 1e3 * snapshot.MeanSeconds());
+}
+
+void JsonCacheStats(const std::string& section, const CacheStats& stats) {
+  JsonMetric(section, "cache_hits", static_cast<double>(stats.hits));
+  JsonMetric(section, "cache_misses", static_cast<double>(stats.misses));
+  JsonMetric(section, "cache_insertions",
+             static_cast<double>(stats.insertions));
+  JsonMetric(section, "cache_evictions",
+             static_cast<double>(stats.evictions));
+  JsonMetric(section, "cache_peak_bytes",
+             static_cast<double>(stats.peak_bytes));
+}
+
+void JsonMetricsSnapshot(const std::string& section,
+                         const obs::MetricsSnapshot& snapshot) {
+  for (const obs::MetricsSnapshot::Entry& e : snapshot.entries) {
+    if (e.kind == obs::MetricsSnapshot::Kind::kHistogram) {
+      JsonMetric(section, e.name + "_count",
+                 static_cast<double>(e.histogram.total));
+      JsonMetric(section, e.name + "_sum_seconds", e.histogram.sum_seconds);
+      JsonMetric(section, e.name + "_max_seconds", e.histogram.max_seconds);
+      JsonMetric(section, e.name + "_p50_seconds",
+                 e.histogram.PercentileSeconds(0.5));
+      JsonMetric(section, e.name + "_p99_seconds",
+                 e.histogram.PercentileSeconds(0.99));
+    } else {
+      JsonMetric(section, e.name, static_cast<double>(e.value));
+    }
+  }
 }
 
 void JsonWrite() {

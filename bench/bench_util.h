@@ -7,12 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "cache/subquery_cache.h"
 #include "common/latency_histogram.h"
 #include "common/status.h"
 #include "common/table_printer.h"
 #include "datagen/es_gen.h"
 #include "datagen/synthetic.h"
 #include "index/index_set.h"
+#include "obs/metrics.h"
 #include "schema/schema_graph.h"
 #include "strategy/strategy.h"
 
@@ -60,6 +62,7 @@ struct Agg {
   int64_t query_row_evals = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  int64_t cache_insertions = 0;
   int64_t cache_evictions = 0;
   size_t cache_peak_bytes = 0;  // max over runs, not a sum
   int64_t critical_subs = 0;
@@ -75,6 +78,7 @@ struct Agg {
     query_row_evals += s.query_row_evals;
     cache_hits += s.cache.hits;
     cache_misses += s.cache.misses;
+    cache_insertions += s.cache.insertions;
     cache_evictions += s.cache.evictions;
     if (s.cache.peak_bytes > cache_peak_bytes) {
       cache_peak_bytes = s.cache.peak_bytes;
@@ -104,6 +108,16 @@ struct Agg {
     return runs == 0 ? 0.0
                      : static_cast<double>(query_row_evals) /
                            static_cast<double>(runs);
+  }
+  // The cache-counter subset as a CacheStats, for JsonCacheStats.
+  CacheStats CacheTotals() const {
+    CacheStats s;
+    s.hits = cache_hits;
+    s.misses = cache_misses;
+    s.insertions = cache_insertions;
+    s.evictions = cache_evictions;
+    s.peak_bytes = cache_peak_bytes;
+    return s;
   }
 };
 
@@ -190,6 +204,18 @@ void JsonAgg(const std::string& section, const Agg& agg);
 // milliseconds, plus the sample count) under `section`.
 void JsonLatency(const std::string& section,
                  const LatencyHistogram::Snapshot& snapshot);
+
+// Records the canonical cache-counter fields (cache_hits, cache_misses,
+// cache_insertions, cache_evictions, cache_peak_bytes) under `section`.
+// The single serializer behind every bench that reports cache stats, so
+// the field names can never drift between binaries.
+void JsonCacheStats(const std::string& section, const CacheStats& stats);
+
+// Records every entry of a metrics-registry snapshot under `section`:
+// counters/gauges as {name, value}; histograms expand to name_count,
+// name_sum_seconds, name_max_seconds, name_p50_seconds, name_p99_seconds.
+void JsonMetricsSnapshot(const std::string& section,
+                         const obs::MetricsSnapshot& snapshot);
 
 // Writes the JSON file now (also runs automatically at exit).
 void JsonWrite();

@@ -5,9 +5,12 @@
 //   ./net_server --port 4321 &
 //   ./net_client --port 4321 "The Matrix" "Keanu Reeves"
 //   ./net_client --port 4321 --k 3 "The Matrix" / "Speed"
+//   ./net_client --port 4321 --trace-out trace.json "The Matrix"
 //
 // A bare "/" argument starts a new spreadsheet row; everything else is a
-// cell. --ping just checks liveness and exits.
+// cell. --ping just checks liveness and exits. --trace-out FILE fetches
+// the server-side trace of this search (server must run --trace) and
+// writes Chrome-trace JSON loadable in Perfetto / chrome://tracing.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
   SearchOptions options;
   options.k = 5;
   bool ping_only = false;
+  const char* trace_out = nullptr;
   std::vector<std::vector<std::string>> cells(1);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -31,6 +35,8 @@ int main(int argc, char** argv) {
       copts.host = argv[++i];
     } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
       options.k = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       ping_only = true;
     } else if (std::strcmp(argv[i], "/") == 0) {
@@ -55,8 +61,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto result = client.Search(net::NetSearchRequest::From(
-      cells, options, S4System::Strategy::kFastTopK));
+  uint64_t request_id = 0;
+  auto result = client.Search(
+      net::NetSearchRequest::From(cells, options,
+                                  S4System::Strategy::kFastTopK),
+      &request_id);
   if (!result.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  result.status().ToString().c_str());
@@ -72,6 +81,27 @@ int main(int argc, char** argv) {
   int rank = 1;
   for (const net::NetTopkEntry& e : result->topk) {
     std::printf("%2d. score=%.4f\n    %s\n", rank++, e.score, e.sql.c_str());
+  }
+
+  if (trace_out != nullptr) {
+    auto trace_json = client.FetchTrace(request_id);
+    if (!trace_json.ok()) {
+      std::fprintf(stderr,
+                   "trace fetch failed: %s\n(is the server running"
+                   " with --trace?)\n",
+                   trace_json.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(trace_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out);
+      return 1;
+    }
+    std::fwrite(trace_json->data(), 1, trace_json->size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes of Chrome-trace JSON to %s"
+                " (open in Perfetto or chrome://tracing)\n",
+                trace_json->size(), trace_out);
   }
   return 0;
 }

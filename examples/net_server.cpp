@@ -4,12 +4,21 @@
 // queries from another process.
 //
 //   ./net_server --port 4321        # serve until stdin closes
+//   ./net_server --port 4321 --trace --verbose --stats-port 9090
 //   ./net_server --self-test       # start, round-trip one search
 //                                  # through a real socket, exit
 //
+// Observability flags:
+//   --trace        keep per-request Chrome-trace JSON, retrievable with
+//                  net_client --trace-out (or a kTraceRequest frame)
+//   --verbose      one-line summary per completed request on stderr
+//   --stats-port P plain-text scrape endpoint (curl P/metrics) serving
+//                  the Prometheus dump of the metrics registry
+//
 // The self-test mode is what ctest runs: it crosses the full stack
-// (framing, epoll loops, admission queue, completion marshalling) in a
-// few seconds with no free port or second process required.
+// (framing, epoll loops, admission queue, completion marshalling, the
+// stats/trace wire surface) in a few seconds with no free port or
+// second process required.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -17,20 +26,36 @@
 #include "datagen/synthetic.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/stats_endpoint.h"
 #include "service/s4_service.h"
 
 int main(int argc, char** argv) {
   using namespace s4;
 
   uint16_t port = 4321;
+  int stats_port = -1;  // <0 = disabled; 0 = kernel-assigned
   bool self_test = false;
+  bool trace = false;
+  bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self-test") == 0) {
       self_test = true;
       port = 0;  // kernel-assigned; nothing else needs to know it
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stats-port") == 0 && i + 1 < argc) {
+      stats_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
     }
+  }
+  if (self_test) {
+    // The self-test exercises every observability surface.
+    trace = true;
+    verbose = true;
+    if (stats_port < 0) stats_port = 0;
   }
 
   std::printf("building the movie database + indexes...\n");
@@ -53,13 +78,29 @@ int main(int argc, char** argv) {
 
   net::ServerOptions nopts;
   nopts.port = port;
+  nopts.enable_tracing = trace;
+  nopts.verbose = verbose;
   net::S4Server server(&service, nopts);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving the S4 wire protocol on 127.0.0.1:%u\n",
-              server.port());
+  std::printf("serving the S4 wire protocol on 127.0.0.1:%u%s%s\n",
+              server.port(), trace ? " [tracing]" : "",
+              verbose ? " [verbose]" : "");
+
+  net::StatsTextServer stats_server;
+  if (stats_port >= 0) {
+    if (Status st = stats_server.Start(
+            "127.0.0.1", static_cast<uint16_t>(stats_port),
+            [&server] { return server.CollectStatsText(); });
+        !st.ok()) {
+      std::fprintf(stderr, "stats endpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics scrape endpoint on 127.0.0.1:%u\n",
+                stats_server.port());
+  }
 
   if (self_test) {
     // Borrow a movie title and an actor the database is known to hold,
@@ -80,8 +121,11 @@ int main(int argc, char** argv) {
     }
     SearchOptions options;
     options.k = 3;
-    auto result = client.Search(net::NetSearchRequest::From(
-        {{title, actor}}, options, S4System::Strategy::kFastTopK));
+    uint64_t request_id = 0;
+    auto result = client.Search(
+        net::NetSearchRequest::From({{title, actor}}, options,
+                                    S4System::Strategy::kFastTopK),
+        &request_id);
     if (!result.ok()) {
       std::fprintf(stderr, "search: %s\n",
                    result.status().ToString().c_str());
@@ -91,12 +135,64 @@ int main(int argc, char** argv) {
                 result->topk.size(), 1e3 * result->server_seconds,
                 result->topk.empty() ? "(none)"
                                      : result->topk[0].sql.c_str());
+
+    // Stats over the wire must reflect the search that just completed.
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    if (stats->find("s4_candidates_evaluated_total") == std::string::npos ||
+        stats->find("s4_searches_total") == std::string::npos) {
+      std::fprintf(stderr, "stats dump is missing search counters:\n%s\n",
+                   stats->c_str());
+      return 1;
+    }
+    std::printf("stats dump: %zu bytes of Prometheus text\n", stats->size());
+
+    // The trace for that request must come back as Chrome-trace JSON
+    // with the spans the wire path is responsible for.
+    auto trace_json = client.FetchTrace(request_id);
+    if (!trace_json.ok()) {
+      std::fprintf(stderr, "trace: %s\n",
+                   trace_json.status().ToString().c_str());
+      return 1;
+    }
+    if (trace_json->find("\"traceEvents\"") == std::string::npos ||
+        trace_json->find("frame_decode") == std::string::npos ||
+        trace_json->find("evaluate_candidate") == std::string::npos ||
+        trace_json->find("cache_probe") == std::string::npos ||
+        trace_json->find("enumerate") == std::string::npos) {
+      std::fprintf(stderr, "trace JSON is missing expected spans:\n%s\n",
+                   trace_json->c_str());
+      return 1;
+    }
+    std::printf("trace JSON: %zu bytes, spans present\n",
+                trace_json->size());
+
+    // An unknown id must answer NotFound without dropping the stream.
+    auto missing = client.FetchTrace(request_id + 12345);
+    if (missing.ok() ||
+        missing.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "expected NotFound for an unknown trace id\n");
+      return 1;
+    }
+    if (Status st = client.Ping(); !st.ok()) {
+      std::fprintf(stderr, "ping after NotFound: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+
+    stats_server.Stop();
     server.Stop();
     const net::NetServerCounters& c = server.counters();
-    std::printf("frames=%lld responses=%lld errors=%lld\n",
+    std::printf("frames=%lld responses=%lld errors=%lld stats_reqs=%lld"
+                " trace_reqs=%lld\n",
                 static_cast<long long>(c.frames_received.load()),
                 static_cast<long long>(c.responses_sent.load()),
-                static_cast<long long>(c.errors_sent.load()));
+                static_cast<long long>(c.errors_sent.load()),
+                static_cast<long long>(c.stats_requests.load()),
+                static_cast<long long>(c.trace_requests.load()));
     return result->topk.empty() ? 1 : 0;
   }
 
@@ -105,6 +201,7 @@ int main(int argc, char** argv) {
   std::printf("serving until stdin closes...\n");
   while (std::getchar() != EOF) {
   }
+  stats_server.Stop();
   server.Stop();
   return 0;
 }

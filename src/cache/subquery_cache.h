@@ -159,7 +159,10 @@ class SubQueryCache {
   }
   int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
 
-  // Merged snapshot of the per-shard counters.
+  // Merged snapshot of the per-shard counters. Each shard's counters are
+  // read under that shard's mutex — the same lock every mutation holds —
+  // so the per-shard sums are exact; only cross-shard skew is possible
+  // while other threads keep operating. peak_bytes is an atomic read.
   CacheStats stats() const;
 
   // Shard count for a given evaluation thread count: one shard for the

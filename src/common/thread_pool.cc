@@ -67,12 +67,14 @@ bool ThreadPool::RunOneTask(size_t self) {
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.back());
         victim.tasks.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
   if (!task.valid()) return false;
   queued_.fetch_sub(1, std::memory_order_relaxed);
   task();  // exceptions land in the task's future
+  executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -38,6 +38,23 @@ class ThreadPool {
   // std::thread::hardware_concurrency(), never less than 1.
   static int32_t DefaultThreads();
 
+  // Lifetime activity counters, readable at any time (relaxed loads;
+  // momentarily consistent, never torn). `queued` is the instantaneous
+  // backlog; `executed` counts completed tasks; `steals` counts tasks a
+  // worker took from a sibling's deque. The service layer republishes
+  // these as gauges/counters at stats-collection time so the pool has
+  // no dependency on the metrics registry.
+  struct Stats {
+    int64_t queued = 0;
+    int64_t executed = 0;
+    int64_t steals = 0;
+  };
+  Stats stats() const {
+    return Stats{queued_.load(std::memory_order_relaxed),
+                 executed_.load(std::memory_order_relaxed),
+                 steals_.load(std::memory_order_relaxed)};
+  }
+
   // Enqueues `fn`; the returned future rethrows anything `fn` throws.
   std::future<void> Submit(std::function<void()> fn);
 
@@ -63,6 +80,8 @@ class ThreadPool {
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
   std::atomic<int64_t> queued_{0};
+  std::atomic<int64_t> executed_{0};
+  std::atomic<int64_t> steals_{0};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_queue_{0};
 };

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "index/column_ids.h"
+#include "obs/trace.h"
 
 namespace s4 {
 
@@ -98,6 +99,11 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
   if (c.cache != nullptr) {
     key = SubtreeCacheKey(tree, *c.bindings, v, link) + c.rows_suffix;
     std::shared_ptr<const SubQueryTable> hit = c.cache->Get(key);
+    if (c.options->trace != nullptr) {
+      c.options->trace->AddInstant(
+          "cache", "cache_probe",
+          {{"kind", "subtree"}, {"hit", hit != nullptr ? "1" : "0"}});
+    }
     if (hit != nullptr) {
       ++c.counters->cache_hits;
       return hit;
@@ -117,6 +123,12 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
       std::string key2 =
           SubtreeWithParentCacheKey(tree, *c.bindings, child) + c.rows_suffix;
       std::shared_ptr<const SubQueryTable> hit = c.cache->Get(key2);
+      if (c.options->trace != nullptr) {
+        c.options->trace->AddInstant(
+            "cache", "cache_probe",
+            {{"kind", "subtree_with_parent"},
+             {"hit", hit != nullptr ? "1" : "0"}});
+      }
       if (hit != nullptr) {
         ++c.counters->cache_hits;
         base = std::move(hit);
@@ -125,6 +137,8 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
       }
     }
   }
+
+  obs::SpanTimer build_span(c.options->trace, "cache", "build_table");
 
   // Recursively evaluate the remaining children bottom-up.
   std::vector<std::pair<TreeNodeId, std::shared_ptr<const SubQueryTable>>>

@@ -12,6 +12,10 @@
 
 namespace s4 {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 // Operator-level counters of one or more evaluations; these back both the
 // experiment metrics (query-row evaluations, Fig 7) and validation of the
 // cost model (Eq. 12).
@@ -44,6 +48,9 @@ struct EvalOptions {
   // tables. Slightly under-scores queries whose matches straddle
   // branches with unscored join rows; kept as an ablation option.
   bool drop_zero_rows = false;
+  // Per-search trace sink: when set, cache probes and node-table builds
+  // record spans into it. Null keeps evaluation span-free. Not owned.
+  obs::Trace* trace = nullptr;
 };
 
 // Evaluates PJ queries against the in-memory indexes with the bottom-up

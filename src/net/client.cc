@@ -115,9 +115,10 @@ StatusOr<S4Client::RawReply> S4Client::RoundTrip(const std::string& frame,
 }
 
 StatusOr<NetSearchResponse> S4Client::Search(
-    const NetSearchRequest& request) {
+    const NetSearchRequest& request, uint64_t* request_id_out) {
   const uint64_t id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (request_id_out != nullptr) *request_id_out = id;
   auto reply = RoundTrip(EncodeSearchRequestFrame(request, id), id);
   if (!reply.ok()) return reply.status();
   switch (reply->type) {
@@ -154,6 +155,46 @@ Status S4Client::Ping() {
                   static_cast<unsigned>(reply->type)));
   }
   return Status::OK();
+}
+
+StatusOr<std::string> S4Client::Stats() {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = RoundTrip(EncodeStatsRequestFrame(id), id);
+  if (!reply.ok()) return reply.status();
+  switch (reply->type) {
+    case FrameType::kStatsResponse:
+      return std::move(reply->payload);
+    case FrameType::kError: {
+      NetError err;
+      S4_RETURN_IF_ERROR(DecodeError(reply->payload, &err));
+      return err.ToStatus();
+    }
+    default:
+      return Status::Internal(
+          StrFormat("unexpected frame type %u in stats reply",
+                    static_cast<unsigned>(reply->type)));
+  }
+}
+
+StatusOr<std::string> S4Client::FetchTrace(uint64_t request_id) {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = RoundTrip(EncodeTraceRequestFrame(request_id, id), id);
+  if (!reply.ok()) return reply.status();
+  switch (reply->type) {
+    case FrameType::kTraceResponse:
+      return std::move(reply->payload);
+    case FrameType::kError: {
+      NetError err;
+      S4_RETURN_IF_ERROR(DecodeError(reply->payload, &err));
+      return err.ToStatus();
+    }
+    default:
+      return Status::Internal(
+          StrFormat("unexpected frame type %u in trace reply",
+                    static_cast<unsigned>(reply->type)));
+  }
 }
 
 }  // namespace s4::net

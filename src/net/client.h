@@ -45,8 +45,17 @@ class S4Client {
   S4Client(const S4Client&) = delete;
   S4Client& operator=(const S4Client&) = delete;
 
-  StatusOr<NetSearchResponse> Search(const NetSearchRequest& request);
+  // `request_id_out`, when non-null, receives the wire id this search
+  // ran under — the handle FetchTrace uses to retrieve its trace later.
+  StatusOr<NetSearchResponse> Search(const NetSearchRequest& request,
+                                     uint64_t* request_id_out = nullptr);
   Status Ping();
+
+  // Prometheus text dump of the server's metrics registry.
+  StatusOr<std::string> Stats();
+  // Chrome-trace JSON for a completed traced search. NotFound when the
+  // server isn't tracing or the id fell out of its trace history.
+  StatusOr<std::string> FetchTrace(uint64_t request_id);
 
  private:
   struct RawReply {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace s4::net {
 
@@ -120,7 +121,9 @@ void Connection::HandleFrame(const FrameHeader& h,
       return;
     case FrameType::kSearchRequest: {
       NetSearchRequest req;
+      WallTimer decode_timer;
       const Status ds = DecodeSearchRequest(payload, &req);
+      req.decode_seconds = decode_timer.ElapsedSeconds();
       if (!ds.ok()) {
         // Well-framed but malformed payload: the stream is still in
         // sync, so answer and keep the connection.
@@ -129,6 +132,37 @@ void Connection::HandleFrame(const FrameHeader& h,
       }
       loop_->dispatcher()->DispatchSearch(shared_from_this(), h.request_id,
                                           std::move(req));
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      loop_->counters()->stats_requests.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      SendFrame(EncodeStatsResponseFrame(
+          loop_->dispatcher()->CollectStatsText(), h.request_id));
+      loop_->counters()->responses_sent.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return;
+    }
+    case FrameType::kTraceRequest: {
+      loop_->counters()->trace_requests.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      uint64_t target = 0;
+      const Status ds = DecodeTraceRequest(payload, &target);
+      if (!ds.ok()) {
+        SendError(h.request_id, ds, /*close_after=*/false);
+        return;
+      }
+      StatusOr<std::string> json =
+          loop_->dispatcher()->CollectTraceJson(target);
+      if (!json.ok()) {
+        // NotFound (unknown/evicted id, tracing off) is a per-request
+        // miss, not a protocol violation: answer and keep the stream.
+        SendError(h.request_id, json.status(), /*close_after=*/false);
+        return;
+      }
+      SendFrame(EncodeTraceResponseFrame(*json, h.request_id));
+      loop_->counters()->responses_sent.fetch_add(1,
+                                                  std::memory_order_relaxed);
       return;
     }
     default:

@@ -32,6 +32,8 @@ struct NetServerCounters {
   std::atomic<int64_t> idle_closes{0};
   std::atomic<int64_t> bytes_received{0};
   std::atomic<int64_t> bytes_sent{0};
+  std::atomic<int64_t> stats_requests{0};
+  std::atomic<int64_t> trace_requests{0};
 };
 
 // Frame limits + timeouts a connection enforces (one copy per server,
@@ -53,6 +55,15 @@ class SearchDispatcher {
   virtual ~SearchDispatcher() = default;
   virtual void DispatchSearch(const std::shared_ptr<Connection>& conn,
                               uint64_t request_id, NetSearchRequest req) = 0;
+
+  // Observability surface, answered synchronously on the loop thread
+  // (both are snapshot reads, not searches). Defaults keep test
+  // dispatchers one-method.
+  virtual std::string CollectStatsText() { return std::string(); }
+  virtual StatusOr<std::string> CollectTraceJson(uint64_t request_id) {
+    (void)request_id;
+    return Status::NotFound("tracing is not enabled on this server");
+  }
 };
 
 // One epoll thread owning a set of connections. All connection I/O and

@@ -41,11 +41,15 @@ enum class FrameType : uint8_t {
   kError = 3,           // server -> client (Status + retryable flag)
   kPing = 4,            // client -> server (pool health check)
   kPong = 5,            // server -> client
+  kStatsRequest = 6,    // client -> server (empty payload)
+  kStatsResponse = 7,   // server -> client (Prometheus text dump)
+  kTraceRequest = 8,    // client -> server (u64 target request_id)
+  kTraceResponse = 9,   // server -> client (Chrome-trace JSON)
 };
 
 inline bool IsValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kPong);
+         t <= static_cast<uint8_t>(FrameType::kTraceResponse);
 }
 
 // S4System::Strategy on the wire (decoupled from the enum's in-memory

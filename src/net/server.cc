@@ -5,11 +5,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/string_util.h"
 #include "net/socket_util.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace s4::net {
 
@@ -50,6 +52,18 @@ NetSearchResponse BuildResponse(const SearchResult& result,
   resp.cache_peak_bytes = s.cache.peak_bytes;
   resp.server_seconds = server_seconds;
   return resp;
+}
+
+const char* StrategyName(S4System::Strategy s) {
+  switch (s) {
+    case S4System::Strategy::kNaive:
+      return "naive";
+    case S4System::Strategy::kBaseline:
+      return "baseline";
+    case S4System::Strategy::kFastTopK:
+      return "fasttopk";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -143,6 +157,20 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
   sreq.priority = req.priority;
   sreq.deadline_seconds = req.deadline_seconds;
   sreq.cells = std::move(req.cells);
+  if (options_.enable_tracing) {
+    sreq.trace = std::make_shared<obs::Trace>("search");
+    sreq.trace->set_request_id(request_id);
+    // The frame was decoded before the trace existed; reconstruct its
+    // span ending now. It lands before the trace epoch — export-time
+    // normalization shifts everything so the earliest event is ts=0.
+    sreq.trace->AddSpan(
+        "net", "frame_decode",
+        start - std::chrono::duration_cast<obs::Trace::Clock::duration>(
+                    std::chrono::duration<double>(req.decode_seconds)),
+        start);
+  }
+  const S4System::Strategy strategy = sreq.strategy;
+  std::shared_ptr<obs::Trace> trace = sreq.trace;
 
   std::weak_ptr<Connection> wconn = conn;
   EventLoop* loop = conn->loop();
@@ -150,19 +178,45 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_dispatches_;
   }
-  auto done = [this, wconn, loop, request_id,
-               start](StatusOr<SearchResult> result) {
+  auto done = [this, wconn, loop, request_id, start, strategy,
+               trace](StatusOr<SearchResult> result) {
     const double server_seconds = SecondsSince(start);
     std::string frame;
     bool is_error = false;
-    if (result.ok()) {
-      frame = EncodeSearchResponseFrame(
-          BuildResponse(*result, server_seconds, service_->system().db()),
-          request_id);
-    } else {
-      frame = EncodeErrorFrame(result.status(), request_id);
-      is_error = true;
+    {
+      obs::SpanTimer encode_span(trace.get(), "net", "frame_encode");
+      if (result.ok()) {
+        frame = EncodeSearchResponseFrame(
+            BuildResponse(*result, server_seconds, service_->system().db()),
+            request_id);
+      } else {
+        frame = EncodeErrorFrame(result.status(), request_id);
+        is_error = true;
+      }
     }
+    if (options_.verbose) {
+      if (result.ok()) {
+        const RunStats& s = result->stats;
+        const int64_t probes = s.cache.hits + s.cache.misses;
+        std::fprintf(
+            stderr,
+            "[net_server] request_id=%llu strategy=%s evaluated=%lld "
+            "cache_hit_rate=%.3f wall_seconds=%.6f\n",
+            static_cast<unsigned long long>(request_id),
+            StrategyName(strategy),
+            static_cast<long long>(s.queries_evaluated),
+            probes > 0 ? static_cast<double>(s.cache.hits) / probes : 0.0,
+            server_seconds);
+      } else {
+        std::fprintf(stderr,
+                     "[net_server] request_id=%llu strategy=%s error=%s "
+                     "wall_seconds=%.6f\n",
+                     static_cast<unsigned long long>(request_id),
+                     StrategyName(strategy),
+                     result.status().ToString().c_str(), server_seconds);
+      }
+    }
+    if (trace) StoreTrace(request_id, trace);
     // This runs on a service worker thread; only the owning loop may
     // touch the connection. The weak_ptr keeps a disconnected peer from
     // resurrecting: the completion just evaporates.
@@ -198,6 +252,82 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
     return;
   }
   conn->RegisterInflight(request_id, *stop);
+}
+
+void S4Server::StoreTrace(uint64_t request_id,
+                          std::shared_ptr<obs::Trace> trace) {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  auto it = traces_.find(request_id);
+  if (it != traces_.end()) {
+    // Reused id: replace the trace but keep its position in the ring.
+    it->second = std::move(trace);
+    return;
+  }
+  traces_.emplace(request_id, std::move(trace));
+  trace_order_.push_back(request_id);
+  while (trace_order_.size() > options_.trace_history) {
+    traces_.erase(trace_order_.front());
+    trace_order_.pop_front();
+  }
+}
+
+std::string S4Server::CollectStatsText() {
+  // Service stats collection refreshes the s4_service_* / s4_pool_* /
+  // s4_shared_cache_bytes gauges as a side effect.
+  (void)service_->stats();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const NetServerCounters& c = counters_;
+  reg.GetGauge("s4_net_open_connections")
+      .Set(static_cast<int64_t>(num_connections()));
+  reg.GetGauge("s4_net_connections_accepted")
+      .Set(c.connections_accepted.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_connections_closed")
+      .Set(c.connections_closed.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_frames_received")
+      .Set(c.frames_received.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_responses_sent")
+      .Set(c.responses_sent.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_errors_sent")
+      .Set(c.errors_sent.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_protocol_errors")
+      .Set(c.protocol_errors.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_disconnect_cancels")
+      .Set(c.disconnect_cancels.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_idle_closes")
+      .Set(c.idle_closes.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_bytes_received")
+      .Set(c.bytes_received.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_bytes_sent")
+      .Set(c.bytes_sent.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_stats_requests")
+      .Set(c.stats_requests.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_trace_requests")
+      .Set(c.trace_requests.load(std::memory_order_relaxed));
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    reg.GetGauge(StrFormat("s4_net_loop%zu_connections", i))
+        .Set(static_cast<int64_t>(loops_[i]->num_connections()));
+  }
+  return reg.Snapshot().ToPrometheusText();
+}
+
+StatusOr<std::string> S4Server::CollectTraceJson(uint64_t request_id) {
+  if (!options_.enable_tracing) {
+    return Status::NotFound("tracing is not enabled on this server");
+  }
+  std::shared_ptr<obs::Trace> trace;
+  {
+    std::lock_guard<std::mutex> lock(traces_mu_);
+    auto it = traces_.find(request_id);
+    if (it != traces_.end()) trace = it->second;
+  }
+  if (!trace) {
+    return Status::NotFound(StrFormat(
+        "no trace for request_id %llu (not traced yet, or evicted from "
+        "the %zu-entry history)",
+        static_cast<unsigned long long>(request_id),
+        options_.trace_history));
+  }
+  return trace->ToChromeJson();
 }
 
 }  // namespace s4::net

@@ -4,16 +4,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/fd.h"
 #include "common/latency_histogram.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "obs/trace.h"
 #include "service/s4_service.h"
 
 namespace s4::net {
@@ -26,6 +29,15 @@ struct ServerOptions {
   int32_t num_event_loops = 2;
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
   double idle_timeout_seconds = 60.0;
+  // Observability (DESIGN.md "Observability"): when true, every search
+  // request gets a per-request Trace whose Chrome-trace JSON is
+  // retrievable over the wire (kTraceRequest) while it stays in the
+  // bounded history below.
+  bool enable_tracing = false;
+  // Completed traces retained for kTraceRequest lookups (FIFO evicted).
+  size_t trace_history = 128;
+  // One-line per-request summary on stderr at completion.
+  bool verbose = false;
 };
 
 // TCP front-end for an S4Service: one acceptor thread plus
@@ -64,9 +76,16 @@ class S4Server : public SearchDispatcher {
   // SearchDispatcher (called on a loop thread).
   void DispatchSearch(const std::shared_ptr<Connection>& conn,
                       uint64_t request_id, NetSearchRequest req) override;
+  // Refreshes the net/service gauges and returns a Prometheus text dump
+  // of the global registry. Also the renderer behind a --stats-port
+  // scrape endpoint.
+  std::string CollectStatsText() override;
+  // Chrome-trace JSON of a completed traced request still in history.
+  StatusOr<std::string> CollectTraceJson(uint64_t request_id) override;
 
  private:
   void AcceptorMain();
+  void StoreTrace(uint64_t request_id, std::shared_ptr<obs::Trace> trace);
 
   S4Service* service_;
   ServerOptions options_;
@@ -84,6 +103,12 @@ class S4Server : public SearchDispatcher {
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   int64_t inflight_dispatches_ = 0;
+
+  // Bounded history of completed traces keyed by wire request_id
+  // (last-writer-wins on a client reusing an id).
+  mutable std::mutex traces_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<obs::Trace>> traces_;
+  std::deque<uint64_t> trace_order_;
 };
 
 }  // namespace s4::net

@@ -1,0 +1,68 @@
+#include "net/stats_endpoint.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include "net/socket_util.h"
+
+namespace s4::net {
+
+Status StatsTextServer::Start(const std::string& bind_address, uint16_t port,
+                              Renderer render) {
+  if (thread_.joinable()) {
+    return Status::FailedPrecondition("stats endpoint already started");
+  }
+  auto listener = Listen(bind_address, port);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = std::move(*listener);
+  auto local = LocalPort(listen_fd_.get());
+  if (!local.ok()) return local.status();
+  port_ = *local;
+  render_ = std::move(render);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void StatsTextServer::Stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  listen_fd_.Reset();
+}
+
+void StatsTextServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    const int pr = poll(&pfd, 1, 100);
+    if (pr <= 0) continue;  // timeout/EINTR; re-check the stop flag
+    const int raw = accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (raw < 0) continue;
+    UniqueFd fd(raw);
+    // Drain whatever request line the scraper sent; we answer the same
+    // way regardless. A short poll keeps a silent client from pinning
+    // the single serving thread.
+    pollfd rfd{fd.get(), POLLIN, 0};
+    if (poll(&rfd, 1, 200) > 0) {
+      char sink[1024];
+      (void)!read(fd.get(), sink, sizeof(sink));
+    }
+    const std::string body = render_ ? render_() : std::string();
+    char header[128];
+    const int n = std::snprintf(header, sizeof(header),
+                                "HTTP/1.0 200 OK\r\n"
+                                "Content-Type: text/plain; version=0.0.4\r\n"
+                                "Content-Length: %zu\r\n\r\n",
+                                body.size());
+    std::string reply(header, static_cast<size_t>(n));
+    reply += body;
+    (void)SendAll(fd.get(), reply.data(), reply.size(),
+                  /*timeout_seconds=*/2.0);
+  }
+}
+
+}  // namespace s4::net

@@ -1,0 +1,51 @@
+#ifndef S4_NET_STATS_ENDPOINT_H_
+#define S4_NET_STATS_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/fd.h"
+#include "common/status.h"
+
+namespace s4::net {
+
+// Minimal plain-text scrape endpoint: one blocking accept thread that
+// answers every connection with an HTTP/1.0 200 response whose body is
+// whatever `render` returns (e.g. a Prometheus dump from the metrics
+// registry), then closes. It deliberately ignores the request bytes —
+// `curl host:port/metrics` and a Prometheus scraper both work — and is
+// not a general HTTP server: no keep-alive, no routing, no TLS.
+class StatsTextServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  StatsTextServer() = default;
+  ~StatsTextServer() { Stop(); }
+
+  StatsTextServer(const StatsTextServer&) = delete;
+  StatsTextServer& operator=(const StatsTextServer&) = delete;
+
+  // Binds and starts the accept thread. `port` 0 lets the kernel pick;
+  // read it back with port().
+  Status Start(const std::string& bind_address, uint16_t port,
+               Renderer render);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  Renderer render_;
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace s4::net
+
+#endif  // S4_NET_STATS_ENDPOINT_H_

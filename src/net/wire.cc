@@ -401,4 +401,40 @@ std::string EncodePongFrame(uint64_t request_id) {
   return FinishFrame(FrameType::kPong, request_id, std::string());
 }
 
+std::string EncodeStatsRequestFrame(uint64_t request_id) {
+  return FinishFrame(FrameType::kStatsRequest, request_id, std::string());
+}
+
+std::string EncodeStatsResponseFrame(std::string_view text,
+                                     uint64_t request_id) {
+  return FinishFrame(FrameType::kStatsResponse, request_id,
+                     std::string(text));
+}
+
+std::string EncodeTraceRequestFrame(uint64_t target_request_id,
+                                    uint64_t request_id) {
+  WireWriter w;
+  w.PutU64(target_request_id);
+  return FinishFrame(FrameType::kTraceRequest, request_id, w.Take());
+}
+
+std::string EncodeTraceResponseFrame(std::string_view json,
+                                     uint64_t request_id) {
+  return FinishFrame(FrameType::kTraceResponse, request_id,
+                     std::string(json));
+}
+
+Status DecodeTraceRequest(std::string_view payload,
+                          uint64_t* target_request_id) {
+  WireReader r(payload);
+  if (!r.ReadU64(target_request_id)) {
+    return Truncated("trace request");
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument(
+        "trailing bytes after trace request payload");
+  }
+  return Status::OK();
+}
+
 }  // namespace s4::net

@@ -58,6 +58,11 @@ struct NetSearchRequest {
   int32_t max_tree_size = 5;
   uint64_t cache_budget_bytes = 500u << 20;
 
+  // NOT on the wire: seconds the server spent decoding this frame,
+  // recorded by the connection so the dispatcher can attach a
+  // frame_decode span to the request's trace.
+  double decode_seconds = 0.0;
+
   // Builds the wire request from cells + in-process SearchOptions.
   static NetSearchRequest From(std::vector<std::vector<std::string>> cells,
                                const SearchOptions& options,
@@ -120,6 +125,17 @@ std::string EncodeSearchResponseFrame(const NetSearchResponse& resp,
 std::string EncodeErrorFrame(const Status& status, uint64_t request_id);
 std::string EncodePingFrame(uint64_t request_id);
 std::string EncodePongFrame(uint64_t request_id);
+// Stats/trace surface: requests carry no payload except the trace
+// target (the id of a *previously completed* search, in the payload —
+// the header's request_id still identifies this exchange); responses
+// carry raw text bytes (Prometheus dump / Chrome-trace JSON).
+std::string EncodeStatsRequestFrame(uint64_t request_id);
+std::string EncodeStatsResponseFrame(std::string_view text,
+                                     uint64_t request_id);
+std::string EncodeTraceRequestFrame(uint64_t target_request_id,
+                                    uint64_t request_id);
+std::string EncodeTraceResponseFrame(std::string_view json,
+                                     uint64_t request_id);
 
 // --- payload decode (bounds-checked; never reads past `payload`) -------
 
@@ -127,6 +143,8 @@ Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req);
 Status DecodeSearchResponse(std::string_view payload,
                             NetSearchResponse* resp);
 Status DecodeError(std::string_view payload, NetError* err);
+Status DecodeTraceRequest(std::string_view payload,
+                          uint64_t* target_request_id);
 
 // --- primitive reader (exposed for tests / fuzzing) ---------------------
 

@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace s4::obs {
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+const char* KindName(MetricsSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricsSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricsSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricsSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    const std::string& name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, const std::string& n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+int64_t MetricsSnapshot::Value(const std::string& name) const {
+  const Entry* e = Find(name);
+  return e == nullptr ? 0 : e->value;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  out.reserve(entries.size() * 64);
+  for (const Entry& e : entries) {
+    const char* type =
+        e.kind == Kind::kCounter
+            ? "counter"
+            : (e.kind == Kind::kGauge ? "gauge" : "summary");
+    AppendF(&out, "# TYPE %s %s\n", e.name.c_str(), type);
+    if (e.kind == Kind::kHistogram) {
+      const LatencyHistogram::Snapshot& h = e.histogram;
+      AppendF(&out, "%s{quantile=\"0.5\"} %.9g\n", e.name.c_str(),
+              h.PercentileSeconds(0.5));
+      AppendF(&out, "%s{quantile=\"0.95\"} %.9g\n", e.name.c_str(),
+              h.PercentileSeconds(0.95));
+      AppendF(&out, "%s{quantile=\"0.99\"} %.9g\n", e.name.c_str(),
+              h.PercentileSeconds(0.99));
+      AppendF(&out, "%s{quantile=\"0.999\"} %.9g\n", e.name.c_str(),
+              h.PercentileSeconds(0.999));
+      AppendF(&out, "%s_count %" PRId64 "\n", e.name.c_str(), h.total);
+      AppendF(&out, "%s_sum %.9g\n", e.name.c_str(), h.sum_seconds);
+      AppendF(&out, "%s_max %.9g\n", e.name.c_str(), h.max_seconds);
+    } else {
+      AppendF(&out, "%s %" PRId64 "\n", e.name.c_str(), e.value);
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!first) out += ',';
+    first = false;
+    AppendF(&out, "{\"name\":\"%s\",\"kind\":\"%s\"",
+            JsonEscape(e.name).c_str(), KindName(e.kind));
+    if (e.kind == Kind::kHistogram) {
+      const LatencyHistogram::Snapshot& h = e.histogram;
+      AppendF(&out,
+              ",\"count\":%" PRId64
+              ",\"sum\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p99\":%.9g}",
+              h.total, h.sum_seconds, h.max_seconds, h.PercentileSeconds(0.5),
+              h.PercentileSeconds(0.99));
+    } else {
+      AppendF(&out, ",\"value\":%" PRId64 "}", e.value);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kCounter;
+    e.value = c->Value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kGauge;
+    e.value = g->Value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kHistogram;
+    e.histogram = h->Snapshot();
+    e.value = e.histogram.total;
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricsSnapshot::Entry& a,
+               const MetricsSnapshot::Entry& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace s4::obs

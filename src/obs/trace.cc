@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace s4::obs {
+
+namespace {
+
+int64_t MicrosBetween(Trace::Clock::time_point from,
+                      Trace::Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+Trace::Trace(std::string name)
+    : name_(std::move(name)), epoch_(Clock::now()) {}
+
+void Trace::AddSpan(const char* category, std::string name,
+                    Clock::time_point start, Clock::time_point end,
+                    std::vector<Arg> args) {
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = MicrosBetween(epoch_, start);
+  e.dur_us = std::max<int64_t>(0, MicrosBetween(start, end));
+  e.tid = ThreadIndex();
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Trace::AddInstant(const char* category, std::string name,
+                       std::vector<Arg> args) {
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = MicrosBetween(epoch_, Clock::now());
+  e.dur_us = -1;
+  e.tid = ThreadIndex();
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+size_t Trace::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+bool Trace::HasSpan(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Event& e : events_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::string Trace::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Normalize so the earliest event lands at ts=0: spans measured
+  // before the Trace object existed (e.g. frame decode) have negative
+  // relative timestamps, which some viewers clip.
+  int64_t min_ts = 0;
+  for (const Event& e : events_) min_ts = std::min(min_ts, e.ts_us);
+
+  std::string out;
+  out.reserve(events_.size() * 128 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",";
+    if (e.dur_us < 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":%" PRId64
+                    ",\"pid\":1,\"tid\":%u",
+                    e.ts_us - min_ts, e.tid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
+                    ",\"pid\":1,\"tid\":%u",
+                    e.ts_us - min_ts, e.dur_us, e.tid);
+    }
+    out += buf;
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const Arg& a : e.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += "\"" + JsonEscape(a.key) + "\":\"" + JsonEscape(a.value) +
+               "\"";
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"trace\":\"%s\",\"request_id\":\"%" PRIu64 "\"}}",
+                JsonEscape(name_).c_str(), request_id_);
+  out += buf;
+  return out;
+}
+
+}  // namespace s4::obs

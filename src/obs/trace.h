@@ -1,0 +1,112 @@
+#ifndef S4_OBS_TRACE_H_
+#define S4_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace s4::obs {
+
+// Per-search trace: an append-only list of timestamped spans recorded
+// by whichever threads touch the request (event loop, service worker,
+// eval pool). Recording takes a short mutex — acceptable because a
+// trace is only attached when explicitly requested; the designed-for
+// fast path is a null Trace*, which SpanTimer turns into a single
+// pointer test (no clock read, no allocation).
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Arg {
+    std::string key;
+    std::string value;
+  };
+
+  explicit Trace(std::string name = "search");
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  void set_request_id(uint64_t id) { request_id_ = id; }
+  uint64_t request_id() const { return request_id_; }
+  const std::string& name() const { return name_; }
+
+  // Records a completed span (Chrome "X" event). `category` must be a
+  // string literal (stored by pointer).
+  void AddSpan(const char* category, std::string name,
+               Clock::time_point start, Clock::time_point end,
+               std::vector<Arg> args = {});
+
+  // Records a zero-duration instant event (Chrome "i" event).
+  void AddInstant(const char* category, std::string name,
+                  std::vector<Arg> args = {});
+
+  size_t NumSpans() const;
+  // True if any recorded event's name equals `name` (test helper).
+  bool HasSpan(const std::string& name) const;
+
+  // Chrome trace event format — {"traceEvents":[...]} — loadable in
+  // Perfetto and chrome://tracing. Timestamps are normalized so the
+  // earliest event starts at ts=0.
+  std::string ToChromeJson() const;
+
+ private:
+  struct Event {
+    const char* category;
+    std::string name;
+    int64_t ts_us;   // relative to epoch_ (may be negative; see export)
+    int64_t dur_us;  // <0 for instant events
+    uint32_t tid;
+    std::vector<Arg> args;
+  };
+
+  const std::string name_;
+  const Clock::time_point epoch_;
+  uint64_t request_id_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// RAII span: times the enclosing scope and records it into `trace` on
+// destruction. With a null trace every member function is a single
+// branch — no clock read, no string, no lock.
+class SpanTimer {
+ public:
+  SpanTimer(Trace* trace, const char* category, const char* name)
+      : trace_(trace), category_(category), name_(name) {
+    if (trace_ != nullptr) start_ = Trace::Clock::now();
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() {
+    if (trace_ != nullptr) {
+      trace_->AddSpan(category_, name_, start_, Trace::Clock::now(),
+                      std::move(args_));
+    }
+  }
+
+  bool enabled() const { return trace_ != nullptr; }
+
+  // Attach a key/value to the span; callers should build `value` only
+  // when enabled() to keep the disabled path allocation-free.
+  void AddArg(std::string key, std::string value) {
+    if (trace_ != nullptr) {
+      args_.push_back({std::move(key), std::move(value)});
+    }
+  }
+
+ private:
+  Trace* const trace_;
+  const char* const category_;
+  const char* const name_;
+  Trace::Clock::time_point start_{};
+  std::vector<Trace::Arg> args_;
+};
+
+}  // namespace s4::obs
+
+#endif  // S4_OBS_TRACE_H_

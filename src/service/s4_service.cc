@@ -6,6 +6,7 @@
 
 #include "common/hash_util.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace s4 {
 
@@ -15,6 +16,34 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// Registry counters bumped at service events (admission, completion).
+// References resolved once; the registry keeps them stable.
+struct ServiceCounters {
+  obs::Counter* accepted;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* deadline_misses;
+  obs::Counter* cancelled;
+  obs::Counter* failed;
+  obs::Histogram* request_latency;
+};
+
+const ServiceCounters& Counters() {
+  static const ServiceCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return ServiceCounters{
+        &reg.GetCounter("s4_service_accepted_total"),
+        &reg.GetCounter("s4_service_rejected_total"),
+        &reg.GetCounter("s4_service_completed_total"),
+        &reg.GetCounter("s4_service_deadline_misses_total"),
+        &reg.GetCounter("s4_service_cancelled_total"),
+        &reg.GetCounter("s4_service_failed_total"),
+        &reg.GetHistogram("s4_request_latency_seconds"),
+    };
+  }();
+  return c;
 }
 
 }  // namespace
@@ -93,6 +122,7 @@ Status S4Service::Admit(std::shared_ptr<Pending> pending) {
     }
     if (queue_.size() >= options_.max_queue) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      Counters().rejected->Increment();
       return Status::ResourceExhausted(
           StrFormat("admission queue full (%zu queued)", queue_.size()));
     }
@@ -100,6 +130,7 @@ Status S4Service::Admit(std::shared_ptr<Pending> pending) {
     queue_.push(std::move(pending));
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  Counters().accepted->Increment();
   cv_.notify_one();
   return Status::OK();
 }
@@ -151,27 +182,42 @@ void S4Service::CountOutcome(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk:
       completed_.fetch_add(1, std::memory_order_relaxed);
+      Counters().completed->Increment();
       break;
     case StatusCode::kDeadlineExceeded:
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      Counters().deadline_misses->Increment();
       break;
     case StatusCode::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      Counters().cancelled->Increment();
       break;
     default:
       failed_.fetch_add(1, std::memory_order_relaxed);
+      Counters().failed->Increment();
       break;
   }
 }
 
 void S4Service::RunPending(Pending& p) {
+  obs::Trace* trace = p.request.trace.get();
+  if (trace != nullptr) {
+    trace->AddSpan("service", "admission_queue_wait", p.admitted,
+                   std::chrono::steady_clock::now());
+  }
   StatusOr<SearchResult> result = [&]() -> StatusOr<SearchResult> {
     // A request abandoned (or expired) while queued is not worth
     // starting at all.
     if (p.stop->cancelled()) {
+      if (trace != nullptr) {
+        trace->AddInstant("service", "cancelled_while_queued");
+      }
       return Status::Cancelled("request cancelled while queued");
     }
     if (p.stop->deadline_expired()) {
+      if (trace != nullptr) {
+        trace->AddInstant("service", "deadline_expired_while_queued");
+      }
       return Status::DeadlineExceeded("deadline expired while queued");
     }
     SearchOptions opts = p.request.options;
@@ -180,10 +226,14 @@ void S4Service::RunPending(Pending& p) {
     opts.deadline_seconds = 0.0;  // the admission token already carries it
     opts.shared_cache = &shared_cache_;
     opts.shared_cache_prefix = CachePrefix(p.request.cells, opts);
+    opts.trace = trace;
+    obs::SpanTimer span(trace, "service", "search");
     return system_->Search(p.request.cells, opts, p.request.strategy);
   }();
   CountOutcome(result.status());
-  latency_.Record(SecondsSince(p.admitted));
+  const double elapsed = SecondsSince(p.admitted);
+  latency_.Record(elapsed);
+  Counters().request_latency->Observe(elapsed);
   if (p.done) {
     p.done(std::move(result));
   } else {
@@ -300,6 +350,22 @@ ServiceStats S4Service::stats() const {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     s.sessions_open = static_cast<int64_t>(sessions_.size());
   }
+
+  // Refresh the instantaneous gauges in the global registry on every
+  // collection: last-writer-wins values scraped from the one place that
+  // can see the queue, the session map, the pool, and the shared cache
+  // together. Lifetime pool totals are exported as gauges too — the
+  // pool keeps raw atomics (no registry dependency), so Set() with the
+  // current value is the faithful translation.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("s4_service_queue_depth").Set(static_cast<int64_t>(s.queue_depth));
+  reg.GetGauge("s4_service_sessions_open").Set(s.sessions_open);
+  const ThreadPool::Stats pool_stats = pool_->stats();
+  reg.GetGauge("s4_pool_queue_depth").Set(pool_stats.queued);
+  reg.GetGauge("s4_pool_tasks_executed").Set(pool_stats.executed);
+  reg.GetGauge("s4_pool_steals").Set(pool_stats.steals);
+  reg.GetGauge("s4_shared_cache_bytes")
+      .Set(static_cast<int64_t>(shared_cache_.bytes_used()));
   return s;
 }
 

@@ -17,6 +17,7 @@
 #include "common/latency_histogram.h"
 #include "common/stop_token.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "s4/s4.h"
 
 namespace s4 {
@@ -54,6 +55,11 @@ struct ServiceRequest {
   // Overrides options.deadline_seconds (and the service default) when
   // positive. Measured from admission, covering queue wait.
   double deadline_seconds = 0.0;
+  // Per-request trace sink: when set, the service records queue-wait
+  // and search spans into it (and points options.trace at it for the
+  // strategy/evaluator spans). Shared so the caller can keep the trace
+  // alive past completion (e.g. the server's trace store).
+  std::shared_ptr<obs::Trace> trace;
 };
 
 // Monotonic service counters plus a snapshot of the shared-cache stats.

@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "common/topk_heap.h"
 #include "exec/cost_model.h"
+#include "obs/trace.h"
 #include "strategy/strategy_internal.h"
 
 namespace s4::internal {
@@ -88,13 +89,29 @@ class FastTopKRun {
           std::pow(1.0 + options_.epsilon, static_cast<double>(batch_index));
       size_t end = std::min(
           n, std::max(next + 1, static_cast<size_t>(std::ceil(bound))));
-      EvaluateBatch(next, end);
+      {
+        obs::SpanTimer span(options_.trace, "fasttopk", "batch");
+        if (span.enabled()) {
+          span.AddArg("index", std::to_string(batch_index));
+          span.AddArg("size", std::to_string(end - next));
+        }
+        EvaluateBatch(next, end);
+      }
       ++result_.stats.batches;
       next = end;
       ++batch_index;
       // Termination condition (7) after each batch.
       if (next < n && topk_.Full() && topk_.KthScore() >= rts_[next].ub) {
+        if (options_.trace != nullptr) {
+          options_.trace->AddInstant(
+              "fasttopk", "early_termination",
+              {{"evaluated_through", std::to_string(next)},
+               {"remaining", std::to_string(n - next)}});
+        }
         break;
+      }
+      if (options_.trace != nullptr) {
+        options_.trace->AddInstant("fasttopk", "termination_check");
       }
     }
     for (auto& [score, sq] : topk_.TakeSortedDescending()) {
@@ -117,7 +134,7 @@ class FastTopKRun {
     ScoredQuery sq =
         EvaluateCandidate(prep_, rts_[rt_index], &cache_, offer_to_cache,
                           options_, &result_.stats, &result_.evaluated);
-    topk_.Offer(sq.score, std::move(sq));
+    OfferCounted(&topk_, std::move(sq), &result_.stats);
   }
 
   // Evaluates the given candidates (already in deterministic order —
@@ -257,8 +274,18 @@ class FastTopKRun {
       EvalOptions eopts;
       eopts.es_rows = rts_[entries[(*best_group)[0]].rt_index].es_rows;
       eopts.drop_zero_rows = options_.drop_zero_rows;
-      std::shared_ptr<const SubQueryTable> table = evaluator.EvaluateSub(
-          *best_sub, &cache_, &result_.stats.counters, eopts);
+      eopts.trace = options_.trace;
+      std::shared_ptr<const SubQueryTable> table;
+      {
+        obs::SpanTimer critical_span(options_.trace, "fasttopk",
+                                     "evaluate_critical_sub");
+        if (critical_span.enabled()) {
+          critical_span.AddArg("sharers",
+                               std::to_string(best_group->size()));
+        }
+        table = evaluator.EvaluateSub(*best_sub, &cache_,
+                                      &result_.stats.counters, eopts);
+      }
       result_.stats.model_cost +=
           EvaluationCost(best_sub->tree, best_sub->bindings, prep_.ctx);
       cache_.Add(best_key, std::move(table), /*pinned=*/true);

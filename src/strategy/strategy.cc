@@ -6,6 +6,8 @@
 #include "common/timer.h"
 #include "common/topk_heap.h"
 #include "exec/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "strategy/strategy_internal.h"
 
 namespace s4 {
@@ -40,6 +42,7 @@ void RunStats::Add(const RunStats& o) {
   query_row_evals += o.query_row_evals;
   skipped_by_condition += o.skipped_by_condition;
   batches += o.batches;
+  bound_updates += o.bound_updates;
   critical_subs_cached += o.critical_subs_cached;
   model_cost += o.model_cost;
   enum_seconds += o.enum_seconds;
@@ -59,6 +62,7 @@ PreparedSearch::PreparedSearch(const IndexSet& index,
                                const SearchOptions& options)
     : ctx(index, sheet, options.score) {
   WallTimer timer;
+  obs::SpanTimer span(options.trace, "stage1", "enumerate");
   EnumerationResult result =
       EnumerateCandidates(graph, ctx, options.enumeration);
   candidates = std::move(result.candidates);
@@ -71,6 +75,9 @@ PreparedSearch::PreparedSearch(const IndexSet& index,
               return a.query.signature() < b.query.signature();
             });
   enum_seconds = timer.ElapsedSeconds();
+  if (span.enabled()) {
+    span.AddArg("candidates", std::to_string(candidates.size()));
+  }
 }
 
 namespace internal {
@@ -102,11 +109,16 @@ ScoredQuery EvaluateCandidate(PreparedSearch& prep,
                               const SearchOptions& options, RunStats* stats,
                               std::vector<EvaluatedRecord>* records) {
   const CandidateQuery& cand = *rt.cand;
+  obs::SpanTimer span(options.trace, "stage2", "evaluate_candidate");
+  if (span.enabled()) {
+    span.AddArg("query", cand.query.signature());
+  }
   Evaluator evaluator(prep.ctx);
   EvalOptions eopts;
   eopts.es_rows = rt.es_rows;
   eopts.offer_to_cache = offer_to_cache;
   eopts.drop_zero_rows = options.drop_zero_rows;
+  eopts.trace = options.trace;
 
   if (cache != nullptr) {
     stats->model_cost += EvaluationCostWithCache(
@@ -155,6 +167,60 @@ void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
       static_cast<int64_t>(prep.candidates.size());
   stats->enum_seconds = prep.enum_seconds;
   if (cache != nullptr) stats->cache = cache->stats();
+
+  // Bulk-publish the finished run into the process-wide registry: one
+  // batch of striped adds per search, never per candidate, so the hot
+  // path stays free of shared-line traffic. Counter references are
+  // resolved once and cached (the registry never moves them).
+  struct RunCounters {
+    obs::Counter* searches;
+    obs::Counter* enumerated;
+    obs::Counter* evaluated;
+    obs::Counter* row_evals;
+    obs::Counter* skipped;
+    obs::Counter* batches;
+    obs::Counter* bound_updates;
+    obs::Counter* critical_subs;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* cache_insertions;
+    obs::Counter* cache_evictions;
+    obs::Histogram* enum_seconds;
+    obs::Histogram* eval_seconds;
+  };
+  static const RunCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return RunCounters{
+        &reg.GetCounter("s4_searches_total"),
+        &reg.GetCounter("s4_candidates_enumerated_total"),
+        &reg.GetCounter("s4_candidates_evaluated_total"),
+        &reg.GetCounter("s4_query_row_evals_total"),
+        &reg.GetCounter("s4_skipped_by_condition_total"),
+        &reg.GetCounter("s4_batches_total"),
+        &reg.GetCounter("s4_bound_updates_total"),
+        &reg.GetCounter("s4_critical_subs_cached_total"),
+        &reg.GetCounter("s4_cache_probe_hits_total"),
+        &reg.GetCounter("s4_cache_probe_misses_total"),
+        &reg.GetCounter("s4_cache_insertions_total"),
+        &reg.GetCounter("s4_cache_evictions_total"),
+        &reg.GetHistogram("s4_enum_seconds"),
+        &reg.GetHistogram("s4_eval_seconds"),
+    };
+  }();
+  c.searches->Increment();
+  c.enumerated->Add(stats->queries_enumerated);
+  c.evaluated->Add(stats->queries_evaluated);
+  c.row_evals->Add(stats->query_row_evals);
+  c.skipped->Add(stats->skipped_by_condition);
+  c.batches->Add(stats->batches);
+  c.bound_updates->Add(stats->bound_updates);
+  c.critical_subs->Add(stats->critical_subs_cached);
+  c.cache_hits->Add(stats->cache.hits);
+  c.cache_misses->Add(stats->cache.misses);
+  c.cache_insertions->Add(stats->cache.insertions);
+  c.cache_evictions->Add(stats->cache.evictions);
+  c.enum_seconds->Observe(stats->enum_seconds);
+  c.eval_seconds->Observe(stats->eval_seconds);
 }
 
 int32_t ResolveNumThreads(const SearchOptions& options) {
@@ -180,7 +246,7 @@ void MergeOutcome(EvalOutcome&& outcome, SearchResult* result,
   for (EvaluatedRecord& rec : outcome.records) {
     result->evaluated.push_back(std::move(rec));
   }
-  topk->Offer(outcome.sq.score, std::move(outcome.sq));
+  OfferCounted(topk, std::move(outcome.sq), &result->stats);
 }
 
 SearchResult RunBaselineCore(PreparedSearch& prep,
@@ -207,7 +273,7 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
           EvaluateCandidate(prep, rts[i], /*cache=*/nullptr,
                             /*offer_to_cache=*/false, options, &result.stats,
                             &result.evaluated);
-      topk.Offer(sq.score, std::move(sq));
+      OfferCounted(&topk, std::move(sq), &result.stats);
       if (stop_after(i)) break;
     }
   } else {
@@ -266,7 +332,7 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
           internal::EvaluateCandidate(prep, rt, /*cache=*/nullptr,
                                       /*offer_to_cache=*/false, options,
                                       &result.stats, &result.evaluated);
-      topk.Offer(sq.score, std::move(sq));
+      internal::OfferCounted(&topk, std::move(sq), &result.stats);
     }
   } else {
     // Cache-less evaluations are fully independent: fan blocks out to

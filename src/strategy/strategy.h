@@ -15,6 +15,10 @@
 
 namespace s4 {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 class ThreadPool;
 
 // End-to-end search configuration (defaults follow Table 2).
@@ -55,6 +59,11 @@ struct SearchOptions {
   // fingerprint). Not owned.
   SubQueryCache* shared_cache = nullptr;
   std::string shared_cache_prefix;
+  // Per-search trace sink (DESIGN.md "Observability"): when set, the
+  // run records Stage-I/Stage-II/cache spans into it. Null (the
+  // default) keeps the hot path span-free — a single pointer test per
+  // site. Not owned; must outlive the search.
+  obs::Trace* trace = nullptr;
 };
 
 // Rejects nonsensical configurations (non-positive k, zero byte budget,
@@ -82,6 +91,9 @@ struct RunStats {
   int64_t query_row_evals = 0;
   int64_t skipped_by_condition = 0;  // skipping-condition hits (Sec 5.3.4)
   int64_t batches = 0;               // FASTTOPK batches formed
+  // Times the k-th best score (the termination/skipping bound) rose
+  // when an evaluated candidate entered the top-k heap.
+  int64_t bound_updates = 0;
   int64_t critical_subs_cached = 0;  // critical sub-PJ queries cached
   // Model cost actually incurred: sum of cost(Q, M) per Eq. (12)-(13).
   int64_t model_cost = 0;

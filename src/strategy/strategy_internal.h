@@ -98,6 +98,20 @@ EvalOutcome EvaluateCandidateIsolated(PreparedSearch& prep,
                                       bool offer_to_cache,
                                       const SearchOptions& options);
 
+// Offers a scored query to the heap, counting the offer as a bound
+// update in `stats` when it raised the k-th best score (the
+// termination/skipping bound of condition (7)).
+inline void OfferCounted(TopKHeap<ScoredQuery>* topk, ScoredQuery sq,
+                         RunStats* stats) {
+  const bool was_full = topk->Full();
+  const double before = topk->KthScore();
+  const double score = sq.score;
+  topk->Offer(score, std::move(sq));
+  if (topk->Full() && (!was_full || topk->KthScore() > before)) {
+    ++stats->bound_updates;
+  }
+}
+
 // Folds one outcome into the run result and heap. Must be called in
 // deterministic candidate order.
 void MergeOutcome(EvalOutcome&& outcome, SearchResult* result,

@@ -248,6 +248,53 @@ TEST(ShardedCacheTest, ConcurrentSameKeyAddKeepsOneEntry) {
   ASSERT_NE(cache.Get("same-key"), nullptr);
 }
 
+TEST(SubQueryCacheTest, ConcurrentStatsSnapshotIsRaceFree) {
+  // Regression test for the stats() aggregation path: shard counters
+  // must be read under the shard mutex, never bare. Run under tsan this
+  // catches any unsynchronized read; under plain builds it checks that
+  // concurrent snapshots stay monotone and end exact.
+  SubQueryCache cache(1 << 20, /*num_shards=*/4);
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 2000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> snapshots_taken{0};
+  threads.emplace_back([&cache, &done, &snapshots_taken] {
+    int64_t last_probes = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const CacheStats s = cache.stats();
+      const int64_t probes = s.hits + s.misses;
+      // Counters only ever increase; a torn read would show a decrease.
+      EXPECT_GE(probes, last_probes);
+      EXPECT_GE(s.insertions, 0);
+      last_probes = probes;
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::string key =
+            "k" + std::to_string(t) + "_" + std::to_string(i % 64);
+        if (cache.Get(key) == nullptr) {
+          cache.Add(key, MakeTable(4));
+        }
+      }
+    });
+  }
+  for (size_t t = 1; t < threads.size(); ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads[0].join();
+
+  EXPECT_GT(snapshots_taken.load(), 0);
+  const CacheStats final_stats = cache.stats();
+  // Quiescent totals are exact: every Get recorded a hit or a miss.
+  EXPECT_EQ(final_stats.hits + final_stats.misses,
+            kWriters * kOpsPerWriter);
+  EXPECT_EQ(final_stats.insertions, final_stats.misses);
+}
+
 TEST(ShardedCacheTest, ConcurrentHammerStaysWithinBudget) {
   // 8 threads hammer a small cache with mixed Add/Get/Remove across a
   // shared key space, forcing constant cross-shard eviction.

@@ -224,5 +224,60 @@ TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
   EXPECT_EQ(h.count(), kThreads * kPerThread);
 }
 
+TEST(LatencyHistogramTest, MergeIntoEmptySnapshot) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(2e-3);
+  LatencyHistogram::Snapshot merged;  // default-constructed: no buckets
+  merged.Merge(h.snapshot());
+  EXPECT_EQ(merged.total, 10);
+  EXPECT_NEAR(merged.MeanSeconds(), 2e-3, 1e-4);
+  EXPECT_NEAR(merged.PercentileSeconds(0.5), 2e-3, 1e-4);
+}
+
+TEST(LatencyHistogramTest, MergeOfEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.Record(5e-3);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  const double p50_before = s.PercentileSeconds(0.5);
+  s.Merge(LatencyHistogram::Snapshot{});  // merging empty changes nothing
+  EXPECT_EQ(s.total, 1);
+  EXPECT_EQ(s.PercentileSeconds(0.5), p50_before);
+  EXPECT_NEAR(s.max_seconds, 5e-3, 1e-9);
+}
+
+TEST(LatencyHistogramTest, MergePartialSnapshotsSumsAndKeepsMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.Record(1e-3);
+  for (int i = 0; i < 100; ++i) b.Record(4e-3);
+  b.Record(0.25);  // the true max lives only in b
+  LatencyHistogram::Snapshot merged = a.snapshot();
+  merged.Merge(b.snapshot());
+  EXPECT_EQ(merged.total, 201);
+  // Max propagates exactly, not bucket-quantized.
+  EXPECT_DOUBLE_EQ(merged.max_seconds, 0.25);
+  EXPECT_NEAR(merged.sum_seconds, 100 * 1e-3 + 100 * 4e-3 + 0.25, 1e-6);
+  // Rank 101 of 201 falls in the 4 ms population.
+  EXPECT_NEAR(merged.PercentileSeconds(0.5), 4e-3, 2e-4);
+}
+
+TEST(LatencyHistogramTest, HighQuantileOnTinySample) {
+  // p99.9 of a 3-sample histogram must return the largest bucket, not
+  // read past the counts or interpolate into emptiness.
+  LatencyHistogram h;
+  h.Record(1e-3);
+  h.Record(2e-3);
+  h.Record(8e-3);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_NEAR(s.PercentileSeconds(0.999), 8e-3, 4e-4);
+  EXPECT_NEAR(s.PercentileSeconds(1.0), 8e-3, 4e-4);
+  // A single sample: every quantile is that sample's bucket.
+  LatencyHistogram one;
+  one.Record(3e-3);
+  LatencyHistogram::Snapshot os = one.snapshot();
+  EXPECT_NEAR(os.PercentileSeconds(0.001), 3e-3, 2e-4);
+  EXPECT_NEAR(os.PercentileSeconds(0.999), 3e-3, 2e-4);
+}
+
 }  // namespace
 }  // namespace s4

@@ -19,6 +19,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/socket_util.h"
+#include "obs/metrics.h"
 #include "service/s4_service.h"
 #include "tests/test_util.h"
 
@@ -449,6 +450,126 @@ TEST(NetIntegrationTest, NoFdLeaksAcrossErrorPaths) {
   // Harness destroyed: every socket, epoll fd, and eventfd must be gone.
   EXPECT_TRUE(WaitFor([&] { return CountOpenFds() == before; }))
       << "fd count before=" << before << " after=" << CountOpenFds();
+}
+
+// --- observability wire surface (kStats / kTrace) ----------------------
+
+// One traced search, then the two new frame types: kStatsRequest must
+// return a Prometheus dump whose counters reflect the search, and
+// kTraceRequest must return Chrome-trace JSON with the spans every layer
+// is responsible for (net decode, Stage-I, Stage-II, cache probes).
+TEST(NetTraceTest, StatsAndTraceRoundTripAfterSearch) {
+  ServerOptions sopts;
+  sopts.enable_tracing = true;
+  ServerHarness h(sopts);
+  S4Client client(h.MakeClientOptions());
+
+  // Registry counters are process-global and other tests also search, so
+  // assert on deltas.
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  uint64_t request_id = 0;
+  auto result = client.Search(
+      NetSearchRequest::From(TestSheets()[0], BaseOptions(),
+                             S4System::Strategy::kFastTopK),
+      &request_id);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(request_id, 0u);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("# TYPE s4_searches_total counter"),
+            std::string::npos);
+  EXPECT_NE(stats->find("s4_candidates_evaluated_total"),
+            std::string::npos);
+  EXPECT_NE(stats->find("s4_request_latency_seconds"), std::string::npos);
+  EXPECT_NE(stats->find("s4_net_frames_received"), std::string::npos);
+
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.Value("s4_searches_total"),
+            before.Value("s4_searches_total") + 1);
+  EXPECT_GE(after.Value("s4_candidates_evaluated_total"),
+            before.Value("s4_candidates_evaluated_total") + 1);
+  EXPECT_GE(after.Value("s4_cache_probe_hits_total") +
+                after.Value("s4_cache_probe_misses_total"),
+            before.Value("s4_cache_probe_hits_total") +
+                before.Value("s4_cache_probe_misses_total") + 1);
+
+  auto trace_json = client.FetchTrace(request_id);
+  ASSERT_TRUE(trace_json.ok()) << trace_json.status();
+  EXPECT_NE(trace_json->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_json->find("frame_decode"), std::string::npos);
+  EXPECT_NE(trace_json->find("frame_encode"), std::string::npos);
+  EXPECT_NE(trace_json->find("enumerate"), std::string::npos);
+  EXPECT_NE(trace_json->find("evaluate_candidate"), std::string::npos);
+  EXPECT_NE(trace_json->find("cache_probe"), std::string::npos);
+  EXPECT_NE(trace_json->find("admission_queue_wait"), std::string::npos);
+  // Export-time normalization: no negative timestamps even though the
+  // frame_decode span was recorded before the trace epoch.
+  EXPECT_EQ(trace_json->find("\"ts\":-"), std::string::npos);
+}
+
+TEST(NetTraceTest, UnknownTraceIdIsNotFoundAndKeepsConnection) {
+  ServerOptions sopts;
+  sopts.enable_tracing = true;
+  ServerHarness h(sopts);
+  S4Client client(h.MakeClientOptions());
+
+  auto missing = client.FetchTrace(0xDEADBEEFull);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Per-request miss, not a protocol violation: the stream survives.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(h.server->counters().protocol_errors.load(), 0);
+}
+
+TEST(NetTraceTest, TracingDisabledAnswersNotFound) {
+  ServerHarness h;  // default options: tracing off
+  S4Client client(h.MakeClientOptions());
+  uint64_t request_id = 0;
+  auto result = client.Search(
+      NetSearchRequest::From(TestSheets()[1], BaseOptions(),
+                             S4System::Strategy::kBaseline),
+      &request_id);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto missing = client.FetchTrace(request_id);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetTraceTest, TraceHistoryEvictsOldestFirst) {
+  ServerOptions sopts;
+  sopts.enable_tracing = true;
+  sopts.trace_history = 2;
+  ServerHarness h(sopts);
+  S4Client client(h.MakeClientOptions());
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    uint64_t id = 0;
+    auto result = client.Search(
+        NetSearchRequest::From(TestSheets()[1], BaseOptions(),
+                               S4System::Strategy::kBaseline),
+        &id);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ids.push_back(id);
+  }
+  // Oldest fell out of the 2-entry ring; the two newest are servable.
+  auto oldest = client.FetchTrace(ids[0]);
+  EXPECT_FALSE(oldest.ok());
+  EXPECT_EQ(oldest.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client.FetchTrace(ids[1]).ok());
+  EXPECT_TRUE(client.FetchTrace(ids[2]).ok());
+}
+
+TEST(NetTraceTest, StatsWorkWithoutAnySearch) {
+  ServerHarness h;
+  S4Client client(h.MakeClientOptions());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // Service/pool/net gauges are registered by the scrape itself.
+  EXPECT_NE(stats->find("s4_service_queue_depth"), std::string::npos);
+  EXPECT_NE(stats->find("s4_net_open_connections"), std::string::npos);
 }
 
 }  // namespace

@@ -128,5 +128,27 @@ TEST(ThreadPoolTest, ParallelForBalancesUnevenWork) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ThreadPoolTest, StatsCountExecutedTasks) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.stats();
+  EXPECT_EQ(before.executed, 0);
+  EXPECT_EQ(before.queued, 0);
+
+  constexpr int32_t kTasks = 200;
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int32_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.executed, kTasks);
+  // Steals are opportunistic (scheduling-dependent) but never negative
+  // and never exceed the executed count.
+  EXPECT_GE(after.steals, 0);
+  EXPECT_LE(after.steals, after.executed);
+}
+
 }  // namespace
 }  // namespace s4

@@ -244,6 +244,57 @@ TEST(WireCodecTest, PingPongFrames) {
   }
 }
 
+TEST(WireCodecTest, StatsAndTraceFrames) {
+  // kStatsRequest: empty payload, id echoed.
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(EncodeStatsRequestFrame(11), &h).ok());
+  EXPECT_EQ(h.type, FrameType::kStatsRequest);
+  EXPECT_EQ(h.request_id, 11u);
+  EXPECT_EQ(h.payload_len, 0u);
+
+  // Responses carry raw text bytes verbatim (no re-encoding).
+  const std::string text = "# TYPE s4_searches_total counter\n"
+                           "s4_searches_total 3\n";
+  const std::string stats_frame = EncodeStatsResponseFrame(text, 12);
+  ASSERT_TRUE(DecodeFrameHeader(stats_frame, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kStatsResponse);
+  EXPECT_EQ(h.payload_len, text.size());
+  EXPECT_EQ(stats_frame.substr(kHeaderBytes), text);
+
+  const std::string json = "{\"traceEvents\":[]}";
+  const std::string trace_frame = EncodeTraceResponseFrame(json, 13);
+  ASSERT_TRUE(DecodeFrameHeader(trace_frame, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kTraceResponse);
+  EXPECT_EQ(trace_frame.substr(kHeaderBytes), json);
+
+  // kTraceRequest: the *target* id travels in the payload; the header id
+  // identifies this exchange (RoundTrip matches on the echo).
+  for (uint64_t target : {uint64_t{0}, uint64_t{42}, ~uint64_t{0}}) {
+    const std::string frame = EncodeTraceRequestFrame(target, 14);
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kTraceRequest);
+    EXPECT_EQ(h.request_id, 14u);
+    uint64_t got = 1;
+    ASSERT_TRUE(DecodeTraceRequest(
+                    std::string_view(frame).substr(kHeaderBytes), &got)
+                    .ok());
+    EXPECT_EQ(got, target);
+  }
+
+  // Truncated / padded trace-request payloads are rejected.
+  const std::string frame = EncodeTraceRequestFrame(42, 15);
+  const std::string_view payload =
+      std::string_view(frame).substr(kHeaderBytes);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    uint64_t got = 0;
+    EXPECT_FALSE(DecodeTraceRequest(payload.substr(0, len), &got).ok());
+  }
+  std::string padded(payload);
+  padded.push_back('\0');
+  uint64_t got = 0;
+  EXPECT_FALSE(DecodeTraceRequest(padded, &got).ok());
+}
+
 TEST(WireCodecTest, TruncatedRequestEveryPrefixRejected) {
   Rng rng(7);
   const NetSearchRequest req = RandomRequest(rng);
@@ -318,7 +369,7 @@ TEST(WireCodecTest, VersionMismatchKeepsRequestId) {
 }
 
 TEST(WireCodecTest, UnknownFrameTypeRejected) {
-  for (uint8_t type : {uint8_t{0}, uint8_t{6}, uint8_t{255}}) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{10}, uint8_t{255}}) {
     std::string buf;
     AppendFrameHeader(FrameHeader{}, &buf);
     buf[5] = static_cast<char>(type);

@@ -1,0 +1,182 @@
+// Scatter-gather serving throughput: closed-loop QPS of an
+// S4Coordinator over N in-process shard servers (N = 1, 2, 4) against a
+// directly-connected single-node S4Client baseline, all on loopback.
+// The delta between baseline and N=1 is the coordinator's own overhead
+// (one extra hop, streamed partials, merge); the N=2/N=4 rows show what
+// candidate-space sharding buys when Stage-II evaluation dominates.
+//
+// `--smoke` shrinks everything to a seconds-long CI gate that still
+// crosses coordinator, wire protocol, shard admission, and merge.
+//
+// Knobs (environment): S4_BENCH_CLIENTS (4), S4_BENCH_ROUNDS (2),
+// S4_BENCH_ES_COUNT (8), S4_BENCH_CSUPP_SCALE (1),
+// S4_BENCH_SHARD_WORKERS (2).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dist/coordinator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "service/s4_service.h"
+
+int main(int argc, char** argv) {
+  using namespace s4;
+  using namespace s4::bench;
+
+  argc = JsonInit(argc, argv, "dist_throughput");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int32_t clients =
+      static_cast<int32_t>(EnvInt("S4_BENCH_CLIENTS", smoke ? 2 : 4));
+  const int32_t rounds =
+      static_cast<int32_t>(EnvInt("S4_BENCH_ROUNDS", smoke ? 1 : 2));
+  const int32_t es_count =
+      static_cast<int32_t>(EnvInt("S4_BENCH_ES_COUNT", smoke ? 3 : 8));
+  const int32_t shard_workers =
+      static_cast<int32_t>(EnvInt("S4_BENCH_SHARD_WORKERS", 2));
+
+  PrintHeader("Distributed scatter-gather throughput",
+              "CSUPP-sim; closed loop: direct single node vs coordinator "
+              "over 1/2/4 shard servers on loopback");
+
+  std::unique_ptr<World> world =
+      CsuppWorld(static_cast<int32_t>(EnvInt("S4_BENCH_CSUPP_SCALE", 1)));
+  Workload workload = MakeWorkload(*world, es_count);
+
+  auto system = S4System::Create(world->db);
+  if (!system.ok()) {
+    std::fprintf(stderr, "S4System::Create failed: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<std::vector<std::string>>> requests;
+  for (const datagen::GeneratedEs& es : workload.es) {
+    std::vector<std::vector<std::string>> cells(
+        static_cast<size_t>(es.sheet.NumRows()));
+    for (int32_t r = 0; r < es.sheet.NumRows(); ++r) {
+      for (int32_t c = 0; c < es.sheet.NumColumns(); ++c) {
+        cells[static_cast<size_t>(r)].push_back(es.sheet.cell(r, c).raw);
+      }
+    }
+    requests.push_back(std::move(cells));
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  SearchOptions search_options;
+  search_options.enumeration.max_tree_size = 4;
+
+  LoadGenOptions gen;
+  gen.clients = clients;
+  gen.requests_per_client = rounds * static_cast<int32_t>(requests.size());
+
+  TablePrinter tp({"deployment", "QPS", "p50 (ms)", "p99 (ms)", "errors"});
+
+  // Baseline: one unsharded server, pooled client, no coordinator.
+  {
+    ServiceOptions sopts;
+    sopts.num_workers = shard_workers;
+    sopts.max_queue = static_cast<size_t>(4 * clients);
+    S4Service service(**system, sopts);
+    net::S4Server server(&service);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    net::ClientOptions copts;
+    copts.port = server.port();
+    copts.request_timeout_seconds = 120.0;
+    copts.max_pool_connections = static_cast<size_t>(clients);
+    net::S4Client client(copts);
+    const LoadGenResult run = RunLoadGen(gen, [&](int32_t c, int32_t i) {
+      net::NetSearchRequest req = net::NetSearchRequest::From(
+          requests[(static_cast<size_t>(i) + static_cast<size_t>(c)) %
+                   requests.size()],
+          search_options, S4System::Strategy::kFastTopK);
+      return client.Search(req).status();
+    });
+    tp.AddRow({"single node (direct)", TablePrinter::Num(run.Qps(), 1),
+               TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.50), 3),
+               TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.99), 3),
+               TablePrinter::Int(static_cast<long long>(run.errors))});
+    JsonMetric("dist", "single_node_qps", run.Qps());
+    JsonMetric("dist", "single_node_errors",
+               static_cast<double>(run.errors));
+    JsonLatency("dist_single_node", run.latency);
+  }
+
+  for (int32_t shard_count : {1, 2, 4}) {
+    std::vector<std::unique_ptr<S4Service>> services;
+    std::vector<std::unique_ptr<net::S4Server>> servers;
+    dist::CoordinatorOptions copts;
+    copts.request_timeout_seconds = 120.0;
+    for (int32_t i = 0; i < shard_count; ++i) {
+      ServiceOptions sopts;
+      sopts.num_workers = shard_workers;
+      sopts.max_queue = static_cast<size_t>(4 * clients);
+      sopts.shard_count = shard_count;
+      sopts.shard_index = i;
+      services.push_back(std::make_unique<S4Service>(**system, sopts));
+      servers.push_back(std::make_unique<net::S4Server>(services.back().get()));
+      if (Status st = servers.back()->Start(); !st.ok()) {
+        std::fprintf(stderr, "shard %d start failed: %s\n", i,
+                     st.ToString().c_str());
+        return 1;
+      }
+      copts.shards.push_back({"127.0.0.1", servers.back()->port()});
+    }
+    dist::S4Coordinator coordinator(std::move(copts));
+
+    int64_t incomplete = 0;
+    const LoadGenResult run = RunLoadGen(gen, [&](int32_t c, int32_t i) {
+      net::NetSearchRequest req = net::NetSearchRequest::From(
+          requests[(static_cast<size_t>(i) + static_cast<size_t>(c)) %
+                   requests.size()],
+          search_options, S4System::Strategy::kFastTopK);
+      auto r = coordinator.Search(req);
+      if (!r.ok()) return r.status();
+      if (!r->complete) ++incomplete;
+      return Status::OK();
+    });
+
+    const std::string label =
+        "coordinator, " + std::to_string(shard_count) +
+        (shard_count == 1 ? " shard" : " shards");
+    tp.AddRow({label, TablePrinter::Num(run.Qps(), 1),
+               TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.50), 3),
+               TablePrinter::Num(1e3 * run.latency.PercentileSeconds(0.99), 3),
+               TablePrinter::Int(
+                   static_cast<long long>(run.errors + incomplete))});
+    const std::string prefix = "shards_" + std::to_string(shard_count);
+    JsonMetric("dist", prefix + "_qps", run.Qps());
+    JsonMetric("dist", prefix + "_errors", static_cast<double>(run.errors));
+    JsonMetric("dist", prefix + "_incomplete",
+               static_cast<double>(incomplete));
+    JsonLatency("dist_" + prefix, run.latency);
+    if (run.errors > 0 || incomplete > 0) {
+      std::fprintf(stderr,
+                   "dist bench: %lld errors, %lld incomplete at %d shards\n",
+                   static_cast<long long>(run.errors),
+                   static_cast<long long>(incomplete), shard_count);
+      return 1;
+    }
+  }
+
+  tp.Print();
+  JsonMetric("dist", "smoke", smoke ? 1.0 : 0.0);
+  JsonMetric("dist", "clients", static_cast<double>(clients));
+  JsonMetricsSnapshot("registry", obs::MetricsRegistry::Global().Snapshot());
+  return 0;
+}

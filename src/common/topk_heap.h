@@ -5,29 +5,36 @@
 #include <cstddef>
 #include <limits>
 #include <queue>
+#include <string>
 #include <vector>
 
 namespace s4 {
 
 // Keeps the k items with the highest scores seen so far. Ties are broken
-// by insertion order (earlier wins), which keeps strategy outputs
-// deterministic across NAIVE / BASELINE / FASTTOPK when scores collide.
+// by the caller-supplied canonical key (ascending; signatures for
+// candidate queries), falling back to insertion order (earlier wins)
+// when no key is given. A canonical key makes the selected set a total
+// order over (score desc, key asc) — independent of evaluation order —
+// so NAIVE / BASELINE / FASTTOPK, every thread count, and every
+// candidate-space shard slice select the exact same boundary entries
+// when scores collide (DESIGN.md "Distributed serving": the merge
+// invariant needs this).
 template <typename T>
 class TopKHeap {
  public:
   explicit TopKHeap(size_t k) : k_(k) {}
 
-  // Offers (score, item); keeps it if it beats the current k-th score.
-  void Offer(double score, T item) {
-    Entry e{score, next_seq_++, std::move(item)};
+  // Offers (score, item); keeps it if it beats the current k-th entry
+  // under (score desc, key asc, insertion order).
+  void Offer(double score, T item, std::string key = {}) {
+    Entry e{score, next_seq_++, std::move(key), std::move(item)};
     if (heap_.size() < k_) {
       heap_.push(std::move(e));
       return;
     }
     if (k_ == 0) return;
     const Entry& worst = heap_.top();
-    if (e.score > worst.score ||
-        (e.score == worst.score && e.seq < worst.seq)) {
+    if (Better(e, worst)) {
       heap_.pop();
       heap_.push(std::move(e));
     }
@@ -44,7 +51,27 @@ class TopKHeap {
     return heap_.top().score;
   }
 
-  // Extracts items sorted by descending score (stable in insertion order).
+  // Non-destructive copy of the current contents sorted by descending
+  // score (canonical key, then insertion order, among ties). Costs one
+  // heap copy of at most k entries; used by the progress-snapshot path,
+  // never per offer.
+  std::vector<std::pair<double, T>> SnapshotSortedDescending() const {
+    auto copy = heap_;
+    std::vector<Entry> entries;
+    entries.reserve(copy.size());
+    while (!copy.empty()) {
+      entries.push_back(copy.top());
+      copy.pop();
+    }
+    std::sort(entries.begin(), entries.end(), Better);
+    std::vector<std::pair<double, T>> out;
+    out.reserve(entries.size());
+    for (auto& e : entries) out.emplace_back(e.score, std::move(e.item));
+    return out;
+  }
+
+  // Extracts items sorted by descending score (canonical key, then
+  // insertion order, among ties).
   std::vector<std::pair<double, T>> TakeSortedDescending() {
     std::vector<Entry> entries;
     entries.reserve(heap_.size());
@@ -52,11 +79,7 @@ class TopKHeap {
       entries.push_back(heap_.top());
       heap_.pop();
     }
-    std::sort(entries.begin(), entries.end(), [](const Entry& a,
-                                                 const Entry& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.seq < b.seq;
-    });
+    std::sort(entries.begin(), entries.end(), Better);
     std::vector<std::pair<double, T>> out;
     out.reserve(entries.size());
     for (auto& e : entries) out.emplace_back(e.score, std::move(e.item));
@@ -67,14 +90,20 @@ class TopKHeap {
   struct Entry {
     double score;
     uint64_t seq;
+    std::string key;  // canonical tie-break; empty = insertion order only
     T item;
   };
-  // Min-heap on (score, -seq): top() is the entry to evict first, i.e. the
-  // lowest score, with later insertion losing ties.
+  // The total rank order: score desc, key asc, seq asc.
+  static bool Better(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  }
+  // Min-heap: top() is the entry to evict first, i.e. the worst under
+  // Better.
   struct Worse {
     bool operator()(const Entry& a, const Entry& b) const {
-      if (a.score != b.score) return a.score > b.score;
-      return a.seq < b.seq;
+      return Better(a, b);
     }
   };
 

@@ -1,0 +1,438 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "common/fd.h"
+#include "common/string_util.h"
+#include "net/socket_util.h"
+#include "obs/metrics.h"
+
+namespace s4::dist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Remaining budget for the socket helpers: 0 budget = no deadline, and
+// an exhausted budget becomes an immediate timeout rather than falling
+// through to "no deadline" (same convention as the client).
+double Remaining(std::chrono::steady_clock::time_point start,
+                 double budget_seconds) {
+  if (budget_seconds <= 0.0) return 0.0;
+  return std::max(budget_seconds - Elapsed(start), 1e-4);
+}
+
+// Global merge order: score descending, then signature ascending — the
+// same canonical total order TopKHeap uses for boundary ties, so the
+// merged prefix is bit-identical to the single-node selection
+// (signatures are unique candidate identities; this is a total order).
+bool MergeBefore(const net::NetTopkEntry& a, const net::NetTopkEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.signature < b.signature;
+}
+
+}  // namespace
+
+struct S4Coordinator::MergeState {
+  struct Slot {
+    // --- guarded by MergeState::mu ---------------------------------
+    std::vector<net::NetTopkEntry> topk;  // latest snapshot (disjoint slice)
+    double remaining_ub = kInf;
+    bool reported = false;   // at least one partial/done merged
+    bool done = false;       // exchange finished with usable data
+    bool lost = false;       // shard unreached; its data is dropped
+    bool stop_sent = false;  // kShardStop issued for this exchange
+    uint64_t exchange_id = 0;
+    Status failure = Status::OK();  // final status of a lost shard
+    DistShardStats stats;
+    // --- stop-frame channel ----------------------------------------
+    // The exchange socket, published while the exchange thread blocks
+    // reading it, so CheckEarlyStops can write a kShardStop on the same
+    // full-duplex connection. Lock order: MergeState::mu before io_mu.
+    std::mutex io_mu;
+    int fd = -1;
+  };
+
+  MergeState(size_t n, int32_t k) : k(k) {
+    slots.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      slots.push_back(std::make_unique<Slot>());
+      slots.back()->stats.shard_index = static_cast<int32_t>(i);
+    }
+  }
+
+  const int32_t k;
+  std::chrono::steady_clock::time_point start{};
+  double budget = 0.0;
+
+  std::mutex mu;
+  std::vector<std::unique_ptr<Slot>> slots;
+  int64_t partials_received = 0;
+  int64_t early_stops_sent = 0;
+};
+
+S4Coordinator::S4Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+std::shared_ptr<obs::Trace> S4Coordinator::last_trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return last_trace_;
+}
+
+void S4Coordinator::CheckEarlyStops(MergeState& state) {
+  // The merged kth score over the current snapshots only rises as more
+  // frames arrive, so `kth > shard.remaining_ub` observed now stays
+  // true at the end of the search: nothing that shard has yet to
+  // evaluate can enter the global top-k (the FASTTOPK condition (7)
+  // across shards; strict, so an exact ub == kth tie is still evaluated
+  // and resolved under the canonical signature order). Stale
+  // remaining_ub values are safe overestimates — they only delay a
+  // stop, never cause a wrong one.
+  if (state.k <= 0) return;
+  std::vector<double> scores;
+  for (const auto& slot : state.slots) {
+    if (slot->lost) continue;
+    for (const auto& e : slot->topk) scores.push_back(e.score);
+  }
+  if (scores.size() < static_cast<size_t>(state.k)) return;
+  std::nth_element(scores.begin(), scores.begin() + (state.k - 1),
+                   scores.end(), std::greater<double>());
+  const double kth = scores[state.k - 1];
+  for (auto& sp : state.slots) {
+    MergeState::Slot& slot = *sp;
+    if (slot.done || slot.lost || slot.stop_sent || !slot.reported) continue;
+    if (kth <= slot.remaining_ub) continue;
+    slot.stop_sent = true;
+    const std::string frame = net::EncodeShardStopFrame(
+        slot.exchange_id,
+        next_request_id_.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> io(slot.io_mu);
+    // A failed or late delivery is harmless: the shard just finishes
+    // its slice and the kShardDone merges like any other.
+    if (slot.fd >= 0 &&
+        net::SendAll(slot.fd, frame.data(), frame.size(), 0.25).ok()) {
+      slot.stats.early_stopped = true;
+      ++state.early_stops_sent;
+      obs::MetricsRegistry::Global()
+          .GetCounter("s4_dist_early_stops_sent")
+          .Increment();
+    }
+  }
+}
+
+Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
+                                      const net::NetSearchRequest& request) {
+  MergeState::Slot& slot = *state.slots[index];
+  {
+    // Reset anything a failed previous attempt left behind.
+    std::lock_guard<std::mutex> lock(state.mu);
+    slot.topk.clear();
+    slot.remaining_ub = kInf;
+    slot.reported = false;
+    slot.stop_sent = false;
+  }
+  const double remaining = Remaining(state.start, state.budget);
+  if (state.budget > 0.0 && remaining <= 1e-3) {
+    return Status::DeadlineExceeded(
+        "coordinator budget exhausted before the shard exchange");
+  }
+  const double connect_budget =
+      state.budget > 0.0
+          ? std::min(options_.connect_timeout_seconds, remaining)
+          : options_.connect_timeout_seconds;
+  auto fd_or = net::ConnectWithTimeout(options_.shards[index].host,
+                                       options_.shards[index].port,
+                                       connect_budget);
+  if (!fd_or.ok()) return fd_or.status();
+  UniqueFd fd = std::move(*fd_or);
+
+  net::NetShardSearchRequest sreq;
+  sreq.base = request;
+  sreq.shard_count = static_cast<int32_t>(options_.shards.size());
+  sreq.shard_index = index;
+  sreq.partial_every = options_.partial_every;
+  if (state.budget > 0.0) {
+    // Grant the shard a slice of what is left, keeping headroom for the
+    // final merge and the wire.
+    sreq.base.deadline_seconds =
+        std::max(Remaining(state.start, state.budget) *
+                     options_.shard_deadline_fraction,
+                 1e-3);
+  }
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::string frame = net::EncodeShardSearchRequestFrame(sreq, id);
+
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    slot.exchange_id = id;
+  }
+  {
+    std::lock_guard<std::mutex> io(slot.io_mu);
+    slot.fd = fd.get();
+  }
+  const auto unpublish = [&slot] {
+    std::lock_guard<std::mutex> io(slot.io_mu);
+    slot.fd = -1;
+  };
+
+  Status st = net::SendAll(fd.get(), frame.data(), frame.size(),
+                           Remaining(state.start, state.budget));
+  if (!st.ok()) {
+    unpublish();
+    return st;
+  }
+  while (true) {
+    char header[net::kHeaderBytes];
+    st = net::RecvAll(fd.get(), header, net::kHeaderBytes,
+                      Remaining(state.start, state.budget));
+    if (!st.ok()) {
+      unpublish();
+      return st;
+    }
+    net::FrameHeader h;
+    st = net::DecodeFrameHeader(std::string_view(header, net::kHeaderBytes),
+                                &h);
+    if (!st.ok()) {
+      unpublish();
+      return st;
+    }
+    if (h.payload_len > net::kDefaultMaxFrameBytes) {
+      unpublish();
+      return Status::Internal(
+          StrFormat("shard %d sent an oversized frame (%u bytes)", index,
+                    h.payload_len));
+    }
+    std::string payload(h.payload_len, '\0');
+    if (h.payload_len > 0) {
+      st = net::RecvAll(fd.get(), payload.data(), payload.size(),
+                        Remaining(state.start, state.budget));
+      if (!st.ok()) {
+        unpublish();
+        return st;
+      }
+    }
+    if (h.request_id != id) {
+      unpublish();
+      return Status::Internal(
+          StrFormat("shard %d stream out of sync: frame for request %llu "
+                    "while waiting for %llu",
+                    index, static_cast<unsigned long long>(h.request_id),
+                    static_cast<unsigned long long>(id)));
+    }
+    switch (h.type) {
+      case net::FrameType::kShardPartial: {
+        net::NetShardPartial partial;
+        st = net::DecodeShardPartial(payload, &partial);
+        if (!st.ok()) {
+          unpublish();
+          return st;
+        }
+        std::lock_guard<std::mutex> lock(state.mu);
+        slot.topk = std::move(partial.topk);
+        slot.remaining_ub = partial.remaining_upper_bound;
+        slot.reported = true;
+        slot.stats.queries_enumerated = partial.enumerated;
+        slot.stats.queries_evaluated = partial.evaluated;
+        ++slot.stats.partials;
+        ++state.partials_received;
+        CheckEarlyStops(state);
+        break;
+      }
+      case net::FrameType::kShardDone: {
+        net::NetShardDone done;
+        st = net::DecodeShardDone(payload, &done);
+        if (!st.ok()) {
+          unpublish();
+          return st;
+        }
+        unpublish();
+        std::lock_guard<std::mutex> lock(state.mu);
+        slot.topk = std::move(done.response.topk);
+        slot.remaining_ub = done.remaining_upper_bound;
+        slot.reported = true;
+        slot.stats.queries_enumerated = done.response.queries_enumerated;
+        slot.stats.queries_evaluated = done.response.queries_evaluated;
+        // This shard's final answer may unlock stops for the others.
+        CheckEarlyStops(state);
+        return Status::OK();
+      }
+      case net::FrameType::kError: {
+        net::NetError err;
+        st = net::DecodeError(payload, &err);
+        unpublish();
+        if (!st.ok()) return st;
+        const Status app = err.ToStatus();
+        {
+          std::lock_guard<std::mutex> lock(state.mu);
+          if (slot.stop_sent &&
+              (app.code() == StatusCode::kCancelled ||
+               app.code() == StatusCode::kDeadlineExceeded)) {
+            // The normal end of an early-stopped exchange: the shard
+            // honoured kShardStop (or its deadline fired after ours
+            // made it irrelevant). Its last snapshot is final — nothing
+            // it had left could beat the merged kth.
+            return Status::OK();
+          }
+        }
+        return app;
+      }
+      default:
+        unpublish();
+        return Status::Internal(
+            StrFormat("unexpected frame type %u in shard %d exchange",
+                      static_cast<unsigned>(h.type), index));
+    }
+  }
+}
+
+void S4Coordinator::ExchangeShard(MergeState& state, int32_t index,
+                                  const net::NetSearchRequest& request,
+                                  obs::Trace* trace) {
+  obs::SpanTimer span(trace, "dist", "shard_exchange");
+  if (span.enabled()) span.AddArg("shard", StrFormat("%d", index));
+  auto& registry = obs::MetricsRegistry::Global();
+  MergeState::Slot& slot = *state.slots[index];
+  const auto t0 = std::chrono::steady_clock::now();
+  Status status = Status::OK();
+  for (int32_t attempt = 0;; ++attempt) {
+    registry.GetCounter("s4_dist_shard_requests").Increment();
+    status = RunExchangeOnce(state, index, request);
+    if (status.ok()) break;
+    // Only admission backpressure is retryable: the request never ran,
+    // so a clean resend is safe. Timeouts and transport failures are
+    // not — retrying them would blow the coordinator's budget.
+    if (status.code() == StatusCode::kResourceExhausted &&
+        attempt < options_.max_retries &&
+        (state.budget <= 0.0 || Elapsed(state.start) < state.budget)) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      ++slot.stats.retries;
+      registry.GetCounter("s4_dist_retries").Increment();
+      continue;
+    }
+    break;
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  slot.stats.wall_seconds = Elapsed(t0);
+  if (status.ok()) {
+    slot.done = true;
+    slot.stats.reached = true;
+  } else {
+    // Drop everything this shard reported: a lost shard's slice is
+    // excluded wholesale so the degraded result stays the exact top-k
+    // of the union of reached slices (a partial snapshot would be a
+    // third, weaker kind of answer).
+    slot.lost = true;
+    slot.topk.clear();
+    slot.failure = status;
+    slot.stats.error = std::string(status.message());
+    registry.GetCounter("s4_dist_shard_failures").Increment();
+  }
+}
+
+StatusOr<DistSearchResult> S4Coordinator::Search(
+    const net::NetSearchRequest& request) {
+  const size_t n = options_.shards.size();
+  if (n == 0) {
+    return Status::InvalidArgument("coordinator has no shards configured");
+  }
+  if (n > static_cast<size_t>(net::kMaxWireShards)) {
+    return Status::InvalidArgument(
+        StrFormat("coordinator has %zu shards; the wire caps at %d", n,
+                  net::kMaxWireShards));
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("s4_dist_searches").Increment();
+
+  std::shared_ptr<obs::Trace> trace;
+  if (options_.enable_tracing) {
+    trace = std::make_shared<obs::Trace>("dist_search");
+  }
+
+  MergeState state(n, request.k);
+  state.start = std::chrono::steady_clock::now();
+  state.budget = request.deadline_seconds > 0.0
+                     ? request.deadline_seconds
+                     : options_.request_timeout_seconds;
+
+  {
+    obs::SpanTimer scatter(trace.get(), "dist", "scatter");
+    if (scatter.enabled()) scatter.AddArg("shards", StrFormat("%zu", n));
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, &state, &request, trace, i] {
+        ExchangeShard(state, static_cast<int32_t>(i), request, trace.get());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  DistSearchResult result;
+  {
+    obs::SpanTimer merge(trace.get(), "dist", "merge");
+    std::lock_guard<std::mutex> lock(state.mu);
+    std::vector<net::NetTopkEntry> merged;
+    for (auto& sp : state.slots) {
+      MergeState::Slot& slot = *sp;
+      if (slot.lost) {
+        result.complete = false;
+        result.unreached_shards.push_back(slot.stats.shard_index);
+      } else {
+        merged.insert(merged.end(),
+                      std::make_move_iterator(slot.topk.begin()),
+                      std::make_move_iterator(slot.topk.end()));
+        result.queries_enumerated += slot.stats.queries_enumerated;
+        result.queries_evaluated += slot.stats.queries_evaluated;
+      }
+      result.shards.push_back(slot.stats);
+    }
+    std::sort(merged.begin(), merged.end(), MergeBefore);
+    if (request.k >= 0 &&
+        merged.size() > static_cast<size_t>(request.k)) {
+      merged.resize(static_cast<size_t>(request.k));
+    }
+    result.topk = std::move(merged);
+    result.partials_received = state.partials_received;
+    result.early_stops_sent = state.early_stops_sent;
+  }
+  result.wall_seconds = Elapsed(state.start);
+
+  registry.GetHistogram("s4_dist_search_seconds")
+      .Observe(result.wall_seconds);
+  registry.GetCounter("s4_dist_partials_received")
+      .Add(result.partials_received);
+  if (!result.complete) {
+    registry.GetCounter("s4_dist_degraded_results").Increment();
+  }
+  if (trace) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    last_trace_ = trace;
+  }
+
+  // A search that reached no shard at all has no answer to degrade:
+  // surface the first shard's typed failure as the overall status (with
+  // one shard that is simply its error; with many it is the
+  // request-level error every shard rejected the request with).
+  if (result.unreached_shards.size() == n) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const auto& sp : state.slots) {
+      if (!sp->failure.ok()) return sp->failure;
+    }
+    return Status::Internal(StrFormat("all %zu shards unreached", n));
+  }
+  return result;
+}
+
+}  // namespace s4::dist

@@ -1,0 +1,127 @@
+#ifndef S4_DIST_COORDINATOR_H_
+#define S4_DIST_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+
+namespace s4::dist {
+
+// One shard endpoint of a scatter-gather deployment. Every shard serves
+// the same schema graph and indexes; the candidate space is partitioned
+// by ShardOfSignature (strategy.h), so slice `i` of `N` answers exactly
+// the PJ-queries whose fingerprint hashes to `i`.
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct CoordinatorOptions {
+  std::vector<ShardAddress> shards;
+  double connect_timeout_seconds = 2.0;
+  // Overall search budget when the request does not carry its own
+  // deadline. The coordinator always returns within the budget — a
+  // shard that cannot answer in time degrades the result instead of
+  // extending it.
+  double request_timeout_seconds = 30.0;
+  // Fraction of the remaining coordinator budget granted to each shard
+  // exchange as its server-side deadline, reserving headroom for the
+  // final merge and the network.
+  double shard_deadline_fraction = 0.9;
+  // Bounded retries per shard, applied only to retryable failures
+  // (ResourceExhausted — admission backpressure), never to timeouts.
+  int32_t max_retries = 1;
+  // Partial-streaming cadence forwarded to the shards: a kShardPartial
+  // every this many strategy progress snapshots (0 = finals only, which
+  // also disables cross-shard early stopping).
+  uint32_t partial_every = 1;
+  // When true, every Search records a coordinator trace (dist/scatter,
+  // dist/shard_exchange, dist/merge spans) retrievable via last_trace().
+  bool enable_tracing = false;
+};
+
+// Per-shard outcome of one distributed search (diagnostics).
+struct DistShardStats {
+  int32_t shard_index = 0;
+  bool reached = false;         // contributed data to the merge
+  bool early_stopped = false;   // coordinator sent kShardStop
+  int32_t retries = 0;
+  int64_t partials = 0;         // kShardPartial frames received
+  int64_t queries_enumerated = 0;  // slice size (any partial/done frame)
+  int64_t queries_evaluated = 0;
+  double wall_seconds = 0.0;
+  std::string error;  // last failure message when not reached
+};
+
+// Result of a scatter-gather search. When `complete` is false one or
+// more shards were unreached (timeout / disconnect / non-retryable
+// error); `topk` is then the exact top-k of the union of the reached
+// slices — a consistent answer over a subset of the candidate space,
+// never a corrupted one.
+struct DistSearchResult {
+  std::vector<net::NetTopkEntry> topk;
+  bool complete = true;
+  std::vector<int32_t> unreached_shards;
+
+  int64_t queries_enumerated = 0;  // summed over reached shards
+  int64_t queries_evaluated = 0;
+  int64_t partials_received = 0;
+  int64_t early_stops_sent = 0;
+  std::vector<DistShardStats> shards;
+  double wall_seconds = 0.0;
+};
+
+// Scatter-gather coordinator over N S4Server shards (DESIGN.md
+// "Distributed serving"). Fans a search out as kShardSearchRequest
+// exchanges, one blocking connection per shard, merges the streamed
+// kShardPartial snapshots under the global top-k, and sends kShardStop
+// to any shard whose remaining upper bound can no longer beat the
+// merged kth score — the FASTTOPK termination condition (7) lifted to
+// cluster scope. Thread-safe: concurrent Search calls share nothing but
+// the process-wide metrics registry.
+class S4Coordinator {
+ public:
+  explicit S4Coordinator(CoordinatorOptions options);
+
+  // Fans `request` out over every configured shard and merges. Returns
+  // a Status error only for coordinator-level failures (no shards
+  // configured, invalid request rejected by every shard); partial
+  // failures degrade the DistSearchResult instead.
+  StatusOr<DistSearchResult> Search(const net::NetSearchRequest& request);
+
+  // Trace of the most recent Search (nullptr unless enable_tracing).
+  std::shared_ptr<obs::Trace> last_trace() const;
+
+  size_t num_shards() const { return options_.shards.size(); }
+
+ private:
+  struct MergeState;
+
+  // Runs the full exchange against shard `index`, including bounded
+  // retries. Marks the slot done/lost under the merge lock.
+  void ExchangeShard(MergeState& state, int32_t index,
+                     const net::NetSearchRequest& request, obs::Trace* trace);
+  // One connect/send/stream attempt. OK = the slot holds merged data.
+  Status RunExchangeOnce(MergeState& state, int32_t index,
+                         const net::NetSearchRequest& request);
+  // Under state.mu: recomputes the merged kth score and sends
+  // kShardStop to every live shard that can no longer contribute.
+  void CheckEarlyStops(MergeState& state);
+
+  CoordinatorOptions options_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  mutable std::mutex trace_mu_;
+  std::shared_ptr<obs::Trace> last_trace_;
+};
+
+}  // namespace s4::dist
+
+#endif  // S4_DIST_COORDINATOR_H_

@@ -64,6 +64,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
                         std::shared_ptr<StopToken> stop);
   size_t inflight() const { return inflight_.size(); }
 
+  // Cancels the in-flight request's stop token without retiring the
+  // entry (the dispatcher still completes it, typically with a partial
+  // kShardDone). Unknown ids are ignored: an early-stop racing the
+  // completion is normal, not a protocol violation. Returns whether a
+  // token was found.
+  bool CancelRequest(uint64_t request_id);
+
  private:
   // Parses complete frames out of inbuf_; returns false when the
   // connection must close (framing violation or peer gone).

@@ -34,6 +34,10 @@ struct NetServerCounters {
   std::atomic<int64_t> bytes_sent{0};
   std::atomic<int64_t> stats_requests{0};
   std::atomic<int64_t> trace_requests{0};
+  // Scatter-gather shard exchanges (coordinator-facing side of a shard).
+  std::atomic<int64_t> shard_requests{0};
+  std::atomic<int64_t> shard_partials_sent{0};
+  std::atomic<int64_t> shard_stops{0};
 };
 
 // Frame limits + timeouts a connection enforces (one copy per server,
@@ -55,6 +59,14 @@ class SearchDispatcher {
   virtual ~SearchDispatcher() = default;
   virtual void DispatchSearch(const std::shared_ptr<Connection>& conn,
                               uint64_t request_id, NetSearchRequest req) = 0;
+
+  // Scatter-gather shard exchange: like DispatchSearch, but the
+  // implementation streams kShardPartial frames at strategy batch
+  // boundaries before the final kShardDone. The default rejects the
+  // frame so plain dispatchers stay one-method.
+  virtual void DispatchShardSearch(const std::shared_ptr<Connection>& conn,
+                                   uint64_t request_id,
+                                   NetShardSearchRequest req);
 
   // Observability surface, answered synchronously on the loop thread
   // (both are snapshot reads, not searches). Defaults keep test

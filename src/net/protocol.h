@@ -45,12 +45,27 @@ enum class FrameType : uint8_t {
   kStatsResponse = 7,   // server -> client (Prometheus text dump)
   kTraceRequest = 8,    // client -> server (u64 target request_id)
   kTraceResponse = 9,   // server -> client (Chrome-trace JSON)
+  // Scatter-gather shard exchange (DESIGN.md "Distributed serving"): a
+  // coordinator sends one kShardSearchRequest, the shard streams zero or
+  // more kShardPartial frames (current top-k + remaining upper bound)
+  // and finishes with exactly one kShardDone (or kError). kShardStop
+  // flows coordinator -> shard mid-exchange once the merged k-th score
+  // proves the shard can no longer contribute.
+  kShardSearchRequest = 10,  // coordinator -> shard
+  kShardPartial = 11,        // shard -> coordinator (streamed)
+  kShardDone = 12,           // shard -> coordinator (final)
+  kShardStop = 13,           // coordinator -> shard (u64 target request_id)
 };
 
 inline bool IsValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kTraceResponse);
+         t <= static_cast<uint8_t>(FrameType::kShardStop);
 }
+
+// Decode-side cap on NetShardSearchRequest::shard_count: far above any
+// deployment this code targets, small enough that a hostile frame cannot
+// claim an absurd topology.
+inline constexpr int32_t kMaxWireShards = 1024;
 
 // S4System::Strategy on the wire (decoupled from the enum's in-memory
 // numbering so either side can re-order its enum without a wire break).

@@ -3,9 +3,11 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "common/string_util.h"
@@ -254,6 +256,133 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
   conn->RegisterInflight(request_id, *stop);
 }
 
+void S4Server::DispatchShardSearch(const std::shared_ptr<Connection>& conn,
+                                   uint64_t request_id,
+                                   NetShardSearchRequest req) {
+  const auto start = std::chrono::steady_clock::now();
+  ServiceRequest sreq;
+  sreq.options = req.base.ToSearchOptions();
+  sreq.options.shard_count = req.shard_count;
+  sreq.options.shard_index = req.shard_index;
+  sreq.strategy = req.base.ToStrategy();
+  sreq.priority = req.base.priority;
+  sreq.deadline_seconds = req.base.deadline_seconds;
+  sreq.cells = std::move(req.base.cells);
+  if (options_.enable_tracing) {
+    sreq.trace = std::make_shared<obs::Trace>("shard_search");
+    sreq.trace->set_request_id(request_id);
+    sreq.trace->AddSpan(
+        "net", "frame_decode",
+        start - std::chrono::duration_cast<obs::Trace::Clock::duration>(
+                    std::chrono::duration<double>(req.base.decode_seconds)),
+        start);
+  }
+  std::shared_ptr<obs::Trace> trace = sreq.trace;
+
+  std::weak_ptr<Connection> wconn = conn;
+  EventLoop* loop = conn->loop();
+
+  // Last remaining-upper-bound snapshot the strategy reported, shared
+  // between the progress sink (service worker thread) and the done
+  // callback. Starts at +inf: "nothing proven yet" is the only safe
+  // claim before the first snapshot.
+  struct ShardProgressState {
+    std::atomic<uint64_t> snapshots{0};
+    std::atomic<uint64_t> remaining_ub_bits{
+        std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity())};
+  };
+  auto state = std::make_shared<ShardProgressState>();
+  if (req.partial_every > 0) {
+    const uint32_t every = req.partial_every;
+    sreq.options.progress = [this, wconn, loop, request_id, every,
+                             state](const SearchProgress& p) {
+      state->remaining_ub_bits.store(
+          std::bit_cast<uint64_t>(p.remaining_upper_bound),
+          std::memory_order_relaxed);
+      const uint64_t n =
+          state->snapshots.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n % every != 0) return;
+      NetShardPartial partial;
+      partial.remaining_upper_bound = p.remaining_upper_bound;
+      partial.enumerated = p.enumerated;
+      partial.evaluated = p.evaluated;
+      partial.batches = p.batches;
+      partial.topk.reserve(p.topk.size());
+      for (const ScoredQuery& sq : p.topk) {
+        NetTopkEntry e;
+        e.signature = sq.query.signature();
+        // No SQL in partials: the merge needs identity + scores only;
+        // the rendered SELECT rides the final kShardDone.
+        e.score = sq.score;
+        e.upper_bound = sq.upper_bound;
+        e.row_score = sq.row_score;
+        e.column_score = sq.column_score;
+        partial.topk.push_back(std::move(e));
+      }
+      counters_.shard_partials_sent.fetch_add(1, std::memory_order_relaxed);
+      std::string frame = EncodeShardPartialFrame(partial, request_id);
+      // Streamed from the search thread; FIFO posting to the owning loop
+      // keeps partials ordered before the final done frame.
+      loop->Post([wconn, frame = std::move(frame)]() mutable {
+        if (auto c = wconn.lock(); c && !c->closed()) {
+          c->SendFrame(std::move(frame));
+        }
+      });
+    };
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_dispatches_;
+  }
+  auto done = [this, wconn, loop, request_id, start, state,
+               trace](StatusOr<SearchResult> result) {
+    const double server_seconds = SecondsSince(start);
+    std::string frame;
+    bool is_error = false;
+    {
+      obs::SpanTimer encode_span(trace.get(), "net", "frame_encode");
+      if (result.ok()) {
+        NetShardDone done_msg;
+        done_msg.response =
+            BuildResponse(*result, server_seconds, service_->system().db());
+        done_msg.remaining_upper_bound = std::bit_cast<double>(
+            state->remaining_ub_bits.load(std::memory_order_relaxed));
+        frame = EncodeShardDoneFrame(done_msg, request_id);
+      } else {
+        frame = EncodeErrorFrame(result.status(), request_id);
+        is_error = true;
+      }
+    }
+    if (trace) StoreTrace(request_id, trace);
+    loop->Post([wconn, request_id, frame = std::move(frame), is_error,
+                server_seconds]() mutable {
+      if (auto c = wconn.lock(); c && !c->closed()) {
+        c->CompleteRequest(request_id, std::move(frame), is_error,
+                           server_seconds);
+      }
+    });
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_dispatches_;
+      inflight_cv_.notify_all();
+    }
+  };
+  auto stop = service_->SubmitAsync(std::move(sreq), std::move(done));
+  if (!stop.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_dispatches_;
+      inflight_cv_.notify_all();
+    }
+    conn->CompleteRequest(request_id,
+                          EncodeErrorFrame(stop.status(), request_id),
+                          /*is_error=*/true, SecondsSince(start));
+    return;
+  }
+  conn->RegisterInflight(request_id, *stop);
+}
+
 void S4Server::StoreTrace(uint64_t request_id,
                           std::shared_ptr<obs::Trace> trace) {
   std::lock_guard<std::mutex> lock(traces_mu_);
@@ -303,6 +432,12 @@ std::string S4Server::CollectStatsText() {
       .Set(c.stats_requests.load(std::memory_order_relaxed));
   reg.GetGauge("s4_net_trace_requests")
       .Set(c.trace_requests.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_shard_requests")
+      .Set(c.shard_requests.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_shard_partials_sent")
+      .Set(c.shard_partials_sent.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_shard_stops")
+      .Set(c.shard_stops.load(std::memory_order_relaxed));
   for (size_t i = 0; i < loops_.size(); ++i) {
     reg.GetGauge(StrFormat("s4_net_loop%zu_connections", i))
         .Set(static_cast<int64_t>(loops_[i]->num_connections()));

@@ -76,6 +76,13 @@ class S4Server : public SearchDispatcher {
   // SearchDispatcher (called on a loop thread).
   void DispatchSearch(const std::shared_ptr<Connection>& conn,
                       uint64_t request_id, NetSearchRequest req) override;
+  // Scatter-gather shard exchange: dispatches like DispatchSearch but
+  // installs a strategy progress sink that streams kShardPartial frames
+  // (throttled to the request's cadence) back through the owning loop,
+  // and answers with kShardDone instead of kSearchResponse.
+  void DispatchShardSearch(const std::shared_ptr<Connection>& conn,
+                           uint64_t request_id,
+                           NetShardSearchRequest req) override;
   // Refreshes the net/service gauges and returns a Prometheus text dump
   // of the global registry. Also the renderer behind a --stats-port
   // scrape endpoint.

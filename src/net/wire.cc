@@ -232,37 +232,38 @@ S4System::Strategy NetSearchRequest::ToStrategy() const {
   }
 }
 
-std::string EncodeSearchRequestFrame(const NetSearchRequest& req,
-                                     uint64_t request_id) {
-  WireWriter w;
-  w.PutU32(static_cast<uint32_t>(req.cells.size()));
+namespace {
+
+// The search-request payload layout, shared verbatim by kSearchRequest
+// and the trailing section of kShardSearchRequest so the two cannot
+// drift apart.
+void AppendSearchRequestPayload(const NetSearchRequest& req, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(req.cells.size()));
   const uint32_t cols =
       req.cells.empty() ? 0 : static_cast<uint32_t>(req.cells[0].size());
-  w.PutU32(cols);
+  w->PutU32(cols);
   for (const auto& row : req.cells) {
     for (uint32_t c = 0; c < cols; ++c) {
-      w.PutString(c < row.size() ? std::string_view(row[c])
-                                 : std::string_view());
+      w->PutString(c < row.size() ? std::string_view(row[c])
+                                  : std::string_view());
     }
   }
-  w.PutU8(req.strategy);
-  w.PutI32(req.priority);
-  w.PutDouble(req.deadline_seconds);
-  w.PutI32(req.k);
-  w.PutDouble(req.alpha);
-  w.PutDouble(req.epsilon);
-  w.PutU8(req.use_idf ? 1 : 0);
-  w.PutDouble(req.exact_match_bonus);
-  w.PutI32(req.spelling_edits);
-  w.PutU8(req.drop_zero_rows ? 1 : 0);
-  w.PutI32(req.num_threads);
-  w.PutI32(req.max_tree_size);
-  w.PutU64(req.cache_budget_bytes);
-  return FinishFrame(FrameType::kSearchRequest, request_id, w.Take());
+  w->PutU8(req.strategy);
+  w->PutI32(req.priority);
+  w->PutDouble(req.deadline_seconds);
+  w->PutI32(req.k);
+  w->PutDouble(req.alpha);
+  w->PutDouble(req.epsilon);
+  w->PutU8(req.use_idf ? 1 : 0);
+  w->PutDouble(req.exact_match_bonus);
+  w->PutI32(req.spelling_edits);
+  w->PutU8(req.drop_zero_rows ? 1 : 0);
+  w->PutI32(req.num_threads);
+  w->PutI32(req.max_tree_size);
+  w->PutU64(req.cache_budget_bytes);
 }
 
-Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req) {
-  WireReader r(payload);
+Status ReadSearchRequestPayload(WireReader& r, NetSearchRequest* req) {
   uint32_t rows, cols;
   if (!r.ReadU32(&rows) || !r.ReadU32(&cols)) return Truncated("request");
   if (rows > kMaxRows || cols > kMaxCols ||
@@ -293,6 +294,21 @@ Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req) {
     return Status::InvalidArgument(
         StrFormat("unknown strategy %u", req->strategy));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSearchRequestFrame(const NetSearchRequest& req,
+                                     uint64_t request_id) {
+  WireWriter w;
+  AppendSearchRequestPayload(req, &w);
+  return FinishFrame(FrameType::kSearchRequest, request_id, w.Take());
+}
+
+Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req) {
+  WireReader r(payload);
+  S4_RETURN_IF_ERROR(ReadSearchRequestPayload(r, req));
   if (!r.Exhausted()) {
     return Status::InvalidArgument("trailing bytes after request payload");
   }
@@ -301,56 +317,67 @@ Status DecodeSearchRequest(std::string_view payload, NetSearchRequest* req) {
 
 // --- NetSearchResponse --------------------------------------------------
 
-std::string EncodeSearchResponseFrame(const NetSearchResponse& resp,
-                                      uint64_t request_id) {
-  WireWriter w;
-  w.PutU8(resp.interrupted ? 1 : 0);
-  w.PutU32(static_cast<uint32_t>(resp.topk.size()));
-  for (const NetTopkEntry& e : resp.topk) {
-    w.PutString(e.signature);
-    w.PutString(e.sql);
-    w.PutDouble(e.score);
-    w.PutDouble(e.upper_bound);
-    w.PutDouble(e.row_score);
-    w.PutDouble(e.column_score);
+namespace {
+
+void AppendTopkEntries(const std::vector<NetTopkEntry>& topk, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(topk.size()));
+  for (const NetTopkEntry& e : topk) {
+    w->PutString(e.signature);
+    w->PutString(e.sql);
+    w->PutDouble(e.score);
+    w->PutDouble(e.upper_bound);
+    w->PutDouble(e.row_score);
+    w->PutDouble(e.column_score);
   }
-  w.PutI64(resp.queries_enumerated);
-  w.PutI64(resp.queries_evaluated);
-  w.PutI64(resp.query_row_evals);
-  w.PutI64(resp.skipped_by_condition);
-  w.PutI64(resp.model_cost);
-  w.PutDouble(resp.enum_seconds);
-  w.PutDouble(resp.eval_seconds);
-  w.PutI64(resp.cache_hits);
-  w.PutI64(resp.cache_misses);
-  w.PutI64(resp.cache_evictions);
-  w.PutU64(resp.cache_peak_bytes);
-  w.PutDouble(resp.server_seconds);
-  return FinishFrame(FrameType::kSearchResponse, request_id, w.Take());
 }
 
-Status DecodeSearchResponse(std::string_view payload,
-                            NetSearchResponse* resp) {
-  WireReader r(payload);
-  uint8_t interrupted;
+Status ReadTopkEntries(WireReader& r, std::vector<NetTopkEntry>* topk,
+                       const char* what) {
   uint32_t n;
-  if (!r.ReadU8(&interrupted) || !r.ReadU32(&n)) return Truncated("response");
+  if (!r.ReadU32(&n)) return Truncated(what);
   if (n > kMaxTopk) {
     return Status::InvalidArgument(
         StrFormat("top-k count %u exceeds wire limits", n));
   }
-  resp->interrupted = interrupted != 0;
-  resp->topk.clear();
-  resp->topk.reserve(std::min<uint32_t>(n, 1024));
+  topk->clear();
+  topk->reserve(std::min<uint32_t>(n, 1024));
   for (uint32_t i = 0; i < n; ++i) {
     NetTopkEntry e;
     if (!r.ReadString(&e.signature) || !r.ReadString(&e.sql) ||
         !r.ReadDouble(&e.score) || !r.ReadDouble(&e.upper_bound) ||
         !r.ReadDouble(&e.row_score) || !r.ReadDouble(&e.column_score)) {
-      return Truncated("response entry");
+      return Truncated(what);
     }
-    resp->topk.push_back(std::move(e));
+    topk->push_back(std::move(e));
   }
+  return Status::OK();
+}
+
+// The search-response payload layout, shared by kSearchResponse and the
+// leading section of kShardDone.
+void AppendSearchResponsePayload(const NetSearchResponse& resp,
+                                 WireWriter* w) {
+  w->PutU8(resp.interrupted ? 1 : 0);
+  AppendTopkEntries(resp.topk, w);
+  w->PutI64(resp.queries_enumerated);
+  w->PutI64(resp.queries_evaluated);
+  w->PutI64(resp.query_row_evals);
+  w->PutI64(resp.skipped_by_condition);
+  w->PutI64(resp.model_cost);
+  w->PutDouble(resp.enum_seconds);
+  w->PutDouble(resp.eval_seconds);
+  w->PutI64(resp.cache_hits);
+  w->PutI64(resp.cache_misses);
+  w->PutI64(resp.cache_evictions);
+  w->PutU64(resp.cache_peak_bytes);
+  w->PutDouble(resp.server_seconds);
+}
+
+Status ReadSearchResponsePayload(WireReader& r, NetSearchResponse* resp) {
+  uint8_t interrupted;
+  if (!r.ReadU8(&interrupted)) return Truncated("response");
+  resp->interrupted = interrupted != 0;
+  S4_RETURN_IF_ERROR(ReadTopkEntries(r, &resp->topk, "response entry"));
   if (!r.ReadI64(&resp->queries_enumerated) ||
       !r.ReadI64(&resp->queries_evaluated) ||
       !r.ReadI64(&resp->query_row_evals) ||
@@ -363,8 +390,127 @@ Status DecodeSearchResponse(std::string_view payload,
       !r.ReadDouble(&resp->server_seconds)) {
     return Truncated("response stats");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSearchResponseFrame(const NetSearchResponse& resp,
+                                      uint64_t request_id) {
+  WireWriter w;
+  AppendSearchResponsePayload(resp, &w);
+  return FinishFrame(FrameType::kSearchResponse, request_id, w.Take());
+}
+
+Status DecodeSearchResponse(std::string_view payload,
+                            NetSearchResponse* resp) {
+  WireReader r(payload);
+  S4_RETURN_IF_ERROR(ReadSearchResponsePayload(r, resp));
   if (!r.Exhausted()) {
     return Status::InvalidArgument("trailing bytes after response payload");
+  }
+  return Status::OK();
+}
+
+// --- shard exchange -----------------------------------------------------
+
+std::string EncodeShardSearchRequestFrame(const NetShardSearchRequest& req,
+                                          uint64_t request_id) {
+  WireWriter w;
+  w.PutI32(req.shard_count);
+  w.PutI32(req.shard_index);
+  w.PutU32(req.partial_every);
+  AppendSearchRequestPayload(req.base, &w);
+  return FinishFrame(FrameType::kShardSearchRequest, request_id, w.Take());
+}
+
+Status DecodeShardSearchRequest(std::string_view payload,
+                                NetShardSearchRequest* req) {
+  WireReader r(payload);
+  if (!r.ReadI32(&req->shard_count) || !r.ReadI32(&req->shard_index) ||
+      !r.ReadU32(&req->partial_every)) {
+    return Truncated("shard request");
+  }
+  if (req->shard_count < 1 || req->shard_count > kMaxWireShards) {
+    return Status::InvalidArgument(
+        StrFormat("shard_count %d outside [1, %d]", req->shard_count,
+                  kMaxWireShards));
+  }
+  if (req->shard_index < 0 || req->shard_index >= req->shard_count) {
+    return Status::InvalidArgument(
+        StrFormat("shard_index %d outside [0, %d)", req->shard_index,
+                  req->shard_count));
+  }
+  S4_RETURN_IF_ERROR(ReadSearchRequestPayload(r, &req->base));
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument(
+        "trailing bytes after shard request payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeShardPartialFrame(const NetShardPartial& partial,
+                                    uint64_t request_id) {
+  WireWriter w;
+  AppendTopkEntries(partial.topk, &w);
+  w.PutDouble(partial.remaining_upper_bound);
+  w.PutI64(partial.enumerated);
+  w.PutI64(partial.evaluated);
+  w.PutI64(partial.batches);
+  return FinishFrame(FrameType::kShardPartial, request_id, w.Take());
+}
+
+Status DecodeShardPartial(std::string_view payload,
+                          NetShardPartial* partial) {
+  WireReader r(payload);
+  S4_RETURN_IF_ERROR(ReadTopkEntries(r, &partial->topk, "shard partial"));
+  if (!r.ReadDouble(&partial->remaining_upper_bound) ||
+      !r.ReadI64(&partial->enumerated) || !r.ReadI64(&partial->evaluated) ||
+      !r.ReadI64(&partial->batches)) {
+    return Truncated("shard partial");
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument(
+        "trailing bytes after shard partial payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeShardDoneFrame(const NetShardDone& done,
+                                 uint64_t request_id) {
+  WireWriter w;
+  AppendSearchResponsePayload(done.response, &w);
+  w.PutDouble(done.remaining_upper_bound);
+  return FinishFrame(FrameType::kShardDone, request_id, w.Take());
+}
+
+Status DecodeShardDone(std::string_view payload, NetShardDone* done) {
+  WireReader r(payload);
+  S4_RETURN_IF_ERROR(ReadSearchResponsePayload(r, &done->response));
+  if (!r.ReadDouble(&done->remaining_upper_bound)) {
+    return Truncated("shard done");
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes after shard done payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeShardStopFrame(uint64_t target_request_id,
+                                 uint64_t request_id) {
+  WireWriter w;
+  w.PutU64(target_request_id);
+  return FinishFrame(FrameType::kShardStop, request_id, w.Take());
+}
+
+Status DecodeShardStop(std::string_view payload,
+                       uint64_t* target_request_id) {
+  WireReader r(payload);
+  if (!r.ReadU64(target_request_id)) {
+    return Truncated("shard stop");
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes after shard stop payload");
   }
   return Status::OK();
 }

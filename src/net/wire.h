@@ -116,6 +116,43 @@ struct NetError {
   Status ToStatus() const { return StatusFromWire(code, message); }
 };
 
+// --- scatter-gather shard exchange -------------------------------------
+
+// A coordinator-to-shard search: the plain search request plus the
+// candidate-space slice this shard must own for the exchange and the
+// partial-streaming cadence.
+struct NetShardSearchRequest {
+  NetSearchRequest base;
+  int32_t shard_count = 1;
+  int32_t shard_index = 0;
+  // Stream a kShardPartial every this many strategy progress snapshots;
+  // 0 = no partials, just the final kShardDone.
+  uint32_t partial_every = 1;
+};
+
+// One streamed snapshot of a shard's in-flight search: its current
+// top-k plus the upper bound of everything it has not yet evaluated
+// (non-increasing over the exchange, so a stale value is always a safe
+// overestimate for the coordinator's termination check).
+struct NetShardPartial {
+  std::vector<NetTopkEntry> topk;
+  double remaining_upper_bound = 0.0;
+  // Slice size, known from the first snapshot on; lets the coordinator
+  // report exact coverage even for shards it early-stops (whose final
+  // kShardDone never arrives).
+  int64_t enumerated = 0;
+  int64_t evaluated = 0;
+  int64_t batches = 0;
+};
+
+// The final frame of a shard exchange: the full response plus the
+// last-known remaining upper bound (meaningful when the shard was
+// early-stopped; -inf once the slice was exhausted).
+struct NetShardDone {
+  NetSearchResponse response;
+  double remaining_upper_bound = 0.0;
+};
+
 // --- frame encode (header + payload in one buffer) ---------------------
 
 std::string EncodeSearchRequestFrame(const NetSearchRequest& req,
@@ -136,6 +173,17 @@ std::string EncodeTraceRequestFrame(uint64_t target_request_id,
                                     uint64_t request_id);
 std::string EncodeTraceResponseFrame(std::string_view json,
                                      uint64_t request_id);
+// Shard exchange frames. The stop frame names the exchange to cancel in
+// its payload (like the trace target) so it can travel on the same
+// connection under its own header request_id.
+std::string EncodeShardSearchRequestFrame(const NetShardSearchRequest& req,
+                                          uint64_t request_id);
+std::string EncodeShardPartialFrame(const NetShardPartial& partial,
+                                    uint64_t request_id);
+std::string EncodeShardDoneFrame(const NetShardDone& done,
+                                 uint64_t request_id);
+std::string EncodeShardStopFrame(uint64_t target_request_id,
+                                 uint64_t request_id);
 
 // --- payload decode (bounds-checked; never reads past `payload`) -------
 
@@ -145,6 +193,12 @@ Status DecodeSearchResponse(std::string_view payload,
 Status DecodeError(std::string_view payload, NetError* err);
 Status DecodeTraceRequest(std::string_view payload,
                           uint64_t* target_request_id);
+Status DecodeShardSearchRequest(std::string_view payload,
+                                NetShardSearchRequest* req);
+Status DecodeShardPartial(std::string_view payload, NetShardPartial* partial);
+Status DecodeShardDone(std::string_view payload, NetShardDone* done);
+Status DecodeShardStop(std::string_view payload,
+                       uint64_t* target_request_id);
 
 // --- primitive reader (exposed for tests / fuzzing) ---------------------
 

@@ -107,6 +107,16 @@ Status S4Service::Admit(std::shared_ptr<Pending> pending) {
         StrFormat("deadline_seconds must be non-negative, got %f",
                   pending->request.deadline_seconds));
   }
+  if (options_.shard_count > 0 &&
+      (pending->request.options.shard_count != options_.shard_count ||
+       pending->request.options.shard_index != options_.shard_index)) {
+    return Status::FailedPrecondition(StrFormat(
+        "shard-aware admission: this service owns slice %d of %d, request "
+        "targets slice %d of %d",
+        options_.shard_index, options_.shard_count,
+        pending->request.options.shard_index,
+        pending->request.options.shard_count));
+  }
   pending->stop = std::make_shared<StopToken>();
   pending->admitted = std::chrono::steady_clock::now();
   // Deadline resolution: request > options > service default. Armed at
@@ -276,19 +286,25 @@ StatusOr<SearchResult> S4Service::SessionSearch(
   if (!sheet.ok()) return sheet.status();
   SearchOptions& so = entry->session.mutable_options();
   so.shared_cache_prefix = CachePrefix(cells, so);
+  // A stop token supplied at OpenSession is honoured across every search
+  // in the session (cooperative session-level cancellation, and a
+  // deterministic expiry hook for tests); otherwise a per-search token
+  // is armed from the session deadline.
+  const StopToken* caller_stop = so.stop;
   StopToken token;
-  if (so.deadline_seconds > 0.0) {
+  if (caller_stop == nullptr && so.deadline_seconds > 0.0) {
     token.SetDeadline(so.deadline_seconds);
     so.stop = &token;
-  } else {
-    so.stop = nullptr;
   }
   SearchResult result = entry->session.Search(*sheet, mode);
-  so.stop = nullptr;
-  const Status status =
-      result.interrupted
-          ? Status::DeadlineExceeded("session search exceeded its deadline")
-          : Status::OK();
+  so.stop = caller_stop;  // never leave the stack token dangling
+  Status status = Status::OK();
+  if (result.interrupted) {
+    status = caller_stop != nullptr && caller_stop->cancelled()
+                 ? Status::Cancelled("session search cancelled")
+                 : Status::DeadlineExceeded(
+                       "session search exceeded its deadline");
+  }
   CountOutcome(status);
   if (!status.ok()) return status;
   return result;

@@ -42,6 +42,15 @@ struct ServiceOptions {
   int32_t shared_cache_shards = 0;
   // Deadline applied to requests that do not carry their own (0 = none).
   double default_deadline_seconds = 0.0;
+  // Shard-aware admission (DESIGN.md "Distributed serving"): when
+  // shard_count > 0 this service owns exactly one candidate-space slice
+  // and rejects (FailedPrecondition) any request that does not
+  // explicitly target it, so a mis-routed request fails loudly instead
+  // of silently answering with a slice of the top-k. 0 (the default) =
+  // not shard-aware: requests may carry any slice through their own
+  // SearchOptions.
+  int32_t shard_count = 0;
+  int32_t shard_index = 0;
 };
 
 // One search request as admitted by the service.

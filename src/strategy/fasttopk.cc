@@ -100,8 +100,14 @@ class FastTopKRun {
       ++result_.stats.batches;
       next = end;
       ++batch_index;
-      // Termination condition (7) after each batch.
-      if (next < n && topk_.Full() && topk_.KthScore() >= rts_[next].ub) {
+      // Batch boundary: stream a progress snapshot (the distributed
+      // kShardPartial payload) before the termination check so a
+      // coordinator sees the tightest remaining upper bound we know.
+      EmitProgress(options_, topk_, rts_, next, result_.stats);
+      // Termination condition (7) after each batch. Strict: a remaining
+      // candidate with ub == kth can still displace the boundary entry
+      // under the canonical (score desc, signature asc) tie order.
+      if (next < n && topk_.Full() && topk_.KthScore() > rts_[next].ub) {
         if (options_.trace != nullptr) {
           options_.trace->AddInstant(
               "fasttopk", "early_termination",
@@ -125,9 +131,10 @@ class FastTopKRun {
 
  private:
   void EvaluateOne(size_t rt_index, bool offer_to_cache) {
-    // Skipping condition (heuristic 2, Sec 5.3.4): an upper bound not
-    // beating the current k-th score cannot enter the top-k.
-    if (topk_.Full() && rts_[rt_index].ub <= topk_.KthScore()) {
+    // Skipping condition (heuristic 2, Sec 5.3.4): an upper bound below
+    // the current k-th score cannot enter the top-k. Strict so an exact
+    // tie (ub == kth) is still evaluated and resolved canonically.
+    if (topk_.Full() && rts_[rt_index].ub < topk_.KthScore()) {
       ++result_.stats.skipped_by_condition;
       return;
     }
@@ -158,7 +165,7 @@ class FastTopKRun {
     std::vector<size_t> live;
     live.reserve(rt_indices.size());
     for (size_t rt : rt_indices) {
-      if (full && rts_[rt].ub <= kth) {
+      if (full && rts_[rt].ub < kth) {
         ++result_.stats.skipped_by_condition;
       } else {
         live.push_back(rt);
@@ -256,7 +263,7 @@ class FastTopKRun {
       bool group_live = false;
       for (size_t e : *best_group) {
         if (!topk_.Full() ||
-            rts_[entries[e].rt_index].ub > topk_.KthScore()) {
+            rts_[entries[e].rt_index].ub >= topk_.KthScore()) {
           group_live = true;
           break;
         }

@@ -40,7 +40,8 @@ SearchResult SearchOrSemantics(const IndexSet& index,
       auto it = seen.find(sq.query.signature());
       if (it != seen.end() && it->second >= sq.score) continue;
       seen[sq.query.signature()] = sq.score;
-      topk.Offer(sq.score, std::move(sq));
+      std::string key = sq.query.signature();
+      topk.Offer(sq.score, std::move(sq), std::move(key));
     }
     out.stats.Add(r.stats);
   }

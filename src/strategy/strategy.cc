@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash_util.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/topk_heap.h"
@@ -33,7 +34,23 @@ Status ValidateSearchOptions(const SearchOptions& options) {
     return Status::InvalidArgument(
         StrFormat("alpha must be in [0, 1], got %f", options.score.alpha));
   }
+  if (options.shard_count < 1) {
+    return Status::InvalidArgument(
+        StrFormat("shard_count must be >= 1, got %d", options.shard_count));
+  }
+  if (options.shard_index < 0 || options.shard_index >= options.shard_count) {
+    return Status::InvalidArgument(
+        StrFormat("shard_index must be in [0, %d), got %d",
+                  options.shard_count, options.shard_index));
+  }
   return Status::OK();
+}
+
+int32_t ShardOfSignature(std::string_view signature, int32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<int32_t>(
+      FingerprintString(signature) %
+      static_cast<uint64_t>(shard_count));
 }
 
 void RunStats::Add(const RunStats& o) {
@@ -67,6 +84,19 @@ PreparedSearch::PreparedSearch(const IndexSet& index,
       EnumerateCandidates(graph, ctx, options.enumeration);
   candidates = std::move(result.candidates);
   enum_stats = result.stats;
+  if (options.shard_count > 1) {
+    // Candidate-space sharding: keep only this shard's slice. Done
+    // before the sort so queries_enumerated reports the slice size and
+    // per-shard counts sum to the single-node total.
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&options](const CandidateQuery& c) {
+                         return ShardOfSignature(c.query.signature(),
+                                                 options.shard_count) !=
+                                options.shard_index;
+                       }),
+        candidates.end());
+  }
   std::sort(candidates.begin(), candidates.end(),
             [](const CandidateQuery& a, const CandidateQuery& b) {
               if (a.upper_bound != b.upper_bound) {
@@ -256,11 +286,13 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
   SearchResult result;
   WallTimer timer;
   TopKHeap<ScoredQuery> topk(static_cast<size_t>(options.k));
-  // Termination condition (7): the k-th best known score dominates the
-  // best possible score of everything not yet evaluated.
+  // Termination condition (7): the k-th best known score strictly
+  // dominates the best possible score of everything not yet evaluated
+  // (strict so an exact ub == kth tie is still evaluated and resolved
+  // under the canonical signature order).
   auto stop_after = [&](size_t rank) {
     return rank + 1 < rts.size() && topk.Full() &&
-           topk.KthScore() >= rts[rank + 1].ub;
+           topk.KthScore() > rts[rank + 1].ub;
   };
   PoolHandle pool(options, rts.size());
   if (pool.get() == nullptr) {
@@ -274,6 +306,7 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
                             /*offer_to_cache=*/false, options, &result.stats,
                             &result.evaluated);
       OfferCounted(&topk, std::move(sq), &result.stats);
+      EmitProgress(options, topk, rts, i + 1, result.stats);
       if (stop_after(i)) break;
     }
   } else {
@@ -300,6 +333,7 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
       });
       for (size_t j = 0; j < outcomes.size() && !stop; ++j) {
         MergeOutcome(std::move(outcomes[j]), &result, &topk);
+        EmitProgress(options, topk, rts, lo + j + 1, result.stats);
         stop = stop_after(lo + j);
       }
     }
@@ -323,16 +357,17 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
       internal::MakePlainRuntime(prep.candidates);
   internal::PoolHandle pool(options, rts.size());
   if (pool.get() == nullptr) {
-    for (const internal::RuntimeCandidate& rt : rts) {
+    for (size_t i = 0; i < rts.size(); ++i) {
       if (internal::StopRequested(options)) {
         result.interrupted = true;
         break;
       }
       ScoredQuery sq =
-          internal::EvaluateCandidate(prep, rt, /*cache=*/nullptr,
+          internal::EvaluateCandidate(prep, rts[i], /*cache=*/nullptr,
                                       /*offer_to_cache=*/false, options,
                                       &result.stats, &result.evaluated);
       internal::OfferCounted(&topk, std::move(sq), &result.stats);
+      internal::EmitProgress(options, topk, rts, i + 1, result.stats);
     }
   } else {
     // Cache-less evaluations are fully independent: fan blocks out to
@@ -356,6 +391,7 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
       for (internal::EvalOutcome& o : outcomes) {
         internal::MergeOutcome(std::move(o), &result, &topk);
       }
+      internal::EmitProgress(options, topk, rts, hi, result.stats);
     }
   }
   for (auto& [score, sq] : topk.TakeSortedDescending()) {

@@ -1,7 +1,10 @@
 #ifndef S4_STRATEGY_STRATEGY_H_
 #define S4_STRATEGY_STRATEGY_H_
 
+#include <functional>
+#include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/subquery_cache.h"
@@ -20,6 +23,7 @@ class Trace;
 }  // namespace obs
 
 class ThreadPool;
+struct SearchProgress;
 
 // End-to-end search configuration (defaults follow Table 2).
 struct SearchOptions {
@@ -64,7 +68,30 @@ struct SearchOptions {
   // default) keeps the hot path span-free — a single pointer test per
   // site. Not owned; must outlive the search.
   obs::Trace* trace = nullptr;
+
+  // --- distributed serving (DESIGN.md "Distributed serving") ----------
+  // Candidate-space sharding: the run keeps only the candidates whose
+  // signature fingerprint maps to `shard_index` of `shard_count`
+  // (ShardOfSignature), applied right after Stage-I enumeration. Every
+  // shard sees the full database and schema graph; the slices are
+  // disjoint and cover the candidate space, so per-shard top-k lists
+  // are exact over their slices and merge losslessly. shard_count = 1
+  // (the default) keeps everything.
+  int32_t shard_count = 1;
+  int32_t shard_index = 0;
+  // Incremental progress sink: when set, strategies call it at batch /
+  // block boundaries with the current top-k snapshot and the upper
+  // bound of everything not yet evaluated. Runs on the search thread
+  // between fan-outs; must not re-enter the search. A single pointer
+  // test per boundary when unset.
+  std::function<void(const SearchProgress&)> progress;
 };
+
+// Shard owning `signature` under candidate-space sharding: stable FNV-1a
+// fingerprint of the signature modulo shard_count, so the strategy-side
+// filter, the coordinator, and the tests agree on slice membership
+// across processes and platforms.
+int32_t ShardOfSignature(std::string_view signature, int32_t shard_count);
 
 // Rejects nonsensical configurations (non-positive k, zero byte budget,
 // non-positive epsilon, negative deadline, alpha outside [0, 1]) with
@@ -120,6 +147,23 @@ struct SearchResult {
   // True when the run observed SearchOptions::stop and wound down early:
   // `topk` holds the best-of-what-was-evaluated, not the proven top-k.
   bool interrupted = false;
+};
+
+// One snapshot streamed out of a running strategy at a batch / block
+// boundary (the scatter-gather partial-frame payload): the current
+// best-of-evaluated top-k plus the best possible score of everything
+// not yet evaluated. `remaining_upper_bound` is non-increasing across
+// snapshots of one run, so a stale value observed by a remote merger is
+// always a safe overestimate.
+struct SearchProgress {
+  std::vector<ScoredQuery> topk;  // descending score
+  double remaining_upper_bound = std::numeric_limits<double>::infinity();
+  // Candidates enumerated for this run (the slice size under sharding).
+  // Known from the first snapshot on — enumeration completes before any
+  // evaluation — so even an early-stopped shard reports its slice size.
+  int64_t enumerated = 0;
+  int64_t evaluated = 0;
+  int64_t batches = 0;
 };
 
 // Enumeration + upper-bound computation, shared by all strategies (the

@@ -1,6 +1,7 @@
 #ifndef S4_STRATEGY_STRATEGY_INTERNAL_H_
 #define S4_STRATEGY_STRATEGY_INTERNAL_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,7 +107,10 @@ inline void OfferCounted(TopKHeap<ScoredQuery>* topk, ScoredQuery sq,
   const bool was_full = topk->Full();
   const double before = topk->KthScore();
   const double score = sq.score;
-  topk->Offer(score, std::move(sq));
+  // The signature is the canonical tie-break key: boundary ties resolve
+  // the same way regardless of evaluation order or shard slicing.
+  std::string key = sq.query.signature();
+  topk->Offer(score, std::move(sq), std::move(key));
   if (topk->Full() && (!was_full || topk->KthScore() > before)) {
     ++stats->bound_updates;
   }
@@ -116,6 +120,30 @@ inline void OfferCounted(TopKHeap<ScoredQuery>* topk, ScoredQuery sq,
 // deterministic candidate order.
 void MergeOutcome(EvalOutcome&& outcome, SearchResult* result,
                   TopKHeap<ScoredQuery>* topk);
+
+// Streams one progress snapshot to SearchOptions::progress (when set):
+// the current top-k plus the upper bound of everything at or past
+// `next_rank` in the (ub desc)-sorted runtime list — -inf once the list
+// is exhausted. A single pointer test per boundary when no sink is
+// installed.
+inline void EmitProgress(const SearchOptions& options,
+                         const TopKHeap<ScoredQuery>& topk,
+                         const std::vector<RuntimeCandidate>& rts,
+                         size_t next_rank, const RunStats& stats) {
+  if (!options.progress) return;
+  SearchProgress p;
+  p.remaining_upper_bound =
+      next_rank < rts.size() ? rts[next_rank].ub
+                             : -std::numeric_limits<double>::infinity();
+  p.enumerated = static_cast<int64_t>(rts.size());
+  p.evaluated = stats.queries_evaluated;
+  p.batches = stats.batches;
+  for (auto& [score, sq] : topk.SnapshotSortedDescending()) {
+    (void)score;
+    p.topk.push_back(std::move(sq));
+  }
+  options.progress(p);
+}
 
 // FASTTOPK core over an arbitrary runtime list (used by both the plain
 // and the incremental drivers).

@@ -133,6 +133,19 @@ TEST(TopKHeapTest, TieBreakByInsertionOrder) {
   EXPECT_EQ(sorted[1].second, 2);
 }
 
+TEST(TopKHeapTest, TieBreakByCanonicalKey) {
+  // With keys, boundary ties resolve by key ascending regardless of
+  // offer order — the total order the distributed merge relies on.
+  TopKHeap<int> heap(2);
+  heap.Offer(1.0, 1, "zz");
+  heap.Offer(1.0, 2, "mm");
+  heap.Offer(1.0, 3, "aa");  // later offer, smaller key: displaces "zz"
+  auto sorted = heap.TakeSortedDescending();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].second, 3);
+  EXPECT_EQ(sorted[1].second, 2);
+}
+
 TEST(TopKHeapTest, KthScoreBeforeFull) {
   TopKHeap<int> heap(3);
   heap.Offer(5.0, 1);

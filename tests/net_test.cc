@@ -5,8 +5,6 @@
 // connection; framing violations close it; garbage closes it silently),
 // disconnect-triggered cancellation, deadline mapping, backpressure as a
 // retryable error, and the absence of fd leaks across all of it.
-#include <dirent.h>
-
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -55,25 +53,10 @@ SearchOptions BaseOptions() {
   return options;
 }
 
-int CountOpenFds() {
-  DIR* dir = opendir("/proc/self/fd");
-  if (dir == nullptr) return -1;
-  int n = 0;
-  while (readdir(dir) != nullptr) ++n;
-  closedir(dir);
-  return n - 3;  // ".", "..", and the dirfd itself
-}
-
-// Waits until `pred` holds or ~2 s pass (loop-thread effects like
-// connection-close bookkeeping are asynchronous).
-template <typename Pred>
-bool WaitFor(Pred pred) {
-  for (int i = 0; i < 400; ++i) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  return pred();
-}
+// CountOpenFds / WaitFor live in tests/test_util.h now (shared with the
+// dist fault suite).
+using testing::CountOpenFds;
+using testing::WaitFor;
 
 // Reads one frame off a raw test socket.
 Status ReadFrame(int fd, FrameHeader* h, std::string* payload,
@@ -323,11 +306,21 @@ TEST(NetProtocolTest, SlowLorisPartialFrameIdleClosed) {
 
 TEST(NetProtocolTest, DeadlineExceededMapsToTypedStatus) {
   ServerHarness h;
+  // Deterministic expiry, no wall-clock race: the service is paused, so
+  // the request provably sits in the queue past its (tiny) deadline; the
+  // resumer thread releases it only after admission, and the worker's
+  // queued-expiry check then fails it with the typed status.
+  h.service->Pause();
+  std::thread resumer([&] {
+    ASSERT_TRUE(WaitFor([&] { return h.service->stats().accepted >= 1; }));
+    h.service->Resume();
+  });
   S4Client client(h.MakeClientOptions());
   NetSearchRequest req = NetSearchRequest::From(
       TestSheets()[0], BaseOptions(), S4System::Strategy::kFastTopK,
       /*priority=*/0, /*deadline_seconds=*/1e-6);
   auto result = client.Search(req);
+  resumer.join();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(IsRetryable(result.status().code()));

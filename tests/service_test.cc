@@ -163,12 +163,25 @@ TEST(ServiceDeadlineTest, TinyDeadlineFailsWithoutCorruptingCache) {
     auto warm = service.Search(std::move(req));
     ASSERT_TRUE(warm.ok()) << warm.status();
   }
+  // Deterministic expiry, no wall-clock race: pause the service, admit
+  // the doomed requests, pre-expire their tokens in place, then resume —
+  // the worker's queued-expiry check fails each one with the typed
+  // status before any search work starts.
+  service.Pause();
+  std::vector<S4Service::Ticket> doomed;
   for (int i = 0; i < 4; ++i) {
     ServiceRequest req;
     req.cells = cells;
     req.options = options;
     req.deadline_seconds = 1e-9;
-    auto r = service.Search(std::move(req));
+    auto ticket = service.Submit(std::move(req));
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    ticket->stop->SetDeadline(-1.0);  // provably expired while queued
+    doomed.push_back(std::move(ticket).value());
+  }
+  service.Resume();
+  for (auto& ticket : doomed) {
+    auto r = ticket.result.get();
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
         << r.status();
@@ -184,9 +197,13 @@ TEST(ServiceDeadlineTest, TinyDeadlineFailsWithoutCorruptingCache) {
 }
 
 TEST(ServiceDeadlineTest, SystemLevelDeadlineHonored) {
-  // The S4System entry point arms its own token: no service required.
+  // The S4System entry point honours a caller-armed token. Pre-expiring
+  // it removes every clock race: the very first batch-boundary poll
+  // observes the expired deadline, deterministically.
+  StopToken stop;
+  stop.SetDeadline(-1.0);
   SearchOptions options = BaseOptions();
-  options.deadline_seconds = 1e-9;
+  options.stop = &stop;
   for (S4System::Strategy strategy :
        {S4System::Strategy::kNaive, S4System::Strategy::kBaseline,
         S4System::Strategy::kFastTopK}) {
@@ -194,6 +211,13 @@ TEST(ServiceDeadlineTest, SystemLevelDeadlineHonored) {
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
   }
+  // The system-armed path (deadline without a token) maps the same way.
+  SearchOptions timed = BaseOptions();
+  timed.deadline_seconds = 1e-9;
+  auto r = System().Search(TestSheets()[0], timed,
+                           S4System::Strategy::kFastTopK);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
 }
 
 TEST(ServiceValidationTest, BadOptionsRejectedAtTheBoundary) {
@@ -393,8 +417,12 @@ TEST(ServiceSessionTest, SessionsMatchFreshSearchesAndClose) {
 
 TEST(ServiceSessionTest, SessionDeadlineReportsMiss) {
   S4Service service(System());
+  // A caller-armed session token is honoured across SessionSearch calls;
+  // pre-expiring it makes the miss deterministic (no clock race).
+  StopToken stop;
+  stop.SetDeadline(-1.0);
   SearchOptions options = BaseOptions();
-  options.deadline_seconds = 1e-9;
+  options.stop = &stop;
   auto id = service.OpenSession(options);
   ASSERT_TRUE(id.ok());
   // NINC mode re-runs a full search, which polls the token at batch
@@ -403,6 +431,13 @@ TEST(ServiceSessionTest, SessionDeadlineReportsMiss) {
                                  IncrementalMode::kFastTopKNInc);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
+
+  // Cancelling the same token maps to Cancelled on a later search.
+  stop.Cancel();
+  auto r2 = service.SessionSearch(*id, TestSheets()[0],
+                                  IncrementalMode::kFastTopKNInc);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kCancelled) << r2.status();
 }
 
 TEST(ServiceShutdownTest, DestructorDrainsQueuedRequests) {

@@ -112,11 +112,49 @@ NetSearchResponse RandomResponse(Rng& rng) {
   return resp;
 }
 
+NetShardSearchRequest RandomShardRequest(Rng& rng) {
+  NetShardSearchRequest req;
+  req.base = RandomRequest(rng);
+  req.shard_count = 1 + static_cast<int32_t>(rng.Uniform(kMaxWireShards));
+  req.shard_index =
+      static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(req.shard_count)));
+  req.partial_every = static_cast<uint32_t>(rng.Uniform(16));
+  return req;
+}
+
+NetShardPartial RandomShardPartial(Rng& rng) {
+  NetShardPartial p;
+  const size_t n = rng.Uniform(6);
+  for (size_t i = 0; i < n; ++i) {
+    NetTopkEntry e;
+    e.signature = RandomBytes(rng, 40);
+    e.sql = RandomBytes(rng, 60);
+    e.score = RandomDouble(rng);
+    e.upper_bound = RandomDouble(rng);
+    e.row_score = RandomDouble(rng);
+    e.column_score = RandomDouble(rng);
+    p.topk.push_back(std::move(e));
+  }
+  p.remaining_upper_bound = RandomDouble(rng);
+  p.enumerated = static_cast<int64_t>(rng.Next());
+  p.evaluated = static_cast<int64_t>(rng.Next());
+  p.batches = static_cast<int64_t>(rng.Next());
+  return p;
+}
+
+NetShardDone RandomShardDone(Rng& rng) {
+  NetShardDone done;
+  done.response = RandomResponse(rng);
+  done.remaining_upper_bound = RandomDouble(rng);
+  return done;
+}
+
 TEST(WireCodecTest, HeaderRoundTrip) {
   Rng rng(11);
   for (int i = 0; i < 200; ++i) {
     FrameHeader h;
-    h.type = static_cast<FrameType>(1 + rng.Uniform(5));
+    h.type = static_cast<FrameType>(
+        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kShardStop)));
     h.request_id = rng.Next();
     h.payload_len = static_cast<uint32_t>(rng.Next());
     std::string buf;
@@ -326,6 +364,194 @@ TEST(WireCodecTest, TruncatedResponseEveryPrefixRejected) {
   }
 }
 
+// --- scatter-gather shard frames ---------------------------------------
+
+TEST(WireCodecTest, ShardRequestRoundTripProperty) {
+  Rng rng(51);
+  for (int i = 0; i < 300; ++i) {
+    const NetShardSearchRequest req = RandomShardRequest(rng);
+    const uint64_t id = rng.Next();
+    const std::string frame = EncodeShardSearchRequestFrame(req, id);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kShardSearchRequest);
+    EXPECT_EQ(h.request_id, id);
+    NetShardSearchRequest got;
+    const Status st = DecodeShardSearchRequest(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    EXPECT_EQ(got.shard_count, req.shard_count);
+    EXPECT_EQ(got.shard_index, req.shard_index);
+    EXPECT_EQ(got.partial_every, req.partial_every);
+    EXPECT_EQ(got.base.cells, req.base.cells);
+    EXPECT_EQ(got.base.strategy, req.base.strategy);
+    EXPECT_EQ(got.base.k, req.base.k);
+    EXPECT_TRUE(BitEqual(got.base.deadline_seconds,
+                         req.base.deadline_seconds));
+    EXPECT_TRUE(BitEqual(got.base.alpha, req.base.alpha));
+    EXPECT_TRUE(BitEqual(got.base.epsilon, req.base.epsilon));
+  }
+}
+
+TEST(WireCodecTest, ShardPartialRoundTripProperty) {
+  Rng rng(52);
+  for (int i = 0; i < 300; ++i) {
+    const NetShardPartial p = RandomShardPartial(rng);
+    const std::string frame = EncodeShardPartialFrame(p, 9);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kShardPartial);
+    NetShardPartial got;
+    const Status st =
+        DecodeShardPartial(std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    ASSERT_EQ(got.topk.size(), p.topk.size());
+    for (size_t j = 0; j < p.topk.size(); ++j) {
+      EXPECT_EQ(got.topk[j].signature, p.topk[j].signature);
+      EXPECT_TRUE(BitEqual(got.topk[j].score, p.topk[j].score));
+      EXPECT_TRUE(BitEqual(got.topk[j].upper_bound, p.topk[j].upper_bound));
+    }
+    EXPECT_TRUE(
+        BitEqual(got.remaining_upper_bound, p.remaining_upper_bound));
+    EXPECT_EQ(got.enumerated, p.enumerated);
+    EXPECT_EQ(got.evaluated, p.evaluated);
+    EXPECT_EQ(got.batches, p.batches);
+  }
+}
+
+TEST(WireCodecTest, ShardDoneRoundTripProperty) {
+  Rng rng(53);
+  for (int i = 0; i < 300; ++i) {
+    const NetShardDone done = RandomShardDone(rng);
+    const std::string frame = EncodeShardDoneFrame(done, 4);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kShardDone);
+    NetShardDone got;
+    const Status st =
+        DecodeShardDone(std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    ASSERT_EQ(got.response.topk.size(), done.response.topk.size());
+    for (size_t j = 0; j < done.response.topk.size(); ++j) {
+      EXPECT_EQ(got.response.topk[j].signature,
+                done.response.topk[j].signature);
+      EXPECT_TRUE(
+          BitEqual(got.response.topk[j].score, done.response.topk[j].score));
+    }
+    EXPECT_EQ(got.response.interrupted, done.response.interrupted);
+    EXPECT_EQ(got.response.queries_enumerated,
+              done.response.queries_enumerated);
+    EXPECT_TRUE(
+        BitEqual(got.remaining_upper_bound, done.remaining_upper_bound));
+  }
+}
+
+TEST(WireCodecTest, ShardStopRoundTrip) {
+  for (uint64_t target : {uint64_t{0}, uint64_t{42}, ~uint64_t{0}}) {
+    const std::string frame = EncodeShardStopFrame(target, 19);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kShardStop);
+    EXPECT_EQ(h.request_id, 19u);
+    uint64_t got = 1;
+    ASSERT_TRUE(
+        DecodeShardStop(std::string_view(frame).substr(kHeaderBytes), &got)
+            .ok());
+    EXPECT_EQ(got, target);
+  }
+}
+
+TEST(WireCodecTest, ShardRequestBadSliceRejected) {
+  auto reencode = [](int32_t count, int32_t index) {
+    NetShardSearchRequest req;
+    req.shard_count = 1;  // encode with a valid slice, then patch bytes
+    req.shard_index = 0;
+    std::string frame = EncodeShardSearchRequestFrame(req, 1);
+    // Payload layout: i32 shard_count, i32 shard_index, ...
+    memcpy(frame.data() + kHeaderBytes, &count, sizeof(count));
+    memcpy(frame.data() + kHeaderBytes + 4, &index, sizeof(index));
+    NetShardSearchRequest got;
+    return DecodeShardSearchRequest(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+  };
+  EXPECT_FALSE(reencode(0, 0).ok());                  // no shards
+  EXPECT_FALSE(reencode(-4, 0).ok());                 // negative count
+  EXPECT_FALSE(reencode(kMaxWireShards + 1, 0).ok()); // over the cap
+  EXPECT_FALSE(reencode(4, 4).ok());                  // index out of range
+  EXPECT_FALSE(reencode(4, -1).ok());                 // negative index
+  EXPECT_TRUE(reencode(4, 3).ok());
+}
+
+TEST(WireCodecTest, TruncatedShardFramesEveryPrefixRejected) {
+  Rng rng(57);
+  const std::string frames[] = {
+      EncodeShardSearchRequestFrame(RandomShardRequest(rng), 1),
+      EncodeShardPartialFrame(RandomShardPartial(rng), 2),
+      EncodeShardDoneFrame(RandomShardDone(rng), 3),
+      EncodeShardStopFrame(77, 4),
+  };
+  for (const std::string& frame : frames) {
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    const std::string_view payload =
+        std::string_view(frame).substr(kHeaderBytes);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const std::string_view prefix = payload.substr(0, len);
+      switch (h.type) {
+        case FrameType::kShardSearchRequest: {
+          NetShardSearchRequest got;
+          EXPECT_FALSE(DecodeShardSearchRequest(prefix, &got).ok())
+              << "prefix of " << len << " bytes decoded";
+          break;
+        }
+        case FrameType::kShardPartial: {
+          NetShardPartial got;
+          EXPECT_FALSE(DecodeShardPartial(prefix, &got).ok())
+              << "prefix of " << len << " bytes decoded";
+          break;
+        }
+        case FrameType::kShardDone: {
+          NetShardDone got;
+          EXPECT_FALSE(DecodeShardDone(prefix, &got).ok())
+              << "prefix of " << len << " bytes decoded";
+          break;
+        }
+        default: {
+          uint64_t got = 0;
+          EXPECT_FALSE(DecodeShardStop(prefix, &got).ok())
+              << "prefix of " << len << " bytes decoded";
+          break;
+        }
+      }
+    }
+    // Trailing garbage is rejected too: no frame has an optional tail.
+    std::string padded(payload);
+    padded.push_back('\0');
+    switch (h.type) {
+      case FrameType::kShardSearchRequest: {
+        NetShardSearchRequest got;
+        EXPECT_FALSE(DecodeShardSearchRequest(padded, &got).ok());
+        break;
+      }
+      case FrameType::kShardPartial: {
+        NetShardPartial got;
+        EXPECT_FALSE(DecodeShardPartial(padded, &got).ok());
+        break;
+      }
+      case FrameType::kShardDone: {
+        NetShardDone got;
+        EXPECT_FALSE(DecodeShardDone(padded, &got).ok());
+        break;
+      }
+      default: {
+        uint64_t got = 0;
+        EXPECT_FALSE(DecodeShardStop(padded, &got).ok());
+        break;
+      }
+    }
+  }
+}
+
 TEST(WireCodecTest, TruncatedHeaderRejected) {
   std::string buf;
   AppendFrameHeader(FrameHeader{}, &buf);
@@ -369,7 +595,9 @@ TEST(WireCodecTest, VersionMismatchKeepsRequestId) {
 }
 
 TEST(WireCodecTest, UnknownFrameTypeRejected) {
-  for (uint8_t type : {uint8_t{0}, uint8_t{10}, uint8_t{255}}) {
+  // 14 is the first unassigned type now that the shard frames (10-13)
+  // are part of the protocol.
+  for (uint8_t type : {uint8_t{0}, uint8_t{14}, uint8_t{255}}) {
     std::string buf;
     AppendFrameHeader(FrameHeader{}, &buf);
     buf[5] = static_cast<char>(type);
@@ -422,6 +650,14 @@ TEST(WireFuzzTest, DecodersSurvivePureNoise) {
     (void)DecodeSearchResponse(noise, &resp);
     NetError err;
     (void)DecodeError(noise, &err);
+    NetShardSearchRequest sreq;
+    (void)DecodeShardSearchRequest(noise, &sreq);
+    NetShardPartial partial;
+    (void)DecodeShardPartial(noise, &partial);
+    NetShardDone done;
+    (void)DecodeShardDone(noise, &done);
+    uint64_t target;
+    (void)DecodeShardStop(noise, &target);
   }
 }
 
@@ -430,7 +666,8 @@ TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
   for (int i = 0; i < 2000; ++i) {
     const std::string payload = RandomBytes(rng, 96);
     FrameHeader h;
-    h.type = static_cast<FrameType>(1 + rng.Uniform(5));
+    h.type = static_cast<FrameType>(
+        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kShardStop)));
     h.request_id = rng.Next();
     h.payload_len = static_cast<uint32_t>(payload.size());
     std::string frame;
@@ -445,16 +682,39 @@ TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
     (void)DecodeSearchResponse(body, &resp);
     NetError err;
     (void)DecodeError(body, &err);
+    NetShardSearchRequest sreq;
+    (void)DecodeShardSearchRequest(body, &sreq);
+    NetShardPartial partial;
+    (void)DecodeShardPartial(body, &partial);
+    NetShardDone done;
+    (void)DecodeShardDone(body, &done);
+    uint64_t target;
+    (void)DecodeShardStop(body, &target);
   }
 }
 
 TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
   Rng rng(0xcafe);
   for (int i = 0; i < 500; ++i) {
-    std::string frame =
-        (i % 2 == 0)
-            ? EncodeSearchRequestFrame(RandomRequest(rng), rng.Next())
-            : EncodeSearchResponseFrame(RandomResponse(rng), rng.Next());
+    std::string frame;
+    switch (i % 5) {
+      case 0:
+        frame = EncodeSearchRequestFrame(RandomRequest(rng), rng.Next());
+        break;
+      case 1:
+        frame = EncodeSearchResponseFrame(RandomResponse(rng), rng.Next());
+        break;
+      case 2:
+        frame =
+            EncodeShardSearchRequestFrame(RandomShardRequest(rng), rng.Next());
+        break;
+      case 3:
+        frame = EncodeShardPartialFrame(RandomShardPartial(rng), rng.Next());
+        break;
+      default:
+        frame = EncodeShardDoneFrame(RandomShardDone(rng), rng.Next());
+        break;
+    }
     const int flips = 1 + static_cast<int>(rng.Uniform(8));
     for (int f = 0; f < flips; ++f) {
       const size_t pos = rng.Uniform(frame.size());
@@ -469,6 +729,12 @@ TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
     (void)DecodeSearchResponse(body, &resp);
     NetError err;
     (void)DecodeError(body, &err);
+    NetShardSearchRequest sreq;
+    (void)DecodeShardSearchRequest(body, &sreq);
+    NetShardPartial partial;
+    (void)DecodeShardPartial(body, &partial);
+    NetShardDone done;
+    (void)DecodeShardDone(body, &done);
   }
 }
 

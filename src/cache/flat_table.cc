@@ -1,5 +1,7 @@
 #include "cache/flat_table.h"
 
+#include <algorithm>
+
 namespace s4 {
 
 size_t FlatMap64::CapacityFor(size_t n) {
@@ -14,18 +16,46 @@ void FlatMap64::Reserve(size_t n) {
   if (target > vals_.size()) Grow(target);
 }
 
+void FlatMap64::FindBatch(const int64_t* keys, size_t n,
+                          uint32_t* out) const {
+  if (size_ == 0) {
+    std::fill(out, out + n, kNotFound);
+    return;
+  }
+  uint64_t hashes[kBatchWidth];
+  for (size_t lo = 0; lo < n; lo += kBatchWidth) {
+    const size_t m = std::min(n - lo, kBatchWidth);
+    // Pass 1: hash the whole chunk and prefetch each key's ideal tag
+    // group and key cache line, so the (likely) misses are all in
+    // flight before any walk needs its data.
+    for (size_t j = 0; j < m; ++j) {
+      const uint64_t h = Mix(keys[lo + j]);
+      hashes[j] = h;
+      const size_t i = static_cast<size_t>(h >> shift_);
+      __builtin_prefetch(tags_.data() + (i & ~(kGroupWidth - 1)), 0, 3);
+      __builtin_prefetch(keys_.data() + i, 0, 3);
+    }
+    // Pass 2: resolve the probes; each walk starts on a warmed line.
+    for (size_t j = 0; j < m; ++j) {
+      out[lo + j] = FindHashed(keys[lo + j], hashes[j]);
+    }
+  }
+}
+
 void FlatMap64::Grow(size_t new_capacity) {
   std::vector<int64_t> old_keys = std::move(keys_);
   std::vector<uint32_t> old_vals = std::move(vals_);
+  std::vector<uint8_t> old_tags = std::move(tags_);
   keys_ = std::vector<int64_t>(new_capacity);
   vals_ = std::vector<uint32_t>(new_capacity, kNotFound);
+  tags_ = std::vector<uint8_t>(new_capacity, 0);
   int shift = 64;
   for (size_t c = new_capacity; c > 1; c >>= 1) --shift;
   shift_ = shift;
   size_ = 0;
   bool inserted = false;
   for (size_t i = 0; i < old_vals.size(); ++i) {
-    if (old_vals[i] != kNotFound) {
+    if (old_tags[i] != 0) {
       FindOrInsert(old_keys[i], old_vals[i], &inserted);
     }
   }

@@ -6,15 +6,26 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace s4 {
 
 // Flat open-addressing hash map from int64 join keys to uint32 payloads,
 // tuned for the hash-join hot path: robin-hood displacement bounds probe
 // chains, capacity is a power of two, and there is no deletion (the
-// evaluator only ever inserts or promotes). Slots live in two parallel
-// arrays — an int64 key array and a uint32 value array — so a probe
-// touches at most two adjacent cache lines instead of chasing
-// unordered_map node pointers.
+// evaluator only ever inserts or promotes). Slots live in three parallel
+// arrays — an int64 key array, a uint32 value array, and a 1-byte tag
+// array holding 7 low hash bits per occupied slot (0 marks empty, so an
+// occupied tag always has the 0x80 bit set). Probe walks compare 16 tags
+// at a time (src/common/simd.h) and touch the 8-byte key array only on
+// tag hits, so a miss typically costs one tag-line load instead of a
+// key-line walk.
+//
+// Batched probing: FindBatch resolves a group of keys in two passes —
+// hash every key and software-prefetch its ideal tag/key cache lines,
+// then run the probe walks — so the per-key cache misses overlap instead
+// of serializing (one dependent miss per probe). Prefetch exposes the
+// same first pass to build loops that upsert a stream of keys.
 //
 // The value 0xFFFFFFFF is reserved as the empty-slot marker; callers may
 // store any other uint32. Allocation is exact (the arrays are sized to
@@ -23,7 +34,18 @@ namespace s4 {
 class FlatMap64 {
  public:
   static constexpr uint32_t kNotFound = 0xFFFFFFFFu;  // empty-slot marker
-  static constexpr size_t kSlotBytes = sizeof(int64_t) + sizeof(uint32_t);
+  // Bytes per slot across the three parallel arrays (key + value + tag);
+  // the cost model multiplies CapacityFor by this to predict ByteSize.
+  static constexpr size_t kSlotBytes =
+      sizeof(int64_t) + sizeof(uint32_t) + sizeof(uint8_t);
+  // Tag lanes compared per probe step; capacities are multiples of this
+  // (kMinCapacity == 16), so aligned groups never run off the arrays.
+  static constexpr size_t kGroupWidth =
+      static_cast<size_t>(simd::kGroupWidth);
+  // Keys hashed + prefetched ahead per FindBatch chunk: enough in-flight
+  // lines to cover DRAM latency without evicting the earliest prefetch
+  // before its probe resolves.
+  static constexpr size_t kBatchWidth = 16;
 
   FlatMap64() = default;
 
@@ -38,22 +60,30 @@ class FlatMap64 {
   // factor; used by the cost model to predict ByteSize without building.
   static size_t CapacityFor(size_t n);
 
-  // Value stored under `key`, or kNotFound. Robin-hood order lets a miss
-  // stop as soon as it passes a slot whose resident is closer to its
-  // ideal position than the probe is.
+  // Value stored under `key`, or kNotFound. The walk scans 16-tag groups
+  // from the key's ideal slot; the robin-hood invariant (a probe chain
+  // never crosses an empty slot) lets a miss stop at the first group
+  // with an empty lane at or after the ideal position.
   uint32_t Find(int64_t key) const {
     if (size_ == 0) return kNotFound;
-    const size_t mask = vals_.size() - 1;
-    size_t i = Ideal(key);
-    size_t dist = 0;
-    while (true) {
-      const uint32_t v = vals_[i];
-      if (v == kNotFound) return kNotFound;
-      if (keys_[i] == key) return v;
-      if (ProbeDistance(keys_[i], i) < dist) return kNotFound;
-      i = (i + 1) & mask;
-      ++dist;
-    }
+    return FindHashed(key, Mix(key));
+  }
+
+  // Batched Find: resolves `keys[0..n)` into `out[0..n)`. Hashes up to
+  // kBatchWidth keys ahead and prefetches each key's ideal tag and key
+  // cache lines before any probe walk runs, so the misses overlap.
+  // Results are exactly what n individual Find calls would return.
+  void FindBatch(const int64_t* keys, size_t n, uint32_t* out) const;
+
+  // Issues software prefetches for `key`'s ideal tag/key cache lines
+  // (and the value line when `for_write`, ahead of a FindOrInsert).
+  // Purely advisory: a following probe or insert is correct without it.
+  void Prefetch(int64_t key, bool for_write = false) const {
+    if (vals_.empty()) return;
+    const size_t i = Ideal(key);
+    __builtin_prefetch(tags_.data() + (i & ~(kGroupWidth - 1)), 0, 3);
+    __builtin_prefetch(keys_.data() + i, for_write ? 1 : 0, 3);
+    if (for_write) __builtin_prefetch(vals_.data() + i, 1, 3);
   }
 
   // Pointer to the value slot of `key`, inserting `value` if absent
@@ -64,20 +94,26 @@ class FlatMap64 {
       Grow(vals_.empty() ? kMinCapacity : vals_.size() * 2);
     }
     const size_t mask = vals_.size() - 1;
-    size_t i = Ideal(key);
+    const uint64_t h = Mix(key);
+    size_t i = static_cast<size_t>(h >> shift_);
     size_t dist = 0;
     int64_t k = key;
     uint32_t v = value;
+    uint8_t tag = TagOf(h);
     size_t home = kNoSlot;  // where the original key ends up
     while (true) {
-      if (vals_[i] == kNotFound) {
+      if (tags_[i] == 0) {
         keys_[i] = k;
         vals_[i] = v;
+        tags_[i] = tag;
         ++size_;
         *inserted = true;
         return &vals_[home == kNoSlot ? i : home];
       }
-      if (keys_[i] == k) {  // only reachable before any displacement
+      // Tag filter first: an occupied slot holding k must carry k's tag,
+      // so the 8-byte key compare runs only on tag hits. Only reachable
+      // before any displacement, as before.
+      if (tags_[i] == tag && keys_[i] == k) {
         *inserted = false;
         return &vals_[i];
       }
@@ -85,6 +121,7 @@ class FlatMap64 {
       if (d < dist) {  // rich resident: displace it, keep inserting
         std::swap(k, keys_[i]);
         std::swap(v, vals_[i]);
+        std::swap(tag, tags_[i]);
         if (home == kNoSlot) home = i;
         dist = d;
       }
@@ -101,10 +138,11 @@ class FlatMap64 {
     }
   }
 
-  // Exact heap bytes of the slot arrays.
+  // Exact heap bytes of the slot arrays (keys + values + tags).
   size_t ByteSize() const {
     return keys_.capacity() * sizeof(int64_t) +
-           vals_.capacity() * sizeof(uint32_t);
+           vals_.capacity() * sizeof(uint32_t) +
+           tags_.capacity() * sizeof(uint8_t);
   }
 
  private:
@@ -123,6 +161,14 @@ class FlatMap64 {
     return x;
   }
 
+  // 7 low hash bits with the high bit forced on: occupied tags live in
+  // [0x80, 0xFF] and can never collide with the empty marker 0. The low
+  // bits are independent of the slot index (Ideal uses the top bits), so
+  // tags stay discriminating within a probe chain at any capacity.
+  static uint8_t TagOf(uint64_t h) {
+    return static_cast<uint8_t>(h & 0x7F) | 0x80;
+  }
+
   // Ideal slot from the top bits of the mix (capacity = 1 << (64-shift_)).
   size_t Ideal(int64_t key) const {
     return static_cast<size_t>(Mix(key) >> shift_);
@@ -133,10 +179,40 @@ class FlatMap64 {
     return (slot + vals_.size() - Ideal(key)) & mask;
   }
 
+  // The probe walk behind Find/FindBatch, with the hash precomputed.
+  // Group-aligned: the first group masks off lanes before the ideal
+  // slot, every later group considers all 16. Lanes past a chain's end
+  // can hold other chains' residents, but a tag+key double hit there
+  // would mean a duplicate key — impossible — and empty lanes can never
+  // tag-match (occupied tags have the 0x80 bit set), so scanning whole
+  // groups is safe.
+  uint32_t FindHashed(int64_t key, uint64_t h) const {
+    const size_t mask = vals_.size() - 1;
+    const uint8_t tag = TagOf(h);
+    const size_t start = static_cast<size_t>(h >> shift_);
+    size_t gbase = start & ~(kGroupWidth - 1);
+    uint32_t filter = (0xFFFFu << (start - gbase)) & 0xFFFFu;
+    while (true) {
+      const uint8_t* group = tags_.data() + gbase;
+      uint32_t match = simd::MatchByteMask16(group, tag) & filter;
+      while (match != 0) {
+        const size_t i = gbase + static_cast<size_t>(simd::FirstLane(match));
+        if (keys_[i] == key) return vals_[i];
+        match = simd::ClearFirstLane(match);
+      }
+      // An empty lane at or after the ideal slot ends the probe chain
+      // (load factor <= 3/4 guarantees one exists somewhere).
+      if ((simd::MatchByteMask16(group, 0) & filter) != 0) return kNotFound;
+      gbase = (gbase + kGroupWidth) & mask;
+      filter = 0xFFFFu;
+    }
+  }
+
   void Grow(size_t new_capacity);
 
   std::vector<int64_t> keys_;
   std::vector<uint32_t> vals_;  // kNotFound marks an empty slot
+  std::vector<uint8_t> tags_;   // 0 = empty, else 0x80 | low hash bits
   size_t size_ = 0;
   int shift_ = 64;  // 64 - log2(capacity)
 };

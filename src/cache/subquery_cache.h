@@ -1,6 +1,7 @@
 #ifndef S4_CACHE_SUBQUERY_CACHE_H_
 #define S4_CACHE_SUBQUERY_CACHE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <list>
@@ -70,6 +71,33 @@ struct SubQueryTable {
     return inserted;
   }
 
+  // Batched Find over `probe_keys[0..n)`: fills `rows[j]` / `exists[j]`
+  // with exactly what Find(probe_keys[j], ...) would produce, but
+  // resolves the key-table probes through FlatMap64::FindBatch so the
+  // slot cache misses overlap. The row pointers stay valid while the
+  // table is not mutated.
+  void FindBatch(const int64_t* probe_keys, size_t n, const double** rows,
+                 bool* exists) const {
+    uint32_t ids[FlatMap64::kBatchWidth];
+    for (size_t lo = 0; lo < n; lo += FlatMap64::kBatchWidth) {
+      const size_t m = std::min(n - lo, FlatMap64::kBatchWidth);
+      keys.FindBatch(probe_keys + lo, m, ids);
+      for (size_t j = 0; j < m; ++j) {
+        const uint32_t row = ids[j];
+        exists[lo + j] = row != FlatMap64::kNotFound;
+        rows[lo + j] =
+            (row == FlatMap64::kNotFound || row == kZeroRow)
+                ? nullptr
+                : arena.data() + static_cast<size_t>(row) * num_es_rows;
+      }
+    }
+  }
+
+  // Warms the key-table cache lines an UpsertScored(key) is about to
+  // touch; advisory only. Build loops call this a few keys ahead of the
+  // upsert so the slot line loads overlap the arena writes.
+  void PrefetchUpsert(int64_t key) const { keys.Prefetch(key, true); }
+
   int64_t NumKeys() const { return static_cast<int64_t>(keys.size()); }
   int64_t NumScored() const {
     return num_es_rows == 0
@@ -83,6 +111,19 @@ struct SubQueryTable {
   template <typename F>
   void ForEachKey(F&& f) const {
     keys.ForEach([&](int64_t key, uint32_t) { f(key); });
+  }
+
+  // Calls f(key, row) for every joining key in slot order, `row`
+  // pointing at its arena row or nullptr for zero-score keys — the
+  // key-and-payload walk the evaluator's batched Stage-II loop seeds
+  // from (one pass instead of ForEachKey + a re-probe per key).
+  template <typename F>
+  void ForEachEntry(F&& f) const {
+    keys.ForEach([&](int64_t key, uint32_t row) {
+      f(key, row == kZeroRow
+                 ? nullptr
+                 : arena.data() + static_cast<size_t>(row) * num_es_rows);
+    });
   }
 
   // Calls f(key, row) for every scored key, `row` pointing at its

@@ -29,7 +29,8 @@ size_t EstimateTableBytes(const JoinTree& tree, const ScoreContext& ctx) {
   const size_t root_rows = static_cast<size_t>(
       ctx.index().snapshot().NumRows(tree.node(tree.root()).table));
   // Mirrors SubQueryTable::ByteSize(): one flat-table slot per emitted
-  // key at the capacity the table would grow to, plus one
+  // key at the capacity the table would grow to (kSlotBytes covers the
+  // key, payload, and 1-byte probe-tag arrays), plus one
   // num_es_rows-strided arena row per scored key.
   return FlatMap64::CapacityFor(root_rows) * FlatMap64::kSlotBytes +
          root_rows * sizeof(double) * static_cast<size_t>(ctx.NumEsRows()) +

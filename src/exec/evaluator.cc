@@ -57,9 +57,16 @@ void Evaluator::ComputeOwnSims(const Ctx& c, TreeNodeId v,
               static_cast<int64_t>(plist->size());
           const double weight = ctx_->TermWeight(w, gid);
           if (single) {
-            for (const Posting& p : *plist) {
-              own->UpsertScored(p.row, &fresh)[t] += weight;
-              if (bonus) ++matchcnt[p.row];
+            // Build-side software pipelining: warm the slot lines of the
+            // upsert a few postings ahead, so the table's cache misses
+            // overlap the arena writes. Upsert order is unchanged.
+            constexpr size_t kAhead = 8;
+            const Posting* pd = plist->data();
+            const size_t np = plist->size();
+            for (size_t pi = 0; pi < np; ++pi) {
+              if (pi + kAhead < np) own->PrefetchUpsert(pd[pi + kAhead].row);
+              own->UpsertScored(pd[pi].row, &fresh)[t] += weight;
+              if (bonus) ++matchcnt[pd[pi].row];
             }
           } else {
             for (const Posting& p : *plist) {
@@ -161,17 +168,37 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
   auto out = std::make_shared<SubQueryTable>();
   out->num_es_rows = num_es_rows;
 
-  std::vector<double> sims;
+  // Row loop (Stage II), restructured around memory-level parallelism:
+  // rows advance in kProbeBatch-wide lanes instead of one dependent
+  // cache miss at a time. Per batch: seeds stream from the type-ii
+  // table's slot walk (or batched probes of the own-sims table), each
+  // remaining child subtree is probed for all live lanes at once through
+  // the hash-ahead/prefetch FindBatch, and similarities accumulate into
+  // one contiguous per-batch buffer before being emitted in row order.
+  // Lane death (invalid FK, non-joining key) short-circuits that lane's
+  // later children exactly like the serial `break`, so every counter —
+  // and, because the per-row arithmetic order (seed copy, child
+  // additions in child order, ordered max-merge emit) is unchanged,
+  // every score bit — matches the one-row-at-a-time loop.
+  static constexpr size_t kProbeBatch = FlatMap64::kBatchWidth;
 
-  // Row loop (Stage II): either scan the snapshot or, when a type-ii
-  // table supplies the joining rows, iterate its keys through the
-  // snapshot's flat pk->row index.
+  // When a type-ii table supplies the joining rows, walk its entries
+  // once (key + seed row together) and resolve the pk->row ids with
+  // batched, prefetched probes of the snapshot's flat index.
   std::vector<int64_t> base_rows;
+  std::vector<const double*> base_seeds;
   if (base != nullptr) {
-    base_rows.reserve(static_cast<size_t>(base->NumKeys()));
-    base->ForEachKey([&](int64_t pk) {
-      base_rows.push_back(snap.RowOfPk(table_id, pk));
+    const size_t nb = static_cast<size_t>(base->NumKeys());
+    std::vector<int64_t> base_pks;
+    base_pks.reserve(nb);
+    base_seeds.reserve(nb);
+    base->ForEachEntry([&](int64_t pk, const double* row) {
+      base_pks.push_back(pk);
+      base_seeds.push_back(row);
     });
+    base_rows.resize(base_pks.size());
+    snap.RowOfPkBatch(table_id, base_pks.data(), base_pks.size(),
+                      base_rows.data());
     c.counters->hash_lookups += static_cast<int64_t>(base_rows.size());
   }
   const int64_t limit = base != nullptr
@@ -179,77 +206,173 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
                             : snap.NumRows(table_id);
   c.counters->rows_scanned += limit;
 
-  for (int64_t idx = 0; idx < limit; ++idx) {
-    const int64_t r = base != nullptr ? base_rows[idx] : idx;
-    if (r < 0) continue;
-
-    // Seed similarities: the node's own sims or the type-ii fold.
-    bool nonzero = false;
-    bool exists = false;
-    const double* seed = base != nullptr ? base->Find(pks[r], &exists)
-                                         : own.Find(r, &exists);
-    if (base != nullptr && !exists) continue;
-    if (seed != nullptr) {
-      sims.assign(seed, seed + num_es_rows);
-      for (int32_t t : c.es_rows) nonzero = nonzero || sims[t] > 0.0;
-    } else {
-      sims.assign(num_es_rows, 0.0);
-    }
-
-    // Join with every remaining child subtree.
-    bool joined = true;
-    for (const auto& [child, ctab] : child_tables) {
-      const JoinTree::Node& cn = tree.node(child);
-      int64_t probe;
-      if (cn.parent_holds_fk) {
-        // This node's FK references the child relation.
-        if (!snap.FkValid(cn.edge_to_parent, r)) {
-          joined = false;
-          break;
-        }
-        probe = snap.Fk(cn.edge_to_parent)[r];
-      } else {
-        probe = pks[r];
-      }
-      ++c.counters->hash_lookups;
-      bool child_exists = false;
-      const double* cs = ctab->Find(probe, &child_exists);
-      if (!child_exists) {
-        joined = false;
+  // Full-row runs (the common plain-search case) accumulate over the
+  // whole contiguous arena row, which keeps the inner loops index-free
+  // and auto-vectorizable; row-subset runs iterate es_rows as before.
+  bool full_rows = static_cast<int32_t>(c.es_rows.size()) == num_es_rows;
+  if (full_rows) {
+    for (int32_t t = 0; t < num_es_rows; ++t) {
+      if (c.es_rows[static_cast<size_t>(t)] != t) {
+        full_rows = false;
         break;
       }
-      if (cs != nullptr) {
-        for (int32_t t : c.es_rows) {
-          if (cs[t] > 0.0) {
-            sims[t] += cs[t];
+    }
+  }
+
+  const size_t stride = static_cast<size_t>(num_es_rows);
+  std::vector<double> batch_sims(kProbeBatch * stride);
+  int64_t lane_row[kProbeBatch];          // dense row id per lane
+  bool alive[kProbeBatch];                // lane still joining
+  const double* seed_rows[kProbeBatch];
+  bool seed_exists[kProbeBatch];
+  int64_t own_keys[kProbeBatch];
+  int64_t probe_keys[kProbeBatch];        // packed live-lane probes
+  size_t packed_lane[kProbeBatch];
+  const double* child_rows[kProbeBatch];
+  bool child_exists[kProbeBatch];
+  int64_t out_keys[kProbeBatch];
+  bool emit[kProbeBatch];
+
+  for (int64_t lo = 0; lo < limit; lo += static_cast<int64_t>(kProbeBatch)) {
+    const size_t lanes = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(kProbeBatch), limit - lo));
+
+    // Lane setup: dense row id + seed pointer, mirroring the serial
+    // r < 0 skip. Seeds for the no-base path come from batched probes
+    // of the own-sims table (keyed by dense row id); a missing row is
+    // an all-zero seed, like the serial nullptr result.
+    if (base != nullptr) {
+      for (size_t l = 0; l < lanes; ++l) {
+        const int64_t r = base_rows[static_cast<size_t>(lo) + l];
+        lane_row[l] = r;
+        alive[l] = r >= 0;
+        seed_rows[l] = base_seeds[static_cast<size_t>(lo) + l];
+      }
+    } else {
+      for (size_t l = 0; l < lanes; ++l) {
+        lane_row[l] = lo + static_cast<int64_t>(l);
+        alive[l] = true;
+        own_keys[l] = lane_row[l];
+      }
+      own.FindBatch(own_keys, lanes, seed_rows, seed_exists);
+    }
+
+    // Seed the contiguous batch buffer.
+    for (size_t l = 0; l < lanes; ++l) {
+      if (!alive[l]) continue;
+      double* dst = batch_sims.data() + l * stride;
+      const double* seed = seed_rows[l];
+      if (seed != nullptr) {
+        std::copy(seed, seed + stride, dst);
+      } else {
+        std::fill(dst, dst + stride, 0.0);
+      }
+    }
+
+    // Join with every remaining child subtree: pack the live lanes'
+    // probe keys, batch-probe the child table, then stream the hits
+    // into the batch buffer. The adds are unconditional — a 0.0 addend
+    // is a bitwise no-op on these non-negative scores — so the
+    // accumulation loop carries no data-dependent branches.
+    for (const auto& [child, ctab] : child_tables) {
+      const JoinTree::Node& cn = tree.node(child);
+      size_t packed = 0;
+      if (cn.parent_holds_fk) {
+        // This node's FK references the child relation.
+        const std::vector<int64_t>& fks = snap.Fk(cn.edge_to_parent);
+        for (size_t l = 0; l < lanes; ++l) {
+          if (!alive[l]) continue;
+          if (!snap.FkValid(cn.edge_to_parent, lane_row[l])) {
+            alive[l] = false;
+            continue;
+          }
+          probe_keys[packed] = fks[static_cast<size_t>(lane_row[l])];
+          packed_lane[packed++] = l;
+        }
+      } else {
+        for (size_t l = 0; l < lanes; ++l) {
+          if (!alive[l]) continue;
+          probe_keys[packed] = pks[static_cast<size_t>(lane_row[l])];
+          packed_lane[packed++] = l;
+        }
+      }
+      if (packed == 0) continue;
+      c.counters->hash_lookups += static_cast<int64_t>(packed);
+      ctab->FindBatch(probe_keys, packed, child_rows, child_exists);
+      for (size_t p = 0; p < packed; ++p) {
+        const size_t l = packed_lane[p];
+        if (!child_exists[p]) {
+          alive[l] = false;
+          continue;
+        }
+        const double* cs = child_rows[p];
+        if (cs == nullptr) continue;
+        double* dst = batch_sims.data() + l * stride;
+        if (full_rows) {
+          for (size_t t = 0; t < stride; ++t) dst[t] += cs[t];
+        } else {
+          for (int32_t t : c.es_rows) dst[t] += cs[t];
+        }
+      }
+    }
+
+    // Stage II-B: emit surviving lanes under their link keys. Pass 1
+    // resolves the keys and warms the output table's slot lines; pass 2
+    // upserts in row order, so insertion order — and with it robin-hood
+    // layout, arena row ids, and growth points — matches serial.
+    for (size_t l = 0; l < lanes; ++l) {
+      emit[l] = false;
+      if (!alive[l]) continue;
+      const int64_t r = lane_row[l];
+      if (link.kind == LinkSpec::Kind::kByPk) {
+        out_keys[l] = pks[static_cast<size_t>(r)];
+      } else {
+        if (!snap.FkValid(link.edge, r)) continue;
+        out_keys[l] = snap.Fk(link.edge)[static_cast<size_t>(r)];
+      }
+      emit[l] = true;
+      out->PrefetchUpsert(out_keys[l]);
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      if (!emit[l]) continue;
+      const double* sims = batch_sims.data() + l * stride;
+      // All contributions are >= 0, so a positive final value appears
+      // exactly when some seed or child contribution was positive —
+      // the same predicate the serial loop tracked incrementally.
+      bool nonzero = false;
+      if (full_rows) {
+        for (size_t t = 0; t < stride; ++t) {
+          if (sims[t] > 0.0) {
             nonzero = true;
+            break;
+          }
+        }
+      } else {
+        for (int32_t t : c.es_rows) {
+          if (sims[t] > 0.0) {
+            nonzero = true;
+            break;
           }
         }
       }
-    }
-    if (!joined) continue;
-
-    // Stage II-B: emit into the output hash table under the link key.
-    int64_t out_key;
-    if (link.kind == LinkSpec::Kind::kByPk) {
-      out_key = pks[r];
-    } else {
-      if (!snap.FkValid(link.edge, r)) continue;
-      out_key = snap.Fk(link.edge)[r];
-    }
-    if (nonzero) {
-      bool fresh = false;
-      double* row = out->UpsertScored(out_key, &fresh);
-      if (fresh) {
-        std::copy(sims.begin(), sims.end(), row);
-      } else {
-        for (int32_t t : c.es_rows) {
-          row[t] = std::max(row[t], sims[t]);
+      if (nonzero) {
+        bool fresh = false;
+        double* row = out->UpsertScored(out_keys[l], &fresh);
+        if (fresh) {
+          std::copy(sims, sims + stride, row);
+        } else if (full_rows) {
+          for (size_t t = 0; t < stride; ++t) {
+            row[t] = std::max(row[t], sims[t]);
+          }
+        } else {
+          for (int32_t t : c.es_rows) {
+            row[t] = std::max(row[t], sims[t]);
+          }
         }
+        ++c.counters->hash_inserts;
+      } else if (!c.options->drop_zero_rows) {
+        if (out->InsertZero(out_keys[l])) ++c.counters->hash_inserts;
       }
-      ++c.counters->hash_inserts;
-    } else if (!c.options->drop_zero_rows) {
-      if (out->InsertZero(out_key)) ++c.counters->hash_inserts;
     }
   }
 

@@ -1,6 +1,8 @@
 #ifndef S4_INDEX_KFK_SNAPSHOT_H_
 #define S4_INDEX_KFK_SNAPSHOT_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +43,23 @@ class KfkSnapshot {
   int64_t RowOfPk(TableId t, int64_t pk) const {
     const uint32_t row = pk_row_[t].Find(pk);
     return row == FlatMap64::kNotFound ? -1 : static_cast<int64_t>(row);
+  }
+
+  // Batched RowOfPk over `pks[0..n)` into `rows[0..n)` (-1 for absent
+  // keys): the probes run through FlatMap64::FindBatch, so the pk-index
+  // cache misses overlap instead of serializing one per key.
+  void RowOfPkBatch(TableId t, const int64_t* pks, size_t n,
+                    int64_t* rows) const {
+    uint32_t ids[FlatMap64::kBatchWidth];
+    for (size_t lo = 0; lo < n; lo += FlatMap64::kBatchWidth) {
+      const size_t m = std::min(n - lo, FlatMap64::kBatchWidth);
+      pk_row_[t].FindBatch(pks + lo, m, ids);
+      for (size_t j = 0; j < m; ++j) {
+        rows[lo + j] = ids[j] == FlatMap64::kNotFound
+                           ? -1
+                           : static_cast<int64_t>(ids[j]);
+      }
+    }
   }
 
   // Bytes of all materialized key arrays plus the flat pk->row indexes

@@ -78,7 +78,10 @@ class FastTopKRun {
     size_t next = 0;
     int64_t batch_index = 0;
     while (next < n) {
-      // Batch boundary: the natural stop-token poll point (Alg 3).
+      // Batch boundary: the natural stop-token poll point (Alg 3). The
+      // evaluator's Stage-II 16-lane probe batches sit strictly inside
+      // one candidate evaluation, so they never add or move a poll:
+      // cancellation granularity stays exactly one candidate.
       if (StopRequested(options_)) {
         result_.interrupted = true;
         break;

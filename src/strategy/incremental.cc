@@ -48,7 +48,12 @@ SearchResult SearchSession::Search(const ExampleSpreadsheet& sheet,
       if (it != history_.end()) {
         const HistoryEntry& entry = it->second;
         // Rows needing evaluation: edited rows plus rows whose stored
-        // score is stale or missing.
+        // score is stale or missing. The evaluator's Stage-II batched
+        // accumulation indexes its per-batch score buffer through this
+        // es_rows subset (it only takes the contiguous fast path for
+        // the full identity row set), so the re-evaluated rows come
+        // back bit-identical to a from-scratch run and merge cleanly
+        // with the reused prior scores.
         std::vector<int32_t> eval_rows;
         std::vector<int32_t> reuse_rows;
         for (int32_t t = 0; t < sheet.NumRows(); ++t) {

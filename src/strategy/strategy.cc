@@ -133,6 +133,12 @@ void SortRuntime(std::vector<RuntimeCandidate>* rts) {
             });
 }
 
+// One candidate evaluation is the atomic unit every driver schedules
+// around: stop-token polls and frozen-skip decisions happen only at the
+// drivers' batch / critical-group boundaries, never inside RowScores.
+// The evaluator's Stage-II batched probe loop keeps the serial emit
+// order and counter values, so upper bounds, skip conditions, and
+// early-termination tests see bit-identical inputs on every strategy.
 ScoredQuery EvaluateCandidate(PreparedSearch& prep,
                               const RuntimeCandidate& rt,
                               SubQueryCache* cache, bool offer_to_cache,

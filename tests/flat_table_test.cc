@@ -69,6 +69,123 @@ TEST(FlatMap64Test, ReserveAvoidsGrowthAndCapacityForMatches) {
   EXPECT_EQ(m.ByteSize(), cap * FlatMap64::kSlotBytes);
 }
 
+// Exact heap accounting including the tag array: the cache budget in
+// SubQueryCache (and EstimateTableBytes in the cost model) multiply
+// CapacityFor by kSlotBytes, so kSlotBytes must cover every parallel
+// array byte — 8 key + 4 value + 1 tag per slot, allocated exactly.
+TEST(FlatMap64Test, ByteSizeCoversTagArrayExactly) {
+  FlatMap64 m;
+  EXPECT_EQ(m.ByteSize(), 0u);
+  EXPECT_EQ(FlatMap64::kSlotBytes,
+            sizeof(int64_t) + sizeof(uint32_t) + sizeof(uint8_t));
+  bool inserted = false;
+  for (int64_t k = 0; k < 5000; ++k) {
+    m.FindOrInsert(k * 13 + 1, 1, &inserted);
+    EXPECT_EQ(m.ByteSize(), m.capacity() * FlatMap64::kSlotBytes);
+  }
+  for (size_t n : {size_t{0}, size_t{1}, size_t{11}, size_t{12}, size_t{13},
+                   size_t{1000}, size_t{100000}}) {
+    FlatMap64 r;
+    r.Reserve(n);
+    EXPECT_EQ(r.capacity(), FlatMap64::CapacityFor(n)) << n;
+    EXPECT_EQ(r.ByteSize(), FlatMap64::CapacityFor(n) * FlatMap64::kSlotBytes)
+        << n;
+  }
+}
+
+// Randomized differential coverage of the batched probe path: FindBatch
+// must return exactly what per-key Find returns — across key
+// distributions (clustered, extreme, missing), zero-score sentinel rows,
+// and growth during interleaved inserts — on whichever backend
+// (SIMD or the S4_DISABLE_SIMD scalar fallback) this binary compiled in.
+TEST(FlatMap64Test, FindBatchMatchesFindDifferential) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    std::mt19937_64 rng(seed);
+    FlatMap64 m;
+    std::vector<int64_t> inserted_keys;
+    const int64_t key_space = 1 + static_cast<int64_t>(rng() % 100000);
+    const int64_t extremes[] = {0, -1, 1,
+                                std::numeric_limits<int64_t>::min(),
+                                std::numeric_limits<int64_t>::max()};
+    bool inserted = false;
+    for (int round = 0; round < 40; ++round) {
+      // Insert a burst (crossing growth boundaries as the table fills).
+      const int burst = 1 + static_cast<int>(rng() % 500);
+      for (int i = 0; i < burst; ++i) {
+        const int64_t k = (rng() % 16 == 0)
+                              ? extremes[rng() % 5]
+                              : static_cast<int64_t>(rng() % key_space) * 7 -
+                                    key_space;
+        m.FindOrInsert(k, static_cast<uint32_t>(rng() % 1000), &inserted);
+        if (inserted) inserted_keys.push_back(k);
+      }
+      // Probe a mixed batch: present keys, absent keys, extremes, and
+      // awkward batch lengths (0, 1, partial and multiple chunks).
+      const size_t n = rng() % 70;
+      std::vector<int64_t> probes(n);
+      for (size_t i = 0; i < n; ++i) {
+        switch (rng() % 3) {
+          case 0:
+            probes[i] = inserted_keys[rng() % inserted_keys.size()];
+            break;
+          case 1:
+            probes[i] = static_cast<int64_t>(rng());  // almost surely absent
+            break;
+          default:
+            probes[i] = extremes[rng() % 5];
+        }
+      }
+      std::vector<uint32_t> got(n, 12345);
+      m.FindBatch(probes.data(), n, got.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], m.Find(probes[i])) << "seed " << seed << " round "
+                                             << round << " probe " << i;
+      }
+    }
+  }
+  // Empty-table batch: everything misses.
+  FlatMap64 empty;
+  int64_t keys[3] = {1, -2, 3};
+  uint32_t out[3];
+  empty.FindBatch(keys, 3, out);
+  for (uint32_t v : out) EXPECT_EQ(v, FlatMap64::kNotFound);
+}
+
+// SubQueryTable::FindBatch must agree with Find on pointers-and-existence
+// semantics, including kZeroRow sentinel keys (exists, null row).
+TEST(SubQueryTableTest, FindBatchMatchesFindWithZeroSentinels) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    std::mt19937_64 rng(seed);
+    SubQueryTable table;
+    table.num_es_rows = 1 + static_cast<int32_t>(rng() % 7);
+    const int64_t key_space = 1 + static_cast<int64_t>(rng() % 5000);
+    bool fresh = false;
+    for (int op = 0; op < 8000; ++op) {
+      const int64_t key = static_cast<int64_t>(rng() % key_space) * 11 - 99;
+      if (rng() % 4 == 0) {
+        table.InsertZero(key);
+      } else {
+        table.UpsertScored(key, &fresh)[rng() % table.num_es_rows] += 1.0;
+      }
+    }
+    std::vector<int64_t> probes(333);
+    for (int64_t& p : probes) {
+      p = static_cast<int64_t>(rng() % (2 * key_space)) * 11 - 99;
+    }
+    std::vector<const double*> rows(probes.size());
+    // std::vector<bool> has no data(); collect through a byte array.
+    std::vector<char> exists_raw(probes.size());
+    table.FindBatch(probes.data(), probes.size(), rows.data(),
+                    reinterpret_cast<bool*>(exists_raw.data()));
+    for (size_t i = 0; i < probes.size(); ++i) {
+      bool e = false;
+      const double* r = table.Find(probes[i], &e);
+      ASSERT_EQ(static_cast<bool>(exists_raw[i]), e) << "probe " << i;
+      ASSERT_EQ(rows[i], r) << "probe " << i;
+    }
+  }
+}
+
 TEST(FlatMap64Test, ForEachVisitsEveryEntryOnce) {
   FlatMap64 m;
   std::unordered_map<int64_t, uint32_t> model;

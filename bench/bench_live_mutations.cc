@@ -1,0 +1,342 @@
+// Load generator for the live mutation subsystem: N client threads
+// issue blocking searches against one S4Service while a configurable
+// fraction of requests are mutation batches (insert / update / delete
+// against the fact tables), measuring what writes cost readers. Three
+// write mixes (0%, 1%, 10%) run against a LiveS4System-backed service,
+// next to an immutable-S4System baseline service over the same
+// database — the 0% column vs the baseline is the price of the epoch
+// indirection alone (the acceptance gate: search p50 within noise),
+// the 1%/10% columns show reader latency under concurrent
+// copy-on-publish epoch churn.
+//
+// Every service starts with a cold cross-query cache so the mixes are
+// comparable. Searches and writes are timed into separate histograms;
+// the headline number is the search p50 per mix.
+//
+// Knobs (environment): S4_BENCH_CLIENTS (8), S4_BENCH_ROUNDS (3),
+// S4_BENCH_ES_COUNT (10), S4_BENCH_CSUPP_SCALE (1). `--smoke` shrinks
+// the workload to a CI-sized gate; `--json <path>` records metrics.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/latency_histogram.h"
+#include "live/live_s4.h"
+#include "service/s4_service.h"
+
+namespace {
+
+using namespace s4;
+using namespace s4::bench;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Writes target the largest relation (the fact table): the worst case
+// for incremental maintenance — longest posting lists, biggest (key,fk)
+// snapshot columns.
+const Table* FactTable(const Database& db) {
+  const Table* best = &db.table(0);
+  for (TableId t = 1; t < db.NumTables(); ++t) {
+    if (db.table(t).NumRows() > best->NumRows()) best = &db.table(t);
+  }
+  return best;
+}
+
+// Generic insert against any schema: fresh pk, recognizable text,
+// NULL for every other attribute (FKs included — a dangling fact row
+// joins nothing, which is valid and cheap to reason about).
+Mutation MakeInsert(const Table& t, int64_t pk) {
+  std::vector<Value> values;
+  for (int32_t c = 0; c < t.NumColumns(); ++c) {
+    if (c == t.primary_key_column()) {
+      values.push_back(Value::Int(pk));
+    } else if (t.column(c).type == ColumnType::kText) {
+      values.push_back(Value::Text("livebench row " + std::to_string(pk)));
+    } else {
+      values.push_back(Value::Null());
+    }
+  }
+  return Mutation::Insert(t.name(), std::move(values));
+}
+
+// First text column that is not the pk (every CSUPP table has one).
+int32_t TextColumn(const Table& t) {
+  for (int32_t c = 0; c < t.NumColumns(); ++c) {
+    if (t.column(c).type == ColumnType::kText) return c;
+  }
+  return -1;
+}
+
+struct MixResult {
+  double elapsed_seconds = 0.0;
+  int64_t searches = 0;
+  int64_t writes = 0;
+  int64_t errors = 0;
+  LatencyHistogram::Snapshot search_lat;
+  LatencyHistogram::Snapshot write_lat;
+  uint64_t epochs = 0;
+};
+
+struct MixConfig {
+  // One write per this many requests (0 = search-only).
+  int32_t write_every = 0;
+  int32_t clients = 8;
+  int32_t requests_per_client = 30;
+};
+
+// Runs one closed-loop mix against `service`. `live` enables the write
+// slots; a null live with write_every > 0 is a configuration bug.
+MixResult RunMix(S4Service& service, LiveS4System* live,
+                 const std::vector<std::vector<std::vector<std::string>>>&
+                     requests,
+                 const SearchOptions& search_options, const MixConfig& cfg,
+                 std::atomic<int64_t>& next_pk) {
+  const Table* fact = live != nullptr ? FactTable(live->db()) : nullptr;
+  LatencyHistogram search_lat;
+  LatencyHistogram write_lat;
+  std::atomic<int64_t> searches{0};
+  std::atomic<int64_t> writes{0};
+  // Write cadence over the GLOBAL request sequence, so a 1% mix fires
+  // even when each client issues fewer than 100 requests.
+  std::atomic<int64_t> issued{0};
+  // Per-client last inserted pk, so updates/deletes hit live rows.
+  std::vector<int64_t> last_pk(static_cast<size_t>(cfg.clients), -1);
+
+  LoadGenOptions gen;
+  gen.clients = cfg.clients;
+  gen.requests_per_client = cfg.requests_per_client;
+  const LoadGenResult run = RunLoadGen(gen, [&](int32_t c, int32_t i) {
+    const bool write =
+        cfg.write_every > 0 &&
+        (issued.fetch_add(1) % cfg.write_every) == cfg.write_every - 1;
+    const double start = Now();
+    if (write) {
+      // Rotate insert / update / delete so the index sees every
+      // maintenance path; inserts dominate (grow-mostly workload).
+      std::vector<Mutation> batch;
+      int64_t& mine = last_pk[static_cast<size_t>(c)];
+      const int64_t slot = writes.fetch_add(1) % 10;
+      if (mine >= 0 && (slot == 7 || slot == 8)) {
+        batch.push_back(Mutation::Update(
+            fact->name(), mine, fact->column(TextColumn(*fact)).name,
+            Value::Text("livebench updated " + std::to_string(mine))));
+      } else if (mine >= 0 && slot == 9) {
+        batch.push_back(Mutation::Delete(fact->name(), mine));
+        mine = -1;
+      } else {
+        const int64_t pk = next_pk.fetch_add(1);
+        batch.push_back(MakeInsert(*fact, pk));
+        mine = pk;
+      }
+      auto result = service.Mutate(batch);
+      write_lat.Record(Now() - start);
+      return result.status();
+    }
+    ServiceRequest req;
+    req.cells = requests[(static_cast<size_t>(i) + static_cast<size_t>(c)) %
+                         requests.size()];
+    req.options = search_options;
+    auto result = service.Search(std::move(req));
+    search_lat.Record(Now() - start);
+    searches.fetch_add(1);
+    return result.status();
+  });
+
+  MixResult out;
+  out.elapsed_seconds = run.elapsed_seconds;
+  out.searches = searches.load();
+  out.writes = writes.load() > 0 ? write_lat.count() : 0;
+  out.errors = run.errors;
+  out.search_lat = search_lat.snapshot();
+  out.write_lat = write_lat.snapshot();
+  out.epochs = live != nullptr ? live->epoch() : 0;
+  return out;
+}
+
+void Report(const char* label, const MixResult& r, TablePrinter& tp) {
+  tp.AddRow({label,
+             TablePrinter::Int(static_cast<long long>(r.searches)),
+             TablePrinter::Int(static_cast<long long>(r.writes)),
+             TablePrinter::Num(1e3 * r.search_lat.PercentileSeconds(0.50), 3),
+             TablePrinter::Num(1e3 * r.search_lat.PercentileSeconds(0.95), 3),
+             TablePrinter::Num(1e3 * r.write_lat.PercentileSeconds(0.50), 3),
+             TablePrinter::Num(r.elapsed_seconds > 0.0
+                                   ? static_cast<double>(r.searches +
+                                                         r.writes) /
+                                         r.elapsed_seconds
+                                   : 0.0,
+                               1),
+             TablePrinter::Int(static_cast<long long>(r.errors))});
+}
+
+void JsonMix(const std::string& section, const MixResult& r) {
+  JsonMetric(section, "searches", static_cast<double>(r.searches));
+  JsonMetric(section, "writes", static_cast<double>(r.writes));
+  JsonMetric(section, "errors", static_cast<double>(r.errors));
+  JsonMetric(section, "elapsed_s", r.elapsed_seconds);
+  JsonMetric(section, "search_p50_ms",
+             1e3 * r.search_lat.PercentileSeconds(0.50));
+  JsonMetric(section, "search_p95_ms",
+             1e3 * r.search_lat.PercentileSeconds(0.95));
+  JsonMetric(section, "search_p99_ms",
+             1e3 * r.search_lat.PercentileSeconds(0.99));
+  JsonMetric(section, "search_mean_ms", 1e3 * r.search_lat.MeanSeconds());
+  JsonMetric(section, "write_p50_ms",
+             1e3 * r.write_lat.PercentileSeconds(0.50));
+  JsonMetric(section, "write_p95_ms",
+             1e3 * r.write_lat.PercentileSeconds(0.95));
+  JsonMetric(section, "epochs", static_cast<double>(r.epochs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = JsonInit(argc, argv, "live_mutations");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int32_t clients =
+      static_cast<int32_t>(EnvInt("S4_BENCH_CLIENTS", smoke ? 4 : 8));
+  const int32_t rounds =
+      static_cast<int32_t>(EnvInt("S4_BENCH_ROUNDS", smoke ? 2 : 3));
+  const int32_t es_count =
+      static_cast<int32_t>(EnvInt("S4_BENCH_ES_COUNT", smoke ? 4 : 10));
+  const int32_t scale =
+      static_cast<int32_t>(EnvInt("S4_BENCH_CSUPP_SCALE", 1));
+
+  PrintHeader("Live mutations: search latency under write mixes",
+              "CSUPP-sim; closed loop; LiveS4System epochs vs immutable"
+              " baseline, cold caches per mix");
+
+  // The workload world (spreadsheet generation) and the served
+  // databases are built from the same generator options, so every
+  // service answers the same requests over the same initial data.
+  datagen::CsuppSimOptions dopts;
+  dopts.scale = scale;
+  std::unique_ptr<World> world = CsuppWorld(scale);
+  Workload workload = MakeWorkload(*world, es_count);
+  std::vector<std::vector<std::vector<std::string>>> requests;
+  for (const datagen::GeneratedEs& es : workload.es) {
+    std::vector<std::vector<std::string>> cells(
+        static_cast<size_t>(es.sheet.NumRows()));
+    for (int32_t r = 0; r < es.sheet.NumRows(); ++r) {
+      for (int32_t c = 0; c < es.sheet.NumColumns(); ++c) {
+        cells[static_cast<size_t>(r)].push_back(es.sheet.cell(r, c).raw);
+      }
+    }
+    requests.push_back(std::move(cells));
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  SearchOptions search_options;
+  search_options.enumeration.max_tree_size = 4;
+
+  ServiceOptions sopts;
+  sopts.num_workers = clients;
+  sopts.max_queue = static_cast<size_t>(4 * clients);
+  sopts.shared_cache_bytes = 64u << 20;
+
+  MixConfig cfg;
+  cfg.clients = clients;
+  // Floor of ~200 total requests so the rarest cadence (1 write per
+  // 100 requests) still lands a couple of batches per mix.
+  cfg.requests_per_client =
+      std::max(rounds * static_cast<int32_t>(requests.size()),
+               (200 + clients - 1) / clients);
+
+  std::atomic<int64_t> next_pk{1'000'000'000};
+
+  // Immutable baseline: the pre-live serving stack.
+  auto baseline_system = S4System::Create(world->db);
+  if (!baseline_system.ok()) {
+    std::fprintf(stderr, "S4System::Create failed: %s\n",
+                 baseline_system.status().ToString().c_str());
+    return 1;
+  }
+  MixResult immutable;
+  {
+    S4Service service(**baseline_system, sopts);
+    immutable = RunMix(service, nullptr, requests, search_options, cfg,
+                       next_pk);
+  }
+
+  // Live system: one epoch-publishing instance shared by all mixes (the
+  // database grows slightly across mixes; the fact table dwarfs the few
+  // hundred bench rows), a fresh service (cold cache) per mix.
+  auto live_db = datagen::MakeCsuppSim(dopts);
+  if (!live_db.ok()) {
+    std::fprintf(stderr, "MakeCsuppSim failed: %s\n",
+                 live_db.status().ToString().c_str());
+    return 1;
+  }
+  auto live = LiveS4System::Create(std::move(*live_db));
+  if (!live.ok()) {
+    std::fprintf(stderr, "LiveS4System::Create failed: %s\n",
+                 live.status().ToString().c_str());
+    return 1;
+  }
+
+  const struct {
+    const char* label;
+    const char* section;
+    int32_t write_every;
+  } mixes[] = {
+      {"live 0% writes", "mix_0", 0},
+      {"live 1% writes", "mix_1", 100},
+      {"live 10% writes", "mix_10", 10},
+  };
+  MixResult results[3];
+  for (int m = 0; m < 3; ++m) {
+    S4Service service(**live, sopts);
+    MixConfig mix_cfg = cfg;
+    mix_cfg.write_every = mixes[m].write_every;
+    results[m] = RunMix(service, live->get(), requests, search_options,
+                        mix_cfg, next_pk);
+  }
+
+  TablePrinter tp({"mix", "searches", "writes", "search p50 (ms)",
+                   "search p95 (ms)", "write p50 (ms)", "QPS", "errors"});
+  Report("immutable baseline", immutable, tp);
+  Report(mixes[0].label, results[0], tp);
+  Report(mixes[1].label, results[1], tp);
+  Report(mixes[2].label, results[2], tp);
+  tp.Print();
+
+  const double base_p50 = immutable.search_lat.PercentileSeconds(0.50);
+  const double live0_p50 = results[0].search_lat.PercentileSeconds(0.50);
+  const double ratio = base_p50 > 0.0 ? live0_p50 / base_p50 : 0.0;
+  std::printf("\nlive 0%%-writes p50 / immutable p50 = %.4f\n", ratio);
+
+  JsonMix("immutable", immutable);
+  for (int m = 0; m < 3; ++m) JsonMix(mixes[m].section, results[m]);
+  JsonMetric("gate", "live0_vs_immutable_p50_ratio", ratio);
+  JsonMetricsSnapshot("registry",
+                      obs::MetricsRegistry::Global().Snapshot());
+
+  std::printf(
+      "\nexpected shape: the 0%% column tracks the immutable baseline"
+      " (the epoch pin is one shared_ptr load); write mixes trade a"
+      " little reader latency for copy-on-publish epoch churn, and the"
+      " write p50 stays in single-digit milliseconds because each batch"
+      " rebuilds only the structures it dirtied.\n");
+
+  const int64_t errors =
+      immutable.errors + results[0].errors + results[1].errors +
+      results[2].errors;
+  return errors == 0 ? 0 : 1;
+}

@@ -11,12 +11,47 @@
 // cell. --ping just checks liveness and exits. --trace-out FILE fetches
 // the server-side trace of this search (server must run --trace) and
 // writes Chrome-trace JSON loadable in Perfetto / chrome://tracing.
+//
+// Write path (server must run --live): each flag below adds one
+// operation to a single batch, applied in order by one request:
+//   ./net_client --port 4321 --insert "movies,8,The Matrix 4,2026"
+//   ./net_client --port 4321 --update "movies,8,title,The Matrix Four"
+//   ./net_client --port 4321 --delete movies,8
+// Insert values are comma-separated in schema order; "NULL" is the SQL
+// null, digit-only tokens are integers, everything else is text.
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "net/client.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts(1);
+  for (char c : s) {
+    if (c == ',') {
+      parts.emplace_back();
+    } else {
+      parts.back().push_back(c);
+    }
+  }
+  return parts;
+}
+
+s4::Value ParseValue(const std::string& token) {
+  if (token == "NULL") return s4::Value::Null();
+  if (!token.empty() &&
+      token.find_first_not_of("-0123456789") == std::string::npos) {
+    return s4::Value::Int(std::atoll(token.c_str()));
+  }
+  return s4::Value::Text(token);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace s4;
@@ -27,6 +62,7 @@ int main(int argc, char** argv) {
   options.k = 5;
   bool ping_only = false;
   const char* trace_out = nullptr;
+  std::vector<Mutation> mutations;
   std::vector<std::vector<std::string>> cells(1);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -37,6 +73,38 @@ int main(int argc, char** argv) {
       options.k = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--insert") == 0 && i + 1 < argc) {
+      std::vector<std::string> parts = SplitCommas(argv[++i]);
+      if (parts.size() < 2) {
+        std::fprintf(stderr, "--insert needs \"table,v1[,v2...]\"\n");
+        return 2;
+      }
+      std::vector<Value> values;
+      for (size_t j = 1; j < parts.size(); ++j) {
+        values.push_back(ParseValue(parts[j]));
+      }
+      mutations.push_back(Mutation::Insert(parts[0], std::move(values)));
+    } else if (std::strcmp(argv[i], "--delete") == 0 && i + 1 < argc) {
+      std::vector<std::string> parts = SplitCommas(argv[++i]);
+      if (parts.size() != 2) {
+        std::fprintf(stderr, "--delete needs \"table,pk\"\n");
+        return 2;
+      }
+      mutations.push_back(
+          Mutation::Delete(parts[0], std::atoll(parts[1].c_str())));
+    } else if (std::strcmp(argv[i], "--update") == 0 && i + 1 < argc) {
+      std::vector<std::string> parts = SplitCommas(argv[++i]);
+      if (parts.size() < 4) {
+        std::fprintf(stderr, "--update needs \"table,pk,column,value\"\n");
+        return 2;
+      }
+      // The value may itself contain commas: rejoin everything past the
+      // third separator.
+      std::string value = parts[3];
+      for (size_t j = 4; j < parts.size(); ++j) value += "," + parts[j];
+      mutations.push_back(Mutation::Update(parts[0],
+                                           std::atoll(parts[1].c_str()),
+                                           parts[2], ParseValue(value)));
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       ping_only = true;
     } else if (std::strcmp(argv[i], "/") == 0) {
@@ -53,11 +121,35 @@ int main(int argc, char** argv) {
                 st.ToString().c_str());
     return st.ok() ? 0 : 1;
   }
+
+  if (!mutations.empty()) {
+    auto resp = client.Mutate(mutations);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "mutate failed: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("applied %lld/%zu operation(s), now at epoch %llu"
+                " (%.1f ms server time)%s%s\n",
+                static_cast<long long>(resp->applied), mutations.size(),
+                static_cast<unsigned long long>(resp->epoch),
+                1e3 * resp->server_seconds,
+                resp->interrupted ? " [interrupted]" : "",
+                resp->error.empty()
+                    ? ""
+                    : (" — stopped at: " + resp->error).c_str());
+    if (resp->applied != static_cast<int64_t>(mutations.size())) return 1;
+  }
+
   if (cells.back().empty()) cells.pop_back();
   if (cells.empty()) {
+    if (!mutations.empty()) return 0;  // write-only invocation
     std::fprintf(stderr,
                  "usage: net_client [--host H] [--port P] [--k K] cell"
-                 " [cell ...] [/ cell ...]\n");
+                 " [cell ...] [/ cell ...]\n"
+                 "       net_client [--insert \"table,v1,...\"]"
+                 " [--delete \"table,pk\"]"
+                 " [--update \"table,pk,col,value\"]\n");
     return 2;
   }
 

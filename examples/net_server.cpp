@@ -4,8 +4,10 @@
 // queries from another process.
 //
 //   ./net_server --port 4321        # serve until stdin closes
+//   ./net_server --port 4321 --live # accept kMutateRequest writes too
 //   ./net_server --port 4321 --trace --verbose --stats-port 9090
 //   ./net_server --self-test       # start, round-trip one search
+//                                  # (and, with --live, one write)
 //                                  # through a real socket, exit
 //
 // Observability flags:
@@ -24,6 +26,7 @@
 #include <string>
 
 #include "datagen/synthetic.h"
+#include "live/live_s4.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/stats_endpoint.h"
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
   bool self_test = false;
   bool trace = false;
   bool verbose = false;
+  bool live = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self-test") == 0) {
       self_test = true;
@@ -49,6 +53,8 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
     }
   }
   if (self_test) {
@@ -64,30 +70,50 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dataset: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  auto system = S4System::Create(*db);
-  if (!system.ok()) {
-    std::fprintf(stderr, "indexes: %s\n",
-                 system.status().ToString().c_str());
-    return 1;
-  }
 
   ServiceOptions sopts;
   sopts.num_workers = 2;
   sopts.max_queue = 32;
-  S4Service service(**system, sopts);
+
+  // --live hands the database to a LiveS4System (epoch-publishing,
+  // accepts kMutateRequest); otherwise a plain immutable S4System.
+  std::unique_ptr<S4System> system;
+  std::unique_ptr<LiveS4System> live_system;
+  std::unique_ptr<S4Service> service;
+  const Database* served_db = nullptr;
+  if (live) {
+    auto ls = LiveS4System::Create(std::move(*db));
+    if (!ls.ok()) {
+      std::fprintf(stderr, "indexes: %s\n", ls.status().ToString().c_str());
+      return 1;
+    }
+    live_system = std::move(*ls);
+    served_db = &live_system->db();
+    service = std::make_unique<S4Service>(*live_system, sopts);
+  } else {
+    auto sys = S4System::Create(*db);
+    if (!sys.ok()) {
+      std::fprintf(stderr, "indexes: %s\n",
+                   sys.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(*sys);
+    served_db = &*db;
+    service = std::make_unique<S4Service>(*system, sopts);
+  }
 
   net::ServerOptions nopts;
   nopts.port = port;
   nopts.enable_tracing = trace;
   nopts.verbose = verbose;
-  net::S4Server server(&service, nopts);
+  net::S4Server server(service.get(), nopts);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving the S4 wire protocol on 127.0.0.1:%u%s%s\n",
-              server.port(), trace ? " [tracing]" : "",
-              verbose ? " [verbose]" : "");
+  std::printf("serving the S4 wire protocol on 127.0.0.1:%u%s%s%s\n",
+              server.port(), live ? " [live]" : "",
+              trace ? " [tracing]" : "", verbose ? " [verbose]" : "");
 
   net::StatsTextServer stats_server;
   if (stats_port >= 0) {
@@ -105,8 +131,8 @@ int main(int argc, char** argv) {
   if (self_test) {
     // Borrow a movie title and an actor the database is known to hold,
     // exactly like net_client would type them.
-    const Table* movie = db->FindTable("Movie");
-    const Table* person = db->FindTable("Person");
+    const Table* movie = served_db->FindTable("Movie");
+    const Table* person = served_db->FindTable("Person");
     const std::string title = movie->GetText(0, 1);
     const std::string actor = person->GetText(3, 1);
     std::printf("self-test: searching for {\"%s\", \"%s\"}\n", title.c_str(),
@@ -169,6 +195,54 @@ int main(int argc, char** argv) {
     }
     std::printf("trace JSON: %zu bytes, spans present\n",
                 trace_json->size());
+
+    // With --live, drive the write path over the wire: insert a movie
+    // with a nonsense title, search for it, then clean it up.
+    if (live) {
+      const int64_t pk = 900000001;
+      auto mut = client.Mutate(
+          {Mutation::Insert("Movie",
+                            {Value::Int(pk),
+                             Value::Text("zelkova quasar tangerine"),
+                             Value::Null()})});
+      if (!mut.ok() || mut->applied != 1) {
+        std::fprintf(stderr, "mutate: %s (applied=%lld)\n",
+                     mut.ok() ? mut->error.c_str()
+                              : mut.status().ToString().c_str(),
+                     mut.ok() ? static_cast<long long>(mut->applied) : 0);
+        return 1;
+      }
+      std::printf("wrote 1 row, now at epoch %llu\n",
+                  static_cast<unsigned long long>(mut->epoch));
+      auto found = client.Search(
+          net::NetSearchRequest::From({{"zelkova quasar tangerine"}},
+                                      options,
+                                      S4System::Strategy::kFastTopK));
+      if (!found.ok() || found->topk.empty()) {
+        std::fprintf(stderr, "inserted row not searchable: %s\n",
+                     found.ok() ? "(empty top-k)"
+                                : found.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("inserted row found, best score=%.4f\n",
+                  found->topk[0].score);
+      auto del = client.Mutate({Mutation::Delete("Movie", pk)});
+      if (!del.ok() || del->applied != 1) {
+        std::fprintf(stderr, "delete failed\n");
+        return 1;
+      }
+    } else {
+      // Writes against an immutable deployment must be rejected with
+      // the typed error, not a dropped connection.
+      auto mut = client.Mutate({Mutation::Delete("Movie", 1)});
+      if (mut.ok() ||
+          mut.status().code() != StatusCode::kFailedPrecondition) {
+        std::fprintf(stderr,
+                     "expected FailedPrecondition for a write to an "
+                     "immutable server\n");
+        return 1;
+      }
+    }
 
     // An unknown id must answer NotFound without dropping the stream.
     auto missing = client.FetchTrace(request_id + 12345);

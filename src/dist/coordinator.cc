@@ -9,6 +9,7 @@
 
 #include "common/fd.h"
 #include "common/string_util.h"
+#include "net/client.h"
 #include "net/socket_util.h"
 #include "obs/metrics.h"
 
@@ -431,6 +432,77 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
       if (!sp->failure.ok()) return sp->failure;
     }
     return Status::Internal(StrFormat("all %zu shards unreached", n));
+  }
+  return result;
+}
+
+StatusOr<DistMutateResult> S4Coordinator::Mutate(
+    const std::vector<Mutation>& mutations) {
+  if (options_.shards.empty()) {
+    return Status::FailedPrecondition("no shards configured");
+  }
+  if (mutations.empty()) {
+    return Status::InvalidArgument("empty mutation batch");
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("s4_dist_mutates").Increment();
+  const auto start = std::chrono::steady_clock::now();
+
+  // One broadcast at a time: with every batch reaching all shards in the
+  // same order and the apply itself being deterministic, every shard's
+  // epoch sequence stays bit-identical. Shards are visited sequentially
+  // for the same reason — a parallel fan-out would be faster but could
+  // interleave two coordinators' batches differently per shard.
+  std::lock_guard<std::mutex> write_lock(mutate_mu_);
+
+  DistMutateResult result;
+  result.shards.reserve(options_.shards.size());
+  int64_t min_applied = std::numeric_limits<int64_t>::max();
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    DistShardMutate slot;
+    slot.shard_index = static_cast<int32_t>(i);
+    net::ClientOptions copts;
+    copts.host = options_.shards[i].host;
+    copts.port = options_.shards[i].port;
+    copts.connect_timeout_seconds = options_.connect_timeout_seconds;
+    copts.request_timeout_seconds = options_.request_timeout_seconds;
+    net::S4Client client(copts);
+    auto resp = client.Mutate(mutations);
+    if (resp.ok()) {
+      slot.reached = true;
+      slot.response = std::move(*resp);
+      min_applied = std::min(min_applied, slot.response.applied);
+      if (slot.response.applied !=
+              static_cast<int64_t>(mutations.size()) ||
+          !slot.response.error.empty()) {
+        result.complete = false;
+        result.diverged_shards.push_back(slot.shard_index);
+      }
+    } else {
+      slot.error = std::string(resp.status().message());
+      result.complete = false;
+      result.diverged_shards.push_back(slot.shard_index);
+      registry.GetCounter("s4_dist_mutate_shard_failures").Increment();
+    }
+    result.shards.push_back(std::move(slot));
+  }
+  result.applied =
+      min_applied == std::numeric_limits<int64_t>::max() ? 0 : min_applied;
+  result.wall_seconds = Elapsed(start);
+  if (!result.complete) {
+    registry.GetCounter("s4_dist_diverged_mutates").Increment();
+  }
+
+  // A write that landed nowhere is an error, not a degraded success.
+  if (result.diverged_shards.size() == options_.shards.size() &&
+      result.applied == 0) {
+    bool any_reached = false;
+    for (const auto& s : result.shards) any_reached |= s.reached;
+    if (!any_reached) {
+      return Status::Internal(StrFormat("all %zu shards unreached: %s",
+                                        options_.shards.size(),
+                                        result.shards[0].error.c_str()));
+    }
   }
   return result;
 }

@@ -78,6 +78,28 @@ struct DistSearchResult {
   double wall_seconds = 0.0;
 };
 
+// Per-shard outcome of one broadcast write.
+struct DistShardMutate {
+  int32_t shard_index = 0;
+  bool reached = false;  // got a kMutateResponse back
+  net::NetMutateResponse response;
+  std::string error;  // transport / admission failure when not reached
+};
+
+// Result of broadcasting one mutation batch to every shard. Shards all
+// hold the full database (only the candidate space is partitioned), so
+// a write must land everywhere; `complete` means every shard applied
+// the whole batch. A diverged shard (unreached, or applied a shorter
+// prefix) serves stale/partial epochs until an operator re-syncs it —
+// the per-shard slots say exactly which and why.
+struct DistMutateResult {
+  bool complete = true;
+  int64_t applied = 0;  // min applied count over reached shards
+  std::vector<int32_t> diverged_shards;
+  std::vector<DistShardMutate> shards;
+  double wall_seconds = 0.0;
+};
+
 // Scatter-gather coordinator over N S4Server shards (DESIGN.md
 // "Distributed serving"). Fans a search out as kShardSearchRequest
 // exchanges, one blocking connection per shard, merges the streamed
@@ -95,6 +117,13 @@ class S4Coordinator {
   // configured, invalid request rejected by every shard); partial
   // failures degrade the DistSearchResult instead.
   StatusOr<DistSearchResult> Search(const net::NetSearchRequest& request);
+
+  // Broadcasts one mutation batch to every shard, serialized under a
+  // coordinator-wide write lock so concurrent Mutate calls reach all
+  // shards in one identical order (shards then publish identical
+  // epochs). Returns a Status error only when no shards are configured
+  // or the batch is empty; per-shard failures degrade the result.
+  StatusOr<DistMutateResult> Mutate(const std::vector<Mutation>& mutations);
 
   // Trace of the most recent Search (nullptr unless enable_tracing).
   std::shared_ptr<obs::Trace> last_trace() const;
@@ -117,6 +146,11 @@ class S4Coordinator {
 
   CoordinatorOptions options_;
   std::atomic<uint64_t> next_request_id_{1};
+
+  // Serializes write broadcasts: every shard sees every batch in the
+  // same order, which (deterministic apply) keeps their epochs
+  // bit-identical.
+  std::mutex mutate_mu_;
 
   mutable std::mutex trace_mu_;
   std::shared_ptr<obs::Trace> last_trace_;

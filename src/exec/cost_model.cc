@@ -43,6 +43,7 @@ int64_t EvaluationCostWithCache(const PJQuery& q,
                                 const ScoreContext& ctx,
                                 const std::string& rows_suffix) {
   const int64_t base = EvaluationCost(q, ctx);
+  const std::vector<uint64_t>& gens = ctx.index().relation_gens();
 
   // Greedily discount maximal cached sub-PJ queries: consider larger
   // subtrees first and never double-count overlapping node sets.
@@ -57,7 +58,10 @@ int64_t EvaluationCostWithCache(const PJQuery& q,
   std::vector<bool> covered(q.tree().size(), false);
   int64_t savings = 0;
   for (const SubPJQuery* s : sorted) {
-    if (!cache.Contains(s->cache_key + rows_suffix)) continue;
+    if (!cache.Contains(s->cache_key + RelationGenSuffix(s->tree, gens) +
+                        rows_suffix)) {
+      continue;
+    }
     std::vector<TreeNodeId> nodes = q.tree().DescendantsOf(s->anchor);
     if (s->kind == SubPJQuery::Kind::kSubtreeWithParent) {
       nodes.push_back(q.tree().node(s->anchor).parent);

@@ -24,6 +24,9 @@ struct Evaluator::Ctx {
   const EvalOptions* options;
   std::vector<int32_t> es_rows;  // resolved: never empty
   std::string rows_suffix;
+  // IndexSet::relation_gens() of the epoch under evaluation; empty for
+  // offline builds (gen suffixes collapse to ""). Not owned.
+  const std::vector<uint64_t>* gens;
 };
 
 void Evaluator::ComputeOwnSims(const Ctx& c, TreeNodeId v,
@@ -104,7 +107,9 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
   // Reuse the full rooted subtree at v if cached (type-i hit).
   std::string key;
   if (c.cache != nullptr) {
-    key = SubtreeCacheKey(tree, *c.bindings, v, link) + c.rows_suffix;
+    key = SubtreeCacheKey(tree, *c.bindings, v, link) +
+          RelationGenSuffix(tree, v, /*include_parent=*/false, *c.gens) +
+          c.rows_suffix;
     std::shared_ptr<const SubQueryTable> hit = c.cache->Get(key);
     if (c.options->trace != nullptr) {
       c.options->trace->AddInstant(
@@ -128,7 +133,9 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
   if (c.cache != nullptr) {
     for (TreeNodeId child : children) {
       std::string key2 =
-          SubtreeWithParentCacheKey(tree, *c.bindings, child) + c.rows_suffix;
+          SubtreeWithParentCacheKey(tree, *c.bindings, child) +
+          RelationGenSuffix(tree, child, /*include_parent=*/true, *c.gens) +
+          c.rows_suffix;
       std::shared_ptr<const SubQueryTable> hit = c.cache->Get(key2);
       if (c.options->trace != nullptr) {
         c.options->trace->AddInstant(
@@ -280,9 +287,11 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
       if (cn.parent_holds_fk) {
         // This node's FK references the child relation.
         const std::vector<int64_t>& fks = snap.Fk(cn.edge_to_parent);
+        const std::vector<bool>& fk_valid =
+            snap.FkValidColumn(cn.edge_to_parent);
         for (size_t l = 0; l < lanes; ++l) {
           if (!alive[l]) continue;
-          if (!snap.FkValid(cn.edge_to_parent, lane_row[l])) {
+          if (!fk_valid[static_cast<size_t>(lane_row[l])]) {
             alive[l] = false;
             continue;
           }
@@ -320,6 +329,12 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
     // resolves the keys and warms the output table's slot lines; pass 2
     // upserts in row order, so insertion order — and with it robin-hood
     // layout, arena row ids, and growth points — matches serial.
+    const std::vector<int64_t>* link_fks = nullptr;
+    const std::vector<bool>* link_fk_valid = nullptr;
+    if (link.kind == LinkSpec::Kind::kByFk) {
+      link_fks = &snap.Fk(link.edge);
+      link_fk_valid = &snap.FkValidColumn(link.edge);
+    }
     for (size_t l = 0; l < lanes; ++l) {
       emit[l] = false;
       if (!alive[l]) continue;
@@ -327,8 +342,8 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalNode(
       if (link.kind == LinkSpec::Kind::kByPk) {
         out_keys[l] = pks[static_cast<size_t>(r)];
       } else {
-        if (!snap.FkValid(link.edge, r)) continue;
-        out_keys[l] = snap.Fk(link.edge)[static_cast<size_t>(r)];
+        if (!(*link_fk_valid)[static_cast<size_t>(r)]) continue;
+        out_keys[l] = (*link_fks)[static_cast<size_t>(r)];
       }
       emit[l] = true;
       out->PrefetchUpsert(out_keys[l]);
@@ -394,6 +409,7 @@ std::shared_ptr<const SubQueryTable> Evaluator::EvalSubtree(
   c.cache = cache;
   c.counters = counters;
   c.options = &options;
+  c.gens = &ctx_->index().relation_gens();
   c.es_rows = options.es_rows;
   if (c.es_rows.empty()) {
     for (int32_t t = 0; t < ctx_->resolved().num_rows; ++t) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 namespace s4 {
 
@@ -19,13 +20,13 @@ StatusOr<std::unique_ptr<IndexSet>> IndexSet::Build(
 
   // Build the inverted indexes column-by-column so column-level entries
   // are added in non-decreasing gid order per term.
+  auto dict = std::make_shared<TermDict>();
   std::unordered_map<TermId, uint16_t> tf;
   for (TableId t = 0; t < db.NumTables(); ++t) {
     const Table& table = db.table(t);
     for (int32_t c : table.TextColumnIndexes()) {
       const int32_t gid = set->column_ids_.Gid(ColumnRef{t, c});
-      std::vector<uint16_t>& lengths = set->cell_lengths_[gid];
-      lengths.assign(static_cast<size_t>(table.NumRows()), 0);
+      std::vector<uint16_t> lengths(static_cast<size_t>(table.NumRows()), 0);
       for (int64_t r = 0; r < table.NumRows(); ++r) {
         if (table.IsNull(r, c)) continue;
         std::vector<std::string> tokens =
@@ -33,7 +34,7 @@ StatusOr<std::unique_ptr<IndexSet>> IndexSet::Build(
         if (tokens.empty()) continue;
         tf.clear();
         for (const std::string& tok : tokens) {
-          TermId id = set->dict_.Intern(tok);
+          TermId id = dict->Intern(tok);
           uint16_t& count = tf[id];
           if (count < UINT16_MAX) ++count;
         }
@@ -44,21 +45,24 @@ StatusOr<std::unique_ptr<IndexSet>> IndexSet::Build(
           set->row_index_.Add(term, gid, static_cast<int32_t>(r), count);
         }
       }
+      set->cell_lengths_[gid] =
+          std::make_shared<const std::vector<uint16_t>>(std::move(lengths));
     }
   }
+  set->dict_ = std::move(dict);
   return set;
 }
 
 IndexStats IndexSet::stats() const {
   IndexStats s;
   s.inverted_index_bytes = column_index_.ByteSize() + row_index_.ByteSize() +
-                           dict_.ByteSize();
+                           dict_->ByteSize();
   for (const auto& [gid, lengths] : cell_lengths_) {
     (void)gid;
-    s.inverted_index_bytes += lengths.capacity() * sizeof(uint16_t);
+    s.inverted_index_bytes += lengths->capacity() * sizeof(uint16_t);
   }
   s.kfk_snapshot_bytes = snapshot_.ByteSize();
-  s.num_tokens = dict_.size();
+  s.num_tokens = dict_->size();
   s.num_postings = row_index_.TotalPostings();
   return s;
 }

@@ -1,8 +1,10 @@
 #ifndef S4_INDEX_INDEX_SET_H_
 #define S4_INDEX_INDEX_SET_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "index/column_ids.h"
@@ -30,6 +32,14 @@ struct IndexStats {
 // dictionary, column-level and row-level inverted indexes, and the
 // (key, fk) snapshot. Everything the online phase touches lives here; the
 // base Database is only needed again to display result rows.
+//
+// Under live mutation (src/live/), each published epoch is its own
+// IndexSet whose members share unchanged state with the previous epoch
+// through the structures' internal shared_ptrs; `relation_gens_` counts
+// mutations per relation so cross-query cache keys can be stamped with
+// exactly the generations of the relations a sub-PJ touches. Offline
+// builds leave `relation_gens_` empty (an empty gen suffix), keeping
+// static cache keys byte-identical to the pre-live layout.
 class IndexSet {
  public:
   // Tokenizes every text column of `db` and builds all indexes. `db`
@@ -39,7 +49,7 @@ class IndexSet {
 
   const Database& db() const { return *db_; }
   const Tokenizer& tokenizer() const { return tokenizer_; }
-  const TermDict& dict() const { return dict_; }
+  const TermDict& dict() const { return *dict_; }
   const ColumnIds& column_ids() const { return column_ids_; }
   const ColumnInvertedIndex& column_index() const { return column_index_; }
   const RowInvertedIndex& row_index() const { return row_index_; }
@@ -50,23 +60,37 @@ class IndexSet {
   // Appendix A.2 cell-similarity extension.
   const std::vector<uint16_t>* CellLengths(int32_t gid) const {
     auto it = cell_lengths_.find(gid);
-    return it == cell_lengths_.end() ? nullptr : &it->second;
+    return it == cell_lengths_.end() ? nullptr : it->second.get();
   }
+
+  // Per-relation mutation generations, indexed by TableId. Empty for
+  // offline builds (no mutation has ever touched the database); under
+  // live mutation each entry counts the epochs that dirtied the table.
+  const std::vector<uint64_t>& relation_gens() const {
+    return relation_gens_;
+  }
+  // Publication number of this epoch; 0 for offline builds.
+  uint64_t epoch() const { return epoch_; }
 
   IndexStats stats() const;
 
  private:
+  friend class LiveIndexBuilder;  // assembles mutation epochs (src/live/)
+
   IndexSet(const Database& db, IndexBuildOptions options)
       : db_(&db), tokenizer_(options.tokenizer), column_ids_(db) {}
 
   const Database* db_;
   Tokenizer tokenizer_;
-  TermDict dict_;
+  std::shared_ptr<const TermDict> dict_;
   ColumnIds column_ids_;
   ColumnInvertedIndex column_index_;
   RowInvertedIndex row_index_;
   KfkSnapshot snapshot_;
-  std::unordered_map<int32_t, std::vector<uint16_t>> cell_lengths_;
+  std::unordered_map<int32_t, std::shared_ptr<const std::vector<uint16_t>>>
+      cell_lengths_;
+  std::vector<uint64_t> relation_gens_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace s4

@@ -1,54 +1,154 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace s4 {
 
+namespace {
+
+// Overlay compaction threshold: past this many overlay entries the
+// delta is folded into a fresh base so probe cost stays one null test
+// plus at most one extra hash lookup.
+size_t CompactionThreshold(size_t base_size) {
+  return std::max<size_t>(64, base_size / 4);
+}
+
+}  // namespace
+
 void ColumnInvertedIndex::Add(TermId term, int32_t gid) {
-  std::vector<int32_t>& cols = postings_[term];
+  std::vector<int32_t>& cols = (*owned_)[term];
   if (cols.empty() || cols.back() != gid) cols.push_back(gid);
 }
 
-const std::vector<int32_t>* ColumnInvertedIndex::Find(TermId term) const {
-  auto it = postings_.find(term);
-  return it == postings_.end() ? nullptr : &it->second;
+ColumnInvertedIndex ColumnInvertedIndex::WithChanges(Map changes) const {
+  Map merged = overlay_ != nullptr ? *overlay_ : Map();
+  for (auto& [term, cols] : changes) {
+    merged.insert_or_assign(term, std::move(cols));
+  }
+  ColumnInvertedIndex out;
+  if (merged.size() > CompactionThreshold(base_->size())) {
+    auto compacted = std::make_shared<Map>(*base_);
+    for (auto& [term, cols] : merged) {
+      if (cols.empty()) {
+        compacted->erase(term);
+      } else {
+        compacted->insert_or_assign(term, std::move(cols));
+      }
+    }
+    out.owned_ = nullptr;
+    out.base_ = std::move(compacted);
+  } else {
+    out.owned_ = nullptr;
+    out.base_ = base_;
+    out.overlay_ = std::make_shared<const Map>(std::move(merged));
+  }
+  return out;
 }
 
 int64_t ColumnInvertedIndex::NumEntries() const {
   int64_t n = 0;
-  for (const auto& [term, cols] : postings_) {
-    (void)term;
+  for (const auto& [term, cols] : *base_) {
+    if (overlay_ != nullptr && overlay_->count(term) > 0) continue;
     n += static_cast<int64_t>(cols.size());
+  }
+  if (overlay_ != nullptr) {
+    for (const auto& [term, cols] : *overlay_) {
+      (void)term;
+      n += static_cast<int64_t>(cols.size());
+    }
   }
   return n;
 }
 
 size_t ColumnInvertedIndex::ByteSize() const {
   size_t bytes = 0;
-  for (const auto& [term, cols] : postings_) {
+  const auto entry_bytes = [](const std::vector<int32_t>& cols) {
+    return sizeof(TermId) + sizeof(std::vector<int32_t>) + 32 +
+           cols.capacity() * sizeof(int32_t);
+  };
+  for (const auto& [term, cols] : *base_) {
     (void)term;
-    bytes += sizeof(TermId) + sizeof(std::vector<int32_t>) + 32 +
-             cols.capacity() * sizeof(int32_t);
+    bytes += entry_bytes(cols);
+  }
+  if (overlay_ != nullptr) {
+    for (const auto& [term, cols] : *overlay_) {
+      (void)term;
+      bytes += entry_bytes(cols);
+    }
   }
   return bytes;
 }
 
 void RowInvertedIndex::Add(TermId term, int32_t gid, int32_t row,
                            uint16_t tf) {
-  postings_[Key(term, gid)].push_back(Posting{row, tf});
+  (*owned_)[Key(term, gid)].push_back(Posting{row, tf});
   ++total_postings_;
 }
 
-const std::vector<Posting>* RowInvertedIndex::Find(TermId term,
-                                                   int32_t gid) const {
-  auto it = postings_.find(Key(term, gid));
-  return it == postings_.end() ? nullptr : &it->second;
+RowInvertedIndex RowInvertedIndex::WithChanges(Map changes) const {
+  // Size deltas are against this index's current view (overlay first,
+  // then base), so TotalPostings stays exact across stacked epochs.
+  int64_t delta = 0;
+  for (const auto& [key, plist] : changes) {
+    int64_t before = 0;
+    if (overlay_ != nullptr) {
+      auto it = overlay_->find(key);
+      if (it != overlay_->end()) {
+        before = static_cast<int64_t>(it->second.size());
+      } else {
+        auto bit = base_->find(key);
+        if (bit != base_->end()) {
+          before = static_cast<int64_t>(bit->second.size());
+        }
+      }
+    } else {
+      auto bit = base_->find(key);
+      if (bit != base_->end()) before = static_cast<int64_t>(bit->second.size());
+    }
+    delta += static_cast<int64_t>(plist.size()) - before;
+  }
+
+  Map merged = overlay_ != nullptr ? *overlay_ : Map();
+  for (auto& [key, plist] : changes) {
+    merged.insert_or_assign(key, std::move(plist));
+  }
+  RowInvertedIndex out;
+  out.total_postings_ = total_postings_ + delta;
+  if (merged.size() > CompactionThreshold(base_->size())) {
+    auto compacted = std::make_shared<Map>(*base_);
+    for (auto& [key, plist] : merged) {
+      if (plist.empty()) {
+        compacted->erase(key);
+      } else {
+        compacted->insert_or_assign(key, std::move(plist));
+      }
+    }
+    out.owned_ = nullptr;
+    out.base_ = std::move(compacted);
+  } else {
+    out.owned_ = nullptr;
+    out.base_ = base_;
+    out.overlay_ = std::make_shared<const Map>(std::move(merged));
+  }
+  return out;
 }
 
 size_t RowInvertedIndex::ByteSize() const {
   size_t bytes = 0;
-  for (const auto& [key, plist] : postings_) {
+  const auto entry_bytes = [](const std::vector<Posting>& plist) {
+    return sizeof(uint64_t) + sizeof(std::vector<Posting>) + 32 +
+           plist.capacity() * sizeof(Posting);
+  };
+  for (const auto& [key, plist] : *base_) {
     (void)key;
-    bytes += sizeof(uint64_t) + sizeof(std::vector<Posting>) + 32 +
-             plist.capacity() * sizeof(Posting);
+    bytes += entry_bytes(plist);
+  }
+  if (overlay_ != nullptr) {
+    for (const auto& [key, plist] : *overlay_) {
+      (void)key;
+      bytes += entry_bytes(plist);
+    }
   }
   return bytes;
 }

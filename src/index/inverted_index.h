@@ -2,6 +2,7 @@
 #define S4_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -12,20 +13,52 @@ namespace s4 {
 
 // Column-level inverted index (Sec 3.1): inv(w) = the database columns
 // (as global column ids) where term w appears in at least one row.
+//
+// Internally the postings live behind shared_ptrs so live mutation
+// epochs are cheap: a mutated epoch shares the frozen base map and adds
+// a small delta overlay of fully materialized replacement lists (an
+// empty list is a tombstone). The static-build probe path pays exactly
+// one extra null test; once the overlay outgrows max(64, base/4)
+// entries, WithChanges compacts it into a fresh base. Copies share
+// state with the source; Add() after copying is not supported (builds
+// freeze before an index is shared).
 class ColumnInvertedIndex {
  public:
+  using Map = std::unordered_map<TermId, std::vector<int32_t>>;
+
+  ColumnInvertedIndex() : owned_(std::make_shared<Map>()), base_(owned_) {}
+
   // Records that `term` occurs in column `gid` (idempotent if called in
   // non-decreasing gid order per term, which the builder guarantees).
+  // Build path only — not for indexes produced by WithChanges.
   void Add(TermId term, int32_t gid);
 
   // Columns containing `term`, or nullptr if the term is unknown.
-  const std::vector<int32_t>* Find(TermId term) const;
+  const std::vector<int32_t>* Find(TermId term) const {
+    if (overlay_ != nullptr) {
+      auto it = overlay_->find(term);
+      if (it != overlay_->end()) {
+        return it->second.empty() ? nullptr : &it->second;
+      }
+    }
+    auto it = base_->find(term);
+    return it == base_->end() ? nullptr : &it->second;
+  }
+
+  // A new index sharing this one's base with `changes` layered on top
+  // (each entry fully replaces the term's column list; an empty list
+  // deletes the term). Existing overlay entries not re-changed are
+  // carried over; compaction folds everything into a new base when the
+  // overlay grows past the threshold.
+  ColumnInvertedIndex WithChanges(Map changes) const;
 
   int64_t NumEntries() const;
   size_t ByteSize() const;
 
  private:
-  std::unordered_map<TermId, std::vector<int32_t>> postings_;
+  std::shared_ptr<Map> owned_;          // build-path mutable alias of base_
+  std::shared_ptr<const Map> base_;
+  std::shared_ptr<const Map> overlay_;  // empty list = tombstone
 };
 
 // One entry of a row-level posting list: a row of the column's table and
@@ -38,13 +71,36 @@ struct Posting {
 };
 
 // Row-level inverted index (Sec 3.1): inv(w, R[j]) = rows of R where w
-// appears in column j, with term frequencies.
+// appears in column j, with term frequencies. Same base + delta-overlay
+// layout as ColumnInvertedIndex (see above).
 class RowInvertedIndex {
  public:
+  using Map = std::unordered_map<uint64_t, std::vector<Posting>>;
+
+  // Posting-list key for (term, column gid) — the map key WithChanges
+  // callers build deltas under.
+  static uint64_t Key(TermId term, int32_t gid) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(term)) << 32) |
+           static_cast<uint32_t>(gid);
+  }
+
+  RowInvertedIndex() : owned_(std::make_shared<Map>()), base_(owned_) {}
+
+  // Build path only — not for indexes produced by WithChanges.
   void Add(TermId term, int32_t gid, int32_t row, uint16_t tf);
 
   // Posting list for (term, column gid), or nullptr.
-  const std::vector<Posting>* Find(TermId term, int32_t gid) const;
+  const std::vector<Posting>* Find(TermId term, int32_t gid) const {
+    const uint64_t key = Key(term, gid);
+    if (overlay_ != nullptr) {
+      auto it = overlay_->find(key);
+      if (it != overlay_->end()) {
+        return it->second.empty() ? nullptr : &it->second;
+      }
+    }
+    auto it = base_->find(key);
+    return it == base_->end() ? nullptr : &it->second;
+  }
 
   // |inv(w, R[j])|: posting-list length, 0 if absent. This is the l_w of
   // Propositions 3-4 and the cost model (12).
@@ -53,16 +109,18 @@ class RowInvertedIndex {
     return p == nullptr ? 0 : static_cast<int64_t>(p->size());
   }
 
+  // A new index layering `changes` (full replacement lists, empty =
+  // delete) over this one's base; TotalPostings is maintained from the
+  // per-list size deltas.
+  RowInvertedIndex WithChanges(Map changes) const;
+
   int64_t TotalPostings() const { return total_postings_; }
   size_t ByteSize() const;
 
  private:
-  static uint64_t Key(TermId term, int32_t gid) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(term)) << 32) |
-           static_cast<uint32_t>(gid);
-  }
-
-  std::unordered_map<uint64_t, std::vector<Posting>> postings_;
+  std::shared_ptr<Map> owned_;          // build-path mutable alias of base_
+  std::shared_ptr<const Map> base_;
+  std::shared_ptr<const Map> overlay_;  // empty list = tombstone
   int64_t total_postings_ = 0;
 };
 

@@ -2,51 +2,88 @@
 
 namespace s4 {
 
+StatusOr<std::shared_ptr<const KfkSnapshot::TableKeys>>
+KfkSnapshot::BuildTable(const Table& table) {
+  auto keys = std::make_shared<TableKeys>();
+  keys->pk = table.IntColumn(table.primary_key_column());
+  // Flat pk -> dense-row index; row ids are stored as uint32, which
+  // bounds an in-memory relation at ~4.29e9 rows.
+  const std::vector<int64_t>& pks = keys->pk;
+  if (pks.size() >= static_cast<size_t>(FlatMap64::kNotFound)) {
+    return Status::InvalidArgument(
+        "table too large for the in-memory kfk snapshot");
+  }
+  keys->pk_row.Reserve(pks.size());
+  bool inserted = false;
+  for (size_t r = 0; r < pks.size(); ++r) {
+    keys->pk_row.FindOrInsert(pks[r], static_cast<uint32_t>(r), &inserted);
+  }
+  return std::shared_ptr<const TableKeys>(std::move(keys));
+}
+
+std::shared_ptr<const KfkSnapshot::FkKeys> KfkSnapshot::BuildFk(
+    const Database& db, const ForeignKeyDef& fk) {
+  auto keys = std::make_shared<FkKeys>();
+  const Table& src = db.table(fk.src_table);
+  keys->fk = src.IntColumn(fk.src_column);
+  keys->valid.resize(static_cast<size_t>(src.NumRows()));
+  for (int64_t r = 0; r < src.NumRows(); ++r) {
+    keys->valid[r] = !src.IsNull(r, fk.src_column);
+  }
+  return keys;
+}
+
 StatusOr<KfkSnapshot> KfkSnapshot::Build(const Database& db) {
   if (!db.finalized()) {
     return Status::FailedPrecondition("database must be finalized");
   }
   KfkSnapshot snap;
-  snap.pk_.resize(db.NumTables());
-  snap.pk_row_.resize(db.NumTables());
+  snap.tables_.reserve(db.NumTables());
   for (TableId t = 0; t < db.NumTables(); ++t) {
-    const Table& table = db.table(t);
-    snap.pk_[t] = table.IntColumn(table.primary_key_column());
-    // Flat pk -> dense-row index; row ids are stored as uint32, which
-    // bounds an in-memory relation at ~4.29e9 rows.
-    const std::vector<int64_t>& pks = snap.pk_[t];
-    if (pks.size() >= static_cast<size_t>(FlatMap64::kNotFound)) {
-      return Status::InvalidArgument(
-          "table too large for the in-memory kfk snapshot");
-    }
-    FlatMap64& index = snap.pk_row_[t];
-    index.Reserve(pks.size());
-    bool inserted = false;
-    for (size_t r = 0; r < pks.size(); ++r) {
-      index.FindOrInsert(pks[r], static_cast<uint32_t>(r), &inserted);
-    }
+    auto keys = BuildTable(db.table(t));
+    if (!keys.ok()) return keys.status();
+    snap.tables_.push_back(std::move(keys).value());
   }
-  snap.fk_.resize(db.foreign_keys().size());
-  snap.fk_valid_.resize(db.foreign_keys().size());
-  for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
-    const ForeignKeyDef& fk = db.foreign_keys()[i];
-    const Table& src = db.table(fk.src_table);
-    snap.fk_[i] = src.IntColumn(fk.src_column);
-    std::vector<bool> valid(static_cast<size_t>(src.NumRows()));
-    for (int64_t r = 0; r < src.NumRows(); ++r) {
-      valid[r] = !src.IsNull(r, fk.src_column);
+  snap.fks_.reserve(db.foreign_keys().size());
+  for (const ForeignKeyDef& fk : db.foreign_keys()) {
+    snap.fks_.push_back(BuildFk(db, fk));
+  }
+  return snap;
+}
+
+StatusOr<KfkSnapshot> KfkSnapshot::Rebuilt(
+    const Database& db, const std::vector<bool>& dirty_tables,
+    const std::vector<bool>& dirty_fks) const {
+  KfkSnapshot snap;
+  snap.tables_.reserve(tables_.size());
+  for (TableId t = 0; t < static_cast<TableId>(tables_.size()); ++t) {
+    const bool dirty =
+        static_cast<size_t>(t) < dirty_tables.size() && dirty_tables[t];
+    if (!dirty) {
+      snap.tables_.push_back(tables_[t]);
+      continue;
     }
-    snap.fk_valid_[i] = std::move(valid);
+    auto keys = BuildTable(db.table(t));
+    if (!keys.ok()) return keys.status();
+    snap.tables_.push_back(std::move(keys).value());
+  }
+  snap.fks_.reserve(fks_.size());
+  for (size_t i = 0; i < fks_.size(); ++i) {
+    const bool dirty = i < dirty_fks.size() && dirty_fks[i];
+    snap.fks_.push_back(dirty ? BuildFk(db, db.foreign_keys()[i])
+                              : fks_[i]);
   }
   return snap;
 }
 
 size_t KfkSnapshot::ByteSize() const {
   size_t bytes = 0;
-  for (const auto& v : pk_) bytes += v.capacity() * sizeof(int64_t);
-  for (const auto& m : pk_row_) bytes += m.ByteSize();
-  for (const auto& v : fk_) bytes += v.capacity() * sizeof(int64_t);
-  for (const auto& v : fk_valid_) bytes += v.capacity() / 8;
+  for (const auto& t : tables_) {
+    bytes += t->pk.capacity() * sizeof(int64_t) + t->pk_row.ByteSize();
+  }
+  for (const auto& f : fks_) {
+    bytes += f->fk.capacity() * sizeof(int64_t) + f->valid.capacity() / 8;
+  }
   return bytes;
 }
 

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/flat_table.h"
@@ -17,31 +18,63 @@ namespace s4 {
 // materialized as flat arrays so PJ queries execute without touching the
 // (conceptually on-disk) base tables. Execution plans scan these arrays
 // and perform hash lookups (Appendix B.1).
+//
+// Each relation's arrays sit behind a shared_ptr so mutation epochs are
+// cheap: Rebuilt() copies the per-relation pointer vector and rebuilds
+// only the dirty relations' arrays from the (already mutated) database —
+// bit-identical to a from-scratch Build by construction, with untouched
+// relations shared across epochs.
 class KfkSnapshot {
  public:
+  // Per-table primary-key arrays plus the flat pk -> dense-row index.
+  struct TableKeys {
+    std::vector<int64_t> pk;
+    FlatMap64 pk_row;
+  };
+  // Per-foreign-key value array plus its NULL bitmap.
+  struct FkKeys {
+    std::vector<int64_t> fk;
+    std::vector<bool> valid;
+  };
+
   // Builds the snapshot; `db` must be finalized and must outlive it.
   static StatusOr<KfkSnapshot> Build(const Database& db);
 
+  // A copy sharing every relation's arrays except those flagged dirty,
+  // which are rebuilt from `db` (whose mutated state must match what
+  // the caller wants this epoch to see). `dirty_tables` is indexed by
+  // TableId, `dirty_fks` by foreign-key index; short vectors read as
+  // clean.
+  StatusOr<KfkSnapshot> Rebuilt(const Database& db,
+                                const std::vector<bool>& dirty_tables,
+                                const std::vector<bool>& dirty_fks) const;
+
   int64_t NumRows(TableId t) const {
-    return static_cast<int64_t>(pk_[t].size());
+    return static_cast<int64_t>(tables_[t]->pk.size());
   }
   // Primary keys of table `t`, aligned with dense row ids.
-  const std::vector<int64_t>& Pk(TableId t) const { return pk_[t]; }
+  const std::vector<int64_t>& Pk(TableId t) const { return tables_[t]->pk; }
 
   // FK values of foreign key `fk_index` (index into db.foreign_keys(),
   // equal to the SchemaEdgeId), aligned with rows of the source table.
   const std::vector<int64_t>& Fk(int32_t fk_index) const {
-    return fk_[fk_index];
+    return fks_[fk_index]->fk;
   }
   bool FkValid(int32_t fk_index, int64_t row) const {
-    return fk_valid_[fk_index][row];
+    return fks_[fk_index]->valid[row];
+  }
+  // The whole validity bitmap of `fk_index` — hoist this outside
+  // per-row loops (the evaluator's Stage-II loops do) so the per-row
+  // cost is one bitmap read, not a shared_ptr chase per call.
+  const std::vector<bool>& FkValidColumn(int32_t fk_index) const {
+    return fks_[fk_index]->valid;
   }
 
   // Dense row id of table `t`'s row whose primary key is `pk`, or -1.
   // A flat open-addressing probe; this is the evaluator's hot pk lookup
   // (replaces Table::FindByPk's unordered_map on that path).
   int64_t RowOfPk(TableId t, int64_t pk) const {
-    const uint32_t row = pk_row_[t].Find(pk);
+    const uint32_t row = tables_[t]->pk_row.Find(pk);
     return row == FlatMap64::kNotFound ? -1 : static_cast<int64_t>(row);
   }
 
@@ -50,10 +83,11 @@ class KfkSnapshot {
   // cache misses overlap instead of serializing one per key.
   void RowOfPkBatch(TableId t, const int64_t* pks, size_t n,
                     int64_t* rows) const {
+    const FlatMap64& pk_row = tables_[t]->pk_row;
     uint32_t ids[FlatMap64::kBatchWidth];
     for (size_t lo = 0; lo < n; lo += FlatMap64::kBatchWidth) {
       const size_t m = std::min(n - lo, FlatMap64::kBatchWidth);
-      pk_row_[t].FindBatch(pks + lo, m, ids);
+      pk_row.FindBatch(pks + lo, m, ids);
       for (size_t j = 0; j < m; ++j) {
         rows[lo + j] = ids[j] == FlatMap64::kNotFound
                            ? -1
@@ -70,10 +104,13 @@ class KfkSnapshot {
   KfkSnapshot() = default;
 
  private:
-  std::vector<std::vector<int64_t>> pk_;        // per table
-  std::vector<FlatMap64> pk_row_;               // per table: pk -> row id
-  std::vector<std::vector<int64_t>> fk_;        // per foreign key
-  std::vector<std::vector<bool>> fk_valid_;     // per foreign key
+  static StatusOr<std::shared_ptr<const TableKeys>> BuildTable(
+      const Table& table);
+  static std::shared_ptr<const FkKeys> BuildFk(const Database& db,
+                                               const ForeignKeyDef& fk);
+
+  std::vector<std::shared_ptr<const TableKeys>> tables_;  // per table
+  std::vector<std::shared_ptr<const FkKeys>> fks_;        // per foreign key
 };
 
 }  // namespace s4

@@ -1,0 +1,102 @@
+#ifndef S4_LIVE_LIVE_S4_H_
+#define S4_LIVE_LIVE_S4_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stop_token.h"
+#include "live/mutation.h"
+#include "s4/s4.h"
+
+namespace s4 {
+
+namespace obs {
+class Trace;
+}  // namespace obs
+
+// A mutable S4 deployment: owns the master database and publishes an
+// immutable S4System *epoch* after every mutation batch. Readers pin an
+// epoch with current() — one shared_ptr load under a small mutex, no
+// locks afterwards — and search it while writers prepare the next epoch
+// behind write_mu_. Epoch construction is copy-on-publish: the new
+// IndexSet shares every untouched structure with its predecessor
+// (posting lists via delta overlays, per-relation key arrays and
+// cell-length columns via shared_ptrs, the term dictionary via layered
+// forks) and rebuilds only what the batch dirtied.
+//
+// Correctness bar (enforced by tests/live_test.cc): after any sequence
+// of Apply calls, searching current() returns bit-identical results to
+// an S4System built from scratch over a database in the same state —
+// for every strategy, thread count, and shard slicing.
+//
+// Invalidation: each epoch carries per-relation mutation generations
+// (IndexSet::relation_gens()); sub-PJ cache keys are stamped with the
+// generations of exactly the relations they cover, so a cached table
+// survives mutations to unrelated relations and can never be reused
+// across a mutation of a covered one. No global cache flush happens on
+// Apply.
+//
+// Concurrency contract: searches against a pinned epoch touch only the
+// epoch's IndexSet (inverted indexes, (key,fk) snapshot, dictionary,
+// cell lengths) plus immutable schema metadata (table/column names,
+// foreign keys — there is no DDL), and are therefore race-free against
+// concurrent Apply calls. APIs that read base-table *cell data* —
+// S4System::Preview, row materialization — see the master's current
+// state and must not run concurrently with writers.
+class LiveS4System {
+ public:
+  // Takes ownership of `db` (must be finalized) and builds epoch 0.
+  static StatusOr<std::unique_ptr<LiveS4System>> Create(
+      Database db, IndexBuildOptions index_options = {});
+
+  // The current epoch. The returned handle pins every structure the
+  // epoch's searches touch; holding it keeps the epoch alive across any
+  // number of later Apply calls.
+  std::shared_ptr<const S4System> current() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return epoch_;
+  }
+
+  // Applies `batch` in order and publishes one new epoch covering the
+  // applied prefix. Writers serialize; readers are never blocked. A
+  // per-op failure or a stop request ends the batch early — the applied
+  // prefix is still published and reported in the (OK) result. Returns
+  // a non-OK status only when nothing was applied and nothing changed.
+  // `stop` is polled between operations; `trace`, when set, receives a
+  // live/apply_mutation span per operation plus the publish span.
+  StatusOr<MutationResult> Apply(const std::vector<Mutation>& batch,
+                                 const StopToken* stop = nullptr,
+                                 obs::Trace* trace = nullptr);
+
+  // Number of the latest published epoch (0 = the initial build).
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return epoch_num_;
+  }
+
+  // Master database. Reflects every applied mutation immediately; only
+  // safe to read when no Apply is in flight.
+  const Database& db() const { return db_; }
+
+ private:
+  LiveS4System() = default;
+
+  Database db_;
+  IndexBuildOptions index_options_;
+
+  std::mutex write_mu_;  // serializes Apply
+
+  mutable std::mutex epoch_mu_;  // guards the two fields below
+  std::shared_ptr<const S4System> epoch_;
+  uint64_t epoch_num_ = 0;
+
+  // Master per-relation generation counters (indexed by TableId); the
+  // published epoch's IndexSet carries a copy.
+  std::vector<uint64_t> relation_gens_;
+};
+
+}  // namespace s4
+
+#endif  // S4_LIVE_LIVE_S4_H_

@@ -1,0 +1,82 @@
+#ifndef S4_LIVE_MUTATION_H_
+#define S4_LIVE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace s4 {
+
+// One write operation against a served database. Relations and columns
+// are addressed by name (the stable external identity; ids are an
+// implementation detail of the catalog). Rows are addressed by primary
+// key — dense row ids are an index-internal notion that reshuffles on
+// swap-delete and must never leak into the write API.
+struct Mutation {
+  enum class Op : uint8_t {
+    kInsertRow = 0,   // append `values` (full row, schema order)
+    kDeleteRow = 1,   // remove the row whose primary key is `pk`
+    kUpdateCell = 2,  // set `column` of row `pk` to `value`
+  };
+
+  Op op = Op::kInsertRow;
+  std::string table;
+
+  // kInsertRow: one value per column, schema order (NULLs allowed
+  // anywhere but the primary key).
+  std::vector<Value> values;
+
+  // kDeleteRow / kUpdateCell: row identity.
+  int64_t pk = 0;
+
+  // kUpdateCell only. The primary-key column is rejected — a row's pk
+  // is its identity (delete + insert instead).
+  std::string column;
+  Value value;
+
+  static Mutation Insert(std::string table, std::vector<Value> values) {
+    Mutation m;
+    m.op = Op::kInsertRow;
+    m.table = std::move(table);
+    m.values = std::move(values);
+    return m;
+  }
+  static Mutation Delete(std::string table, int64_t pk) {
+    Mutation m;
+    m.op = Op::kDeleteRow;
+    m.table = std::move(table);
+    m.pk = pk;
+    return m;
+  }
+  static Mutation Update(std::string table, int64_t pk, std::string column,
+                         Value value) {
+    Mutation m;
+    m.op = Op::kUpdateCell;
+    m.table = std::move(table);
+    m.pk = pk;
+    m.column = std::move(column);
+    m.value = std::move(value);
+    return m;
+  }
+};
+
+// Outcome of applying one mutation batch. A batch is a *sequence*, not a
+// transaction: operations apply in order, the first failure (or a
+// cancellation) stops the batch, and the applied prefix is kept and
+// published. `applied == batch size` with an empty `error` means full
+// success.
+struct MutationResult {
+  int64_t applied = 0;       // operations applied (prefix length)
+  uint64_t epoch = 0;        // epoch the applied prefix was published as
+  bool interrupted = false;  // stopped by the StopToken
+  std::string error;         // first per-op failure message, or empty
+  // Tables the applied prefix touched, by id, ascending.
+  std::vector<TableId> touched;
+};
+
+}  // namespace s4
+
+#endif  // S4_LIVE_MUTATION_H_

@@ -139,6 +139,33 @@ StatusOr<NetSearchResponse> S4Client::Search(
   }
 }
 
+StatusOr<NetMutateResponse> S4Client::Mutate(
+    const std::vector<Mutation>& mutations, uint64_t* request_id_out) {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (request_id_out != nullptr) *request_id_out = id;
+  NetMutateRequest req;
+  req.mutations = mutations;
+  auto reply = RoundTrip(EncodeMutateRequestFrame(req, id), id);
+  if (!reply.ok()) return reply.status();
+  switch (reply->type) {
+    case FrameType::kMutateResponse: {
+      NetMutateResponse resp;
+      S4_RETURN_IF_ERROR(DecodeMutateResponse(reply->payload, &resp));
+      return resp;
+    }
+    case FrameType::kError: {
+      NetError err;
+      S4_RETURN_IF_ERROR(DecodeError(reply->payload, &err));
+      return err.ToStatus();
+    }
+    default:
+      return Status::Internal(
+          StrFormat("unexpected frame type %u in mutate reply",
+                    static_cast<unsigned>(reply->type)));
+  }
+}
+
 Status S4Client::Ping() {
   const uint64_t id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);

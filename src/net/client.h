@@ -49,6 +49,13 @@ class S4Client {
   // ran under — the handle FetchTrace uses to retrieve its trace later.
   StatusOr<NetSearchResponse> Search(const NetSearchRequest& request,
                                      uint64_t* request_id_out = nullptr);
+  // Live write path: applies the batch on the server (batch-as-a-sequence
+  // semantics; see src/live/mutation.h). A batch that stopped early still
+  // returns OK with the applied prefix in the response — inspect
+  // `applied` / `error`. An error Status means nothing was applied
+  // (admission rejection, immutable server, malformed frame).
+  StatusOr<NetMutateResponse> Mutate(const std::vector<Mutation>& mutations,
+                                     uint64_t* request_id_out = nullptr);
   Status Ping();
 
   // Prometheus text dump of the server's metrics registry.

@@ -165,6 +165,21 @@ void Connection::HandleFrame(const FrameHeader& h,
       }
       return;
     }
+    case FrameType::kMutateRequest: {
+      loop_->counters()->mutate_requests.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      NetMutateRequest req;
+      WallTimer decode_timer;
+      const Status ds = DecodeMutateRequest(payload, &req);
+      req.decode_seconds = decode_timer.ElapsedSeconds();
+      if (!ds.ok()) {
+        SendError(h.request_id, ds, /*close_after=*/false);
+        return;
+      }
+      loop_->dispatcher()->DispatchMutate(shared_from_this(), h.request_id,
+                                          std::move(req));
+      return;
+    }
     case FrameType::kStatsRequest: {
       loop_->counters()->stats_requests.fetch_add(1,
                                                   std::memory_order_relaxed);

@@ -38,6 +38,8 @@ struct NetServerCounters {
   std::atomic<int64_t> shard_requests{0};
   std::atomic<int64_t> shard_partials_sent{0};
   std::atomic<int64_t> shard_stops{0};
+  // Live mutation write path.
+  std::atomic<int64_t> mutate_requests{0};
 };
 
 // Frame limits + timeouts a connection enforces (one copy per server,
@@ -67,6 +69,12 @@ class SearchDispatcher {
   virtual void DispatchShardSearch(const std::shared_ptr<Connection>& conn,
                                    uint64_t request_id,
                                    NetShardSearchRequest req);
+
+  // Live mutation write path: applies the batch and answers with a
+  // kMutateResponse (or kError). The default rejects the frame so
+  // read-only dispatchers (and immutable deployments) stay unchanged.
+  virtual void DispatchMutate(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id, NetMutateRequest req);
 
   // Observability surface, answered synchronously on the loop thread
   // (both are snapshot reads, not searches). Defaults keep test

@@ -55,17 +55,36 @@ enum class FrameType : uint8_t {
   kShardPartial = 11,        // shard -> coordinator (streamed)
   kShardDone = 12,           // shard -> coordinator (final)
   kShardStop = 13,           // coordinator -> shard (u64 target request_id)
+  // Live mutation write path (src/live/): a batch of insert/delete/
+  // update operations applied in order; the response reports the applied
+  // prefix and the epoch it was published as. Sent client -> server and
+  // coordinator -> shard (the coordinator broadcasts writes to every
+  // shard, which all hold the full database).
+  kMutateRequest = 14,   // client -> server
+  kMutateResponse = 15,  // server -> client
 };
 
 inline bool IsValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kShardStop);
+         t <= static_cast<uint8_t>(FrameType::kMutateResponse);
 }
 
 // Decode-side cap on NetShardSearchRequest::shard_count: far above any
 // deployment this code targets, small enough that a hostile frame cannot
 // claim an absurd topology.
 inline constexpr int32_t kMaxWireShards = 1024;
+
+// Decode-side caps for mutate frames: operations per batch and values
+// per inserted row (i.e. columns). Same philosophy as kMaxWireShards —
+// generous for real traffic, hostile frames cannot force absurd
+// allocations before the byte-level bounds checks bite.
+inline constexpr uint32_t kMaxWireMutations = 4096;
+inline constexpr uint32_t kMaxWireMutationValues = 4096;
+
+// Value kind tags inside mutate frames.
+inline constexpr uint8_t kWireValueNull = 0;
+inline constexpr uint8_t kWireValueInt = 1;
+inline constexpr uint8_t kWireValueText = 2;
 
 // S4System::Strategy on the wire (decoupled from the enum's in-memory
 // numbering so either side can re-order its enum without a wire break).

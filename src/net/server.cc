@@ -383,6 +383,96 @@ void S4Server::DispatchShardSearch(const std::shared_ptr<Connection>& conn,
   conn->RegisterInflight(request_id, *stop);
 }
 
+void S4Server::DispatchMutate(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id, NetMutateRequest req) {
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<obs::Trace> trace;
+  if (options_.enable_tracing) {
+    trace = std::make_shared<obs::Trace>("mutate");
+    trace->set_request_id(request_id);
+    trace->AddSpan(
+        "net", "frame_decode",
+        start - std::chrono::duration_cast<obs::Trace::Clock::duration>(
+                    std::chrono::duration<double>(req.decode_seconds)),
+        start);
+  }
+
+  std::weak_ptr<Connection> wconn = conn;
+  EventLoop* loop = conn->loop();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_dispatches_;
+  }
+  auto done = [this, wconn, loop, request_id, start,
+               trace](StatusOr<MutationResult> result) {
+    const double server_seconds = SecondsSince(start);
+    std::string frame;
+    bool is_error = false;
+    {
+      obs::SpanTimer encode_span(trace.get(), "net", "frame_encode");
+      if (result.ok()) {
+        NetMutateResponse resp;
+        resp.applied = result->applied;
+        resp.epoch = result->epoch;
+        resp.interrupted = result->interrupted;
+        resp.error = result->error;
+        resp.touched.assign(result->touched.begin(), result->touched.end());
+        resp.server_seconds = server_seconds;
+        frame = EncodeMutateResponseFrame(resp, request_id);
+      } else {
+        frame = EncodeErrorFrame(result.status(), request_id);
+        is_error = true;
+      }
+    }
+    if (options_.verbose) {
+      if (result.ok()) {
+        std::fprintf(stderr,
+                     "[net_server] request_id=%llu mutate applied=%lld "
+                     "epoch=%llu wall_seconds=%.6f\n",
+                     static_cast<unsigned long long>(request_id),
+                     static_cast<long long>(result->applied),
+                     static_cast<unsigned long long>(result->epoch),
+                     server_seconds);
+      } else {
+        std::fprintf(stderr,
+                     "[net_server] request_id=%llu mutate error=%s "
+                     "wall_seconds=%.6f\n",
+                     static_cast<unsigned long long>(request_id),
+                     result.status().ToString().c_str(), server_seconds);
+      }
+    }
+    if (trace) StoreTrace(request_id, trace);
+    loop->Post([wconn, request_id, frame = std::move(frame), is_error,
+                server_seconds]() mutable {
+      if (auto c = wconn.lock(); c && !c->closed()) {
+        c->CompleteRequest(request_id, std::move(frame), is_error,
+                           server_seconds);
+      }
+    });
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_dispatches_;
+      inflight_cv_.notify_all();
+    }
+  };
+  auto stop = service_->SubmitMutateAsync(std::move(req.mutations),
+                                          std::move(done), trace.get());
+  if (!stop.ok()) {
+    // Rejected before scheduling (immutable deployment, shutdown): the
+    // callback will never run; answer on the loop thread.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_dispatches_;
+      inflight_cv_.notify_all();
+    }
+    conn->CompleteRequest(request_id,
+                          EncodeErrorFrame(stop.status(), request_id),
+                          /*is_error=*/true, SecondsSince(start));
+    return;
+  }
+  conn->RegisterInflight(request_id, *stop);
+}
+
 void S4Server::StoreTrace(uint64_t request_id,
                           std::shared_ptr<obs::Trace> trace) {
   std::lock_guard<std::mutex> lock(traces_mu_);
@@ -438,6 +528,8 @@ std::string S4Server::CollectStatsText() {
       .Set(c.shard_partials_sent.load(std::memory_order_relaxed));
   reg.GetGauge("s4_net_shard_stops")
       .Set(c.shard_stops.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_mutate_requests")
+      .Set(c.mutate_requests.load(std::memory_order_relaxed));
   for (size_t i = 0; i < loops_.size(); ++i) {
     reg.GetGauge(StrFormat("s4_net_loop%zu_connections", i))
         .Set(static_cast<int64_t>(loops_[i]->num_connections()));

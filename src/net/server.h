@@ -83,6 +83,13 @@ class S4Server : public SearchDispatcher {
   void DispatchShardSearch(const std::shared_ptr<Connection>& conn,
                            uint64_t request_id,
                            NetShardSearchRequest req) override;
+  // Live mutation write path: hands the batch to the service (which
+  // rejects it on immutable deployments) and answers kMutateResponse.
+  // Even a batch that stopped early (per-op failure, cancellation)
+  // travels as a kMutateResponse — the applied prefix and its epoch are
+  // the answer; kError is reserved for admission-level rejection.
+  void DispatchMutate(const std::shared_ptr<Connection>& conn,
+                      uint64_t request_id, NetMutateRequest req) override;
   // Refreshes the net/service gauges and returns a Prometheus text dump
   // of the global registry. Also the renderer behind a --stats-port
   // scrape endpoint.

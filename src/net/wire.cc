@@ -583,4 +583,172 @@ Status DecodeTraceRequest(std::string_view payload,
   return Status::OK();
 }
 
+// --- live mutation write path -------------------------------------------
+
+namespace {
+
+// One Value on the wire: u8 kind tag, then the payload for that kind
+// (nothing for NULL, i64 for Int, length-prefixed string for Text).
+void AppendValue(const Value& v, WireWriter* w) {
+  if (v.is_null()) {
+    w->PutU8(kWireValueNull);
+  } else if (v.is_int()) {
+    w->PutU8(kWireValueInt);
+    w->PutI64(v.AsInt());
+  } else {
+    w->PutU8(kWireValueText);
+    w->PutString(v.AsText());
+  }
+}
+
+Status ReadValue(WireReader& r, Value* v) {
+  uint8_t kind;
+  if (!r.ReadU8(&kind)) return Truncated("mutate request");
+  switch (kind) {
+    case kWireValueNull:
+      *v = Value::Null();
+      return Status::OK();
+    case kWireValueInt: {
+      int64_t i;
+      if (!r.ReadI64(&i)) return Truncated("mutate request");
+      *v = Value::Int(i);
+      return Status::OK();
+    }
+    case kWireValueText: {
+      std::string s;
+      if (!r.ReadString(&s)) return Truncated("mutate request");
+      *v = Value::Text(std::move(s));
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("mutate request: bad value kind");
+  }
+}
+
+}  // namespace
+
+std::string EncodeMutateRequestFrame(const NetMutateRequest& req,
+                                     uint64_t request_id) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(req.mutations.size()));
+  for (const Mutation& m : req.mutations) {
+    w.PutU8(static_cast<uint8_t>(m.op));
+    w.PutString(m.table);
+    switch (m.op) {
+      case Mutation::Op::kInsertRow:
+        w.PutU32(static_cast<uint32_t>(m.values.size()));
+        for (const Value& v : m.values) AppendValue(v, &w);
+        break;
+      case Mutation::Op::kDeleteRow:
+        w.PutI64(m.pk);
+        break;
+      case Mutation::Op::kUpdateCell:
+        w.PutI64(m.pk);
+        w.PutString(m.column);
+        AppendValue(m.value, &w);
+        break;
+    }
+  }
+  return FinishFrame(FrameType::kMutateRequest, request_id, w.Take());
+}
+
+Status DecodeMutateRequest(std::string_view payload, NetMutateRequest* req) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.ReadU32(&count)) return Truncated("mutate request");
+  if (count > kMaxWireMutations) {
+    return Status::InvalidArgument("mutate request: too many operations");
+  }
+  req->mutations.clear();
+  req->mutations.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Mutation m;
+    uint8_t op;
+    if (!r.ReadU8(&op) || !r.ReadString(&m.table)) {
+      return Truncated("mutate request");
+    }
+    if (op > static_cast<uint8_t>(Mutation::Op::kUpdateCell)) {
+      return Status::InvalidArgument("mutate request: bad op");
+    }
+    m.op = static_cast<Mutation::Op>(op);
+    switch (m.op) {
+      case Mutation::Op::kInsertRow: {
+        uint32_t nvals;
+        if (!r.ReadU32(&nvals)) return Truncated("mutate request");
+        if (nvals > kMaxWireMutationValues) {
+          return Status::InvalidArgument("mutate request: too many values");
+        }
+        m.values.reserve(nvals);
+        for (uint32_t j = 0; j < nvals; ++j) {
+          Value v;
+          S4_RETURN_IF_ERROR(ReadValue(r, &v));
+          m.values.push_back(std::move(v));
+        }
+        break;
+      }
+      case Mutation::Op::kDeleteRow:
+        if (!r.ReadI64(&m.pk)) return Truncated("mutate request");
+        break;
+      case Mutation::Op::kUpdateCell:
+        if (!r.ReadI64(&m.pk) || !r.ReadString(&m.column)) {
+          return Truncated("mutate request");
+        }
+        S4_RETURN_IF_ERROR(ReadValue(r, &m.value));
+        break;
+    }
+    req->mutations.push_back(std::move(m));
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument(
+        "trailing bytes after mutate request payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeMutateResponseFrame(const NetMutateResponse& resp,
+                                      uint64_t request_id) {
+  WireWriter w;
+  w.PutI64(resp.applied);
+  w.PutU64(resp.epoch);
+  w.PutU8(resp.interrupted ? 1 : 0);
+  w.PutString(resp.error);
+  w.PutU32(static_cast<uint32_t>(resp.touched.size()));
+  for (int32_t t : resp.touched) w.PutI32(t);
+  w.PutDouble(resp.server_seconds);
+  return FinishFrame(FrameType::kMutateResponse, request_id, w.Take());
+}
+
+Status DecodeMutateResponse(std::string_view payload,
+                            NetMutateResponse* resp) {
+  WireReader r(payload);
+  uint8_t interrupted;
+  uint32_t touched_count;
+  if (!r.ReadI64(&resp->applied) || !r.ReadU64(&resp->epoch) ||
+      !r.ReadU8(&interrupted) || !r.ReadString(&resp->error) ||
+      !r.ReadU32(&touched_count)) {
+    return Truncated("mutate response");
+  }
+  resp->interrupted = interrupted != 0;
+  // Touched tables are capped like mutations: a batch cannot touch more
+  // relations than it has operations.
+  if (touched_count > kMaxWireMutations) {
+    return Status::InvalidArgument("mutate response: too many tables");
+  }
+  resp->touched.clear();
+  resp->touched.reserve(touched_count);
+  for (uint32_t i = 0; i < touched_count; ++i) {
+    int32_t t;
+    if (!r.ReadI32(&t)) return Truncated("mutate response");
+    resp->touched.push_back(t);
+  }
+  if (!r.ReadDouble(&resp->server_seconds)) {
+    return Truncated("mutate response");
+  }
+  if (!r.Exhausted()) {
+    return Status::InvalidArgument(
+        "trailing bytes after mutate response payload");
+  }
+  return Status::OK();
+}
+
 }  // namespace s4::net

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "live/mutation.h"
 #include "net/protocol.h"
 #include "s4/s4.h"
 #include "strategy/strategy.h"
@@ -153,6 +154,29 @@ struct NetShardDone {
   double remaining_upper_bound = 0.0;
 };
 
+// --- live mutation write path ------------------------------------------
+
+// A mutation batch as it travels on the wire. Operations reuse the
+// in-process Mutation struct (tables/columns by name, rows by pk);
+// values carry a one-byte kind tag (kWireValueNull/Int/Text).
+struct NetMutateRequest {
+  std::vector<Mutation> mutations;
+
+  // NOT on the wire: decode time, recorded by the connection (same
+  // convention as NetSearchRequest).
+  double decode_seconds = 0.0;
+};
+
+// Mirrors MutationResult plus the server-side wall time.
+struct NetMutateResponse {
+  int64_t applied = 0;
+  uint64_t epoch = 0;
+  bool interrupted = false;
+  std::string error;
+  std::vector<int32_t> touched;  // TableIds, ascending
+  double server_seconds = 0.0;
+};
+
 // --- frame encode (header + payload in one buffer) ---------------------
 
 std::string EncodeSearchRequestFrame(const NetSearchRequest& req,
@@ -184,6 +208,10 @@ std::string EncodeShardDoneFrame(const NetShardDone& done,
                                  uint64_t request_id);
 std::string EncodeShardStopFrame(uint64_t target_request_id,
                                  uint64_t request_id);
+std::string EncodeMutateRequestFrame(const NetMutateRequest& req,
+                                     uint64_t request_id);
+std::string EncodeMutateResponseFrame(const NetMutateResponse& resp,
+                                      uint64_t request_id);
 
 // --- payload decode (bounds-checked; never reads past `payload`) -------
 
@@ -199,6 +227,9 @@ Status DecodeShardPartial(std::string_view payload, NetShardPartial* partial);
 Status DecodeShardDone(std::string_view payload, NetShardDone* done);
 Status DecodeShardStop(std::string_view payload,
                        uint64_t* target_request_id);
+Status DecodeMutateRequest(std::string_view payload, NetMutateRequest* req);
+Status DecodeMutateResponse(std::string_view payload,
+                            NetMutateResponse* resp);
 
 // --- primitive reader (exposed for tests / fuzzing) ---------------------
 

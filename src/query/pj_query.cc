@@ -130,6 +130,52 @@ LinkSpec LinkSpecFor(const JoinTree& tree, TreeNodeId v) {
   return LinkSpec{LinkSpec::Kind::kByFk, n.edge_to_parent};
 }
 
+namespace {
+
+// FNV-1a over the (table, generation) pair of one relation instance.
+uint64_t GenMix(TableId table, uint64_t gen) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint32_t>(table), 4);
+  mix(gen, 8);
+  return h;
+}
+
+uint64_t NodeGen(const JoinTree& tree, TreeNodeId v,
+                 const std::vector<uint64_t>& gens) {
+  const TableId table = tree.node(v).table;
+  const uint64_t gen =
+      static_cast<size_t>(table) < gens.size() ? gens[table] : 0;
+  return GenMix(table, gen);
+}
+
+}  // namespace
+
+std::string RelationGenSuffix(const JoinTree& tree,
+                              const std::vector<uint64_t>& gens) {
+  if (gens.empty()) return std::string();
+  uint64_t sum = 0;
+  for (TreeNodeId v = 0; v < tree.size(); ++v) sum += NodeGen(tree, v, gens);
+  return StrFormat("|G%016llx", static_cast<unsigned long long>(sum));
+}
+
+std::string RelationGenSuffix(const JoinTree& tree, TreeNodeId v,
+                              bool include_parent,
+                              const std::vector<uint64_t>& gens) {
+  if (gens.empty()) return std::string();
+  uint64_t sum = 0;
+  for (TreeNodeId d : tree.DescendantsOf(v)) sum += NodeGen(tree, d, gens);
+  if (include_parent && tree.node(v).parent != kNoNode) {
+    sum += NodeGen(tree, tree.node(v).parent, gens);
+  }
+  return StrFormat("|G%016llx", static_cast<unsigned long long>(sum));
+}
+
 std::string SubtreeCacheKey(const JoinTree& tree,
                             const std::vector<ProjectionBinding>& bindings,
                             TreeNodeId v, const LinkSpec& link) {

@@ -136,6 +136,23 @@ std::string SubtreeWithParentCacheKey(
     const JoinTree& tree, const std::vector<ProjectionBinding>& bindings,
     TreeNodeId v);
 
+// Per-relation-generation stamp appended to sub-PJ cache keys so a
+// cached table is reused only while every relation it was computed from
+// is unchanged (live mutation invalidates per relation, not globally).
+// `gens` is IndexSet::relation_gens(); an empty vector (offline builds)
+// yields an empty suffix, keeping static cache keys byte-identical to
+// the pre-live format. Generations of repeated relation instances are
+// combined with a wrapping sum of per-node hashes (not XOR, which would
+// cancel for self-joins). The first form covers every node of `tree`
+// (use when the tree *is* the extracted sub-PJ tree); the second covers
+// the subtree rooted at `v` within a larger candidate tree, plus v's
+// parent when `include_parent` is set (type-ii keys).
+std::string RelationGenSuffix(const JoinTree& tree,
+                              const std::vector<uint64_t>& gens);
+std::string RelationGenSuffix(const JoinTree& tree, TreeNodeId v,
+                              bool include_parent,
+                              const std::vector<uint64_t>& gens);
+
 }  // namespace s4
 
 #endif  // S4_QUERY_PJ_QUERY_H_

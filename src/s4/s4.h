@@ -37,6 +37,14 @@ class S4System {
   static StatusOr<std::unique_ptr<S4System>> Create(
       const Database& db, IndexBuildOptions index_options = {});
 
+  // Adopts an already-built IndexSet (the live mutation subsystem
+  // publishes each epoch this way). The database the IndexSet was built
+  // over must outlive the returned system.
+  static std::unique_ptr<S4System> FromIndex(
+      std::unique_ptr<IndexSet> index) {
+    return std::unique_ptr<S4System>(new S4System(std::move(index)));
+  }
+
   const Database& db() const { return index_->db(); }
   const IndexSet& index() const { return *index_; }
   const SchemaGraph& graph() const { return graph_; }

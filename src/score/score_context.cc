@@ -114,7 +114,9 @@ double ScoreContext::TermWeight(TermId term, int32_t gid) const {
   int64_t df = index_->row_index().PostingLength(term, gid);
   if (df <= 0) return 1.0;
   const ColumnRef& ref = index_->column_ids().FromGid(gid);
-  const int64_t n = index_->db().table(ref.table_id).NumRows();
+  // Row count from the epoch's snapshot, not the master database: under
+  // live mutation the master may already be ahead of this frozen epoch.
+  const int64_t n = index_->snapshot().NumRows(ref.table_id);
   return std::log(1.0 + static_cast<double>(n) / static_cast<double>(df));
 }
 

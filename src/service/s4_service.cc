@@ -49,7 +49,20 @@ const ServiceCounters& Counters() {
 }  // namespace
 
 S4Service::S4Service(const S4System& system, ServiceOptions options)
-    : system_(&system),
+    // Non-owning alias pin: the caller guarantees `system` outlives the
+    // service, the shared_ptr is just the common-constructor currency.
+    : S4Service(std::shared_ptr<const S4System>(
+                    std::shared_ptr<const S4System>(), &system),
+                /*live=*/nullptr, options) {}
+
+S4Service::S4Service(LiveS4System& live, ServiceOptions options)
+    : S4Service(live.current(), &live, options) {}
+
+S4Service::S4Service(std::shared_ptr<const S4System> root,
+                     LiveS4System* live, ServiceOptions options)
+    : root_system_(std::move(root)),
+      live_(live),
+      system_(root_system_.get()),
       options_(options),
       pool_(std::make_unique<ThreadPool>(options.eval_threads)),
       shared_cache_(options.shared_cache_bytes,
@@ -237,8 +250,17 @@ void S4Service::RunPending(Pending& p) {
     opts.shared_cache = &shared_cache_;
     opts.shared_cache_prefix = CachePrefix(p.request.cells, opts);
     opts.trace = trace;
+    // Live deployments: pin the current epoch for this one request. The
+    // pin keeps the whole index snapshot alive through the search even
+    // if writers publish (and readers elsewhere retire) newer epochs.
+    const S4System* sys = system_;
+    std::shared_ptr<const S4System> pinned;
+    if (live_ != nullptr) {
+      pinned = live_->current();
+      sys = pinned.get();
+    }
     obs::SpanTimer span(trace, "service", "search");
-    return system_->Search(p.request.cells, opts, p.request.strategy);
+    return sys->Search(p.request.cells, opts, p.request.strategy);
   }();
   CountOutcome(result.status());
   const double elapsed = SecondsSince(p.admitted);
@@ -257,7 +279,16 @@ StatusOr<uint64_t> S4Service::OpenSession(SearchOptions options) {
   // prefix) are re-pointed by SessionSearch under the session lock.
   options.pool = pool_.get();
   options.shared_cache = &shared_cache_;
-  auto entry = std::make_unique<SessionEntry>(system_->NewSession(options));
+  // Live deployments: a session pins the epoch it opened against for its
+  // whole life — its incremental state (Sec 5.4) indexes into that
+  // epoch's candidate space, so hopping epochs mid-session would corrupt
+  // the reuse bookkeeping. Re-open a session to pick up newer writes.
+  std::shared_ptr<const S4System> pinned =
+      live_ != nullptr ? live_->current() : nullptr;
+  const S4System* sys = pinned != nullptr ? pinned.get() : system_;
+  auto entry = std::make_unique<SessionEntry>(sys->NewSession(options));
+  entry->pinned = std::move(pinned);
+  entry->sys = sys;
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const uint64_t id = next_session_id_++;
   sessions_.emplace(id, std::move(entry));
@@ -282,7 +313,7 @@ StatusOr<SearchResult> S4Service::SessionSearch(
   // state); distinct sessions run concurrently. CloseSession never frees
   // an entry mid-search: it also takes this per-entry lock.
   std::lock_guard<std::mutex> lock(entry->mu);
-  auto sheet = system_->MakeSpreadsheet(cells);
+  auto sheet = entry->sys->MakeSpreadsheet(cells);
   if (!sheet.ok()) return sheet.status();
   SearchOptions& so = entry->session.mutable_options();
   so.shared_cache_prefix = CachePrefix(cells, so);
@@ -326,6 +357,51 @@ Status S4Service::CloseSession(uint64_t session_id) {
   // Wait out any in-flight search before the entry is destroyed.
   std::lock_guard<std::mutex> lock(entry->mu);
   return Status::OK();
+}
+
+StatusOr<MutationResult> S4Service::Mutate(const std::vector<Mutation>& batch,
+                                           const StopToken* stop,
+                                           obs::Trace* trace) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this service wraps an immutable S4System; construct it from a "
+        "LiveS4System to enable mutations");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+  }
+  // Deliberately no generation_ bump: per-relation stamps in the sub-PJ
+  // cache keys retire exactly the entries the batch touched.
+  return live_->Apply(batch, stop, trace);
+}
+
+StatusOr<std::shared_ptr<StopToken>> S4Service::SubmitMutateAsync(
+    std::vector<Mutation> batch,
+    std::function<void(StatusOr<MutationResult>)> done,
+    obs::Trace* trace) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this service wraps an immutable S4System; construct it from a "
+        "LiveS4System to enable mutations");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+  }
+  auto stop = std::make_shared<StopToken>();
+  // Writes ride the shared evaluation pool rather than the admission
+  // queue: they serialize on the live system's write lock anyway, and a
+  // full search queue must not delay (or reject) writes behind reads.
+  pool_->Submit([this, batch = std::move(batch), done = std::move(done),
+                 stop, trace]() mutable {
+    done(live_->Apply(batch, stop.get(), trace));
+  });
+  return stop;
 }
 
 void S4Service::InvalidateSharedCache() {
@@ -382,6 +458,10 @@ ServiceStats S4Service::stats() const {
   reg.GetGauge("s4_pool_steals").Set(pool_stats.steals);
   reg.GetGauge("s4_shared_cache_bytes")
       .Set(static_cast<int64_t>(shared_cache_.bytes_used()));
+  if (live_ != nullptr) {
+    reg.GetGauge("s4_live_epoch")
+        .Set(static_cast<int64_t>(live_->epoch()));
+  }
   return s;
 }
 

@@ -17,6 +17,8 @@
 #include "common/latency_histogram.h"
 #include "common/stop_token.h"
 #include "common/thread_pool.h"
+#include "live/live_s4.h"
+#include "live/mutation.h"
 #include "obs/trace.h"
 #include "s4/s4.h"
 
@@ -116,6 +118,12 @@ class S4Service {
   };
 
   explicit S4Service(const S4System& system, ServiceOptions options = {});
+  // Live deployment: searches run against the mutable system's current
+  // epoch (pinned per request, so a search sees one consistent snapshot
+  // no matter how many mutations land while it runs) and Mutate /
+  // SubmitMutateAsync are enabled. The LiveS4System must outlive the
+  // service.
+  explicit S4Service(LiveS4System& live, ServiceOptions options = {});
   // Drains the queue (every admitted future resolves) and joins workers.
   ~S4Service();
 
@@ -151,9 +159,34 @@ class S4Service {
       IncrementalMode mode = IncrementalMode::kFastTopKInc);
   Status CloseSession(uint64_t session_id);
 
+  // --- live mutation write path (live-constructed services only) ------
+  // Applies one batch against the wrapped LiveS4System (see
+  // src/live/mutation.h for batch-as-a-sequence semantics). Blocking;
+  // writes serialize inside the live system. Returns FailedPrecondition
+  // when the service wraps an immutable S4System. Mutations never bump
+  // the shared-cache generation: invalidation is per-relation, via the
+  // generation stamps baked into sub-PJ cache keys, so entries built
+  // against untouched relations keep hitting.
+  StatusOr<MutationResult> Mutate(const std::vector<Mutation>& batch,
+                                  const StopToken* stop = nullptr,
+                                  obs::Trace* trace = nullptr);
+
+  // Callback-style write admission for event-driven callers (the network
+  // layer): the batch runs on the shared evaluation pool and `done` is
+  // invoked exactly once on a foreign thread (marshal back to your own
+  // executor). The returned StopToken cancels cooperatively — the
+  // applied prefix is still published. Fails fast (before scheduling)
+  // for immutable deployments and during shutdown.
+  StatusOr<std::shared_ptr<StopToken>> SubmitMutateAsync(
+      std::vector<Mutation> batch,
+      std::function<void(StatusOr<MutationResult>)> done,
+      obs::Trace* trace = nullptr);
+
   // Invalidates every cross-query cache entry by bumping the key-space
-  // generation (and eagerly dropping the bytes). Call when the served
-  // database is reloaded/changed out-of-band.
+  // generation (and eagerly dropping the bytes). The blunt "invalidate
+  // everything" instrument, kept for out-of-band database reloads; the
+  // live write path (Mutate) never needs it — its invalidation is
+  // per-relation through the key stamps.
   void InvalidateSharedCache();
 
   // Ops/test hook: a paused service keeps admitting up to max_queue
@@ -166,7 +199,12 @@ class S4Service {
   // End-to-end request latency (admission to completion), all requests.
   LatencyHistogram::Snapshot latency() const;
 
+  // The served system. Live deployments: epoch 0 — stable for schema /
+  // database access (neither changes; there is no DDL), NOT for reading
+  // index state. Searches pin the current epoch internally.
   const S4System& system() const { return *system_; }
+  // Null for immutable deployments.
+  LiveS4System* live() const { return live_; }
   ThreadPool& eval_pool() { return *pool_; }
   SubQueryCache& shared_cache() { return shared_cache_; }
 
@@ -193,8 +231,20 @@ class S4Service {
   struct SessionEntry {
     std::mutex mu;
     SearchSession session;
+    // Live deployments: the epoch this session was opened against, kept
+    // alive for the session's whole life (its incremental state indexes
+    // into that epoch's candidate space). Null for immutable services.
+    std::shared_ptr<const S4System> pinned;
+    // The system the session searches (pinned epoch or the static one).
+    const S4System* sys = nullptr;
     explicit SessionEntry(SearchSession s) : session(std::move(s)) {}
   };
+
+  // Common constructor: `root` pins the system the service serves when
+  // live (epoch 0 of a LiveS4System; non-owning alias for the static
+  // overload), `live` is null for immutable deployments.
+  S4Service(std::shared_ptr<const S4System> root, LiveS4System* live,
+            ServiceOptions options);
 
   void WorkerLoop();
   // Validation + deadline arming + enqueue, shared by Submit and
@@ -210,6 +260,10 @@ class S4Service {
       const std::vector<std::vector<std::string>>& cells,
       const SearchOptions& options) const;
 
+  // Declared before system_: system_ aliases root_system_.get() when
+  // live, so the pin must construct first and destroy last.
+  std::shared_ptr<const S4System> root_system_;
+  LiveS4System* live_ = nullptr;  // null = immutable deployment
   const S4System* system_;
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;

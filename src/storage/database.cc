@@ -80,6 +80,18 @@ Status Database::Finalize(bool check_integrity) {
   return Status::OK();
 }
 
+Database Database::Clone() const {
+  Database db;
+  db.tables_.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    db.tables_.push_back(std::make_unique<Table>(t->Clone()));
+  }
+  db.table_by_name_ = table_by_name_;
+  db.foreign_keys_ = foreign_keys_;
+  db.finalized_ = finalized_;
+  return db;
+}
+
 std::string Database::ColumnName(const ColumnRef& ref) const {
   if (!ref.valid() || ref.table_id >= NumTables()) return "<invalid>";
   const Table& t = table(ref.table_id);

@@ -62,6 +62,11 @@ class Database {
   Status Finalize(bool check_integrity = true);
   bool finalized() const { return finalized_; }
 
+  // Deep copy of the catalog and all table data (explicit — the copy
+  // constructor is deleted). Used by the live subsystem's tests to
+  // rebuild a reference database from a mutated master.
+  Database Clone() const;
+
   // Human-readable "R.c" for a column reference.
   std::string ColumnName(const ColumnRef& ref) const;
 

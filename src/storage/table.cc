@@ -60,6 +60,13 @@ Status Table::AppendRow(const std::vector<Value>& values) {
           StrFormat("type mismatch at column %d of %s", c, name_.c_str()));
     }
   }
+  if (pk_index_built_ && pk_column_ >= 0 &&
+      pk_index_.count(values[pk_column_].AsInt()) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("primary key %lld already exists in %s",
+                  static_cast<long long>(values[pk_column_].AsInt()),
+                  name_.c_str()));
+  }
   for (int32_t c = 0; c < NumColumns(); ++c) {
     const Value& v = values[c];
     valid_[c].push_back(!v.is_null());
@@ -69,9 +76,85 @@ Status Table::AppendRow(const std::vector<Value>& values) {
       text_data_[c].push_back(v.is_text() ? v.AsText() : std::string());
     }
   }
+  if (pk_index_built_) {
+    pk_index_.emplace(int_data_[pk_column_][num_rows_], num_rows_);
+  }
   ++num_rows_;
-  pk_index_built_ = false;
   return Status::OK();
+}
+
+Status Table::SetCell(int64_t row, int32_t col, const Value& v) {
+  if (row < 0 || row >= num_rows_ || col < 0 || col >= NumColumns()) {
+    return Status::OutOfRange(
+        StrFormat("cell (%lld, %d) out of range in %s",
+                  static_cast<long long>(row), col, name_.c_str()));
+  }
+  if (col == pk_column_) {
+    return Status::InvalidArgument(
+        "cannot update the primary key of " + name_ +
+        "; delete and re-insert the row instead");
+  }
+  if (!v.is_null()) {
+    const bool type_ok =
+        (columns_[col].type == ColumnType::kInt64 && v.is_int()) ||
+        (columns_[col].type == ColumnType::kText && v.is_text());
+    if (!type_ok) {
+      return Status::InvalidArgument(
+          StrFormat("type mismatch at column %d of %s", col, name_.c_str()));
+    }
+  }
+  valid_[col][row] = !v.is_null();
+  if (columns_[col].type == ColumnType::kInt64) {
+    int_data_[col][row] = v.is_int() ? v.AsInt() : 0;
+  } else {
+    text_data_[col][row] = v.is_text() ? v.AsText() : std::string();
+  }
+  return Status::OK();
+}
+
+Status Table::RemoveRowSwapLast(int64_t row) {
+  if (row < 0 || row >= num_rows_) {
+    return Status::OutOfRange(
+        StrFormat("row %lld out of range in %s",
+                  static_cast<long long>(row), name_.c_str()));
+  }
+  const int64_t last = num_rows_ - 1;
+  if (pk_index_built_ && pk_column_ >= 0) {
+    pk_index_.erase(int_data_[pk_column_][row]);
+    if (row != last) pk_index_[int_data_[pk_column_][last]] = row;
+  }
+  for (int32_t c = 0; c < NumColumns(); ++c) {
+    if (row != last) {
+      valid_[c][row] = valid_[c][last];
+      if (columns_[c].type == ColumnType::kInt64) {
+        int_data_[c][row] = int_data_[c][last];
+      } else {
+        text_data_[c][row] = std::move(text_data_[c][last]);
+      }
+    }
+    valid_[c].pop_back();
+    if (columns_[c].type == ColumnType::kInt64) {
+      int_data_[c].pop_back();
+    } else {
+      text_data_[c].pop_back();
+    }
+  }
+  --num_rows_;
+  return Status::OK();
+}
+
+Table Table::Clone() const {
+  Table t(id_, name_);
+  t.columns_ = columns_;
+  t.column_by_name_ = column_by_name_;
+  t.pk_column_ = pk_column_;
+  t.num_rows_ = num_rows_;
+  t.int_data_ = int_data_;
+  t.text_data_ = text_data_;
+  t.valid_ = valid_;
+  t.pk_index_ = pk_index_;
+  t.pk_index_built_ = pk_index_built_;
+  return t;
 }
 
 Value Table::GetValue(int64_t row, int32_t col) const {

@@ -71,8 +71,26 @@ class Table {
   int32_t ColumnIndex(const std::string& name) const;
 
   // Appends a row; `values` must match the column count and types
-  // (NULLs allowed anywhere except the primary key).
+  // (NULLs allowed anywhere except the primary key). When the pk index
+  // is built (live tables), duplicates are rejected up front and the
+  // index is maintained incrementally; bulk loads (index not yet built)
+  // defer duplicate detection to BuildPkIndex as before.
   Status AppendRow(const std::vector<Value>& values);
+
+  // Overwrites one cell in place. The value must match the column type
+  // (or be NULL); the primary-key column cannot be changed this way —
+  // a row's pk is its identity (delete + insert instead).
+  Status SetCell(int64_t row, int32_t col, const Value& v);
+
+  // Deletes `row` by moving the last row into its slot and shrinking by
+  // one (O(columns), not O(rows)). Dense row ids stay dense; the caller
+  // owns re-indexing anything keyed by the moved row's old id. The pk
+  // index, when built, is maintained incrementally.
+  Status RemoveRowSwapLast(int64_t row);
+
+  // Deep copy (the copy constructor is deleted to keep accidental
+  // copies of large relations out of hot paths; cloning is explicit).
+  Table Clone() const;
 
   // Cell accessors. Row ids are dense [0, NumRows).
   bool IsNull(int64_t row, int32_t col) const { return !valid_[col][row]; }

@@ -189,12 +189,17 @@ class FastTopKRun {
   void EvaluateBatch(size_t lo, size_t hi) {
     std::vector<BatchEntry> entries;
     entries.reserve(hi - lo);
+    const std::vector<uint64_t>& gens = prep_.ctx.index().relation_gens();
     for (size_t i = lo; i < hi; ++i) {
       BatchEntry e;
       e.rt_index = i;
       e.subs = rts_[i].cand->query.EnumerateSubQueries();
       for (const SubPJQuery& s : e.subs) {
-        e.keys.push_back(s.cache_key + rts_[i].suffix);
+        // Gen-stamp matches the evaluator's probe keys: a mutation to
+        // any relation of the sub-PJ changes its suffix, so stale cached
+        // tables from earlier epochs can never be shared.
+        e.keys.push_back(s.cache_key + RelationGenSuffix(s.tree, gens) +
+                         rts_[i].suffix);
       }
       e.key_set.insert(e.keys.begin(), e.keys.end());
       entries.push_back(std::move(e));

@@ -2,27 +2,52 @@
 
 namespace s4 {
 
+TermDict TermDict::Fork(std::shared_ptr<const TermDict> base) {
+  TermDict d;
+  if (base == nullptr) return d;
+  if (base->depth_ < kMaxForkDepth) {
+    d.base_size_ = static_cast<TermId>(base->size());
+    d.depth_ = base->depth_ + 1;
+    d.base_ = std::move(base);
+    return d;
+  }
+  // Flatten: copy the whole chain into one layer, preserving ids.
+  const TermId n = static_cast<TermId>(base->size());
+  d.terms_.reserve(static_cast<size_t>(n));
+  d.ids_.reserve(static_cast<size_t>(n));
+  for (TermId id = 0; id < n; ++id) {
+    d.terms_.push_back(base->term(id));
+    d.ids_.emplace(d.terms_.back(), id);
+  }
+  return d;
+}
+
 TermId TermDict::Intern(std::string_view term) {
-  auto it = ids_.find(std::string(term));
-  if (it != ids_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
+  const TermId existing = Lookup(term);
+  if (existing != kInvalidTermId) return existing;
+  TermId id = static_cast<TermId>(size());
   terms_.emplace_back(term);
   ids_.emplace(terms_.back(), id);
   return id;
 }
 
 TermId TermDict::Lookup(std::string_view term) const {
-  auto it = ids_.find(std::string(term));
-  return it == ids_.end() ? kInvalidTermId : it->second;
+  for (const TermDict* d = this; d != nullptr; d = d->base_.get()) {
+    auto it = d->ids_.find(std::string(term));
+    if (it != d->ids_.end()) return it->second;
+  }
+  return kInvalidTermId;
 }
 
 size_t TermDict::ByteSize() const {
   size_t bytes = 0;
-  for (const std::string& t : terms_) {
-    // Each term is stored twice (map key + vector) plus hash bucket
-    // overhead; 2x string payload + ~48 bytes bookkeeping is a fair
-    // approximation for size reporting.
-    bytes += 2 * (sizeof(std::string) + t.capacity()) + 16;
+  for (const TermDict* d = this; d != nullptr; d = d->base_.get()) {
+    for (const std::string& t : d->terms_) {
+      // Each term is stored twice (map key + vector) plus hash bucket
+      // overhead; 2x string payload + ~48 bytes bookkeeping is a fair
+      // approximation for size reporting.
+      bytes += 2 * (sizeof(std::string) + t.capacity()) + 16;
+    }
   }
   return bytes;
 }

@@ -2,6 +2,7 @@
 #define S4_TEXT_TERM_DICT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,6 +18,14 @@ inline constexpr TermId kInvalidTermId = -1;
 // database. Interning terms once makes posting-list keys 4 bytes and
 // lets spreadsheet terms that don't occur anywhere short-circuit to
 // kInvalidTermId.
+//
+// The dictionary is append-only and supports cheap forking for live
+// mutation epochs: Fork() layers an empty local dictionary over a frozen
+// shared base, so a mutation batch that adds a handful of new terms does
+// not copy the whole vocabulary. Ids keep their global numbering across
+// layers (a fork's first local id is base->size()). Lookups walk the
+// layer chain; to bound that walk, a fork deeper than kMaxForkDepth
+// flattens the chain into a single layer.
 class TermDict {
  public:
   TermDict() = default;
@@ -25,20 +34,37 @@ class TermDict {
   TermDict(TermDict&&) = default;
   TermDict& operator=(TermDict&&) = default;
 
+  // Chain depth at which Fork() flattens instead of layering.
+  static constexpr int32_t kMaxForkDepth = 8;
+
+  // A new dictionary layered over `base` (which must be frozen: no
+  // Intern() calls on it afterwards). O(1) unless flattening.
+  static TermDict Fork(std::shared_ptr<const TermDict> base);
+
   // Returns the id for `term`, adding it if absent.
   TermId Intern(std::string_view term);
 
   // Returns the id for `term` or kInvalidTermId.
   TermId Lookup(std::string_view term) const;
 
-  const std::string& term(TermId id) const { return terms_[id]; }
-  int64_t size() const { return static_cast<int64_t>(terms_.size()); }
+  const std::string& term(TermId id) const {
+    return id < base_size_ ? base_->term(id) : terms_[id - base_size_];
+  }
+  int64_t size() const {
+    return static_cast<int64_t>(base_size_) +
+           static_cast<int64_t>(terms_.size());
+  }
 
-  // Approximate memory footprint in bytes.
+  // Approximate memory footprint in bytes (base layers included).
   size_t ByteSize() const;
 
  private:
-  std::unordered_map<std::string, TermId> ids_;
+  // Frozen parent layer; ids below base_size_ resolve through it.
+  std::shared_ptr<const TermDict> base_;
+  TermId base_size_ = 0;
+  int32_t depth_ = 0;  // layers below this one
+
+  std::unordered_map<std::string, TermId> ids_;  // local additions only
   std::vector<std::string> terms_;
 };
 

@@ -56,8 +56,69 @@ TEST(TableTest, PkIndex) {
   EXPECT_EQ(t.FindByPk(20), 1);
   EXPECT_EQ(t.FindByPk(30), -1);
 
-  ASSERT_TRUE(t.AppendRow({Value::Int(10)}).ok());  // duplicate PK
-  EXPECT_FALSE(t.BuildPkIndex().ok());
+  // With the index built, appends maintain it incrementally: duplicates
+  // are rejected up front, new keys resolve without a rebuild.
+  EXPECT_FALSE(t.AppendRow({Value::Int(10)}).ok());  // duplicate PK
+  EXPECT_EQ(t.NumRows(), 2);
+  ASSERT_TRUE(t.AppendRow({Value::Int(30)}).ok());
+  EXPECT_EQ(t.FindByPk(30), 2);
+
+  // Bulk loads (index not yet built) still defer duplicate detection to
+  // BuildPkIndex.
+  Table u(1, "U");
+  ASSERT_TRUE(u.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(u.SetPrimaryKey(0).ok());
+  ASSERT_TRUE(u.AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(u.AppendRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(u.BuildPkIndex().ok());
+}
+
+TEST(TableTest, SetCellAndSwapDelete) {
+  Table t(0, "T");
+  ASSERT_TRUE(t.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("Name", ColumnType::kText).ok());
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::Text("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(2), Value::Text("b")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(3), Value::Null()}).ok());
+  ASSERT_TRUE(t.BuildPkIndex().ok());
+
+  ASSERT_TRUE(t.SetCell(0, 1, Value::Text("alpha")).ok());
+  EXPECT_EQ(t.GetText(0, 1), "alpha");
+  ASSERT_TRUE(t.SetCell(2, 1, Value::Text("c")).ok());
+  EXPECT_FALSE(t.IsNull(2, 1));
+  ASSERT_TRUE(t.SetCell(1, 1, Value::Null()).ok());
+  EXPECT_TRUE(t.IsNull(1, 1));
+  EXPECT_FALSE(t.SetCell(0, 0, Value::Int(9)).ok());   // pk immutable
+  EXPECT_FALSE(t.SetCell(0, 1, Value::Int(9)).ok());   // type mismatch
+  EXPECT_FALSE(t.SetCell(9, 1, Value::Null()).ok());   // out of range
+
+  // Swap-delete the middle row: the last row moves into its slot and
+  // the pk index follows.
+  ASSERT_TRUE(t.RemoveRowSwapLast(1).ok());
+  EXPECT_EQ(t.NumRows(), 2);
+  EXPECT_EQ(t.GetInt(1, 0), 3);
+  EXPECT_EQ(t.FindByPk(3), 1);
+  EXPECT_EQ(t.FindByPk(2), -1);
+  // Deleting the last row needs no swap.
+  ASSERT_TRUE(t.RemoveRowSwapLast(1).ok());
+  EXPECT_EQ(t.NumRows(), 1);
+  EXPECT_EQ(t.FindByPk(1), 0);
+  EXPECT_FALSE(t.RemoveRowSwapLast(5).ok());
+}
+
+TEST(TableTest, Clone) {
+  Table t(0, "T");
+  ASSERT_TRUE(t.AddColumn("Id", ColumnType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("Name", ColumnType::kText).ok());
+  ASSERT_TRUE(t.SetPrimaryKey(0).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::Text("a")}).ok());
+  ASSERT_TRUE(t.BuildPkIndex().ok());
+  Table copy = t.Clone();
+  ASSERT_TRUE(copy.SetCell(0, 1, Value::Text("changed")).ok());
+  EXPECT_EQ(t.GetText(0, 1), "a");
+  EXPECT_EQ(copy.GetText(0, 1), "changed");
+  EXPECT_EQ(copy.FindByPk(1), 0);
 }
 
 TEST(TableTest, NoColumnsAfterRows) {

@@ -149,12 +149,64 @@ NetShardDone RandomShardDone(Rng& rng) {
   return done;
 }
 
+Value RandomValue(Rng& rng) {
+  switch (rng.Uniform(3)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Int(static_cast<int64_t>(rng.Next()));
+    default:
+      return Value::Text(RandomBytes(rng, 32));
+  }
+}
+
+NetMutateRequest RandomMutateRequest(Rng& rng) {
+  NetMutateRequest req;
+  const size_t n = rng.Uniform(6);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.Uniform(3)) {
+      case 0: {
+        std::vector<Value> values;
+        const size_t nv = rng.Uniform(5);
+        for (size_t j = 0; j < nv; ++j) values.push_back(RandomValue(rng));
+        req.mutations.push_back(
+            Mutation::Insert(RandomBytes(rng, 16), std::move(values)));
+        break;
+      }
+      case 1:
+        req.mutations.push_back(Mutation::Delete(
+            RandomBytes(rng, 16), static_cast<int64_t>(rng.Next())));
+        break;
+      default:
+        req.mutations.push_back(Mutation::Update(
+            RandomBytes(rng, 16), static_cast<int64_t>(rng.Next()),
+            RandomBytes(rng, 16), RandomValue(rng)));
+        break;
+    }
+  }
+  return req;
+}
+
+NetMutateResponse RandomMutateResponse(Rng& rng) {
+  NetMutateResponse resp;
+  resp.applied = static_cast<int64_t>(rng.Next());
+  resp.epoch = rng.Next();
+  resp.interrupted = rng.Bernoulli(0.5);
+  resp.error = RandomBytes(rng, 48);
+  const size_t n = rng.Uniform(5);
+  for (size_t i = 0; i < n; ++i) {
+    resp.touched.push_back(static_cast<int32_t>(rng.Next()));
+  }
+  resp.server_seconds = RandomDouble(rng);
+  return resp;
+}
+
 TEST(WireCodecTest, HeaderRoundTrip) {
   Rng rng(11);
   for (int i = 0; i < 200; ++i) {
     FrameHeader h;
     h.type = static_cast<FrameType>(
-        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kShardStop)));
+        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kMutateResponse)));
     h.request_id = rng.Next();
     h.payload_len = static_cast<uint32_t>(rng.Next());
     std::string buf;
@@ -552,6 +604,165 @@ TEST(WireCodecTest, TruncatedShardFramesEveryPrefixRejected) {
   }
 }
 
+// --- live mutation frames ----------------------------------------------
+
+TEST(WireCodecTest, MutateRequestRoundTripProperty) {
+  Rng rng(61);
+  for (int i = 0; i < 300; ++i) {
+    const NetMutateRequest req = RandomMutateRequest(rng);
+    const uint64_t id = rng.Next();
+    const std::string frame = EncodeMutateRequestFrame(req, id);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kMutateRequest);
+    EXPECT_EQ(h.request_id, id);
+    NetMutateRequest got;
+    const Status st = DecodeMutateRequest(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    ASSERT_EQ(got.mutations.size(), req.mutations.size());
+    for (size_t j = 0; j < req.mutations.size(); ++j) {
+      const Mutation& a = req.mutations[j];
+      const Mutation& b = got.mutations[j];
+      EXPECT_EQ(b.op, a.op);
+      EXPECT_EQ(b.table, a.table);
+      switch (a.op) {
+        case Mutation::Op::kInsertRow:
+          ASSERT_EQ(b.values.size(), a.values.size());
+          for (size_t v = 0; v < a.values.size(); ++v) {
+            EXPECT_TRUE(b.values[v] == a.values[v]);
+          }
+          break;
+        case Mutation::Op::kDeleteRow:
+          EXPECT_EQ(b.pk, a.pk);
+          break;
+        case Mutation::Op::kUpdateCell:
+          EXPECT_EQ(b.pk, a.pk);
+          EXPECT_EQ(b.column, a.column);
+          EXPECT_TRUE(b.value == a.value);
+          break;
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, MutateResponseRoundTripProperty) {
+  Rng rng(62);
+  for (int i = 0; i < 300; ++i) {
+    const NetMutateResponse resp = RandomMutateResponse(rng);
+    const std::string frame = EncodeMutateResponseFrame(resp, 8);
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    EXPECT_EQ(h.type, FrameType::kMutateResponse);
+    NetMutateResponse got;
+    const Status st = DecodeMutateResponse(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_TRUE(st.ok()) << st;
+    EXPECT_EQ(got.applied, resp.applied);
+    EXPECT_EQ(got.epoch, resp.epoch);
+    EXPECT_EQ(got.interrupted, resp.interrupted);
+    EXPECT_EQ(got.error, resp.error);
+    EXPECT_EQ(got.touched, resp.touched);
+    EXPECT_TRUE(BitEqual(got.server_seconds, resp.server_seconds));
+  }
+}
+
+TEST(WireCodecTest, TruncatedMutateFramesEveryPrefixRejected) {
+  Rng rng(63);
+  // Use a request with at least one of each op so every branch of the
+  // decoder sees truncation.
+  NetMutateRequest req;
+  req.mutations.push_back(Mutation::Insert(
+      "Movie", {Value::Int(7), Value::Text("alpha beta"), Value::Null()}));
+  req.mutations.push_back(Mutation::Delete("Movie", 3));
+  req.mutations.push_back(
+      Mutation::Update("Person", 9, "PersonName", Value::Text("gamma")));
+  const std::string frames[] = {
+      EncodeMutateRequestFrame(req, 1),
+      EncodeMutateResponseFrame(RandomMutateResponse(rng), 2),
+  };
+  for (const std::string& frame : frames) {
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+    const std::string_view payload =
+        std::string_view(frame).substr(kHeaderBytes);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const std::string_view prefix = payload.substr(0, len);
+      if (h.type == FrameType::kMutateRequest) {
+        NetMutateRequest got;
+        EXPECT_FALSE(DecodeMutateRequest(prefix, &got).ok())
+            << "prefix of " << len << " bytes decoded";
+      } else {
+        NetMutateResponse got;
+        EXPECT_FALSE(DecodeMutateResponse(prefix, &got).ok())
+            << "prefix of " << len << " bytes decoded";
+      }
+    }
+    std::string padded(payload);
+    padded.push_back('\0');
+    if (h.type == FrameType::kMutateRequest) {
+      NetMutateRequest got;
+      EXPECT_FALSE(DecodeMutateRequest(padded, &got).ok());
+    } else {
+      NetMutateResponse got;
+      EXPECT_FALSE(DecodeMutateResponse(padded, &got).ok());
+    }
+  }
+}
+
+TEST(WireCodecTest, MutateRequestHostileFieldsRejected) {
+  {
+    // Operation count above the cap: rejected before any allocation.
+    WireWriter w;
+    w.PutU32(kMaxWireMutations + 1);
+    NetMutateRequest got;
+    const Status st = DecodeMutateRequest(w.data(), &got);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Unknown op tag.
+    WireWriter w;
+    w.PutU32(1);
+    w.PutU8(3);  // ops are 0/1/2
+    w.PutString("Movie");
+    NetMutateRequest got;
+    EXPECT_FALSE(DecodeMutateRequest(w.data(), &got).ok());
+  }
+  {
+    // Insert claiming more values than the cap.
+    WireWriter w;
+    w.PutU32(1);
+    w.PutU8(0);  // kInsertRow
+    w.PutString("Movie");
+    w.PutU32(kMaxWireMutationValues + 1);
+    NetMutateRequest got;
+    EXPECT_FALSE(DecodeMutateRequest(w.data(), &got).ok());
+  }
+  {
+    // Unknown value kind tag.
+    WireWriter w;
+    w.PutU32(1);
+    w.PutU8(0);  // kInsertRow
+    w.PutString("Movie");
+    w.PutU32(1);
+    w.PutU8(9);  // kinds are 0/1/2
+    NetMutateRequest got;
+    EXPECT_FALSE(DecodeMutateRequest(w.data(), &got).ok());
+  }
+  {
+    // Response claiming an absurd touched-table count.
+    WireWriter w;
+    w.PutI64(1);
+    w.PutU64(1);
+    w.PutU8(0);
+    w.PutString("");
+    w.PutU32(kMaxWireMutations + 1);
+    NetMutateResponse got;
+    EXPECT_FALSE(DecodeMutateResponse(w.data(), &got).ok());
+  }
+}
+
 TEST(WireCodecTest, TruncatedHeaderRejected) {
   std::string buf;
   AppendFrameHeader(FrameHeader{}, &buf);
@@ -595,9 +806,9 @@ TEST(WireCodecTest, VersionMismatchKeepsRequestId) {
 }
 
 TEST(WireCodecTest, UnknownFrameTypeRejected) {
-  // 14 is the first unassigned type now that the shard frames (10-13)
+  // 16 is the first unassigned type now that the mutate frames (14-15)
   // are part of the protocol.
-  for (uint8_t type : {uint8_t{0}, uint8_t{14}, uint8_t{255}}) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{16}, uint8_t{255}}) {
     std::string buf;
     AppendFrameHeader(FrameHeader{}, &buf);
     buf[5] = static_cast<char>(type);
@@ -658,6 +869,10 @@ TEST(WireFuzzTest, DecodersSurvivePureNoise) {
     (void)DecodeShardDone(noise, &done);
     uint64_t target;
     (void)DecodeShardStop(noise, &target);
+    NetMutateRequest mreq;
+    (void)DecodeMutateRequest(noise, &mreq);
+    NetMutateResponse mresp;
+    (void)DecodeMutateResponse(noise, &mresp);
   }
 }
 
@@ -667,7 +882,7 @@ TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
     const std::string payload = RandomBytes(rng, 96);
     FrameHeader h;
     h.type = static_cast<FrameType>(
-        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kShardStop)));
+        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kMutateResponse)));
     h.request_id = rng.Next();
     h.payload_len = static_cast<uint32_t>(payload.size());
     std::string frame;
@@ -690,14 +905,18 @@ TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
     (void)DecodeShardDone(body, &done);
     uint64_t target;
     (void)DecodeShardStop(body, &target);
+    NetMutateRequest mreq;
+    (void)DecodeMutateRequest(body, &mreq);
+    NetMutateResponse mresp;
+    (void)DecodeMutateResponse(body, &mresp);
   }
 }
 
 TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
   Rng rng(0xcafe);
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < 700; ++i) {
     std::string frame;
-    switch (i % 5) {
+    switch (i % 7) {
       case 0:
         frame = EncodeSearchRequestFrame(RandomRequest(rng), rng.Next());
         break;
@@ -710,6 +929,13 @@ TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
         break;
       case 3:
         frame = EncodeShardPartialFrame(RandomShardPartial(rng), rng.Next());
+        break;
+      case 4:
+        frame = EncodeMutateRequestFrame(RandomMutateRequest(rng), rng.Next());
+        break;
+      case 5:
+        frame =
+            EncodeMutateResponseFrame(RandomMutateResponse(rng), rng.Next());
         break;
       default:
         frame = EncodeShardDoneFrame(RandomShardDone(rng), rng.Next());
@@ -735,6 +961,10 @@ TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
     (void)DecodeShardPartial(body, &partial);
     NetShardDone done;
     (void)DecodeShardDone(body, &done);
+    NetMutateRequest mreq;
+    (void)DecodeMutateRequest(body, &mreq);
+    NetMutateResponse mresp;
+    (void)DecodeMutateResponse(body, &mresp);
   }
 }
 

@@ -12,6 +12,17 @@
 // the server-side trace of this search (server must run --trace) and
 // writes Chrome-trace JSON loadable in Perfetto / chrome://tracing.
 //
+// Anytime approximate search: --epsilon E (relative slack on the k-th
+// score, e.g. 0.05) lets the server resolve low-impact candidates by
+// sampling instead of exact evaluation; --confidence C (default 0.95)
+// sets the per-candidate confidence of the sampled intervals; --budget N
+// caps join-result rows walked per candidate. --deadline S (seconds)
+// bounds server-side search time; with a nonzero epsilon the server
+// degrades to bounded-error sampling instead of truncating. Approximate
+// hits print their score bracket:
+//   ./net_client --port 4321 --epsilon 0.05 "The Matrix" "Keanu Reeves"
+//   ./net_client --port 4321 --epsilon 0.05 --deadline 0.005 "The Matrix"
+//
 // Write path (server must run --live): each flag below adds one
 // operation to a single batch, applied in order by one request:
 //   ./net_client --port 4321 --insert "movies,8,The Matrix 4,2026"
@@ -61,6 +72,7 @@ int main(int argc, char** argv) {
   SearchOptions options;
   options.k = 5;
   bool ping_only = false;
+  double deadline_seconds = 0.0;
   const char* trace_out = nullptr;
   std::vector<Mutation> mutations;
   std::vector<std::vector<std::string>> cells(1);
@@ -71,6 +83,14 @@ int main(int argc, char** argv) {
       copts.host = argv[++i];
     } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
       options.k = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--epsilon") == 0 && i + 1 < argc) {
+      options.approx_epsilon = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--confidence") == 0 && i + 1 < argc) {
+      options.approx_confidence = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      options.sample_budget = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      deadline_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--insert") == 0 && i + 1 < argc) {
@@ -145,7 +165,9 @@ int main(int argc, char** argv) {
   if (cells.empty()) {
     if (!mutations.empty()) return 0;  // write-only invocation
     std::fprintf(stderr,
-                 "usage: net_client [--host H] [--port P] [--k K] cell"
+                 "usage: net_client [--host H] [--port P] [--k K]"
+                 " [--epsilon E] [--confidence C] [--budget N]"
+                 " [--deadline S] cell"
                  " [cell ...] [/ cell ...]\n"
                  "       net_client [--insert \"table,v1,...\"]"
                  " [--delete \"table,pk\"]"
@@ -156,7 +178,8 @@ int main(int argc, char** argv) {
   uint64_t request_id = 0;
   auto result = client.Search(
       net::NetSearchRequest::From(cells, options,
-                                  S4System::Strategy::kFastTopK),
+                                  S4System::Strategy::kFastTopK,
+                                  /*priority=*/0, deadline_seconds),
       &request_id);
   if (!result.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
@@ -169,10 +192,19 @@ int main(int argc, char** argv) {
               result->topk.size(), 1e3 * result->server_seconds,
               static_cast<long long>(result->queries_evaluated),
               static_cast<long long>(result->cache_hits),
-              result->interrupted ? " [interrupted]" : "");
+              result->interrupted
+                  ? " [interrupted]"
+                  : (result->approximate ? " [approximate]" : ""));
   int rank = 1;
   for (const net::NetTopkEntry& e : result->topk) {
-    std::printf("%2d. score=%.4f\n    %s\n", rank++, e.score, e.sql.c_str());
+    if (e.approximate) {
+      std::printf("%2d. score=%.4f in [%.4f, %.4f] @ %.0f%% conf\n    %s\n",
+                  rank++, e.score, e.interval_lo, e.interval_hi,
+                  1e2 * e.interval_confidence, e.sql.c_str());
+    } else {
+      std::printf("%2d. score=%.4f\n    %s\n", rank++, e.score,
+                  e.sql.c_str());
+    }
   }
 
   if (trace_out != nullptr) {

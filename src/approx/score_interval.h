@@ -1,0 +1,42 @@
+#ifndef S4_APPROX_SCORE_INTERVAL_H_
+#define S4_APPROX_SCORE_INTERVAL_H_
+
+#include <cstdint>
+
+namespace s4 {
+
+// Confidence interval on a candidate PJ query's final CombineScore,
+// produced by the sampling estimator (src/approx/join_sampler.h) or
+// degenerate [score, score] for exactly evaluated candidates.
+//
+// Contract (DESIGN.md "Anytime approximate search"):
+//   * `lo` is a certain lower bound: every sampled join-result row was
+//     scored exactly, and scores are maxima of non-negative terms, so a
+//     prefix of rows can only under-shoot.
+//   * `hi` holds with probability >= `confidence`. While the sampled
+//     fraction is below the coverage threshold, `hi` is the
+//     deterministic Prop-2 upper bound (confidence 1); once the sampled
+//     prefix covers enough of the support that every per-ES-row argmax
+//     row was sampled with the stated probability, `hi` collapses onto
+//     `lo`.
+//   * `sampled == support` means the estimate is exhaustive: lo == hi
+//     is the exact score and confidence is 1.
+struct ScoreInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double confidence = 1.0;
+  // Join-result support rows that could contribute a positive score,
+  // and how many of them the estimator walked.
+  int64_t support = 0;
+  int64_t sampled = 0;
+
+  double width() const { return hi - lo; }
+  // The interval has pinned the score (possibly only at `confidence`).
+  bool resolved() const { return hi <= lo; }
+  // The estimate is the exact score with certainty.
+  bool exact() const { return resolved() && confidence >= 1.0; }
+};
+
+}  // namespace s4
+
+#endif  // S4_APPROX_SCORE_INTERVAL_H_

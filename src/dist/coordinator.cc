@@ -50,6 +50,7 @@ struct S4Coordinator::MergeState {
     // --- guarded by MergeState::mu ---------------------------------
     std::vector<net::NetTopkEntry> topk;  // latest snapshot (disjoint slice)
     double remaining_ub = kInf;
+    bool approximate = false;  // shard answered approximately
     bool reported = false;   // at least one partial/done merged
     bool done = false;       // exchange finished with usable data
     bool lost = false;       // shard unreached; its data is dropped
@@ -65,7 +66,8 @@ struct S4Coordinator::MergeState {
     int fd = -1;
   };
 
-  MergeState(size_t n, int32_t k) : k(k) {
+  MergeState(size_t n, int32_t k, double approx_epsilon)
+      : k(k), approx_epsilon(approx_epsilon) {
     slots.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       slots.push_back(std::make_unique<Slot>());
@@ -74,6 +76,9 @@ struct S4Coordinator::MergeState {
   }
 
   const int32_t k;
+  // Request-level epsilon: > 0 arms the relaxed early-stop rule below.
+  const double approx_epsilon;
+
   std::chrono::steady_clock::time_point start{};
   double budget = 0.0;
 
@@ -81,6 +86,11 @@ struct S4Coordinator::MergeState {
   std::vector<std::unique_ptr<Slot>> slots;
   int64_t partials_received = 0;
   int64_t early_stops_sent = 0;
+  // A relaxed (interval-dominance) stop was issued: the merged result
+  // must be flagged approximate even if every entry was evaluated
+  // exactly, because a stopped shard might still have held a candidate
+  // within epsilon of the merged kth.
+  bool relaxed_stop = false;
 };
 
 S4Coordinator::S4Coordinator(CoordinatorOptions options)
@@ -113,7 +123,20 @@ void S4Coordinator::CheckEarlyStops(MergeState& state) {
   for (auto& sp : state.slots) {
     MergeState::Slot& slot = *sp;
     if (slot.done || slot.lost || slot.stop_sent || !slot.reported) continue;
-    if (kth <= slot.remaining_ub) continue;
+    // Exact dominance: nothing the shard has left can beat the merged
+    // kth. Relaxed (interval) dominance: under approx_epsilon the
+    // request already accepts any answer within kth * (1 + epsilon), so
+    // a shard whose remaining upper bound is inside that slack can be
+    // stopped too — at the cost of flagging the merge approximate.
+    // Approximate entry scores are interval lower bounds, which only
+    // under-estimate the merged kth; both rules stay sound, they just
+    // stop later than perfect information would allow.
+    const bool exact_stop = kth > slot.remaining_ub;
+    const bool relaxed_stop =
+        state.approx_epsilon > 0.0 &&
+        slot.remaining_ub <= kth * (1.0 + state.approx_epsilon);
+    if (!exact_stop && !relaxed_stop) continue;
+    if (!exact_stop) state.relaxed_stop = true;
     slot.stop_sent = true;
     const std::string frame = net::EncodeShardStopFrame(
         slot.exchange_id,
@@ -140,6 +163,7 @@ Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
     std::lock_guard<std::mutex> lock(state.mu);
     slot.topk.clear();
     slot.remaining_ub = kInf;
+    slot.approximate = false;
     slot.reported = false;
     slot.stop_sent = false;
   }
@@ -243,6 +267,9 @@ Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
         std::lock_guard<std::mutex> lock(state.mu);
         slot.topk = std::move(partial.topk);
         slot.remaining_ub = partial.remaining_upper_bound;
+        // Partial frames carry no response-level flag; an entry-level
+        // one is just as binding for the merge.
+        for (const auto& e : slot.topk) slot.approximate |= e.approximate;
         slot.reported = true;
         slot.stats.queries_enumerated = partial.enumerated;
         slot.stats.queries_evaluated = partial.evaluated;
@@ -262,6 +289,7 @@ Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
         std::lock_guard<std::mutex> lock(state.mu);
         slot.topk = std::move(done.response.topk);
         slot.remaining_ub = done.remaining_upper_bound;
+        slot.approximate = done.response.approximate;
         slot.reported = true;
         slot.stats.queries_enumerated = done.response.queries_enumerated;
         slot.stats.queries_evaluated = done.response.queries_evaluated;
@@ -361,7 +389,7 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
     trace = std::make_shared<obs::Trace>("dist_search");
   }
 
-  MergeState state(n, request.k);
+  MergeState state(n, request.k, request.approx_epsilon);
   state.start = std::chrono::steady_clock::now();
   state.budget = request.deadline_seconds > 0.0
                      ? request.deadline_seconds
@@ -396,9 +424,11 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
                       std::make_move_iterator(slot.topk.end()));
         result.queries_enumerated += slot.stats.queries_enumerated;
         result.queries_evaluated += slot.stats.queries_evaluated;
+        result.approximate |= slot.approximate;
       }
       result.shards.push_back(slot.stats);
     }
+    result.approximate |= state.relaxed_stop;
     std::sort(merged.begin(), merged.end(), MergeBefore);
     if (request.k >= 0 &&
         merged.size() > static_cast<size_t>(request.k)) {

@@ -68,6 +68,12 @@ struct DistShardStats {
 struct DistSearchResult {
   std::vector<net::NetTopkEntry> topk;
   bool complete = true;
+  // True when any merged shard answer was approximate (sampling-resolved
+  // entries or an epsilon-relaxed shard termination), or when the
+  // coordinator itself early-stopped a shard under the epsilon-relaxed
+  // dominance rule. The merged top-k is then correct up to the per-entry
+  // intervals and the requested approx_epsilon.
+  bool approximate = false;
   std::vector<int32_t> unreached_shards;
 
   int64_t queries_enumerated = 0;  // summed over reached shards

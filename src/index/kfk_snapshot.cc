@@ -76,6 +76,34 @@ StatusOr<KfkSnapshot> KfkSnapshot::Rebuilt(
   return snap;
 }
 
+const KfkSnapshot::ReverseFkIndex& KfkSnapshot::ReverseFkOf(
+    int32_t fk_index) const {
+  const FkKeys& keys = *fks_[fk_index];
+  std::call_once(keys.reverse_once, [&keys] {
+    std::vector<std::pair<int64_t, uint32_t>> pairs;
+    pairs.reserve(keys.fk.size());
+    for (size_t r = 0; r < keys.fk.size(); ++r) {
+      if (keys.valid[r]) {
+        pairs.emplace_back(keys.fk[r], static_cast<uint32_t>(r));
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    ReverseFkIndex& rev = keys.reverse;
+    rev.rows.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size();) {
+      const int64_t value = pairs[i].first;
+      const uint32_t start = static_cast<uint32_t>(rev.rows.size());
+      for (; i < pairs.size() && pairs[i].first == value; ++i) {
+        rev.rows.push_back(pairs[i].second);
+      }
+      rev.ranges.emplace(value,
+                         std::make_pair(start, static_cast<uint32_t>(
+                                                   rev.rows.size())));
+    }
+  });
+  return keys.reverse;
+}
+
 size_t KfkSnapshot::ByteSize() const {
   size_t bytes = 0;
   for (const auto& t : tables_) {

@@ -5,6 +5,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/flat_table.h"
@@ -31,10 +34,34 @@ class KfkSnapshot {
     std::vector<int64_t> pk;
     FlatMap64 pk_row;
   };
+  // Reverse of one FK column: for a referenced primary-key value, the
+  // dense rows of the FK's source table that point at it (NULL fks
+  // excluded). Row groups are stored contiguously, ascending within a
+  // group, so a lookup is one hash probe plus a contiguous span.
+  struct ReverseFkIndex {
+    std::unordered_map<int64_t, std::pair<uint32_t, uint32_t>> ranges;
+    std::vector<uint32_t> rows;
+
+    // Referring rows of `value`, ascending; empty span when nothing
+    // points at it.
+    std::pair<const uint32_t*, const uint32_t*> RowsFor(int64_t value) const {
+      auto it = ranges.find(value);
+      if (it == ranges.end()) {
+        return {rows.data(), rows.data()};
+      }
+      return {rows.data() + it->second.first, rows.data() + it->second.second};
+    }
+  };
+
   // Per-foreign-key value array plus its NULL bitmap.
   struct FkKeys {
     std::vector<int64_t> fk;
     std::vector<bool> valid;
+    // Reverse index, built lazily on first ReverseFkOf call (the
+    // forward-only evaluator never pays for it) and shared across
+    // epochs for unchanged relations along with the rest of the FkKeys.
+    mutable std::once_flag reverse_once;
+    mutable ReverseFkIndex reverse;
   };
 
   // Builds the snapshot; `db` must be finalized and must outlive it.
@@ -69,6 +96,13 @@ class KfkSnapshot {
   const std::vector<bool>& FkValidColumn(int32_t fk_index) const {
     return fks_[fk_index]->valid;
   }
+
+  // Reverse index of foreign key `fk_index` (referenced pk value -> the
+  // source-table rows holding it). Built lazily under a once-flag —
+  // thread-safe against concurrent searches — and only by the callers
+  // that walk joins child-ward (the approximate sampler); its bytes are
+  // therefore not part of ByteSize()'s Table-1 accounting.
+  const ReverseFkIndex& ReverseFkOf(int32_t fk_index) const;
 
   // Dense row id of table `t`'s row whose primary key is `pk`, or -1.
   // A flat open-addressing probe; this is the evaluator's hot pk lookup

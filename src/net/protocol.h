@@ -7,7 +7,7 @@
 
 namespace s4::net {
 
-// --- S4 wire protocol v1 ----------------------------------------------
+// --- S4 wire protocol v2 ----------------------------------------------
 //
 // Every frame on the wire is a fixed 20-byte header followed by a
 // type-specific payload, all integers little-endian:
@@ -28,7 +28,12 @@ namespace s4::net {
 // deliverable) before the connection closes.
 
 inline constexpr uint32_t kMagic = 0x53345750u;  // "S4WP"
-inline constexpr uint8_t kProtocolVersion = 1;
+// v2 appended the anytime-approximate fields: four search-request knobs
+// (approx_epsilon, approx_confidence, sample_budget, rng_seed), the
+// per-entry score-interval block, and the response-level approximate
+// flag. Both sides must agree — the header version check rejects v1
+// peers with FailedPrecondition before any payload is parsed.
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kHeaderBytes = 20;
 
 // Frames larger than this are rejected with InvalidArgument and the
@@ -80,6 +85,13 @@ inline constexpr int32_t kMaxWireShards = 1024;
 // allocations before the byte-level bounds checks bite.
 inline constexpr uint32_t kMaxWireMutations = 4096;
 inline constexpr uint32_t kMaxWireMutationValues = 4096;
+
+// Decode-side caps on the anytime-approximate request knobs. Epsilon is
+// a relative slack on the k-th score — anything above a few is already
+// absurd, 1e6 is pure hostility; the budget cap keeps a hostile frame
+// from pinning a worker on one candidate for minutes.
+inline constexpr double kMaxWireApproxEpsilon = 1e6;
+inline constexpr int64_t kMaxWireSampleBudget = int64_t{1} << 32;
 
 // Value kind tags inside mutate frames.
 inline constexpr uint8_t kWireValueNull = 0;

@@ -37,9 +37,16 @@ NetSearchResponse BuildResponse(const SearchResult& result,
     e.upper_bound = sq.upper_bound;
     e.row_score = sq.row_score;
     e.column_score = sq.column_score;
+    e.approximate = sq.approximate;
+    e.interval_lo = sq.interval.lo;
+    e.interval_hi = sq.interval.hi;
+    e.interval_confidence = sq.interval.confidence;
+    e.support = sq.interval.support;
+    e.sampled = sq.interval.sampled;
     resp.topk.push_back(std::move(e));
   }
   resp.interrupted = result.interrupted;
+  resp.approximate = result.approximate;
   const RunStats& s = result.stats;
   resp.queries_enumerated = s.queries_enumerated;
   resp.queries_evaluated = s.queries_evaluated;
@@ -317,6 +324,12 @@ void S4Server::DispatchShardSearch(const std::shared_ptr<Connection>& conn,
         e.upper_bound = sq.upper_bound;
         e.row_score = sq.row_score;
         e.column_score = sq.column_score;
+        e.approximate = sq.approximate;
+        e.interval_lo = sq.interval.lo;
+        e.interval_hi = sq.interval.hi;
+        e.interval_confidence = sq.interval.confidence;
+        e.support = sq.interval.support;
+        e.sampled = sq.interval.sampled;
         partial.topk.push_back(std::move(e));
       }
       counters_.shard_partials_sent.fetch_add(1, std::memory_order_relaxed);

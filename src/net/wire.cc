@@ -203,6 +203,10 @@ NetSearchRequest NetSearchRequest::From(
   req.num_threads = options.num_threads;
   req.max_tree_size = options.enumeration.max_tree_size;
   req.cache_budget_bytes = options.cache_budget_bytes;
+  req.approx_epsilon = options.approx_epsilon;
+  req.approx_confidence = options.approx_confidence;
+  req.sample_budget = options.sample_budget;
+  req.rng_seed = options.rng_seed;
   return req;
 }
 
@@ -218,6 +222,10 @@ SearchOptions NetSearchRequest::ToSearchOptions() const {
   options.num_threads = num_threads;
   options.enumeration.max_tree_size = max_tree_size;
   options.cache_budget_bytes = cache_budget_bytes;
+  options.approx_epsilon = approx_epsilon;
+  options.approx_confidence = approx_confidence;
+  options.sample_budget = sample_budget;
+  options.rng_seed = rng_seed;
   return options;
 }
 
@@ -261,6 +269,10 @@ void AppendSearchRequestPayload(const NetSearchRequest& req, WireWriter* w) {
   w->PutI32(req.num_threads);
   w->PutI32(req.max_tree_size);
   w->PutU64(req.cache_budget_bytes);
+  w->PutDouble(req.approx_epsilon);
+  w->PutDouble(req.approx_confidence);
+  w->PutI64(req.sample_budget);
+  w->PutU64(req.rng_seed);
 }
 
 Status ReadSearchRequestPayload(WireReader& r, NetSearchRequest* req) {
@@ -285,7 +297,10 @@ Status ReadSearchRequestPayload(WireReader& r, NetSearchRequest* req) {
       !r.ReadU8(&use_idf) || !r.ReadDouble(&req->exact_match_bonus) ||
       !r.ReadI32(&req->spelling_edits) || !r.ReadU8(&drop_zero) ||
       !r.ReadI32(&req->num_threads) || !r.ReadI32(&req->max_tree_size) ||
-      !r.ReadU64(&req->cache_budget_bytes)) {
+      !r.ReadU64(&req->cache_budget_bytes) ||
+      !r.ReadDouble(&req->approx_epsilon) ||
+      !r.ReadDouble(&req->approx_confidence) ||
+      !r.ReadI64(&req->sample_budget) || !r.ReadU64(&req->rng_seed)) {
     return Truncated("request options");
   }
   req->use_idf = use_idf != 0;
@@ -293,6 +308,19 @@ Status ReadSearchRequestPayload(WireReader& r, NetSearchRequest* req) {
   if (req->strategy > kWireStrategyFastTopK) {
     return Status::InvalidArgument(
         StrFormat("unknown strategy %u", req->strategy));
+  }
+  // Mirror the ValidateSearchOptions invariants at the decode boundary
+  // so a hostile frame cannot carry NaN/out-of-range approx knobs into
+  // the service (the doubles travel as raw bits, so anything encodes).
+  if (!(req->approx_epsilon >= 0.0) ||
+      req->approx_epsilon > kMaxWireApproxEpsilon) {
+    return Status::InvalidArgument("request approx_epsilon out of range");
+  }
+  if (!(req->approx_confidence > 0.0) || req->approx_confidence > 1.0) {
+    return Status::InvalidArgument("request approx_confidence out of range");
+  }
+  if (req->sample_budget < 1 || req->sample_budget > kMaxWireSampleBudget) {
+    return Status::InvalidArgument("request sample_budget out of range");
   }
   return Status::OK();
 }
@@ -328,6 +356,12 @@ void AppendTopkEntries(const std::vector<NetTopkEntry>& topk, WireWriter* w) {
     w->PutDouble(e.upper_bound);
     w->PutDouble(e.row_score);
     w->PutDouble(e.column_score);
+    w->PutU8(e.approximate ? 1 : 0);
+    w->PutDouble(e.interval_lo);
+    w->PutDouble(e.interval_hi);
+    w->PutDouble(e.interval_confidence);
+    w->PutI64(e.support);
+    w->PutI64(e.sampled);
   }
 }
 
@@ -343,11 +377,17 @@ Status ReadTopkEntries(WireReader& r, std::vector<NetTopkEntry>* topk,
   topk->reserve(std::min<uint32_t>(n, 1024));
   for (uint32_t i = 0; i < n; ++i) {
     NetTopkEntry e;
+    uint8_t approximate = 0;
     if (!r.ReadString(&e.signature) || !r.ReadString(&e.sql) ||
         !r.ReadDouble(&e.score) || !r.ReadDouble(&e.upper_bound) ||
-        !r.ReadDouble(&e.row_score) || !r.ReadDouble(&e.column_score)) {
+        !r.ReadDouble(&e.row_score) || !r.ReadDouble(&e.column_score) ||
+        !r.ReadU8(&approximate) || !r.ReadDouble(&e.interval_lo) ||
+        !r.ReadDouble(&e.interval_hi) ||
+        !r.ReadDouble(&e.interval_confidence) || !r.ReadI64(&e.support) ||
+        !r.ReadI64(&e.sampled)) {
       return Truncated(what);
     }
+    e.approximate = approximate != 0;
     topk->push_back(std::move(e));
   }
   return Status::OK();
@@ -358,6 +398,7 @@ Status ReadTopkEntries(WireReader& r, std::vector<NetTopkEntry>* topk,
 void AppendSearchResponsePayload(const NetSearchResponse& resp,
                                  WireWriter* w) {
   w->PutU8(resp.interrupted ? 1 : 0);
+  w->PutU8(resp.approximate ? 1 : 0);
   AppendTopkEntries(resp.topk, w);
   w->PutI64(resp.queries_enumerated);
   w->PutI64(resp.queries_evaluated);
@@ -374,9 +415,12 @@ void AppendSearchResponsePayload(const NetSearchResponse& resp,
 }
 
 Status ReadSearchResponsePayload(WireReader& r, NetSearchResponse* resp) {
-  uint8_t interrupted;
-  if (!r.ReadU8(&interrupted)) return Truncated("response");
+  uint8_t interrupted, approximate;
+  if (!r.ReadU8(&interrupted) || !r.ReadU8(&approximate)) {
+    return Truncated("response");
+  }
   resp->interrupted = interrupted != 0;
+  resp->approximate = approximate != 0;
   S4_RETURN_IF_ERROR(ReadTopkEntries(r, &resp->topk, "response entry"));
   if (!r.ReadI64(&resp->queries_enumerated) ||
       !r.ReadI64(&resp->queries_evaluated) ||

@@ -58,6 +58,13 @@ struct NetSearchRequest {
   int32_t num_threads = 0;
   int32_t max_tree_size = 5;
   uint64_t cache_budget_bytes = 500u << 20;
+  // Anytime approximate search knobs (v2 fields; SearchOptions mirror).
+  // Decode enforces the same invariants as ValidateSearchOptions, so a
+  // hostile frame cannot smuggle NaN/negative knobs past the boundary.
+  double approx_epsilon = 0.0;
+  double approx_confidence = 0.95;
+  int64_t sample_budget = 4096;
+  uint64_t rng_seed = 0x5344534453445344ULL;
 
   // NOT on the wire: seconds the server spent decoding this frame,
   // recorded by the connection so the dispatcher can attach a
@@ -85,11 +92,23 @@ struct NetTopkEntry {
   double upper_bound = 0.0;
   double row_score = 0.0;
   double column_score = 0.0;
+  // Sampling-estimator provenance (v2 fields): the score bracket and
+  // whether this hit was resolved approximately. Exact hits travel the
+  // degenerate [score, score] interval at confidence 1.
+  bool approximate = false;
+  double interval_lo = 0.0;
+  double interval_hi = 0.0;
+  double interval_confidence = 1.0;
+  int64_t support = 0;
+  int64_t sampled = 0;
 };
 
 struct NetSearchResponse {
   std::vector<NetTopkEntry> topk;
   bool interrupted = false;
+  // True when any entry was resolved by the sampling estimator or the
+  // run terminated under the epsilon-relaxed bound (v2 field).
+  bool approximate = false;
 
   // RunStats subset (timings + the Fig 5-7 work counters + cache stats).
   int64_t queries_enumerated = 0;

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "approx/join_sampler.h"
 #include "common/timer.h"
 #include "common/topk_heap.h"
 #include "exec/cost_model.h"
@@ -74,6 +76,16 @@ class FastTopKRun {
 
   SearchResult Run() {
     WallTimer timer;
+    if (ApproxOn()) {
+      // Built once per run; construction precomputes the per-binding
+      // similarity tables (one posting scan per pair, like Stage I).
+      approx::ApproxParams params;
+      params.epsilon = options_.approx_epsilon;
+      params.confidence = options_.approx_confidence;
+      params.sample_budget = options_.sample_budget;
+      params.rng_seed = options_.rng_seed;
+      sampler_ = std::make_unique<approx::JoinSampler>(prep_.ctx, params);
+    }
     const size_t n = rts_.size();
     size_t next = 0;
     int64_t batch_index = 0;
@@ -82,7 +94,7 @@ class FastTopKRun {
       // evaluator's Stage-II 16-lane probe batches sit strictly inside
       // one candidate evaluation, so they never add or move a poll:
       // cancellation granularity stays exactly one candidate.
-      if (StopRequested(options_)) {
+      if (ShouldAbort()) {
         result_.interrupted = true;
         break;
       }
@@ -109,15 +121,27 @@ class FastTopKRun {
       EmitProgress(options_, topk_, rts_, next, result_.stats);
       // Termination condition (7) after each batch. Strict: a remaining
       // candidate with ub == kth can still displace the boundary entry
-      // under the canonical (score desc, signature asc) tie order.
-      if (next < n && topk_.Full() && topk_.KthScore() > rts_[next].ub) {
-        if (options_.trace != nullptr) {
-          options_.trace->AddInstant(
-              "fasttopk", "early_termination",
-              {{"evaluated_through", std::to_string(next)},
-               {"remaining", std::to_string(n - next)}});
+      // under the canonical (score desc, signature asc) tie order. In
+      // approximate mode, the epsilon-relaxed variant also fires: every
+      // remaining candidate's Prop-2 bound is within (1 + eps) of the
+      // k-th score, so none could improve it beyond the stated slack.
+      if (next < n && topk_.Full()) {
+        const double kth = topk_.KthScore();
+        const bool exact_term = kth > rts_[next].ub;
+        const bool approx_term =
+            ApproxOn() &&
+            rts_[next].ub <= kth * (1.0 + kSkipSlack * options_.approx_epsilon);
+        if (exact_term || approx_term) {
+          if (!exact_term) result_.approximate = true;
+          if (options_.trace != nullptr) {
+            options_.trace->AddInstant(
+                "fasttopk", "early_termination",
+                {{"evaluated_through", std::to_string(next)},
+                 {"remaining", std::to_string(n - next)},
+                 {"relaxed", exact_term ? "0" : "1"}});
+          }
+          break;
         }
-        break;
       }
       if (options_.trace != nullptr) {
         options_.trace->AddInstant("fasttopk", "termination_check");
@@ -133,6 +157,153 @@ class FastTopKRun {
   }
 
  private:
+  // Approximate mode is a FASTTOPK-only, plain-evaluation-only feature;
+  // the drop-zero ablation is rejected at the validation boundary, and
+  // guarded again here for callers that bypass it.
+  bool ApproxOn() const {
+    return options_.approx_epsilon > 0.0 && !options_.drop_zero_rows;
+  }
+
+  // Row-subset / prior-score candidates (incremental sessions) always
+  // evaluate exactly; the sampler walks full rows only.
+  bool Sampleable(const RuntimeCandidate& rt) const {
+    return rt.es_rows.empty() && rt.prior_row_scores == nullptr;
+  }
+
+  // Stop-token poll with the deadline fallback: in approximate mode a
+  // *deadline* firing switches the run into best-effort sampling for
+  // every remaining candidate — a bounded-error anytime result instead
+  // of a truncated one — while an explicit cancellation (client gone,
+  // nobody wants the answer) still aborts immediately.
+  bool ShouldAbort() {
+    if (options_.stop == nullptr) return false;
+    if (options_.stop->cancelled()) return true;
+    if (!options_.stop->ShouldStop()) return false;
+    if (!ApproxOn()) return true;
+    if (!deadline_fallback_) {
+      deadline_fallback_ = true;
+      if (options_.trace != nullptr) {
+        options_.trace->AddInstant("approx", "deadline_fallback_entered");
+      }
+    }
+    return false;
+  }
+
+  // Fraction of the epsilon band actually spent on skip/termination
+  // decisions. The contract allows dropping anything provably within
+  // eps of the k-th score, but spending the whole band realizes the
+  // worst case: every boundary candidate gets dropped. A quarter of
+  // the band prunes nearly as much while keeping the realized error
+  // comfortably inside the guarantee.
+  static constexpr double kSkipSlack = 0.25;
+
+  double SkipBound() const {
+    // kth * (1 + slack * eps): with eps = 0 this is the exact
+    // strict-skip threshold; KthScore() is -inf while the heap is not
+    // full, so the bound never fires early.
+    return topk_.KthScore() * (1.0 + kSkipSlack * options_.approx_epsilon);
+  }
+
+  ScoredQuery MakeApproxScored(const RuntimeCandidate& rt,
+                               const approx::CandidateEstimate& est) const {
+    ScoredQuery sq;
+    sq.query = rt.cand->query;
+    sq.score = est.interval.lo;
+    sq.upper_bound = rt.ub;
+    sq.row_score = est.row_score_lo;
+    sq.column_score = rt.cand->column_score;
+    sq.interval = est.interval;
+    sq.approximate = !est.interval.exact();
+    return sq;
+  }
+
+  // Resolves batch candidates [lo, hi) by sampling where possible,
+  // marking resolved slots so the exact machinery only sees the
+  // escalations. Estimates fan out to the pool (they are pure given the
+  // immutable sampler); skip/offer decisions replay serially in rank
+  // order against the live heap, so a fixed thread count is
+  // deterministic and the heap evolution matches the serial path.
+  void ResolveBySampling(size_t lo, size_t hi, std::vector<bool>* resolved) {
+    std::vector<size_t> want;
+    want.reserve(hi - lo);
+    {
+      // Prefilter against the frozen bound: skip thresholds only rise,
+      // so anything at or below them now will still be skippable at
+      // apply time — no estimate needed.
+      const bool full = topk_.Full();
+      const double bound = SkipBound();
+      for (size_t i = lo; i < hi; ++i) {
+        if (!Sampleable(rts_[i])) continue;
+        if (full && rts_[i].ub <= bound) continue;
+        want.push_back(i);
+      }
+    }
+    std::vector<approx::CandidateEstimate> ests(want.size());
+    auto estimate = [&](size_t j) {
+      ests[j] = sampler_->Estimate(*rts_[want[j]].cand,
+                                   /*best_effort=*/deadline_fallback_,
+                                   options_.trace);
+    };
+    if (pool_.get() != nullptr && want.size() > 1) {
+      pool_.get()->ParallelFor(want.size(), estimate);
+    } else {
+      for (size_t j = 0; j < want.size(); ++j) estimate(j);
+    }
+
+    size_t next_want = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      if (!Sampleable(rts_[i])) continue;
+      const approx::CandidateEstimate* est = nullptr;
+      if (next_want < want.size() && want[next_want] == i) {
+        est = &ests[next_want++];
+      }
+      // Exact strict skip first (identical to EvaluateOne), so the
+      // epsilon-relaxed decisions below only ever see candidates the
+      // exact path would have evaluated.
+      if (topk_.Full() && rts_[i].ub < topk_.KthScore()) {
+        ++result_.stats.skipped_by_condition;
+        (*resolved)[i - lo] = true;
+        continue;
+      }
+      if (topk_.Full() && rts_[i].ub <= SkipBound()) {
+        ++result_.stats.approx_skipped;
+        result_.approximate = true;
+        (*resolved)[i - lo] = true;
+        continue;
+      }
+      if (est == nullptr) continue;  // prefiltered but bound regressed: exact
+      result_.stats.approx_samples += est->interval.sampled;
+      if (est->escalate && !deadline_fallback_) {
+        ++result_.stats.approx_escalated;
+        continue;
+      }
+      if (topk_.Full() && est->interval.hi <= SkipBound()) {
+        ++result_.stats.approx_skipped;
+        result_.approximate = true;
+        (*resolved)[i - lo] = true;
+        continue;
+      }
+      if (est->interval.resolved() || deadline_fallback_) {
+        ++result_.stats.approx_sampled;
+        if (deadline_fallback_ && est->escalate) {
+          ++result_.stats.approx_deadline_fallbacks;
+        }
+        if (est->interval.exact() && !est->row_scores.empty()) {
+          result_.evaluated.push_back(EvaluatedRecord{
+              rts_[i].cand->query.signature(), est->row_scores});
+        } else {
+          result_.approximate = true;
+        }
+        OfferCounted(&topk_, MakeApproxScored(rts_[i], *est),
+                     &result_.stats);
+        (*resolved)[i - lo] = true;
+        continue;
+      }
+      // Unresolved interval outside fallback: escalate to exact.
+      ++result_.stats.approx_escalated;
+    }
+  }
+
   void EvaluateOne(size_t rt_index, bool offer_to_cache) {
     // Skipping condition (heuristic 2, Sec 5.3.4): an upper bound below
     // the current k-th score cannot enter the top-k. Strict so an exact
@@ -187,10 +358,20 @@ class FastTopKRun {
 
   // BatchEval (Algorithm 4) over candidates [lo, hi) of the runtime list.
   void EvaluateBatch(size_t lo, size_t hi) {
+    // Approximate mode: resolve what sampling can (interval skips and
+    // interval offers) before the critical-sub machinery spins up, so
+    // Q* selection, pinning, and similarity ordering only ever see the
+    // escalated candidates that truly need exact evaluation.
+    std::vector<bool> sampled_out(hi - lo, false);
+    if (ApproxOn()) {
+      obs::SpanTimer span(options_.trace, "approx", "resolve_batch");
+      ResolveBySampling(lo, hi, &sampled_out);
+    }
     std::vector<BatchEntry> entries;
     entries.reserve(hi - lo);
     const std::vector<uint64_t>& gens = prep_.ctx.index().relation_gens();
     for (size_t i = lo; i < hi; ++i) {
+      if (sampled_out[i - lo]) continue;
       BatchEntry e;
       e.rt_index = i;
       e.subs = rts_[i].cand->query.EnumerateSubQueries();
@@ -211,10 +392,31 @@ class FastTopKRun {
 
     while (remaining > 0) {
       // Critical-group boundary: poll the stop token so an abandoned
-      // request stops before picking (and evaluating) the next Q*.
-      if (StopRequested(options_)) {
+      // request stops before picking (and evaluating) the next Q*. A
+      // deadline in approximate mode resolves the batch remainder by
+      // best-effort sampling instead of dropping it.
+      if (ShouldAbort()) {
         result_.interrupted = true;
         return;
+      }
+      if (deadline_fallback_) {
+        // The deadline fired mid-batch: resolve every not-yet-evaluated
+        // entry by best-effort sampling (one rank at a time — entries
+        // are no longer a contiguous range). Row-subset candidates the
+        // sampler cannot bracket still evaluate exactly; they are rare
+        // and per-candidate, so the cancel path can abort them.
+        std::vector<size_t> rest;
+        for (size_t e = 0; e < entries.size(); ++e) {
+          if (done[e]) continue;
+          done[e] = true;
+          const size_t rt = entries[e].rt_index;
+          std::vector<bool> one(1, false);
+          ResolveBySampling(rt, rt + 1, &one);
+          if (!one[0]) rest.push_back(rt);
+        }
+        EvaluateRts(rest, /*offer_to_cache=*/false);
+        remaining = 0;
+        break;
       }
       cache_.Clear();
 
@@ -328,6 +530,11 @@ class FastTopKRun {
   TopKHeap<ScoredQuery> topk_;
   SubQueryCache cache_;
   PoolHandle pool_;  // get() is null on the serial legacy path
+  // Anytime approximate mode: null unless approx_epsilon > 0.
+  std::unique_ptr<approx::JoinSampler> sampler_;
+  // Latched once the run's deadline fires: remaining candidates finish
+  // in best-effort sampling mode instead of being dropped.
+  bool deadline_fallback_ = false;
 };
 
 }  // namespace

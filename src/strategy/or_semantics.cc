@@ -44,6 +44,8 @@ SearchResult SearchOrSemantics(const IndexSet& index,
       topk.Offer(sq.score, std::move(sq), std::move(key));
     }
     out.stats.Add(r.stats);
+    out.approximate |= r.approximate;
+    out.interrupted |= r.interrupted;
   }
   for (auto& [score, sq] : topk.TakeSortedDescending()) {
     (void)score;

@@ -34,6 +34,28 @@ Status ValidateSearchOptions(const SearchOptions& options) {
     return Status::InvalidArgument(
         StrFormat("alpha must be in [0, 1], got %f", options.score.alpha));
   }
+  if (options.approx_epsilon < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("approx_epsilon must be non-negative, got %f",
+                  options.approx_epsilon));
+  }
+  if (!(options.approx_confidence > 0.0) || options.approx_confidence > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("approx_confidence must be in (0, 1], got %f",
+                  options.approx_confidence));
+  }
+  if (options.sample_budget <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("sample_budget must be positive, got %lld",
+                  static_cast<long long>(options.sample_budget)));
+  }
+  if (options.approx_epsilon > 0.0 && options.drop_zero_rows) {
+    // The sampler mirrors the evaluator's keep-zero-rows inner-join
+    // semantics; the drop-zero ablation would make its lower bounds
+    // unsound.
+    return Status::InvalidArgument(
+        "approx_epsilon > 0 is incompatible with drop_zero_rows");
+  }
   if (options.shard_count < 1) {
     return Status::InvalidArgument(
         StrFormat("shard_count must be >= 1, got %d", options.shard_count));
@@ -64,6 +86,11 @@ void RunStats::Add(const RunStats& o) {
   model_cost += o.model_cost;
   enum_seconds += o.enum_seconds;
   eval_seconds += o.eval_seconds;
+  approx_sampled += o.approx_sampled;
+  approx_skipped += o.approx_skipped;
+  approx_escalated += o.approx_escalated;
+  approx_samples += o.approx_samples;
+  approx_deadline_fallbacks += o.approx_deadline_fallbacks;
   counters.Add(o.counters);
   cache.hits += o.cache.hits;
   cache.misses += o.cache.misses;
@@ -190,6 +217,10 @@ ScoredQuery EvaluateCandidate(PreparedSearch& prep,
   for (double v : row_scores) sq.row_score += v;
   sq.score = CombineScore(sq.row_score, sq.column_score,
                           options.score.alpha, cand.query.tree().size());
+  // Exact hits carry a degenerate certain interval so downstream
+  // consumers (wire, coordinator merge) read one uniform field.
+  sq.interval.lo = sq.interval.hi = sq.score;
+  sq.interval.confidence = 1.0;
   if (records != nullptr) {
     records->push_back(
         EvaluatedRecord{cand.query.signature(), std::move(row_scores)});
@@ -221,6 +252,11 @@ void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
     obs::Counter* cache_misses;
     obs::Counter* cache_insertions;
     obs::Counter* cache_evictions;
+    obs::Counter* approx_sampled;
+    obs::Counter* approx_skipped;
+    obs::Counter* approx_escalated;
+    obs::Counter* approx_samples;
+    obs::Counter* approx_deadline_fallbacks;
     obs::Histogram* enum_seconds;
     obs::Histogram* eval_seconds;
   };
@@ -239,6 +275,11 @@ void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
         &reg.GetCounter("s4_cache_probe_misses_total"),
         &reg.GetCounter("s4_cache_insertions_total"),
         &reg.GetCounter("s4_cache_evictions_total"),
+        &reg.GetCounter("s4_approx_candidates_sampled_total"),
+        &reg.GetCounter("s4_approx_skipped_total"),
+        &reg.GetCounter("s4_approx_escalated_total"),
+        &reg.GetCounter("s4_approx_samples_total"),
+        &reg.GetCounter("s4_approx_deadline_fallbacks_total"),
         &reg.GetHistogram("s4_enum_seconds"),
         &reg.GetHistogram("s4_eval_seconds"),
     };
@@ -255,6 +296,11 @@ void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
   c.cache_misses->Add(stats->cache.misses);
   c.cache_insertions->Add(stats->cache.insertions);
   c.cache_evictions->Add(stats->cache.evictions);
+  c.approx_sampled->Add(stats->approx_sampled);
+  c.approx_skipped->Add(stats->approx_skipped);
+  c.approx_escalated->Add(stats->approx_escalated);
+  c.approx_samples->Add(stats->approx_samples);
+  c.approx_deadline_fallbacks->Add(stats->approx_deadline_fallbacks);
   c.enum_seconds->Observe(stats->enum_seconds);
   c.eval_seconds->Observe(stats->eval_seconds);
 }

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "approx/score_interval.h"
 #include "cache/subquery_cache.h"
 #include "common/stop_token.h"
 #include "enumerate/enumerator.h"
@@ -79,6 +80,26 @@ struct SearchOptions {
   // (the default) keeps everything.
   int32_t shard_count = 1;
   int32_t shard_index = 0;
+  // --- anytime approximate search (DESIGN.md "Anytime approximate
+  // search") ------------------------------------------------------------
+  // Relative slack on the k-th score: > 0 enables the FASTTOPK sampling
+  // estimator, which skips candidates whose score interval upper bound
+  // is at most kth * (1 + approx_epsilon) and escalates straddling
+  // candidates to exact evaluation. 0 (the default) disables the
+  // machinery entirely — the run is bit-identical to the exact path.
+  // Only FASTTOPK honors these knobs; NAIVE/BASELINE stay exact.
+  double approx_epsilon = 0.0;
+  // Per-candidate confidence of a sampling-resolved score interval
+  // (see JoinSampler for the coverage bound). Must be in (0, 1].
+  double approx_confidence = 0.95;
+  // Max join-result rows walked per candidate before the sampler gives
+  // up and escalates. Must be positive.
+  int64_t sample_budget = 4096;
+  // Base seed of the per-candidate rng streams (each candidate draws
+  // from rng_seed ^ FingerprintString(signature), so estimates are
+  // reproducible across thread counts, shard slicings, and runs).
+  uint64_t rng_seed = 0x5344534453445344ULL;
+
   // Incremental progress sink: when set, strategies call it at batch /
   // block boundaries with the current top-k snapshot and the upper
   // bound of everything not yet evaluated. Runs on the search thread
@@ -106,6 +127,11 @@ struct ScoredQuery {
   double upper_bound = 0.0;  // Prop 2
   double row_score = 0.0;    // Eq. 3
   double column_score = 0.0; // Eq. 4
+  // Bracket on the exact score: degenerate [score, score] at confidence
+  // 1 for exactly evaluated hits; a sampling interval (and
+  // approximate = true) when the hit was resolved by the estimator.
+  ScoreInterval interval;
+  bool approximate = false;
 };
 
 // Metrics reported by every strategy; the benchmark harnesses print
@@ -126,6 +152,16 @@ struct RunStats {
   int64_t model_cost = 0;
   double enum_seconds = 0.0;  // enumeration + upper-bound computation
   double eval_seconds = 0.0;  // evaluation (the online bottleneck)
+  // Anytime approximate mode (approx_epsilon > 0): candidates resolved
+  // by the sampling estimator (skipped or offered on their interval),
+  // candidates whose interval straddled and escalated to exact
+  // evaluation, join-result rows walked, and candidates finished in
+  // best-effort sampling mode after the deadline fired.
+  int64_t approx_sampled = 0;
+  int64_t approx_skipped = 0;
+  int64_t approx_escalated = 0;
+  int64_t approx_samples = 0;
+  int64_t approx_deadline_fallbacks = 0;
   EvalCounters counters;
   CacheStats cache;
 
@@ -147,6 +183,10 @@ struct SearchResult {
   // True when the run observed SearchOptions::stop and wound down early:
   // `topk` holds the best-of-what-was-evaluated, not the proven top-k.
   bool interrupted = false;
+  // True when any candidate was resolved by the sampling estimator
+  // instead of exact evaluation: the top-k is correct up to the
+  // per-entry intervals and the epsilon-relaxed skipping rule.
+  bool approximate = false;
 };
 
 // One snapshot streamed out of a running strategy at a batch / block

@@ -80,6 +80,13 @@ NetSearchRequest RandomRequest(Rng& rng) {
   req.num_threads = static_cast<int32_t>(rng.Next());
   req.max_tree_size = static_cast<int32_t>(rng.Next());
   req.cache_budget_bytes = rng.Next();
+  // The approx knobs are decode-validated (unlike the legacy fields), so
+  // the round-trip corpus draws them from their legal ranges; hostile
+  // values get their own rejection test below.
+  req.approx_epsilon = rng.NextDouble() * 4.0;
+  req.approx_confidence = 0.001 + rng.NextDouble() * 0.999;
+  req.sample_budget = 1 + static_cast<int64_t>(rng.Uniform(1u << 20));
+  req.rng_seed = rng.Next();
   return req;
 }
 
@@ -94,9 +101,16 @@ NetSearchResponse RandomResponse(Rng& rng) {
     e.upper_bound = RandomDouble(rng);
     e.row_score = RandomDouble(rng);
     e.column_score = RandomDouble(rng);
+    e.approximate = rng.Bernoulli(0.5);
+    e.interval_lo = RandomDouble(rng);
+    e.interval_hi = RandomDouble(rng);
+    e.interval_confidence = RandomDouble(rng);
+    e.support = static_cast<int64_t>(rng.Next());
+    e.sampled = static_cast<int64_t>(rng.Next());
     resp.topk.push_back(std::move(e));
   }
   resp.interrupted = rng.Bernoulli(0.5);
+  resp.approximate = rng.Bernoulli(0.5);
   resp.queries_enumerated = static_cast<int64_t>(rng.Next());
   resp.queries_evaluated = static_cast<int64_t>(rng.Next());
   resp.query_row_evals = static_cast<int64_t>(rng.Next());
@@ -252,6 +266,10 @@ TEST(WireCodecTest, RequestRoundTripProperty) {
     EXPECT_EQ(got.num_threads, req.num_threads);
     EXPECT_EQ(got.max_tree_size, req.max_tree_size);
     EXPECT_EQ(got.cache_budget_bytes, req.cache_budget_bytes);
+    EXPECT_TRUE(BitEqual(got.approx_epsilon, req.approx_epsilon));
+    EXPECT_TRUE(BitEqual(got.approx_confidence, req.approx_confidence));
+    EXPECT_EQ(got.sample_budget, req.sample_budget);
+    EXPECT_EQ(got.rng_seed, req.rng_seed);
   }
 }
 
@@ -280,8 +298,16 @@ TEST(WireCodecTest, ResponseRoundTripProperty) {
       EXPECT_TRUE(BitEqual(got.topk[j].row_score, resp.topk[j].row_score));
       EXPECT_TRUE(
           BitEqual(got.topk[j].column_score, resp.topk[j].column_score));
+      EXPECT_EQ(got.topk[j].approximate, resp.topk[j].approximate);
+      EXPECT_TRUE(BitEqual(got.topk[j].interval_lo, resp.topk[j].interval_lo));
+      EXPECT_TRUE(BitEqual(got.topk[j].interval_hi, resp.topk[j].interval_hi));
+      EXPECT_TRUE(BitEqual(got.topk[j].interval_confidence,
+                           resp.topk[j].interval_confidence));
+      EXPECT_EQ(got.topk[j].support, resp.topk[j].support);
+      EXPECT_EQ(got.topk[j].sampled, resp.topk[j].sampled);
     }
     EXPECT_EQ(got.interrupted, resp.interrupted);
+    EXPECT_EQ(got.approximate, resp.approximate);
     EXPECT_EQ(got.queries_enumerated, resp.queries_enumerated);
     EXPECT_EQ(got.queries_evaluated, resp.queries_evaluated);
     EXPECT_EQ(got.query_row_evals, resp.query_row_evals);
@@ -383,6 +409,40 @@ TEST(WireCodecTest, StatsAndTraceFrames) {
   padded.push_back('\0');
   uint64_t got = 0;
   EXPECT_FALSE(DecodeTraceRequest(padded, &got).ok());
+}
+
+TEST(WireCodecTest, ApproxKnobsHostileValuesRejected) {
+  // The four approx knobs are the last 32 payload bytes (f64 epsilon,
+  // f64 confidence, i64 budget, u64 seed); patch them in place on an
+  // otherwise-valid frame. Doubles travel as raw bits, so NaN and
+  // negative values encode fine and must be caught by the decoder.
+  auto reencode = [](double eps, double conf, int64_t budget) {
+    NetSearchRequest req;
+    req.cells = {{"The Matrix"}};
+    std::string frame = EncodeSearchRequestFrame(req, 1);
+    WireWriter w;
+    w.PutDouble(eps);
+    w.PutDouble(conf);
+    w.PutI64(budget);
+    w.PutU64(req.rng_seed);
+    frame.replace(frame.size() - 32, 32, w.data());
+    NetSearchRequest got;
+    return DecodeSearchRequest(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(reencode(0.0, 0.95, 4096).ok());
+  EXPECT_TRUE(reencode(0.05, 1.0, 1).ok());
+  EXPECT_FALSE(reencode(-0.1, 0.95, 4096).ok());  // negative epsilon
+  EXPECT_FALSE(reencode(nan, 0.95, 4096).ok());   // NaN epsilon
+  EXPECT_FALSE(reencode(kMaxWireApproxEpsilon * 2, 0.95, 4096).ok());
+  EXPECT_FALSE(reencode(0.0, 0.0, 4096).ok());    // confidence = 0
+  EXPECT_FALSE(reencode(0.0, -0.5, 4096).ok());   // negative confidence
+  EXPECT_FALSE(reencode(0.0, 1.5, 4096).ok());    // confidence > 1
+  EXPECT_FALSE(reencode(0.0, nan, 4096).ok());    // NaN confidence
+  EXPECT_FALSE(reencode(0.0, 0.95, 0).ok());      // zero budget
+  EXPECT_FALSE(reencode(0.0, 0.95, -7).ok());     // negative budget
+  EXPECT_FALSE(reencode(0.0, 0.95, kMaxWireSampleBudget + 1).ok());
 }
 
 TEST(WireCodecTest, TruncatedRequestEveryPrefixRejected) {

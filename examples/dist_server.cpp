@@ -95,8 +95,9 @@ int main(int argc, char** argv) {
   auto run_once = [&](int k) -> int {
     SearchOptions options;
     options.k = k;
-    const auto request = net::NetSearchRequest::From(
+    auto request = net::NetSearchRequest::From(
         {{title, actor}}, options, S4System::Strategy::kFastTopK);
+    request.want_profile = self_test;
     auto dist_result = coordinator.Search(request);
     if (!dist_result.ok()) {
       std::fprintf(stderr, "dist search: %s\n",
@@ -164,14 +165,53 @@ int main(int argc, char** argv) {
     }
     std::printf("self-test: %d slices cover all %lld candidates\n", shards,
                 static_cast<long long>(slices));
+    // Cluster-wide profile: one ShardProfile row per shard, work
+    // counters reconciling with the merged response counters.
+    if (dist_result->profile.shards.size() !=
+            static_cast<size_t>(shards) ||
+        dist_result->profile.candidates_evaluated !=
+            dist_result->queries_evaluated ||
+        dist_result->profile.total_seconds <= 0.0) {
+      std::fprintf(stderr,
+                   "merged profile wrong: %zu shard rows, evaluated %lld "
+                   "vs %lld\n",
+                   dist_result->profile.shards.size(),
+                   static_cast<long long>(
+                       dist_result->profile.candidates_evaluated),
+                   static_cast<long long>(dist_result->queries_evaluated));
+      return 1;
+    }
+    std::printf("self-test: merged profile has %d shard rows\n", shards);
+
+    // Stitched timeline: one trace holding the coordinator's own spans
+    // plus every shard's segment as its own process (pid 2+i), all on
+    // the coordinator's normalized clock.
     auto trace = coordinator.last_trace();
     if (trace == nullptr || !trace->HasSpan("merge") ||
         !trace->HasSpan("shard_exchange")) {
       std::fprintf(stderr, "coordinator trace is missing dist spans\n");
       return 1;
     }
-    std::printf("self-test: coordinator trace has %zu spans\n",
-                trace->NumSpans());
+    for (int i = 0; i < shards; ++i) {
+      if (trace->NumSpansForPid(2 + static_cast<uint32_t>(i)) == 0) {
+        std::fprintf(stderr,
+                     "stitched trace has no spans for shard %d\n", i);
+        return 1;
+      }
+    }
+    const std::string stitched = trace->ToChromeJson();
+    if (stitched.find("\"shard 0\"") == std::string::npos ||
+        stitched.find("frame_decode") == std::string::npos ||
+        stitched.find("\"ts\":-") != std::string::npos) {
+      std::fprintf(stderr,
+                   "stitched Chrome JSON is missing shard processes or "
+                   "has unnormalized timestamps\n");
+      return 1;
+    }
+    std::printf(
+        "self-test: stitched trace has %zu spans across %d processes "
+        "(%zu bytes of Chrome JSON)\n",
+        trace->NumSpans(), shards + 1, stitched.size());
     return 0;
   };
 

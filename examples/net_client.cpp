@@ -23,6 +23,15 @@
 //   ./net_client --port 4321 --epsilon 0.05 "The Matrix" "Keanu Reeves"
 //   ./net_client --port 4321 --epsilon 0.05 --deadline 0.005 "The Matrix"
 //
+// Profiling (DESIGN.md "Observability"): --profile asks the server for
+// the request's QueryProfile — end-to-end timing envelope, enumeration/
+// evaluation work, cache traffic, sampler activity — and prints it
+// after the hits, with approximate hits shown as score brackets:
+//   ./net_client --port 4321 --profile "The Matrix" "Keanu Reeves"
+// --slow-log fetches the server's slow-query ring as JSON (server must
+// run --slow-log) and exits:
+//   ./net_client --port 4321 --slow-log
+//
 // Write path (server must run --live): each flag below adds one
 // operation to a single batch, applied in order by one request:
 //   ./net_client --port 4321 --insert "movies,8,The Matrix 4,2026"
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "obs/profile.h"
 
 namespace {
 
@@ -72,6 +82,8 @@ int main(int argc, char** argv) {
   SearchOptions options;
   options.k = 5;
   bool ping_only = false;
+  bool want_profile = false;
+  bool slow_log_only = false;
   double deadline_seconds = 0.0;
   const char* trace_out = nullptr;
   std::vector<Mutation> mutations;
@@ -127,6 +139,10 @@ int main(int argc, char** argv) {
                                            parts[2], ParseValue(value)));
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       ping_only = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      want_profile = true;
+    } else if (std::strcmp(argv[i], "--slow-log") == 0) {
+      slow_log_only = true;
     } else if (std::strcmp(argv[i], "/") == 0) {
       if (!cells.back().empty()) cells.emplace_back();
     } else {
@@ -140,6 +156,18 @@ int main(int argc, char** argv) {
     std::printf("ping %s:%u -> %s\n", copts.host.c_str(), copts.port,
                 st.ToString().c_str());
     return st.ok() ? 0 : 1;
+  }
+  if (slow_log_only) {
+    auto json = client.FetchSlowLog();
+    if (!json.ok()) {
+      std::fprintf(stderr,
+                   "slow-log fetch failed: %s\n(is the server running"
+                   " with --slow-log?)\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
   }
 
   if (!mutations.empty()) {
@@ -167,8 +195,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: net_client [--host H] [--port P] [--k K]"
                  " [--epsilon E] [--confidence C] [--budget N]"
-                 " [--deadline S] cell"
+                 " [--deadline S] [--profile] cell"
                  " [cell ...] [/ cell ...]\n"
+                 "       net_client [--slow-log]\n"
                  "       net_client [--insert \"table,v1,...\"]"
                  " [--delete \"table,pk\"]"
                  " [--update \"table,pk,col,value\"]\n");
@@ -176,11 +205,11 @@ int main(int argc, char** argv) {
   }
 
   uint64_t request_id = 0;
-  auto result = client.Search(
-      net::NetSearchRequest::From(cells, options,
-                                  S4System::Strategy::kFastTopK,
-                                  /*priority=*/0, deadline_seconds),
-      &request_id);
+  net::NetSearchRequest request = net::NetSearchRequest::From(
+      cells, options, S4System::Strategy::kFastTopK,
+      /*priority=*/0, deadline_seconds);
+  request.want_profile = want_profile;
+  auto result = client.Search(request, &request_id);
   if (!result.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  result.status().ToString().c_str());
@@ -205,6 +234,26 @@ int main(int argc, char** argv) {
       std::printf("%2d. score=%.4f\n    %s\n", rank++, e.score,
                   e.sql.c_str());
     }
+  }
+
+  if (want_profile) {
+    if (!result->has_profile) {
+      std::fprintf(stderr, "server sent no profile (pre-v3 peer?)\n");
+      return 1;
+    }
+    std::vector<obs::ProfileHit> hits;
+    hits.reserve(result->topk.size());
+    for (const net::NetTopkEntry& e : result->topk) {
+      obs::ProfileHit h;
+      h.score = e.score;
+      h.interval_lo = e.interval_lo;
+      h.interval_hi = e.interval_hi;
+      h.interval_confidence = e.interval_confidence;
+      h.approximate = e.approximate;
+      h.label = e.sql;
+      hits.push_back(std::move(h));
+    }
+    std::printf("\n%s", obs::FormatProfile(result->profile, hits).c_str());
   }
 
   if (trace_out != nullptr) {

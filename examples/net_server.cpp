@@ -16,6 +16,9 @@
 //   --verbose      one-line summary per completed request on stderr
 //   --stats-port P plain-text scrape endpoint (curl P/metrics) serving
 //                  the Prometheus dump of the metrics registry
+//   --slow-log     keep the 32 slowest requests (any latency qualifies;
+//                  tune in code via ServiceOptions), dumped as JSON by
+//                  net_client --slow-log (or a kSlowLogRequest frame)
 //
 // The self-test mode is what ctest runs: it crosses the full stack
 // (framing, epoll loops, admission queue, completion marshalling, the
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool verbose = false;
   bool live = false;
+  bool slow_log = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self-test") == 0) {
       self_test = true;
@@ -55,12 +59,15 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (std::strcmp(argv[i], "--live") == 0) {
       live = true;
+    } else if (std::strcmp(argv[i], "--slow-log") == 0) {
+      slow_log = true;
     }
   }
   if (self_test) {
     // The self-test exercises every observability surface.
     trace = true;
     verbose = true;
+    slow_log = true;
     if (stats_port < 0) stats_port = 0;
   }
 
@@ -74,6 +81,13 @@ int main(int argc, char** argv) {
   ServiceOptions sopts;
   sopts.num_workers = 2;
   sopts.max_queue = 32;
+  if (slow_log) {
+    // Threshold 0: every completed request competes for a ring slot, so
+    // the log is always the 32 slowest seen. Production deployments
+    // would set a real threshold (say 0.1s) to skip the fast majority.
+    sopts.slow_log_size = 32;
+    sopts.slow_log_threshold_seconds = 0.0;
+  }
 
   // --live hands the database to a LiveS4System (epoch-publishing,
   // accepts kMutateRequest); otherwise a plain immutable S4System.
@@ -111,9 +125,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving the S4 wire protocol on 127.0.0.1:%u%s%s%s\n",
+  std::printf("serving the S4 wire protocol on 127.0.0.1:%u%s%s%s%s\n",
               server.port(), live ? " [live]" : "",
-              trace ? " [tracing]" : "", verbose ? " [verbose]" : "");
+              trace ? " [tracing]" : "", verbose ? " [verbose]" : "",
+              slow_log ? " [slow-log]" : "");
 
   net::StatsTextServer stats_server;
   if (stats_port >= 0) {
@@ -148,10 +163,10 @@ int main(int argc, char** argv) {
     SearchOptions options;
     options.k = 3;
     uint64_t request_id = 0;
-    auto result = client.Search(
-        net::NetSearchRequest::From({{title, actor}}, options,
-                                    S4System::Strategy::kFastTopK),
-        &request_id);
+    net::NetSearchRequest req = net::NetSearchRequest::From(
+        {{title, actor}}, options, S4System::Strategy::kFastTopK);
+    req.want_profile = true;
+    auto result = client.Search(req, &request_id);
     if (!result.ok()) {
       std::fprintf(stderr, "search: %s\n",
                    result.status().ToString().c_str());
@@ -161,6 +176,32 @@ int main(int argc, char** argv) {
                 result->topk.size(), 1e3 * result->server_seconds,
                 result->topk.empty() ? "(none)"
                                      : result->topk[0].sql.c_str());
+
+    // The QueryProfile must come back and reconcile with the response's
+    // own counters (both views come from the same RunStats).
+    if (!result->has_profile) {
+      std::fprintf(stderr, "response is missing the requested profile\n");
+      return 1;
+    }
+    const obs::QueryProfile& prof = result->profile;
+    if (prof.candidates_evaluated != result->queries_evaluated ||
+        prof.candidates_enumerated != result->queries_enumerated ||
+        prof.cache_hits != result->cache_hits ||
+        prof.total_seconds <= 0.0 ||
+        prof.total_seconds < prof.queue_seconds) {
+      std::fprintf(stderr,
+                   "profile does not reconcile: evaluated %lld vs %lld, "
+                   "enumerated %lld vs %lld, total=%.6f queue=%.6f\n",
+                   static_cast<long long>(prof.candidates_evaluated),
+                   static_cast<long long>(result->queries_evaluated),
+                   static_cast<long long>(prof.candidates_enumerated),
+                   static_cast<long long>(result->queries_enumerated),
+                   prof.total_seconds, prof.queue_seconds);
+      return 1;
+    }
+    std::printf("profile: total=%.3f ms (queued %.3f ms), %lld evaluated\n",
+                1e3 * prof.total_seconds, 1e3 * prof.queue_seconds,
+                static_cast<long long>(prof.candidates_evaluated));
 
     // Stats over the wire must reflect the search that just completed.
     auto stats = client.Stats();
@@ -195,6 +236,25 @@ int main(int argc, char** argv) {
     }
     std::printf("trace JSON: %zu bytes, spans present\n",
                 trace_json->size());
+
+    // The slow-query log must hold the completed search (threshold 0 in
+    // self-test mode) with the documented JSON shape.
+    auto slow_json = client.FetchSlowLog();
+    if (!slow_json.ok()) {
+      std::fprintf(stderr, "slow log: %s\n",
+                   slow_json.status().ToString().c_str());
+      return 1;
+    }
+    if (slow_json->find("\"slow_log\":[") == std::string::npos ||
+        slow_json->find("\"elapsed_ms\"") == std::string::npos ||
+        slow_json->find("\"strategy\":\"fasttopk\"") == std::string::npos ||
+        slow_json->find("\"profile\":{") == std::string::npos) {
+      std::fprintf(stderr, "slow-log JSON has the wrong shape:\n%s\n",
+                   slow_json->c_str());
+      return 1;
+    }
+    std::printf("slow log: %zu bytes of JSON, shape ok\n",
+                slow_json->size());
 
     // With --live, drive the write path over the wire: insert a movie
     // with a nonsense title, search for it, then clean it up.
@@ -261,12 +321,13 @@ int main(int argc, char** argv) {
     server.Stop();
     const net::NetServerCounters& c = server.counters();
     std::printf("frames=%lld responses=%lld errors=%lld stats_reqs=%lld"
-                " trace_reqs=%lld\n",
+                " trace_reqs=%lld slow_log_reqs=%lld\n",
                 static_cast<long long>(c.frames_received.load()),
                 static_cast<long long>(c.responses_sent.load()),
                 static_cast<long long>(c.errors_sent.load()),
                 static_cast<long long>(c.stats_requests.load()),
-                static_cast<long long>(c.trace_requests.load()));
+                static_cast<long long>(c.trace_requests.load()),
+                static_cast<long long>(c.slow_log_requests.load()));
     return result->topk.empty() ? 1 : 0;
   }
 

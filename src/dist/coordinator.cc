@@ -58,6 +58,9 @@ struct S4Coordinator::MergeState {
     uint64_t exchange_id = 0;
     Status failure = Status::OK();  // final status of a lost shard
     DistShardStats stats;
+    // Per-shard resource profile from kShardDone (want_profile only).
+    bool has_profile = false;
+    obs::QueryProfile profile;
     // --- stop-frame channel ----------------------------------------
     // The exchange socket, published while the exchange thread blocks
     // reading it, so CheckEarlyStops can write a kShardStop on the same
@@ -81,6 +84,12 @@ struct S4Coordinator::MergeState {
 
   std::chrono::steady_clock::time_point start{};
   double budget = 0.0;
+
+  // Stitching context (null / 0 when tracing is off): every shard
+  // request carries trace->trace_id() and the scatter span id so
+  // returned segments nest under the scatter on one shared timeline.
+  obs::Trace* trace = nullptr;
+  uint64_t scatter_span_id = 0;
 
   std::mutex mu;
   std::vector<std::unique_ptr<Slot>> slots;
@@ -187,6 +196,15 @@ Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
   sreq.shard_count = static_cast<int32_t>(options_.shards.size());
   sreq.shard_index = index;
   sreq.partial_every = options_.partial_every;
+  if (state.trace != nullptr) {
+    // Cross-shard trace propagation: the shard records its own segment
+    // under our trace id and ships it back on kShardDone; the origin
+    // wall-clock lets the import normalize the two machines' clocks.
+    sreq.want_trace = true;
+    sreq.trace_id = state.trace->trace_id();
+    sreq.parent_span_id = state.scatter_span_id;
+    sreq.origin_unix_us = state.trace->origin_unix_us();
+  }
   if (state.budget > 0.0) {
     // Grant the shard a slice of what is left, keeping headroom for the
     // final merge and the wire.
@@ -286,6 +304,15 @@ Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
           return st;
         }
         unpublish();
+        if (done.has_segment && state.trace != nullptr) {
+          // Stitch the shard's timeline in as its own process, nested
+          // under the scatter span. Trace has its own lock; pid 2+i
+          // keeps shard processes distinct from the coordinator (pid 1).
+          state.trace->ImportSegment(done.segment,
+                                     /*pid=*/2 + static_cast<uint32_t>(index),
+                                     StrFormat("shard %d", index),
+                                     state.scatter_span_id);
+        }
         std::lock_guard<std::mutex> lock(state.mu);
         slot.topk = std::move(done.response.topk);
         slot.remaining_ub = done.remaining_upper_bound;
@@ -293,6 +320,8 @@ Status S4Coordinator::RunExchangeOnce(MergeState& state, int32_t index,
         slot.reported = true;
         slot.stats.queries_enumerated = done.response.queries_enumerated;
         slot.stats.queries_evaluated = done.response.queries_evaluated;
+        slot.has_profile = done.response.has_profile;
+        if (slot.has_profile) slot.profile = done.response.profile;
         // This shard's final answer may unlock stops for the others.
         CheckEarlyStops(state);
         return Status::OK();
@@ -387,6 +416,10 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
   std::shared_ptr<obs::Trace> trace;
   if (options_.enable_tracing) {
     trace = std::make_shared<obs::Trace>("dist_search");
+    // One fleet-wide id for the whole distributed request; every shard
+    // segment comes back stamped with it.
+    trace->set_trace_id(
+        next_request_id_.fetch_add(1, std::memory_order_relaxed));
   }
 
   MergeState state(n, request.k, request.approx_epsilon);
@@ -394,10 +427,14 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
   state.budget = request.deadline_seconds > 0.0
                      ? request.deadline_seconds
                      : options_.request_timeout_seconds;
+  state.trace = trace.get();
 
   {
     obs::SpanTimer scatter(trace.get(), "dist", "scatter");
     if (scatter.enabled()) scatter.AddArg("shards", StrFormat("%zu", n));
+    // The span id exists from construction, so shard requests sent
+    // while the scatter is still open can already name their parent.
+    state.scatter_span_id = scatter.span_id();
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -425,6 +462,18 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
         result.queries_enumerated += slot.stats.queries_enumerated;
         result.queries_evaluated += slot.stats.queries_evaluated;
         result.approximate |= slot.approximate;
+        if (slot.has_profile) result.profile.Accumulate(slot.profile);
+      }
+      if (request.want_profile) {
+        obs::ShardProfile sp_row;
+        sp_row.shard_index = slot.stats.shard_index;
+        sp_row.wall_seconds = slot.stats.wall_seconds;
+        sp_row.enumerated = slot.stats.queries_enumerated;
+        sp_row.evaluated = slot.stats.queries_evaluated;
+        sp_row.partials = slot.stats.partials;
+        sp_row.lost = slot.lost;
+        sp_row.approximate = slot.approximate;
+        result.profile.shards.push_back(sp_row);
       }
       result.shards.push_back(slot.stats);
     }
@@ -439,6 +488,9 @@ StatusOr<DistSearchResult> S4Coordinator::Search(
     result.early_stops_sent = state.early_stops_sent;
   }
   result.wall_seconds = Elapsed(state.start);
+  // The timing envelope is the coordinator's, not any one shard's.
+  result.profile.total_seconds = result.wall_seconds;
+  result.profile.queue_seconds = 0.0;
 
   registry.GetHistogram("s4_dist_search_seconds")
       .Observe(result.wall_seconds);

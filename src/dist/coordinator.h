@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "net/wire.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace s4::dist {
@@ -82,6 +83,12 @@ struct DistSearchResult {
   int64_t early_stops_sent = 0;
   std::vector<DistShardStats> shards;
   double wall_seconds = 0.0;
+
+  // Cluster-wide resource profile, filled when the request set
+  // want_profile: every reached shard's QueryProfile accumulated (work
+  // counters summed, the timing envelope re-stamped with the
+  // coordinator's own wall clock) plus one ShardProfile row per shard.
+  obs::QueryProfile profile;
 };
 
 // Per-shard outcome of one broadcast write.

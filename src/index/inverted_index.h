@@ -55,6 +55,13 @@ class ColumnInvertedIndex {
   int64_t NumEntries() const;
   size_t ByteSize() const;
 
+  // Delta-overlay size (terms carried outside the frozen base): the
+  // compaction-pressure signal, published as `s4_live_overlay_depth`
+  // on epoch publish. 0 for static builds and freshly compacted epochs.
+  size_t OverlaySize() const {
+    return overlay_ == nullptr ? 0 : overlay_->size();
+  }
+
  private:
   std::shared_ptr<Map> owned_;          // build-path mutable alias of base_
   std::shared_ptr<const Map> base_;
@@ -116,6 +123,12 @@ class RowInvertedIndex {
 
   int64_t TotalPostings() const { return total_postings_; }
   size_t ByteSize() const;
+
+  // Delta-overlay size (posting lists carried outside the frozen
+  // base); see ColumnInvertedIndex::OverlaySize.
+  size_t OverlaySize() const {
+    return overlay_ == nullptr ? 0 : overlay_->size();
+  }
 
  private:
   std::shared_ptr<Map> owned_;          // build-path mutable alias of base_

@@ -23,6 +23,7 @@ struct LiveMetrics {
   obs::Counter* updates;
   obs::Counter* failed;
   obs::Counter* epochs;
+  obs::Gauge* overlay_depth;
   obs::Histogram* apply_seconds;
 
   static LiveMetrics& Get() {
@@ -35,6 +36,7 @@ struct LiveMetrics {
           &reg.GetCounter("s4_live_updates_total"),
           &reg.GetCounter("s4_live_failed_total"),
           &reg.GetCounter("s4_live_epochs_total"),
+          &reg.GetGauge("s4_live_overlay_depth"),
           &reg.GetHistogram("s4_live_apply_seconds"),
       };
     }();
@@ -432,6 +434,12 @@ StatusOr<MutationResult> LiveS4System::Apply(
   result.touched = builder.Touched();
   std::shared_ptr<const S4System> next =
       S4System::FromIndex(std::move(set));
+  // Compaction-pressure signal: how many posting lists the published
+  // epoch carries in delta overlays outside the frozen bases. Resets
+  // toward 0 whenever WithChanges compacts (overlay > max(64, base/4)).
+  metrics.overlay_depth->Set(static_cast<int64_t>(
+      std::max(next->index().column_index().OverlaySize(),
+               next->index().row_index().OverlaySize())));
   {
     std::lock_guard<std::mutex> lock(epoch_mu_);
     epoch_ = std::move(next);

@@ -224,4 +224,24 @@ StatusOr<std::string> S4Client::FetchTrace(uint64_t request_id) {
   }
 }
 
+StatusOr<std::string> S4Client::FetchSlowLog() {
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = RoundTrip(EncodeSlowLogRequestFrame(id), id);
+  if (!reply.ok()) return reply.status();
+  switch (reply->type) {
+    case FrameType::kSlowLogResponse:
+      return std::move(reply->payload);
+    case FrameType::kError: {
+      NetError err;
+      S4_RETURN_IF_ERROR(DecodeError(reply->payload, &err));
+      return err.ToStatus();
+    }
+    default:
+      return Status::Internal(
+          StrFormat("unexpected frame type %u in slow-log reply",
+                    static_cast<unsigned>(reply->type)));
+  }
+}
+
 }  // namespace s4::net

@@ -63,6 +63,9 @@ class S4Client {
   // Chrome-trace JSON for a completed traced search. NotFound when the
   // server isn't tracing or the id fell out of its trace history.
   StatusOr<std::string> FetchTrace(uint64_t request_id);
+  // JSON dump of the server's slow-query log ({"slow_log":[...]}).
+  // NotFound when the server runs without a slow log.
+  StatusOr<std::string> FetchSlowLog();
 
  private:
   struct RawReply {

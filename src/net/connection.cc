@@ -211,6 +211,27 @@ void Connection::HandleFrame(const FrameHeader& h,
                                                   std::memory_order_relaxed);
       return;
     }
+    case FrameType::kSlowLogRequest: {
+      loop_->counters()->slow_log_requests.fetch_add(
+          1, std::memory_order_relaxed);
+      const Status ds = DecodeSlowLogRequest(payload);
+      if (!ds.ok()) {
+        SendError(h.request_id, ds, /*close_after=*/false);
+        return;
+      }
+      StatusOr<std::string> json =
+          loop_->dispatcher()->CollectSlowLogJson();
+      if (!json.ok()) {
+        // NotFound (slow log disabled) is a per-request miss, not a
+        // protocol violation: answer and keep the stream.
+        SendError(h.request_id, json.status(), /*close_after=*/false);
+        return;
+      }
+      SendFrame(EncodeSlowLogResponseFrame(*json, h.request_id));
+      loop_->counters()->responses_sent.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return;
+    }
     default:
       // Server-to-client frame types arriving at the server mean the
       // peer is confused; nothing after this can be trusted.

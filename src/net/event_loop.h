@@ -40,6 +40,8 @@ struct NetServerCounters {
   std::atomic<int64_t> shard_stops{0};
   // Live mutation write path.
   std::atomic<int64_t> mutate_requests{0};
+  // Slow-query log fetches (kSlowLogRequest frames).
+  std::atomic<int64_t> slow_log_requests{0};
 };
 
 // Frame limits + timeouts a connection enforces (one copy per server,
@@ -83,6 +85,11 @@ class SearchDispatcher {
   virtual StatusOr<std::string> CollectTraceJson(uint64_t request_id) {
     (void)request_id;
     return Status::NotFound("tracing is not enabled on this server");
+  }
+  // Slow-query log dump ({"slow_log":[...]} JSON), answered
+  // synchronously like the stats/trace reads above.
+  virtual StatusOr<std::string> CollectSlowLogJson() {
+    return Status::NotFound("the slow-query log is not enabled");
   }
 };
 

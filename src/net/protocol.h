@@ -7,7 +7,7 @@
 
 namespace s4::net {
 
-// --- S4 wire protocol v2 ----------------------------------------------
+// --- S4 wire protocol v3 ----------------------------------------------
 //
 // Every frame on the wire is a fixed 20-byte header followed by a
 // type-specific payload, all integers little-endian:
@@ -31,9 +31,13 @@ inline constexpr uint32_t kMagic = 0x53345750u;  // "S4WP"
 // v2 appended the anytime-approximate fields: four search-request knobs
 // (approx_epsilon, approx_confidence, sample_budget, rng_seed), the
 // per-entry score-interval block, and the response-level approximate
-// flag. Both sides must agree — the header version check rejects v1
-// peers with FailedPrecondition before any payload is parsed.
-inline constexpr uint8_t kProtocolVersion = 2;
+// flag. v3 appended the profiling surface: a want_profile request flag,
+// an optional QueryProfile section on search responses, trace context
+// (trace_id, parent span, wall origin) on shard requests, an optional
+// trace segment on kShardDone, and the kSlowLogRequest/Response pair.
+// Both sides must agree — the header version check rejects older peers
+// with FailedPrecondition before any payload is parsed.
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kHeaderBytes = 20;
 
 // Frames larger than this are rejected with InvalidArgument and the
@@ -67,11 +71,15 @@ enum class FrameType : uint8_t {
   // shard, which all hold the full database).
   kMutateRequest = 14,   // client -> server
   kMutateResponse = 15,  // server -> client
+  // Slow-query log fetch: the server answers with the JSON dump of its
+  // slowest-request ring (empty request payload, like kStatsRequest).
+  kSlowLogRequest = 16,   // client -> server (empty payload)
+  kSlowLogResponse = 17,  // server -> client (JSON text)
 };
 
 inline bool IsValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kSearchRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kMutateResponse);
+         t <= static_cast<uint8_t>(FrameType::kSlowLogResponse);
 }
 
 // Decode-side cap on NetShardSearchRequest::shard_count: far above any
@@ -92,6 +100,17 @@ inline constexpr uint32_t kMaxWireMutationValues = 4096;
 // from pinning a worker on one candidate for minutes.
 inline constexpr double kMaxWireApproxEpsilon = 1e6;
 inline constexpr int64_t kMaxWireSampleBudget = int64_t{1} << 32;
+
+// Decode-side caps on the trace segment a shard returns on kShardDone:
+// events per segment and args per event. A real per-request trace is a
+// few hundred events; a hostile frame cannot force absurd allocations.
+inline constexpr uint32_t kMaxWireTraceEvents = 4096;
+inline constexpr uint32_t kMaxWireTraceArgs = 16;
+
+// Decode-side cap on the per-shard breakdown inside a wire
+// QueryProfile (mirrors the fan-out bound).
+inline constexpr uint32_t kMaxWireProfileShards =
+    static_cast<uint32_t>(kMaxWireShards);
 
 // Value kind tags inside mutate frames.
 inline constexpr uint8_t kWireValueNull = 0;

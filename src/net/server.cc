@@ -26,7 +26,8 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 NetSearchResponse BuildResponse(const SearchResult& result,
-                                double server_seconds, const Database& db) {
+                                double server_seconds, const Database& db,
+                                bool want_profile) {
   NetSearchResponse resp;
   resp.topk.reserve(result.topk.size());
   for (const ScoredQuery& sq : result.topk) {
@@ -60,6 +61,12 @@ NetSearchResponse BuildResponse(const SearchResult& result,
   resp.cache_evictions = s.cache.evictions;
   resp.cache_peak_bytes = s.cache.peak_bytes;
   resp.server_seconds = server_seconds;
+  if (want_profile) {
+    // The service stamped the timing envelope (total/queue wall) on the
+    // profile before completing; work counters came from FinishStats.
+    resp.has_profile = true;
+    resp.profile = result.profile;
+  }
   return resp;
 }
 
@@ -179,6 +186,7 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
         start);
   }
   const S4System::Strategy strategy = sreq.strategy;
+  const bool want_profile = req.want_profile;
   std::shared_ptr<obs::Trace> trace = sreq.trace;
 
   std::weak_ptr<Connection> wconn = conn;
@@ -187,7 +195,7 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_dispatches_;
   }
-  auto done = [this, wconn, loop, request_id, start, strategy,
+  auto done = [this, wconn, loop, request_id, start, strategy, want_profile,
                trace](StatusOr<SearchResult> result) {
     const double server_seconds = SecondsSince(start);
     std::string frame;
@@ -196,7 +204,8 @@ void S4Server::DispatchSearch(const std::shared_ptr<Connection>& conn,
       obs::SpanTimer encode_span(trace.get(), "net", "frame_encode");
       if (result.ok()) {
         frame = EncodeSearchResponseFrame(
-            BuildResponse(*result, server_seconds, service_->system().db()),
+            BuildResponse(*result, server_seconds, service_->system().db(),
+                          want_profile),
             request_id);
       } else {
         frame = EncodeErrorFrame(result.status(), request_id);
@@ -275,15 +284,21 @@ void S4Server::DispatchShardSearch(const std::shared_ptr<Connection>& conn,
   sreq.priority = req.base.priority;
   sreq.deadline_seconds = req.base.deadline_seconds;
   sreq.cells = std::move(req.base.cells);
-  if (options_.enable_tracing) {
+  // A coordinator asking for a stitched timeline (want_trace) gets a
+  // per-request trace regardless of this server's own tracing flag —
+  // the segment rides back on kShardDone either way.
+  const bool want_trace = req.want_trace;
+  if (options_.enable_tracing || want_trace) {
     sreq.trace = std::make_shared<obs::Trace>("shard_search");
     sreq.trace->set_request_id(request_id);
+    if (want_trace) sreq.trace->set_trace_id(req.trace_id);
     sreq.trace->AddSpan(
         "net", "frame_decode",
         start - std::chrono::duration_cast<obs::Trace::Clock::duration>(
                     std::chrono::duration<double>(req.base.decode_seconds)),
         start);
   }
+  const bool want_profile = req.base.want_profile;
   std::shared_ptr<obs::Trace> trace = sreq.trace;
 
   std::weak_ptr<Connection> wconn = conn;
@@ -348,8 +363,8 @@ void S4Server::DispatchShardSearch(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_dispatches_;
   }
-  auto done = [this, wconn, loop, request_id, start, state,
-               trace](StatusOr<SearchResult> result) {
+  auto done = [this, wconn, loop, request_id, start, state, want_trace,
+               want_profile, trace](StatusOr<SearchResult> result) {
     const double server_seconds = SecondsSince(start);
     std::string frame;
     bool is_error = false;
@@ -357,10 +372,17 @@ void S4Server::DispatchShardSearch(const std::shared_ptr<Connection>& conn,
       obs::SpanTimer encode_span(trace.get(), "net", "frame_encode");
       if (result.ok()) {
         NetShardDone done_msg;
-        done_msg.response =
-            BuildResponse(*result, server_seconds, service_->system().db());
+        done_msg.response = BuildResponse(
+            *result, server_seconds, service_->system().db(), want_profile);
         done_msg.remaining_upper_bound = std::bit_cast<double>(
             state->remaining_ub_bits.load(std::memory_order_relaxed));
+        if (want_trace && trace != nullptr) {
+          // Detach everything recorded so far (the encode span above is
+          // still open and stays local). The wire encoder enforces the
+          // segment caps; the coordinator re-checks them on decode.
+          done_msg.has_segment = true;
+          done_msg.segment = trace->ExportSegment();
+        }
         frame = EncodeShardDoneFrame(done_msg, request_id);
       } else {
         frame = EncodeErrorFrame(result.status(), request_id);
@@ -543,6 +565,8 @@ std::string S4Server::CollectStatsText() {
       .Set(c.shard_stops.load(std::memory_order_relaxed));
   reg.GetGauge("s4_net_mutate_requests")
       .Set(c.mutate_requests.load(std::memory_order_relaxed));
+  reg.GetGauge("s4_net_slow_log_requests")
+      .Set(c.slow_log_requests.load(std::memory_order_relaxed));
   for (size_t i = 0; i < loops_.size(); ++i) {
     reg.GetGauge(StrFormat("s4_net_loop%zu_connections", i))
         .Set(static_cast<int64_t>(loops_[i]->num_connections()));
@@ -568,6 +592,15 @@ StatusOr<std::string> S4Server::CollectTraceJson(uint64_t request_id) {
         options_.trace_history));
   }
   return trace->ToChromeJson();
+}
+
+StatusOr<std::string> S4Server::CollectSlowLogJson() {
+  if (!service_->slow_log_enabled()) {
+    return Status::NotFound(
+        "the slow-query log is not enabled (ServiceOptions::slow_log_size "
+        "is 0)");
+  }
+  return service_->SlowLogJson();
 }
 
 }  // namespace s4::net

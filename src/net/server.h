@@ -96,6 +96,8 @@ class S4Server : public SearchDispatcher {
   std::string CollectStatsText() override;
   // Chrome-trace JSON of a completed traced request still in history.
   StatusOr<std::string> CollectTraceJson(uint64_t request_id) override;
+  // JSON dump of the service's slow-query ring; NotFound when disabled.
+  StatusOr<std::string> CollectSlowLogJson() override;
 
  private:
   void AcceptorMain();

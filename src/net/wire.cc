@@ -273,6 +273,7 @@ void AppendSearchRequestPayload(const NetSearchRequest& req, WireWriter* w) {
   w->PutDouble(req.approx_confidence);
   w->PutI64(req.sample_budget);
   w->PutU64(req.rng_seed);
+  w->PutU8(req.want_profile ? 1 : 0);
 }
 
 Status ReadSearchRequestPayload(WireReader& r, NetSearchRequest* req) {
@@ -303,6 +304,9 @@ Status ReadSearchRequestPayload(WireReader& r, NetSearchRequest* req) {
       !r.ReadI64(&req->sample_budget) || !r.ReadU64(&req->rng_seed)) {
     return Truncated("request options");
   }
+  uint8_t want_profile = 0;
+  if (!r.ReadU8(&want_profile)) return Truncated("request options");
+  req->want_profile = want_profile != 0;
   req->use_idf = use_idf != 0;
   req->drop_zero_rows = drop_zero != 0;
   if (req->strategy > kWireStrategyFastTopK) {
@@ -393,6 +397,90 @@ Status ReadTopkEntries(WireReader& r, std::vector<NetTopkEntry>* topk,
   return Status::OK();
 }
 
+// The flat QueryProfile section (v3): fixed scalar fields in declaration
+// order, then the per-shard breakdown. Appended to search responses
+// behind a has-flag when the request asked for profiling.
+void AppendProfile(const obs::QueryProfile& p, WireWriter* w) {
+  w->PutDouble(p.total_seconds);
+  w->PutDouble(p.queue_seconds);
+  w->PutDouble(p.enum_seconds);
+  w->PutDouble(p.eval_seconds);
+  w->PutI64(p.candidates_enumerated);
+  w->PutI64(p.candidates_evaluated);
+  w->PutI64(p.query_row_evals);
+  w->PutI64(p.skipped_by_condition);
+  w->PutI64(p.batches);
+  w->PutI64(p.bound_updates);
+  w->PutI64(p.rows_scanned);
+  w->PutI64(p.hash_lookups);
+  w->PutI64(p.hash_inserts);
+  w->PutI64(p.postings_scanned);
+  w->PutI64(p.cache_hits);
+  w->PutI64(p.cache_misses);
+  w->PutI64(p.cache_insertions);
+  w->PutI64(p.cache_evictions);
+  w->PutU64(p.cache_peak_bytes);
+  w->PutI64(p.approx_sampled);
+  w->PutI64(p.approx_skipped);
+  w->PutI64(p.approx_escalated);
+  w->PutI64(p.approx_samples);
+  w->PutI64(p.approx_deadline_fallbacks);
+  const uint32_t shards = static_cast<uint32_t>(
+      std::min<size_t>(p.shards.size(), kMaxWireProfileShards));
+  w->PutU32(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    const obs::ShardProfile& s = p.shards[i];
+    w->PutI32(s.shard_index);
+    w->PutDouble(s.wall_seconds);
+    w->PutI64(s.enumerated);
+    w->PutI64(s.evaluated);
+    w->PutI64(s.partials);
+    w->PutU8(s.lost ? 1 : 0);
+    w->PutU8(s.approximate ? 1 : 0);
+  }
+}
+
+Status ReadProfile(WireReader& r, obs::QueryProfile* p) {
+  if (!r.ReadDouble(&p->total_seconds) || !r.ReadDouble(&p->queue_seconds) ||
+      !r.ReadDouble(&p->enum_seconds) || !r.ReadDouble(&p->eval_seconds) ||
+      !r.ReadI64(&p->candidates_enumerated) ||
+      !r.ReadI64(&p->candidates_evaluated) ||
+      !r.ReadI64(&p->query_row_evals) ||
+      !r.ReadI64(&p->skipped_by_condition) || !r.ReadI64(&p->batches) ||
+      !r.ReadI64(&p->bound_updates) || !r.ReadI64(&p->rows_scanned) ||
+      !r.ReadI64(&p->hash_lookups) || !r.ReadI64(&p->hash_inserts) ||
+      !r.ReadI64(&p->postings_scanned) || !r.ReadI64(&p->cache_hits) ||
+      !r.ReadI64(&p->cache_misses) || !r.ReadI64(&p->cache_insertions) ||
+      !r.ReadI64(&p->cache_evictions) || !r.ReadU64(&p->cache_peak_bytes) ||
+      !r.ReadI64(&p->approx_sampled) || !r.ReadI64(&p->approx_skipped) ||
+      !r.ReadI64(&p->approx_escalated) || !r.ReadI64(&p->approx_samples) ||
+      !r.ReadI64(&p->approx_deadline_fallbacks)) {
+    return Truncated("profile");
+  }
+  uint32_t shards;
+  if (!r.ReadU32(&shards)) return Truncated("profile");
+  if (shards > kMaxWireProfileShards) {
+    return Status::InvalidArgument(
+        StrFormat("profile shard count %u exceeds wire limits", shards));
+  }
+  p->shards.clear();
+  p->shards.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    obs::ShardProfile s;
+    uint8_t lost = 0, approximate = 0;
+    if (!r.ReadI32(&s.shard_index) || !r.ReadDouble(&s.wall_seconds) ||
+        !r.ReadI64(&s.enumerated) || !r.ReadI64(&s.evaluated) ||
+        !r.ReadI64(&s.partials) || !r.ReadU8(&lost) ||
+        !r.ReadU8(&approximate)) {
+      return Truncated("profile shard");
+    }
+    s.lost = lost != 0;
+    s.approximate = approximate != 0;
+    p->shards.push_back(s);
+  }
+  return Status::OK();
+}
+
 // The search-response payload layout, shared by kSearchResponse and the
 // leading section of kShardDone.
 void AppendSearchResponsePayload(const NetSearchResponse& resp,
@@ -412,6 +500,8 @@ void AppendSearchResponsePayload(const NetSearchResponse& resp,
   w->PutI64(resp.cache_evictions);
   w->PutU64(resp.cache_peak_bytes);
   w->PutDouble(resp.server_seconds);
+  w->PutU8(resp.has_profile ? 1 : 0);
+  if (resp.has_profile) AppendProfile(resp.profile, w);
 }
 
 Status ReadSearchResponsePayload(WireReader& r, NetSearchResponse* resp) {
@@ -433,6 +523,16 @@ Status ReadSearchResponsePayload(WireReader& r, NetSearchResponse* resp) {
       !r.ReadU64(&resp->cache_peak_bytes) ||
       !r.ReadDouble(&resp->server_seconds)) {
     return Truncated("response stats");
+  }
+  uint8_t has_profile = 0;
+  if (!r.ReadU8(&has_profile)) return Truncated("response stats");
+  if (has_profile > 1) {
+    return Status::InvalidArgument("response has_profile flag out of range");
+  }
+  resp->has_profile = has_profile != 0;
+  resp->profile = obs::QueryProfile{};
+  if (resp->has_profile) {
+    S4_RETURN_IF_ERROR(ReadProfile(r, &resp->profile));
   }
   return Status::OK();
 }
@@ -464,6 +564,10 @@ std::string EncodeShardSearchRequestFrame(const NetShardSearchRequest& req,
   w.PutI32(req.shard_count);
   w.PutI32(req.shard_index);
   w.PutU32(req.partial_every);
+  w.PutU8(req.want_trace ? 1 : 0);
+  w.PutU64(req.trace_id);
+  w.PutU64(req.parent_span_id);
+  w.PutI64(req.origin_unix_us);
   AppendSearchRequestPayload(req.base, &w);
   return FinishFrame(FrameType::kShardSearchRequest, request_id, w.Take());
 }
@@ -485,6 +589,16 @@ Status DecodeShardSearchRequest(std::string_view payload,
         StrFormat("shard_index %d outside [0, %d)", req->shard_index,
                   req->shard_count));
   }
+  uint8_t want_trace = 0;
+  if (!r.ReadU8(&want_trace) || !r.ReadU64(&req->trace_id) ||
+      !r.ReadU64(&req->parent_span_id) || !r.ReadI64(&req->origin_unix_us)) {
+    return Truncated("shard request");
+  }
+  if (want_trace > 1) {
+    return Status::InvalidArgument(
+        "shard request want_trace flag out of range");
+  }
+  req->want_trace = want_trace != 0;
   S4_RETURN_IF_ERROR(ReadSearchRequestPayload(r, &req->base));
   if (!r.Exhausted()) {
     return Status::InvalidArgument(
@@ -520,11 +634,84 @@ Status DecodeShardPartial(std::string_view payload,
   return Status::OK();
 }
 
+namespace {
+
+// The trace segment a shard ships back on kShardDone (v3). Bounded on
+// the encode side too: a shard with a pathologically chatty trace
+// truncates to the cap instead of emitting a frame its own peer must
+// reject.
+void AppendTraceSegment(const obs::TraceSegment& seg, WireWriter* w) {
+  w->PutI64(seg.origin_unix_us);
+  w->PutU64(seg.trace_id);
+  const uint32_t n = static_cast<uint32_t>(
+      std::min<size_t>(seg.events.size(), kMaxWireTraceEvents));
+  w->PutU32(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const obs::TraceSegment::Event& e = seg.events[i];
+    w->PutString(e.category);
+    w->PutString(e.name);
+    w->PutI64(e.ts_us);
+    w->PutI64(e.dur_us);
+    w->PutU32(e.tid);
+    w->PutU64(e.span_id);
+    w->PutU64(e.parent_id);
+    const uint32_t nargs = static_cast<uint32_t>(
+        std::min<size_t>(e.args.size(), kMaxWireTraceArgs));
+    w->PutU32(nargs);
+    for (uint32_t j = 0; j < nargs; ++j) {
+      w->PutString(e.args[j].key);
+      w->PutString(e.args[j].value);
+    }
+  }
+}
+
+Status ReadTraceSegment(WireReader& r, obs::TraceSegment* seg) {
+  uint32_t n;
+  if (!r.ReadI64(&seg->origin_unix_us) || !r.ReadU64(&seg->trace_id) ||
+      !r.ReadU32(&n)) {
+    return Truncated("trace segment");
+  }
+  if (n > kMaxWireTraceEvents) {
+    return Status::InvalidArgument(
+        StrFormat("trace segment event count %u exceeds wire limits", n));
+  }
+  seg->events.clear();
+  seg->events.reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::TraceSegment::Event e;
+    uint32_t nargs;
+    if (!r.ReadString(&e.category) || !r.ReadString(&e.name) ||
+        !r.ReadI64(&e.ts_us) || !r.ReadI64(&e.dur_us) || !r.ReadU32(&e.tid) ||
+        !r.ReadU64(&e.span_id) || !r.ReadU64(&e.parent_id) ||
+        !r.ReadU32(&nargs)) {
+      return Truncated("trace segment event");
+    }
+    if (nargs > kMaxWireTraceArgs) {
+      return Status::InvalidArgument(
+          StrFormat("trace event arg count %u exceeds wire limits", nargs));
+    }
+    e.args.reserve(nargs);
+    for (uint32_t j = 0; j < nargs; ++j) {
+      obs::TraceSegment::Arg a;
+      if (!r.ReadString(&a.key) || !r.ReadString(&a.value)) {
+        return Truncated("trace segment arg");
+      }
+      e.args.push_back(std::move(a));
+    }
+    seg->events.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 std::string EncodeShardDoneFrame(const NetShardDone& done,
                                  uint64_t request_id) {
   WireWriter w;
   AppendSearchResponsePayload(done.response, &w);
   w.PutDouble(done.remaining_upper_bound);
+  w.PutU8(done.has_segment ? 1 : 0);
+  if (done.has_segment) AppendTraceSegment(done.segment, &w);
   return FinishFrame(FrameType::kShardDone, request_id, w.Take());
 }
 
@@ -533,6 +720,17 @@ Status DecodeShardDone(std::string_view payload, NetShardDone* done) {
   S4_RETURN_IF_ERROR(ReadSearchResponsePayload(r, &done->response));
   if (!r.ReadDouble(&done->remaining_upper_bound)) {
     return Truncated("shard done");
+  }
+  uint8_t has_segment = 0;
+  if (!r.ReadU8(&has_segment)) return Truncated("shard done");
+  if (has_segment > 1) {
+    return Status::InvalidArgument(
+        "shard done has_segment flag out of range");
+  }
+  done->has_segment = has_segment != 0;
+  done->segment = obs::TraceSegment{};
+  if (done->has_segment) {
+    S4_RETURN_IF_ERROR(ReadTraceSegment(r, &done->segment));
   }
   if (!r.Exhausted()) {
     return Status::InvalidArgument("trailing bytes after shard done payload");
@@ -623,6 +821,24 @@ Status DecodeTraceRequest(std::string_view payload,
   if (!r.Exhausted()) {
     return Status::InvalidArgument(
         "trailing bytes after trace request payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeSlowLogRequestFrame(uint64_t request_id) {
+  return FinishFrame(FrameType::kSlowLogRequest, request_id, std::string());
+}
+
+std::string EncodeSlowLogResponseFrame(std::string_view json,
+                                       uint64_t request_id) {
+  return FinishFrame(FrameType::kSlowLogResponse, request_id,
+                     std::string(json));
+}
+
+Status DecodeSlowLogRequest(std::string_view payload) {
+  if (!payload.empty()) {
+    return Status::InvalidArgument(
+        "trailing bytes after slow-log request payload");
   }
   return Status::OK();
 }

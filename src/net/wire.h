@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "live/mutation.h"
 #include "net/protocol.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "s4/s4.h"
 #include "strategy/strategy.h"
 
@@ -65,6 +67,8 @@ struct NetSearchRequest {
   double approx_confidence = 0.95;
   int64_t sample_budget = 4096;
   uint64_t rng_seed = 0x5344534453445344ULL;
+  // v3: ask the server to attach its QueryProfile to the response.
+  bool want_profile = false;
 
   // NOT on the wire: seconds the server spent decoding this frame,
   // recorded by the connection so the dispatcher can attach a
@@ -126,6 +130,12 @@ struct NetSearchResponse {
   // Server-side wall time, frame arrival -> completion (includes queue
   // wait; excludes network transfer either way).
   double server_seconds = 0.0;
+
+  // v3: per-request resource accounting, present only when the request
+  // set want_profile (an optional tail section gated by a has-flag on
+  // the wire; when absent `profile` keeps its zero defaults).
+  bool has_profile = false;
+  obs::QueryProfile profile;
 };
 
 struct NetError {
@@ -148,6 +158,17 @@ struct NetShardSearchRequest {
   // Stream a kShardPartial every this many strategy progress snapshots;
   // 0 = no partials, just the final kShardDone.
   uint32_t partial_every = 1;
+  // v3 trace context (DESIGN.md "Observability"): when want_trace is
+  // set the shard records a per-request trace tagged with the
+  // coordinator's trace id and returns the completed segment on
+  // kShardDone, where the coordinator stitches it under
+  // `parent_span_id` (its scatter span) using `origin_unix_us` — the
+  // coordinator trace's wall-clock origin — to normalize the two
+  // machines' clocks.
+  bool want_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  int64_t origin_unix_us = 0;
 };
 
 // One streamed snapshot of a shard's in-flight search: its current
@@ -171,6 +192,11 @@ struct NetShardPartial {
 struct NetShardDone {
   NetSearchResponse response;
   double remaining_upper_bound = 0.0;
+  // v3: the shard's completed trace segment, present when the request
+  // carried want_trace. Bounded at encode *and* decode by
+  // kMaxWireTraceEvents / kMaxWireTraceArgs.
+  bool has_segment = false;
+  obs::TraceSegment segment;
 };
 
 // --- live mutation write path ------------------------------------------
@@ -231,6 +257,11 @@ std::string EncodeMutateRequestFrame(const NetMutateRequest& req,
                                      uint64_t request_id);
 std::string EncodeMutateResponseFrame(const NetMutateResponse& resp,
                                       uint64_t request_id);
+// Slow-query log fetch (v3): empty request payload, JSON text response
+// (same raw-text convention as the stats/trace surface).
+std::string EncodeSlowLogRequestFrame(uint64_t request_id);
+std::string EncodeSlowLogResponseFrame(std::string_view json,
+                                       uint64_t request_id);
 
 // --- payload decode (bounds-checked; never reads past `payload`) -------
 
@@ -249,6 +280,8 @@ Status DecodeShardStop(std::string_view payload,
 Status DecodeMutateRequest(std::string_view payload, NetMutateRequest* req);
 Status DecodeMutateResponse(std::string_view payload,
                             NetMutateResponse* resp);
+// kSlowLogRequest carries no payload; decode just enforces emptiness.
+Status DecodeSlowLogRequest(std::string_view payload);
 
 // --- primitive reader (exposed for tests / fuzzing) ---------------------
 

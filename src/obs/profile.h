@@ -1,0 +1,95 @@
+#ifndef S4_OBS_PROFILE_H_
+#define S4_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s4::obs {
+
+// Per-shard slice of a distributed request, filled by the coordinator
+// from the exchange bookkeeping it already keeps: which slice, how long
+// the exchange took end to end, how much Stage-I/II work the shard
+// reported, and whether the slice degraded (lost) or went approximate.
+struct ShardProfile {
+  int32_t shard_index = 0;
+  double wall_seconds = 0.0;  // coordinator-side exchange wall time
+  int64_t enumerated = 0;     // shard slice size (Stage-I output)
+  int64_t evaluated = 0;      // shard Stage-II evaluations
+  int64_t partials = 0;       // streamed kShardPartial frames merged
+  bool lost = false;          // slice unreachable after retries
+  bool approximate = false;   // shard answered with sampled intervals
+};
+
+// Per-request resource accounting: where one search spent its time and
+// what it burned, accumulated from the per-run RunStats/sampler
+// counters that already exist (DESIGN.md "Observability"). The struct
+// is plain numbers so it can live below every layer (obs depends only
+// on common), ride the wire as a flat section, and reconcile with the
+// `s4_*` registry counters by construction — both are filled from the
+// same per-run accumulators in one place.
+struct QueryProfile {
+  // Stage timings (seconds). total/queue are service-level wall times
+  // (admission to completion / time spent queued); enum/eval are the
+  // strategy's Stage-I/Stage-II splits.
+  double total_seconds = 0.0;
+  double queue_seconds = 0.0;
+  double enum_seconds = 0.0;
+  double eval_seconds = 0.0;
+  // Stage work.
+  int64_t candidates_enumerated = 0;
+  int64_t candidates_evaluated = 0;
+  int64_t query_row_evals = 0;
+  int64_t skipped_by_condition = 0;
+  int64_t batches = 0;
+  int64_t bound_updates = 0;
+  // Stage-II execution counters (hash probes, scans).
+  int64_t rows_scanned = 0;
+  int64_t hash_lookups = 0;
+  int64_t hash_inserts = 0;
+  int64_t postings_scanned = 0;
+  // Sub-PJ cache traffic.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_insertions = 0;
+  int64_t cache_evictions = 0;
+  uint64_t cache_peak_bytes = 0;
+  // Sampling estimator outcomes (anytime approximate search).
+  int64_t approx_sampled = 0;
+  int64_t approx_skipped = 0;
+  int64_t approx_escalated = 0;
+  int64_t approx_samples = 0;
+  int64_t approx_deadline_fallbacks = 0;
+  // Distributed fan-out breakdown, coordinator-filled; empty for
+  // single-node requests.
+  std::vector<ShardProfile> shards;
+
+  // Accumulates another profile's work counters into this one (the
+  // coordinator folds shard profiles into the fleet-wide totals).
+  // Timings other than enum/eval are not summed — wall clocks of
+  // concurrent shards do not add.
+  void Accumulate(const QueryProfile& o);
+};
+
+// One ranked hit's score bracket for the explain report: degenerate
+// [score, score] @ 1.0 for exact hits, the sampling interval when the
+// hit was resolved by the estimator.
+struct ProfileHit {
+  double score = 0.0;
+  double interval_lo = 0.0;
+  double interval_hi = 0.0;
+  double interval_confidence = 1.0;
+  bool approximate = false;
+  std::string label;  // SQL text or signature
+};
+
+// Human-readable explain report of a finished request: stage timing
+// table, work/cache/sampler counters, per-shard fan-out lines, and —
+// when `hits` is non-empty — per-hit score brackets (error bars) for
+// approximate results.
+std::string FormatProfile(const QueryProfile& profile,
+                          const std::vector<ProfileHit>& hits = {});
+
+}  // namespace s4::obs
+
+#endif  // S4_OBS_PROFILE_H_

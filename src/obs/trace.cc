@@ -17,20 +17,39 @@ int64_t MicrosBetween(Trace::Clock::time_point from,
       .count();
 }
 
+int64_t UnixNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Remapped id of a remote span under process id `pid`: imported ids
+// live in a per-pid range disjoint from the local sequential ids, so a
+// stitched timeline never aliases coordinator and shard spans.
+uint64_t RemapSpanId(uint32_t pid, uint64_t id) {
+  return (static_cast<uint64_t>(pid) << 32) | (id & 0xffffffffull);
+}
+
 }  // namespace
 
 Trace::Trace(std::string name)
-    : name_(std::move(name)), epoch_(Clock::now()) {}
+    : name_(std::move(name)),
+      epoch_(Clock::now()),
+      origin_unix_us_(UnixNowMicros()) {}
 
 void Trace::AddSpan(const char* category, std::string name,
                     Clock::time_point start, Clock::time_point end,
-                    std::vector<Arg> args) {
+                    std::vector<Arg> args, uint64_t span_id,
+                    uint64_t parent_id) {
   Event e;
   e.category = category;
   e.name = std::move(name);
   e.ts_us = MicrosBetween(epoch_, start);
   e.dur_us = std::max<int64_t>(0, MicrosBetween(start, end));
   e.tid = ThreadIndex();
+  e.pid = 1;
+  e.span_id = span_id != 0 ? span_id : ReserveSpanId();
+  e.parent_id = parent_id;
   e.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(e));
@@ -44,9 +63,63 @@ void Trace::AddInstant(const char* category, std::string name,
   e.ts_us = MicrosBetween(epoch_, Clock::now());
   e.dur_us = -1;
   e.tid = ThreadIndex();
+  e.pid = 1;
+  e.span_id = 0;
+  e.parent_id = 0;
   e.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(e));
+}
+
+TraceSegment Trace::ExportSegment() const {
+  TraceSegment seg;
+  seg.origin_unix_us = origin_unix_us_;
+  seg.trace_id = trace_id_;
+  std::lock_guard<std::mutex> lock(mu_);
+  seg.events.reserve(events_.size());
+  for (const Event& e : events_) {
+    TraceSegment::Event out;
+    out.category = e.category;
+    out.name = e.name;
+    out.ts_us = e.ts_us;
+    out.dur_us = e.dur_us;
+    out.tid = e.tid;
+    out.span_id = e.span_id;
+    out.parent_id = e.parent_id;
+    out.args = e.args;
+    seg.events.push_back(std::move(out));
+  }
+  return seg;
+}
+
+void Trace::ImportSegment(const TraceSegment& segment, uint32_t pid,
+                          std::string label, uint64_t parent_span_id) {
+  // Clock-offset normalization: a remote ts is relative to the remote
+  // epoch, whose wall-clock instant the segment carries. Shifting by
+  // the origin delta lands the event on this trace's timeline (up to
+  // the machines' wall-clock skew, which NTP keeps far below the
+  // millisecond spans we draw).
+  const int64_t shift = segment.origin_unix_us - origin_unix_us_;
+  std::lock_guard<std::mutex> lock(mu_);
+  pid_labels_[pid] = std::move(label);
+  events_.reserve(events_.size() + segment.events.size());
+  for (const TraceSegment::Event& in : segment.events) {
+    Event e;
+    e.category = in.category;
+    e.name = in.name;
+    e.ts_us = in.ts_us + shift;
+    e.dur_us = in.dur_us;
+    e.tid = in.tid;
+    e.pid = pid;
+    e.span_id = in.span_id != 0 ? RemapSpanId(pid, in.span_id) : 0;
+    // Segment roots hang under the caller-supplied parent (the
+    // coordinator's scatter span); everything else keeps its remote
+    // parent, remapped into the same per-pid range.
+    e.parent_id = in.parent_id != 0 ? RemapSpanId(pid, in.parent_id)
+                                    : parent_span_id;
+    e.args = in.args;
+    events_.push_back(std::move(e));
+  }
 }
 
 size_t Trace::NumSpans() const {
@@ -62,6 +135,15 @@ bool Trace::HasSpan(const std::string& name) const {
   return false;
 }
 
+size_t Trace::NumSpansForPid(uint32_t pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.pid == pid) ++n;
+  }
+  return n;
+}
+
 std::string Trace::ToChromeJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   // Normalize so the earliest event lands at ts=0: spans measured
@@ -71,10 +153,25 @@ std::string Trace::ToChromeJson() const {
   for (const Event& e : events_) min_ts = std::min(min_ts, e.ts_us);
 
   std::string out;
-  out.reserve(events_.size() * 128 + 64);
+  out.reserve(events_.size() * 160 + 256);
   out += "{\"traceEvents\":[";
-  char buf[160];
+  char buf[192];
   bool first = true;
+  // Name the local process and every imported one so the stitched
+  // timeline reads as one request across the fleet.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"args\":{\"name\":\"%s\"}}",
+                JsonEscape(name_).c_str());
+  out += buf;
+  first = false;
+  for (const auto& [pid, label] : pid_labels_) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, JsonEscape(label).c_str());
+    out += buf;
+  }
   for (const Event& e : events_) {
     if (!first) out += ',';
     first = false;
@@ -83,18 +180,25 @@ std::string Trace::ToChromeJson() const {
     if (e.dur_us < 0) {
       std::snprintf(buf, sizeof(buf),
                     "\"ph\":\"i\",\"s\":\"t\",\"ts\":%" PRId64
-                    ",\"pid\":1,\"tid\":%u",
-                    e.ts_us - min_ts, e.tid);
+                    ",\"pid\":%u,\"tid\":%u",
+                    e.ts_us - min_ts, e.pid, e.tid);
     } else {
       std::snprintf(buf, sizeof(buf),
                     "\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
-                    ",\"pid\":1,\"tid\":%u",
-                    e.ts_us - min_ts, e.dur_us, e.tid);
+                    ",\"pid\":%u,\"tid\":%u",
+                    e.ts_us - min_ts, e.dur_us, e.pid, e.tid);
     }
     out += buf;
-    if (!e.args.empty()) {
+    if (!e.args.empty() || e.span_id != 0) {
       out += ",\"args\":{";
       bool first_arg = true;
+      if (e.span_id != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "\"id\":\"%" PRIu64 "\",\"parent\":\"%" PRIu64 "\"",
+                      e.span_id, e.parent_id);
+        out += buf;
+        first_arg = false;
+      }
       for (const Arg& a : e.args) {
         if (!first_arg) out += ',';
         first_arg = false;
@@ -107,8 +211,9 @@ std::string Trace::ToChromeJson() const {
   }
   std::snprintf(buf, sizeof(buf),
                 "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
-                "\"trace\":\"%s\",\"request_id\":\"%" PRIu64 "\"}}",
-                JsonEscape(name_).c_str(), request_id_);
+                "\"trace\":\"%s\",\"request_id\":\"%" PRIu64
+                "\",\"trace_id\":\"%" PRIu64 "\"}}",
+                JsonEscape(name_).c_str(), request_id_, trace_id_);
   out += buf;
   return out;
 }

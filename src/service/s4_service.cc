@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
 
 #include "common/hash_util.h"
@@ -16,6 +17,33 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// The slow-log floor lives in an atomic<uint64_t> (atomic<double> CAS
+// loops are overkill for a monotone threshold); non-negative latencies
+// bit-cast order-preservingly.
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+const char* SlowLogStrategyName(S4System::Strategy s) {
+  switch (s) {
+    case S4System::Strategy::kNaive:
+      return "naive";
+    case S4System::Strategy::kBaseline:
+      return "baseline";
+    case S4System::Strategy::kFastTopK:
+      return "fasttopk";
+  }
+  return "unknown";
 }
 
 // Registry counters bumped at service events (admission, completion).
@@ -224,6 +252,7 @@ void S4Service::CountOutcome(const Status& status) {
 
 void S4Service::RunPending(Pending& p) {
   obs::Trace* trace = p.request.trace.get();
+  const double queue_seconds = SecondsSince(p.admitted);
   if (trace != nullptr) {
     trace->AddSpan("service", "admission_queue_wait", p.admitted,
                    std::chrono::steady_clock::now());
@@ -266,11 +295,126 @@ void S4Service::RunPending(Pending& p) {
   const double elapsed = SecondsSince(p.admitted);
   latency_.Record(elapsed);
   Counters().request_latency->Observe(elapsed);
+  if (result.ok()) {
+    // The strategy filled the work counters; only the service knows the
+    // end-to-end wall clock, so the timing envelope is stamped here.
+    result->profile.total_seconds = elapsed;
+    result->profile.queue_seconds = queue_seconds;
+  }
+  MaybeRecordSlowQuery(p, result, elapsed, queue_seconds);
   if (p.done) {
     p.done(std::move(result));
   } else {
     p.promise.set_value(std::move(result));
   }
+}
+
+void S4Service::MaybeRecordSlowQuery(const Pending& p,
+                                     const StatusOr<SearchResult>& result,
+                                     double elapsed, double queue_seconds) {
+  if (options_.slow_log_size == 0) return;
+  if (elapsed < options_.slow_log_threshold_seconds) return;
+  // Lock-free reject: once the ring is full, the floor holds the
+  // slowest-N cutoff; a request below it can never be inserted, so the
+  // common fast-request case costs one relaxed load.
+  if (elapsed <= BitsToDouble(
+                     slow_log_floor_bits_.load(std::memory_order_relaxed))) {
+    return;
+  }
+  SlowLogEntry entry;
+  entry.unix_ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  if (p.request.trace != nullptr) {
+    entry.request_id = p.request.trace->request_id();
+    entry.trace_id = p.request.trace->trace_id();
+  }
+  entry.elapsed_seconds = elapsed;
+  entry.queue_seconds = queue_seconds;
+  entry.rows = static_cast<int32_t>(p.request.cells.size());
+  entry.cols = p.request.cells.empty()
+                   ? 0
+                   : static_cast<int32_t>(p.request.cells.front().size());
+  entry.k = p.request.options.k;
+  entry.strategy = SlowLogStrategyName(p.request.strategy);
+  entry.status = result.ok() ? "OK" : result.status().ToString();
+  if (result.ok()) entry.profile = result->profile;
+
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  // Re-check under the lock: the floor may have risen since the relaxed
+  // load (two slow requests completing together).
+  if (slow_log_.size() >= options_.slow_log_size) {
+    auto slowest_n_floor = std::min_element(
+        slow_log_.begin(), slow_log_.end(),
+        [](const SlowLogEntry& a, const SlowLogEntry& b) {
+          return a.elapsed_seconds < b.elapsed_seconds;
+        });
+    if (elapsed <= slowest_n_floor->elapsed_seconds) return;
+    *slowest_n_floor = SlowLogEntry{};  // evict: overwrite in place
+    entry.seq = ++slow_log_seq_;
+    *slowest_n_floor = std::move(entry);
+  } else {
+    entry.seq = ++slow_log_seq_;
+    slow_log_.push_back(std::move(entry));
+  }
+  if (slow_log_.size() >= options_.slow_log_size) {
+    const double floor =
+        std::min_element(slow_log_.begin(), slow_log_.end(),
+                         [](const SlowLogEntry& a, const SlowLogEntry& b) {
+                           return a.elapsed_seconds < b.elapsed_seconds;
+                         })
+            ->elapsed_seconds;
+    slow_log_floor_bits_.store(DoubleToBits(floor),
+                               std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowLogEntry> S4Service::SlowLog() const {
+  std::vector<SlowLogEntry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(slow_log_mu_);
+    snapshot = slow_log_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const SlowLogEntry& a, const SlowLogEntry& b) {
+              return a.elapsed_seconds > b.elapsed_seconds;
+            });
+  return snapshot;
+}
+
+std::string S4Service::SlowLogJson() const {
+  const std::vector<SlowLogEntry> entries = SlowLog();
+  std::string out = "{\"slow_log\":[";
+  bool first = true;
+  for (const SlowLogEntry& e : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat(
+        "{\"seq\":%llu,\"unix_ts_us\":%lld,\"request_id\":%llu,"
+        "\"trace_id\":%llu,\"elapsed_ms\":%.3f,\"queue_ms\":%.3f,"
+        "\"rows\":%d,\"cols\":%d,\"k\":%d,\"strategy\":\"%s\","
+        "\"status\":\"%s\",\"profile\":{"
+        "\"enum_ms\":%.3f,\"eval_ms\":%.3f,"
+        "\"candidates_enumerated\":%lld,\"candidates_evaluated\":%lld,"
+        "\"rows_scanned\":%lld,\"cache_hits\":%lld,\"cache_misses\":%lld,"
+        "\"approx_samples\":%lld}}",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<long long>(e.unix_ts_us),
+        static_cast<unsigned long long>(e.request_id),
+        static_cast<unsigned long long>(e.trace_id),
+        e.elapsed_seconds * 1e3, e.queue_seconds * 1e3, e.rows, e.cols, e.k,
+        obs::JsonEscape(e.strategy).c_str(),
+        obs::JsonEscape(e.status).c_str(), e.profile.enum_seconds * 1e3,
+        e.profile.eval_seconds * 1e3,
+        static_cast<long long>(e.profile.candidates_enumerated),
+        static_cast<long long>(e.profile.candidates_evaluated),
+        static_cast<long long>(e.profile.rows_scanned),
+        static_cast<long long>(e.profile.cache_hits),
+        static_cast<long long>(e.profile.cache_misses),
+        static_cast<long long>(e.profile.approx_samples));
+  }
+  out += "]}";
+  return out;
 }
 
 StatusOr<uint64_t> S4Service::OpenSession(SearchOptions options) {

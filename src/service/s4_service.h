@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "live/live_s4.h"
 #include "live/mutation.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "s4/s4.h"
 
@@ -53,6 +54,13 @@ struct ServiceOptions {
   // SearchOptions.
   int32_t shard_count = 0;
   int32_t shard_index = 0;
+  // Slow-query log: keep the `slow_log_size` slowest completed requests
+  // (0 = disabled, no capture cost on the completion path beyond one
+  // relaxed atomic load). Hybrid capture rule: a request is considered
+  // only when its end-to-end latency reaches the threshold, and once the
+  // ring is full it must also beat the current slowest-N floor.
+  size_t slow_log_size = 0;
+  double slow_log_threshold_seconds = 0.0;
 };
 
 // One search request as admitted by the service.
@@ -85,6 +93,25 @@ struct ServiceStats {
   uint64_t cache_generation = 0;
   size_t queue_depth = 0;
   CacheStats shared_cache;  // cross-query hits/misses/evictions/bytes
+};
+
+// One captured slow request (see ServiceOptions::slow_log_size). Holds
+// everything needed to re-run and diagnose the query without the
+// original connection: a summary of the canonical request, the outcome,
+// and the full per-request resource profile.
+struct SlowLogEntry {
+  uint64_t seq = 0;           // capture order (monotonic)
+  int64_t unix_ts_us = 0;     // wall-clock completion time
+  uint64_t request_id = 0;    // trace request id (0 when untraced)
+  uint64_t trace_id = 0;      // distributed trace id (0 when untraced)
+  double elapsed_seconds = 0.0;  // admission -> completion
+  double queue_seconds = 0.0;    // admission-queue wait
+  int32_t rows = 0;              // query spreadsheet shape
+  int32_t cols = 0;
+  int32_t k = 0;
+  std::string strategy;
+  std::string status;  // "OK" or the error Status string
+  obs::QueryProfile profile;
 };
 
 // Long-lived concurrent query service over one database (ROADMAP north
@@ -199,6 +226,13 @@ class S4Service {
   // End-to-end request latency (admission to completion), all requests.
   LatencyHistogram::Snapshot latency() const;
 
+  bool slow_log_enabled() const { return options_.slow_log_size > 0; }
+  // Snapshot of the slow-query ring, slowest first. Empty when disabled.
+  std::vector<SlowLogEntry> SlowLog() const;
+  // The same snapshot as a JSON document ({"slow_log":[...]}) — the
+  // payload of the kSlowLogResponse frame and `net_server --slow-log`.
+  std::string SlowLogJson() const;
+
   // The served system. Live deployments: epoch 0 — stable for schema /
   // database access (neither changes; there is no DDL), NOT for reading
   // index state. Searches pin the current epoch internally.
@@ -252,6 +286,12 @@ class S4Service {
   Status Admit(std::shared_ptr<Pending> pending);
   void RunPending(Pending& p);
   void CountOutcome(const Status& status);
+  // Slow-log capture (completion path). The atomic floor makes the
+  // common case — a fast request against a full ring — a single relaxed
+  // load with no lock.
+  void MaybeRecordSlowQuery(const Pending& p,
+                            const StatusOr<SearchResult>& result,
+                            double elapsed, double queue_seconds);
   // Canonical cross-query key namespace for a request: generation tag +
   // fingerprint of everything the sub-PJ tables depend on besides the
   // canonical sub-query key (spreadsheet cells and the scoring/eval
@@ -283,6 +323,14 @@ class S4Service {
   mutable std::mutex sessions_mu_;
   std::unordered_map<uint64_t, std::unique_ptr<SessionEntry>> sessions_;
   uint64_t next_session_id_ = 1;
+
+  // Slow-query ring (unsorted; SlowLog() sorts the snapshot). The floor
+  // is the smallest captured latency once the ring is full, bit-cast to
+  // u64 so the reject fast path needs no lock; 0.0 while space remains.
+  mutable std::mutex slow_log_mu_;
+  std::vector<SlowLogEntry> slow_log_;
+  std::atomic<uint64_t> slow_log_floor_bits_{0};
+  uint64_t slow_log_seq_ = 0;
 
   LatencyHistogram latency_;
   std::atomic<int64_t> accepted_{0};

@@ -152,7 +152,7 @@ class FastTopKRun {
       result_.topk.push_back(std::move(sq));
     }
     result_.stats.eval_seconds = timer.ElapsedSeconds();
-    FinishStats(prep_, &cache_, &result_.stats);
+    FinishStats(prep_, &cache_, &result_);
     return std::move(result_);
   }
 

@@ -229,11 +229,38 @@ ScoredQuery EvaluateCandidate(PreparedSearch& prep,
 }
 
 void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
-                 RunStats* stats) {
+                 SearchResult* result) {
+  RunStats* stats = &result->stats;
   stats->queries_enumerated =
       static_cast<int64_t>(prep.candidates.size());
   stats->enum_seconds = prep.enum_seconds;
   if (cache != nullptr) stats->cache = cache->stats();
+
+  // Derive the per-request profile from the very accumulators that
+  // feed the registry publish below: the two views cannot drift.
+  obs::QueryProfile& p = result->profile;
+  p.enum_seconds = stats->enum_seconds;
+  p.eval_seconds = stats->eval_seconds;
+  p.candidates_enumerated = stats->queries_enumerated;
+  p.candidates_evaluated = stats->queries_evaluated;
+  p.query_row_evals = stats->query_row_evals;
+  p.skipped_by_condition = stats->skipped_by_condition;
+  p.batches = stats->batches;
+  p.bound_updates = stats->bound_updates;
+  p.rows_scanned = stats->counters.rows_scanned;
+  p.hash_lookups = stats->counters.hash_lookups;
+  p.hash_inserts = stats->counters.hash_inserts;
+  p.postings_scanned = stats->counters.postings_scanned;
+  p.cache_hits = stats->cache.hits;
+  p.cache_misses = stats->cache.misses;
+  p.cache_insertions = stats->cache.insertions;
+  p.cache_evictions = stats->cache.evictions;
+  p.cache_peak_bytes = stats->cache.peak_bytes;
+  p.approx_sampled = stats->approx_sampled;
+  p.approx_skipped = stats->approx_skipped;
+  p.approx_escalated = stats->approx_escalated;
+  p.approx_samples = stats->approx_samples;
+  p.approx_deadline_fallbacks = stats->approx_deadline_fallbacks;
 
   // Bulk-publish the finished run into the process-wide registry: one
   // batch of striped adds per search, never per candidate, so the hot
@@ -395,7 +422,7 @@ SearchResult RunBaselineCore(PreparedSearch& prep,
     result.topk.push_back(std::move(sq));
   }
   result.stats.eval_seconds = timer.ElapsedSeconds();
-  FinishStats(prep, nullptr, &result.stats);
+  FinishStats(prep, nullptr, &result);
   return result;
 }
 
@@ -451,7 +478,7 @@ SearchResult RunNaive(PreparedSearch& prep, const SearchOptions& options) {
     result.topk.push_back(std::move(sq));
   }
   result.stats.eval_seconds = timer.ElapsedSeconds();
-  internal::FinishStats(prep, nullptr, &result.stats);
+  internal::FinishStats(prep, nullptr, &result);
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include "approx/score_interval.h"
 #include "cache/subquery_cache.h"
+#include "obs/profile.h"
 #include "common/stop_token.h"
 #include "enumerate/enumerator.h"
 #include "exec/evaluator.h"
@@ -179,6 +180,12 @@ struct EvaluatedRecord {
 struct SearchResult {
   std::vector<ScoredQuery> topk;  // descending score
   RunStats stats;
+  // Per-request resource accounting, filled from `stats` in the shared
+  // FinishStats epilogue — the same accumulators that bulk-publish the
+  // `s4_*` registry counters, so profile and counters reconcile by
+  // construction. The service layer stamps total/queue wall times; the
+  // coordinator appends the per-shard fan-out breakdown.
+  obs::QueryProfile profile;
   std::vector<EvaluatedRecord> evaluated;
   // True when the run observed SearchOptions::stop and wound down early:
   // `topk` holds the best-of-what-was-evaluated, not the proven top-k.

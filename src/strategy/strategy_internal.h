@@ -42,9 +42,11 @@ ScoredQuery EvaluateCandidate(PreparedSearch& prep,
                               const SearchOptions& options, RunStats* stats,
                               std::vector<EvaluatedRecord>* records);
 
-// Shared epilogue: fold per-run cache stats and enumeration stats.
+// Shared epilogue: fold per-run cache stats and enumeration stats into
+// `result->stats`, derive the per-request QueryProfile from the same
+// numbers, and bulk-publish the run into the metrics registry.
 void FinishStats(const PreparedSearch& prep, const SubQueryCache* cache,
-                 RunStats* stats);
+                 SearchResult* result);
 
 // SearchOptions::num_threads resolved: <= 0 means auto (the injected
 // pool's size when one is set, else one worker per hardware thread).

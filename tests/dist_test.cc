@@ -192,5 +192,57 @@ TEST(DistShardingTest, MisroutedSliceRejectedAtAdmission) {
   EXPECT_EQ(submit(1, 0).code(), StatusCode::kFailedPrecondition);
 }
 
+// End-to-end observability across the fleet: a traced+profiled search
+// over real loopback shards must come back with (a) one ShardProfile
+// row per shard whose work counters reconcile with the merged response
+// counters, and (b) a stitched timeline where every shard's wire-carried
+// segment appears as its own process, re-parented under the
+// coordinator's scatter span, with no negative timestamps.
+TEST(DistTraceStitchTest, StitchesShardSegmentsAndMergesProfiles) {
+  auto sys = S4System::Create(s4::testing::TpchDb());
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  const S4System& system = **sys;
+  constexpr int32_t kShards = 2;
+  CoordinatorOptions copts;
+  copts.enable_tracing = true;
+  DistHarness h(system, kShards, std::move(copts));
+
+  SearchOptions options;
+  options.k = 3;
+  auto request = net::NetSearchRequest::From(
+      {{"Rick", "USA"}}, options, S4System::Strategy::kFastTopK);
+  request.want_profile = true;
+  auto got = h.coordinator->Search(request);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(got->complete);
+
+  // Per-request accounting, merged across the fleet.
+  ASSERT_EQ(got->profile.shards.size(), static_cast<size_t>(kShards));
+  EXPECT_EQ(got->profile.candidates_enumerated, got->queries_enumerated);
+  EXPECT_EQ(got->profile.candidates_evaluated, got->queries_evaluated);
+  EXPECT_GT(got->profile.total_seconds, 0.0);
+  int64_t enumerated = 0;
+  for (const auto& row : got->profile.shards) {
+    EXPECT_FALSE(row.lost);
+    enumerated += row.enumerated;
+  }
+  EXPECT_EQ(enumerated, got->queries_enumerated);
+
+  // Stitched timeline: coordinator spans plus one process per shard.
+  auto trace = h.coordinator->last_trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->HasSpan("merge"));
+  EXPECT_TRUE(trace->HasSpan("shard_exchange"));
+  for (int32_t i = 0; i < kShards; ++i) {
+    EXPECT_GT(trace->NumSpansForPid(2 + static_cast<uint32_t>(i)), 0u)
+        << "no stitched spans for shard " << i;
+  }
+  const std::string json = trace->ToChromeJson();
+  EXPECT_NE(json.find("\"shard 0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard 1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("frame_decode"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ts\":-"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace s4::dist

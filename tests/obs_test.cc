@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "strategy/strategy.h"
 #include "tests/test_util.h"
@@ -314,6 +315,187 @@ TEST(ObsSearchTraceTest, DisabledTraceMatchesEnabled) {
   for (size_t i = 0; i < plain.topk.size(); ++i) {
     EXPECT_NEAR(plain.topk[i].score, traced.topk[i].score, 1e-12);
   }
+}
+
+// --- cross-shard trace stitching (deterministic, fabricated segments) --
+
+// Builds a two-event segment: a root span and a child nested under it.
+obs::TraceSegment MakeSegment(int64_t origin_unix_us, int64_t root_ts_us) {
+  obs::TraceSegment seg;
+  seg.origin_unix_us = origin_unix_us;
+  seg.trace_id = 77;
+  obs::TraceSegment::Event root;
+  root.category = "net";
+  root.name = "shard_root";
+  root.ts_us = root_ts_us;
+  root.dur_us = 400;
+  root.tid = 9;
+  root.span_id = 7;
+  root.parent_id = 0;  // segment root
+  seg.events.push_back(root);
+  obs::TraceSegment::Event child;
+  child.category = "fasttopk";
+  child.name = "shard_child";
+  child.ts_us = root_ts_us + 100;
+  child.dur_us = 200;
+  child.tid = 9;
+  child.span_id = 8;
+  child.parent_id = 7;
+  seg.events.push_back(child);
+  return seg;
+}
+
+TEST(TraceStitchTest, ImportShiftsTimestampsByOriginDelta) {
+  Trace trace("coordinator");
+  // Two "shards" whose steady-clock epochs started 1000us and 3000us
+  // after the coordinator's, each reporting an event at local ts=500.
+  obs::TraceSegment a = MakeSegment(trace.origin_unix_us() + 1000, 500);
+  a.events.resize(1);
+  obs::TraceSegment b = MakeSegment(trace.origin_unix_us() + 3000, 500);
+  b.events.resize(1);
+  trace.ImportSegment(a, /*pid=*/2, "shard 0", /*parent_span_id=*/0);
+  trace.ImportSegment(b, /*pid=*/3, "shard 1", /*parent_span_id=*/0);
+
+  // On the coordinator clock the events land at 1500 and 3500 — the
+  // 2000us origin delta between the shards is preserved verbatim.
+  // (Export only shifts when some span starts before the trace epoch;
+  // all-positive timelines keep their absolute offsets.)
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"ts\":1500,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":3500,"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ts\":-"), std::string::npos) << json;
+}
+
+TEST(TraceStitchTest, ImportRemapsSpanIdsAndReparentsRoots) {
+  Trace trace("coordinator");
+  const uint64_t scatter = trace.ReserveSpanId();
+  obs::TraceSegment seg = MakeSegment(trace.origin_unix_us(), 0);
+  trace.ImportSegment(seg, /*pid=*/2, "shard 0", scatter);
+
+  ASSERT_EQ(trace.NumSpansForPid(2), 2u);
+  const std::string json = trace.ToChromeJson();
+  // Segment ids are remapped into the pid's range: (2<<32)|7 and
+  // (2<<32)|8. The segment root is re-parented under the scatter span;
+  // the child keeps its (remapped) intra-segment parent.
+  const uint64_t remapped_root = (uint64_t{2} << 32) | 7u;
+  const uint64_t remapped_child = (uint64_t{2} << 32) | 8u;
+  EXPECT_NE(json.find("\"id\":\"" + std::to_string(remapped_root) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"id\":\"" + std::to_string(remapped_child) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find("\"parent\":\"" + std::to_string(scatter) + "\""),
+      std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find("\"parent\":\"" + std::to_string(remapped_root) + "\""),
+      std::string::npos)
+      << json;
+}
+
+TEST(TraceStitchTest, ImportedSegmentsBecomeNamedProcesses) {
+  Trace trace("coordinator");
+  obs::SpanTimer local(&trace, "dist", "merge");
+  obs::TraceSegment seg = MakeSegment(trace.origin_unix_us(), 0);
+  trace.ImportSegment(seg, /*pid=*/5, "shard 3", 0);
+
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("process_name"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard 3\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << json;
+}
+
+TEST(TraceStitchTest, ExportSegmentCarriesTraceIdAndOrigin) {
+  Trace trace("shard_search");
+  trace.set_trace_id(4242);
+  {
+    obs::SpanTimer span(&trace, "net", "frame_decode");
+  }
+  obs::TraceSegment seg = trace.ExportSegment();
+  EXPECT_EQ(seg.trace_id, 4242u);
+  EXPECT_EQ(seg.origin_unix_us, trace.origin_unix_us());
+  ASSERT_EQ(seg.events.size(), 1u);
+  EXPECT_EQ(seg.events[0].name, "frame_decode");
+  EXPECT_NE(seg.events[0].span_id, 0u);
+}
+
+// --- QueryProfile ------------------------------------------------------
+
+TEST(ObsProfileTest, AccumulateSumsWorkNotWall) {
+  obs::QueryProfile a;
+  a.total_seconds = 1.0;
+  a.enum_seconds = 0.25;
+  a.candidates_evaluated = 10;
+  a.cache_hits = 3;
+  a.cache_peak_bytes = 100;
+  obs::QueryProfile b;
+  b.total_seconds = 2.0;
+  b.enum_seconds = 0.5;
+  b.candidates_evaluated = 5;
+  b.cache_hits = 4;
+  b.cache_peak_bytes = 50;
+
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.total_seconds, 1.0);  // wall clocks do not add
+  EXPECT_DOUBLE_EQ(a.enum_seconds, 0.75);
+  EXPECT_EQ(a.candidates_evaluated, 15);
+  EXPECT_EQ(a.cache_hits, 7);
+  EXPECT_EQ(a.cache_peak_bytes, 100u);  // max, not sum
+}
+
+TEST(ObsProfileTest, FormatProfileSectionsAndErrorBars) {
+  obs::QueryProfile p;
+  p.total_seconds = 0.002;
+  p.candidates_evaluated = 42;
+  obs::ShardProfile sp;
+  sp.shard_index = 1;
+  sp.enumerated = 7;
+  sp.lost = true;
+  p.shards.push_back(sp);
+
+  obs::ProfileHit exact;
+  exact.score = 2.5;
+  exact.label = "SELECT ...";
+  obs::ProfileHit approx;
+  approx.score = 1.25;
+  approx.interval_lo = 1.0;
+  approx.interval_hi = 1.5;
+  approx.interval_confidence = 0.95;
+  approx.approximate = true;
+  approx.label = "SELECT sampled";
+
+  const std::string out = obs::FormatProfile(p, {exact, approx});
+  EXPECT_NE(out.find("query profile"), std::string::npos);
+  EXPECT_NE(out.find("total wall"), std::string::npos);
+  EXPECT_NE(out.find("candidates evaluated"), std::string::npos);
+  EXPECT_NE(out.find("shard 1"), std::string::npos);
+  EXPECT_NE(out.find("[lost]"), std::string::npos);
+  // Sampler section only appears when the sampler did something.
+  EXPECT_EQ(out.find("sampler"), std::string::npos);
+  // Error bars on the approximate hit, plain score on the exact one.
+  EXPECT_NE(out.find("score=2.5000  SELECT ..."), std::string::npos);
+  EXPECT_NE(out.find("in [1.0000, 1.5000] @ 95% conf"), std::string::npos);
+}
+
+TEST(ObsProfileTest, SearchFillsProfileReconcilingWithStats) {
+  SearchOptions options;
+  options.k = 3;
+  options.num_threads = 1;
+  ExampleSpreadsheet sheet = Fig2aSheet(TpchIndex());
+  SearchResult result =
+      SearchFastTopK(TpchIndex(), TpchGraph(), sheet, options);
+  // FinishStats fills both views from the same accumulators — they can
+  // never drift.
+  EXPECT_EQ(result.profile.candidates_enumerated,
+            result.stats.queries_enumerated);
+  EXPECT_EQ(result.profile.candidates_evaluated,
+            result.stats.queries_evaluated);
+  EXPECT_EQ(result.profile.cache_hits, result.stats.cache.hits);
+  EXPECT_EQ(result.profile.rows_scanned, result.stats.counters.rows_scanned);
+  EXPECT_GE(result.profile.eval_seconds, 0.0);
 }
 
 }  // namespace

@@ -87,7 +87,72 @@ NetSearchRequest RandomRequest(Rng& rng) {
   req.approx_confidence = 0.001 + rng.NextDouble() * 0.999;
   req.sample_budget = 1 + static_cast<int64_t>(rng.Uniform(1u << 20));
   req.rng_seed = rng.Next();
+  req.want_profile = rng.Bernoulli(0.5);
   return req;
+}
+
+obs::QueryProfile RandomProfile(Rng& rng) {
+  obs::QueryProfile p;
+  p.total_seconds = RandomDouble(rng);
+  p.queue_seconds = RandomDouble(rng);
+  p.enum_seconds = RandomDouble(rng);
+  p.eval_seconds = RandomDouble(rng);
+  p.candidates_enumerated = static_cast<int64_t>(rng.Next());
+  p.candidates_evaluated = static_cast<int64_t>(rng.Next());
+  p.query_row_evals = static_cast<int64_t>(rng.Next());
+  p.skipped_by_condition = static_cast<int64_t>(rng.Next());
+  p.batches = static_cast<int64_t>(rng.Next());
+  p.bound_updates = static_cast<int64_t>(rng.Next());
+  p.rows_scanned = static_cast<int64_t>(rng.Next());
+  p.hash_lookups = static_cast<int64_t>(rng.Next());
+  p.hash_inserts = static_cast<int64_t>(rng.Next());
+  p.postings_scanned = static_cast<int64_t>(rng.Next());
+  p.cache_hits = static_cast<int64_t>(rng.Next());
+  p.cache_misses = static_cast<int64_t>(rng.Next());
+  p.cache_insertions = static_cast<int64_t>(rng.Next());
+  p.cache_evictions = static_cast<int64_t>(rng.Next());
+  p.cache_peak_bytes = rng.Next();
+  p.approx_sampled = static_cast<int64_t>(rng.Next());
+  p.approx_skipped = static_cast<int64_t>(rng.Next());
+  p.approx_escalated = static_cast<int64_t>(rng.Next());
+  p.approx_samples = static_cast<int64_t>(rng.Next());
+  p.approx_deadline_fallbacks = static_cast<int64_t>(rng.Next());
+  const size_t n = rng.Uniform(4);
+  for (size_t i = 0; i < n; ++i) {
+    obs::ShardProfile s;
+    s.shard_index = static_cast<int32_t>(rng.Next());
+    s.wall_seconds = RandomDouble(rng);
+    s.enumerated = static_cast<int64_t>(rng.Next());
+    s.evaluated = static_cast<int64_t>(rng.Next());
+    s.partials = static_cast<int64_t>(rng.Next());
+    s.lost = rng.Bernoulli(0.5);
+    s.approximate = rng.Bernoulli(0.5);
+    p.shards.push_back(s);
+  }
+  return p;
+}
+
+obs::TraceSegment RandomSegment(Rng& rng) {
+  obs::TraceSegment seg;
+  seg.origin_unix_us = static_cast<int64_t>(rng.Next());
+  seg.trace_id = rng.Next();
+  const size_t n = rng.Uniform(5);
+  for (size_t i = 0; i < n; ++i) {
+    obs::TraceSegment::Event e;
+    e.category = RandomBytes(rng, 12);
+    e.name = RandomBytes(rng, 24);
+    e.ts_us = static_cast<int64_t>(rng.Next());
+    e.dur_us = static_cast<int64_t>(rng.Next());
+    e.tid = static_cast<uint32_t>(rng.Next());
+    e.span_id = rng.Next();
+    e.parent_id = rng.Next();
+    const size_t nargs = rng.Uniform(3);
+    for (size_t a = 0; a < nargs; ++a) {
+      e.args.push_back({RandomBytes(rng, 8), RandomBytes(rng, 16)});
+    }
+    seg.events.push_back(std::move(e));
+  }
+  return seg;
 }
 
 NetSearchResponse RandomResponse(Rng& rng) {
@@ -123,6 +188,8 @@ NetSearchResponse RandomResponse(Rng& rng) {
   resp.cache_evictions = static_cast<int64_t>(rng.Next());
   resp.cache_peak_bytes = rng.Next();
   resp.server_seconds = RandomDouble(rng);
+  resp.has_profile = rng.Bernoulli(0.5);
+  if (resp.has_profile) resp.profile = RandomProfile(rng);
   return resp;
 }
 
@@ -133,6 +200,10 @@ NetShardSearchRequest RandomShardRequest(Rng& rng) {
   req.shard_index =
       static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(req.shard_count)));
   req.partial_every = static_cast<uint32_t>(rng.Uniform(16));
+  req.want_trace = rng.Bernoulli(0.5);
+  req.trace_id = rng.Next();
+  req.parent_span_id = rng.Next();
+  req.origin_unix_us = static_cast<int64_t>(rng.Next());
   return req;
 }
 
@@ -160,6 +231,8 @@ NetShardDone RandomShardDone(Rng& rng) {
   NetShardDone done;
   done.response = RandomResponse(rng);
   done.remaining_upper_bound = RandomDouble(rng);
+  done.has_segment = rng.Bernoulli(0.5);
+  if (done.has_segment) done.segment = RandomSegment(rng);
   return done;
 }
 
@@ -220,7 +293,7 @@ TEST(WireCodecTest, HeaderRoundTrip) {
   for (int i = 0; i < 200; ++i) {
     FrameHeader h;
     h.type = static_cast<FrameType>(
-        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kMutateResponse)));
+        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kSlowLogResponse)));
     h.request_id = rng.Next();
     h.payload_len = static_cast<uint32_t>(rng.Next());
     std::string buf;
@@ -270,6 +343,69 @@ TEST(WireCodecTest, RequestRoundTripProperty) {
     EXPECT_TRUE(BitEqual(got.approx_confidence, req.approx_confidence));
     EXPECT_EQ(got.sample_budget, req.sample_budget);
     EXPECT_EQ(got.rng_seed, req.rng_seed);
+    EXPECT_EQ(got.want_profile, req.want_profile);
+  }
+}
+
+// Field-by-field profile comparison shared by the response and
+// shard-done round-trip suites.
+void ExpectProfileEq(const obs::QueryProfile& got,
+                     const obs::QueryProfile& want) {
+  EXPECT_TRUE(BitEqual(got.total_seconds, want.total_seconds));
+  EXPECT_TRUE(BitEqual(got.queue_seconds, want.queue_seconds));
+  EXPECT_TRUE(BitEqual(got.enum_seconds, want.enum_seconds));
+  EXPECT_TRUE(BitEqual(got.eval_seconds, want.eval_seconds));
+  EXPECT_EQ(got.candidates_enumerated, want.candidates_enumerated);
+  EXPECT_EQ(got.candidates_evaluated, want.candidates_evaluated);
+  EXPECT_EQ(got.query_row_evals, want.query_row_evals);
+  EXPECT_EQ(got.skipped_by_condition, want.skipped_by_condition);
+  EXPECT_EQ(got.batches, want.batches);
+  EXPECT_EQ(got.bound_updates, want.bound_updates);
+  EXPECT_EQ(got.rows_scanned, want.rows_scanned);
+  EXPECT_EQ(got.hash_lookups, want.hash_lookups);
+  EXPECT_EQ(got.hash_inserts, want.hash_inserts);
+  EXPECT_EQ(got.postings_scanned, want.postings_scanned);
+  EXPECT_EQ(got.cache_hits, want.cache_hits);
+  EXPECT_EQ(got.cache_misses, want.cache_misses);
+  EXPECT_EQ(got.cache_insertions, want.cache_insertions);
+  EXPECT_EQ(got.cache_evictions, want.cache_evictions);
+  EXPECT_EQ(got.cache_peak_bytes, want.cache_peak_bytes);
+  EXPECT_EQ(got.approx_sampled, want.approx_sampled);
+  EXPECT_EQ(got.approx_skipped, want.approx_skipped);
+  EXPECT_EQ(got.approx_escalated, want.approx_escalated);
+  EXPECT_EQ(got.approx_samples, want.approx_samples);
+  EXPECT_EQ(got.approx_deadline_fallbacks, want.approx_deadline_fallbacks);
+  ASSERT_EQ(got.shards.size(), want.shards.size());
+  for (size_t i = 0; i < want.shards.size(); ++i) {
+    EXPECT_EQ(got.shards[i].shard_index, want.shards[i].shard_index);
+    EXPECT_TRUE(
+        BitEqual(got.shards[i].wall_seconds, want.shards[i].wall_seconds));
+    EXPECT_EQ(got.shards[i].enumerated, want.shards[i].enumerated);
+    EXPECT_EQ(got.shards[i].evaluated, want.shards[i].evaluated);
+    EXPECT_EQ(got.shards[i].partials, want.shards[i].partials);
+    EXPECT_EQ(got.shards[i].lost, want.shards[i].lost);
+    EXPECT_EQ(got.shards[i].approximate, want.shards[i].approximate);
+  }
+}
+
+void ExpectSegmentEq(const obs::TraceSegment& got,
+                     const obs::TraceSegment& want) {
+  EXPECT_EQ(got.origin_unix_us, want.origin_unix_us);
+  EXPECT_EQ(got.trace_id, want.trace_id);
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (size_t i = 0; i < want.events.size(); ++i) {
+    EXPECT_EQ(got.events[i].category, want.events[i].category);
+    EXPECT_EQ(got.events[i].name, want.events[i].name);
+    EXPECT_EQ(got.events[i].ts_us, want.events[i].ts_us);
+    EXPECT_EQ(got.events[i].dur_us, want.events[i].dur_us);
+    EXPECT_EQ(got.events[i].tid, want.events[i].tid);
+    EXPECT_EQ(got.events[i].span_id, want.events[i].span_id);
+    EXPECT_EQ(got.events[i].parent_id, want.events[i].parent_id);
+    ASSERT_EQ(got.events[i].args.size(), want.events[i].args.size());
+    for (size_t a = 0; a < want.events[i].args.size(); ++a) {
+      EXPECT_EQ(got.events[i].args[a].key, want.events[i].args[a].key);
+      EXPECT_EQ(got.events[i].args[a].value, want.events[i].args[a].value);
+    }
   }
 }
 
@@ -320,6 +456,8 @@ TEST(WireCodecTest, ResponseRoundTripProperty) {
     EXPECT_EQ(got.cache_evictions, resp.cache_evictions);
     EXPECT_EQ(got.cache_peak_bytes, resp.cache_peak_bytes);
     EXPECT_TRUE(BitEqual(got.server_seconds, resp.server_seconds));
+    ASSERT_EQ(got.has_profile, resp.has_profile);
+    if (resp.has_profile) ExpectProfileEq(got.profile, resp.profile);
   }
 }
 
@@ -412,10 +550,11 @@ TEST(WireCodecTest, StatsAndTraceFrames) {
 }
 
 TEST(WireCodecTest, ApproxKnobsHostileValuesRejected) {
-  // The four approx knobs are the last 32 payload bytes (f64 epsilon,
-  // f64 confidence, i64 budget, u64 seed); patch them in place on an
-  // otherwise-valid frame. Doubles travel as raw bits, so NaN and
-  // negative values encode fine and must be caught by the decoder.
+  // The four approx knobs are the 32 payload bytes just before the
+  // trailing want_profile flag (f64 epsilon, f64 confidence, i64 budget,
+  // u64 seed); patch them in place on an otherwise-valid frame. Doubles
+  // travel as raw bits, so NaN and negative values encode fine and must
+  // be caught by the decoder.
   auto reencode = [](double eps, double conf, int64_t budget) {
     NetSearchRequest req;
     req.cells = {{"The Matrix"}};
@@ -425,7 +564,7 @@ TEST(WireCodecTest, ApproxKnobsHostileValuesRejected) {
     w.PutDouble(conf);
     w.PutI64(budget);
     w.PutU64(req.rng_seed);
-    frame.replace(frame.size() - 32, 32, w.data());
+    frame.replace(frame.size() - 33, 32, w.data());
     NetSearchRequest got;
     return DecodeSearchRequest(
         std::string_view(frame).substr(kHeaderBytes), &got);
@@ -466,7 +605,11 @@ TEST(WireCodecTest, TruncatedRequestEveryPrefixRejected) {
 
 TEST(WireCodecTest, TruncatedResponseEveryPrefixRejected) {
   Rng rng(9);
-  const NetSearchResponse resp = RandomResponse(rng);
+  NetSearchResponse resp = RandomResponse(rng);
+  // Force the optional profile tail on so truncation mid-profile is
+  // exercised too.
+  resp.has_profile = true;
+  resp.profile = RandomProfile(rng);
   const std::string frame = EncodeSearchResponseFrame(resp, 6);
   const std::string_view payload = std::string_view(frame).substr(kHeaderBytes);
   for (size_t len = 0; len < payload.size(); ++len) {
@@ -495,6 +638,11 @@ TEST(WireCodecTest, ShardRequestRoundTripProperty) {
     EXPECT_EQ(got.shard_count, req.shard_count);
     EXPECT_EQ(got.shard_index, req.shard_index);
     EXPECT_EQ(got.partial_every, req.partial_every);
+    EXPECT_EQ(got.want_trace, req.want_trace);
+    EXPECT_EQ(got.trace_id, req.trace_id);
+    EXPECT_EQ(got.parent_span_id, req.parent_span_id);
+    EXPECT_EQ(got.origin_unix_us, req.origin_unix_us);
+    EXPECT_EQ(got.base.want_profile, req.base.want_profile);
     EXPECT_EQ(got.base.cells, req.base.cells);
     EXPECT_EQ(got.base.strategy, req.base.strategy);
     EXPECT_EQ(got.base.k, req.base.k);
@@ -553,8 +701,14 @@ TEST(WireCodecTest, ShardDoneRoundTripProperty) {
     EXPECT_EQ(got.response.interrupted, done.response.interrupted);
     EXPECT_EQ(got.response.queries_enumerated,
               done.response.queries_enumerated);
+    ASSERT_EQ(got.response.has_profile, done.response.has_profile);
+    if (done.response.has_profile) {
+      ExpectProfileEq(got.response.profile, done.response.profile);
+    }
     EXPECT_TRUE(
         BitEqual(got.remaining_upper_bound, done.remaining_upper_bound));
+    ASSERT_EQ(got.has_segment, done.has_segment);
+    if (done.has_segment) ExpectSegmentEq(got.segment, done.segment);
   }
 }
 
@@ -596,10 +750,15 @@ TEST(WireCodecTest, ShardRequestBadSliceRejected) {
 
 TEST(WireCodecTest, TruncatedShardFramesEveryPrefixRejected) {
   Rng rng(57);
+  // Force the optional trace segment on so truncation inside the stitch
+  // payload is exercised regardless of what the seed draws.
+  NetShardDone done = RandomShardDone(rng);
+  done.has_segment = true;
+  done.segment = RandomSegment(rng);
   const std::string frames[] = {
       EncodeShardSearchRequestFrame(RandomShardRequest(rng), 1),
       EncodeShardPartialFrame(RandomShardPartial(rng), 2),
-      EncodeShardDoneFrame(RandomShardDone(rng), 3),
+      EncodeShardDoneFrame(done, 3),
       EncodeShardStopFrame(77, 4),
   };
   for (const std::string& frame : frames) {
@@ -823,6 +982,122 @@ TEST(WireCodecTest, MutateRequestHostileFieldsRejected) {
   }
 }
 
+// --- slow-log frames ----------------------------------------------------
+
+TEST(WireCodecTest, SlowLogFrames) {
+  // kSlowLogRequest: empty payload, id echoed.
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(EncodeSlowLogRequestFrame(31), &h).ok());
+  EXPECT_EQ(h.type, FrameType::kSlowLogRequest);
+  EXPECT_EQ(h.request_id, 31u);
+  EXPECT_EQ(h.payload_len, 0u);
+  EXPECT_TRUE(DecodeSlowLogRequest(std::string_view()).ok());
+  // Any payload bytes on the request are trailing garbage.
+  EXPECT_FALSE(DecodeSlowLogRequest(std::string_view("\0", 1)).ok());
+  EXPECT_FALSE(DecodeSlowLogRequest("x").ok());
+
+  // The response carries the JSON text verbatim (no re-encoding), like
+  // the stats/trace responses.
+  const std::string json =
+      "{\"slow_log\":[{\"seq\":1,\"elapsed_ms\":12.5}]}";
+  const std::string frame = EncodeSlowLogResponseFrame(json, 32);
+  ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kSlowLogResponse);
+  EXPECT_EQ(h.request_id, 32u);
+  EXPECT_EQ(h.payload_len, json.size());
+  EXPECT_EQ(frame.substr(kHeaderBytes), json);
+}
+
+// --- hostile profile / trace-segment sections ---------------------------
+
+TEST(WireCodecTest, ProfileHostileFieldsRejected) {
+  {
+    // has_profile must be a strict boolean: the flag byte is the last
+    // payload byte when no profile follows.
+    NetSearchResponse resp;
+    std::string frame = EncodeSearchResponseFrame(resp, 1);
+    frame.back() = 2;
+    NetSearchResponse got;
+    const Status st = DecodeSearchResponse(
+        std::string_view(frame).substr(kHeaderBytes), &got);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Shard-row count above the cap: the u32 count is the last 4 payload
+    // bytes when the profile carries no rows.
+    NetSearchResponse resp;
+    resp.has_profile = true;
+    std::string frame = EncodeSearchResponseFrame(resp, 2);
+    const uint32_t hostile = static_cast<uint32_t>(kMaxWireProfileShards) + 1;
+    memcpy(frame.data() + frame.size() - 4, &hostile, sizeof(hostile));
+    NetSearchResponse got;
+    EXPECT_FALSE(DecodeSearchResponse(
+                     std::string_view(frame).substr(kHeaderBytes), &got)
+                     .ok());
+  }
+}
+
+TEST(WireCodecTest, SegmentHostileFieldsRejected) {
+  {
+    // has_segment must be a strict boolean (last payload byte when the
+    // segment is absent).
+    NetShardDone done;
+    std::string frame = EncodeShardDoneFrame(done, 1);
+    frame.back() = 2;
+    NetShardDone got;
+    EXPECT_FALSE(
+        DecodeShardDone(std::string_view(frame).substr(kHeaderBytes), &got)
+            .ok());
+  }
+  {
+    // Event count above the cap: the u32 count is the last 4 payload
+    // bytes when the segment holds no events.
+    NetShardDone done;
+    done.has_segment = true;
+    std::string frame = EncodeShardDoneFrame(done, 2);
+    const uint32_t hostile = kMaxWireTraceEvents + 1;
+    memcpy(frame.data() + frame.size() - 4, &hostile, sizeof(hostile));
+    NetShardDone got;
+    EXPECT_FALSE(
+        DecodeShardDone(std::string_view(frame).substr(kHeaderBytes), &got)
+            .ok());
+  }
+  {
+    // Arg count above the cap: the u32 nargs is the last 4 payload bytes
+    // when the final event carries no args.
+    NetShardDone done;
+    done.has_segment = true;
+    obs::TraceSegment::Event e;
+    e.category = "net";
+    e.name = "frame_decode";
+    done.segment.events.push_back(e);
+    std::string frame = EncodeShardDoneFrame(done, 3);
+    const uint32_t hostile = kMaxWireTraceArgs + 1;
+    memcpy(frame.data() + frame.size() - 4, &hostile, sizeof(hostile));
+    NetShardDone got;
+    EXPECT_FALSE(
+        DecodeShardDone(std::string_view(frame).substr(kHeaderBytes), &got)
+            .ok());
+  }
+  {
+    // Encoders truncate instead of emitting over-cap counts: a segment
+    // with too many events round-trips to the cap, not a decode error.
+    NetShardDone done;
+    done.has_segment = true;
+    obs::TraceSegment::Event e;
+    e.category = "net";
+    e.name = "x";
+    done.segment.events.assign(kMaxWireTraceEvents + 10, e);
+    const std::string frame = EncodeShardDoneFrame(done, 4);
+    NetShardDone got;
+    ASSERT_TRUE(
+        DecodeShardDone(std::string_view(frame).substr(kHeaderBytes), &got)
+            .ok());
+    EXPECT_EQ(got.segment.events.size(), kMaxWireTraceEvents);
+  }
+}
+
 TEST(WireCodecTest, TruncatedHeaderRejected) {
   std::string buf;
   AppendFrameHeader(FrameHeader{}, &buf);
@@ -866,9 +1141,9 @@ TEST(WireCodecTest, VersionMismatchKeepsRequestId) {
 }
 
 TEST(WireCodecTest, UnknownFrameTypeRejected) {
-  // 16 is the first unassigned type now that the mutate frames (14-15)
+  // 18 is the first unassigned type now that the slow-log frames (16-17)
   // are part of the protocol.
-  for (uint8_t type : {uint8_t{0}, uint8_t{16}, uint8_t{255}}) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{18}, uint8_t{255}}) {
     std::string buf;
     AppendFrameHeader(FrameHeader{}, &buf);
     buf[5] = static_cast<char>(type);
@@ -933,6 +1208,7 @@ TEST(WireFuzzTest, DecodersSurvivePureNoise) {
     (void)DecodeMutateRequest(noise, &mreq);
     NetMutateResponse mresp;
     (void)DecodeMutateResponse(noise, &mresp);
+    (void)DecodeSlowLogRequest(noise);
   }
 }
 
@@ -942,7 +1218,7 @@ TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
     const std::string payload = RandomBytes(rng, 96);
     FrameHeader h;
     h.type = static_cast<FrameType>(
-        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kMutateResponse)));
+        1 + rng.Uniform(static_cast<uint64_t>(FrameType::kSlowLogResponse)));
     h.request_id = rng.Next();
     h.payload_len = static_cast<uint32_t>(payload.size());
     std::string frame;
@@ -969,6 +1245,7 @@ TEST(WireFuzzTest, DecodersSurviveValidHeaderRandomPayload) {
     (void)DecodeMutateRequest(body, &mreq);
     NetMutateResponse mresp;
     (void)DecodeMutateResponse(body, &mresp);
+    (void)DecodeSlowLogRequest(body);
   }
 }
 
@@ -1025,6 +1302,7 @@ TEST(WireFuzzTest, DecodersSurviveBitFlippedValidFrames) {
     (void)DecodeMutateRequest(body, &mreq);
     NetMutateResponse mresp;
     (void)DecodeMutateResponse(body, &mresp);
+    (void)DecodeSlowLogRequest(body);
   }
 }
 
